@@ -1,0 +1,253 @@
+//! §IX-C ablation: fix root causes in the generalized engine one at a
+//! time and watch it converge on the specialized engine.
+//!
+//! This is the paper's thesis made executable: if the gap is
+//! implementation rather than architecture, then applying the fixes
+//! inside the *relational* engine must close it. Each row measures the
+//! metric its root cause targets:
+//!
+//! * RC#1 → IVF_FLAT build time (GEMM-batched assignment)
+//! * RC#2 → IVF_FLAT query time (memory-optimized tables)
+//! * RC#5 → IVF_FLAT query time (Faiss-style k-means)
+//! * RC#6 → IVF_FLAT query time (size-k heap)
+//! * RC#7 → IVF_PQ query time (optimized precomputed table)
+//! * RC#4 → HNSW index size (packed layout)
+//! * RC#3 → IVF_FLAT 8-thread query time (local-heap merge)
+//! * all → everything at once vs the specialized engine
+
+use vdb_bench::*;
+use vdb_core::datagen::DatasetId;
+use vdb_core::generalized::{GeneralizedOptions, PaseIndex};
+use vdb_core::specialized::{SpecializedOptions, VectorIndex};
+use vdb_core::vecmath::HnswParams;
+use vdb_core::{ExperimentRecord, RootCause, Series};
+
+const K: usize = 100;
+
+fn main() {
+    let ds = dataset(DatasetId::Sift1M);
+    let params = ivf_params_for(&ds);
+    let pq = pq_params_for(&ds);
+    let hparams = HnswParams::default();
+    let nq = ds.queries.len().min(50);
+    let base = GeneralizedOptions::default();
+
+    let mut labels: Vec<String> = Vec::new();
+    let mut before = Series::new("PASE default");
+    let mut after = Series::new("with fix");
+    let mut target = Series::new("Faiss");
+    let mut improved_all = true;
+
+    let row = |label: &str,
+                   labels: &mut Vec<String>,
+                   b: f64,
+                   a: f64,
+                   t: f64,
+                   before: &mut Series,
+                   after: &mut Series,
+                   target: &mut Series| {
+        let i = labels.len() as f64;
+        labels.push(label.to_string());
+        before.push(i, b);
+        after.push(i, a);
+        target.push(i, t);
+        println!("{label:<28} default {b:>9.3} | fixed {a:>9.3} | faiss {t:>9.3}");
+        a <= b * 1.05
+    };
+
+    // RC#1: IVF_FLAT build seconds.
+    {
+        let b = pase_ivfflat(base, params, &ds).timing.total();
+        let a = pase_ivfflat(RootCause::Rc1Sgemm.apply_fix(base), params, &ds).timing.total();
+        let (_, t) = faiss_ivfflat(SpecializedOptions::default(), params, &ds);
+        improved_all &= row(
+            "RC#1 sgemm (build s)",
+            &mut labels,
+            secs(b),
+            secs(a),
+            secs(t.total()),
+            &mut before,
+            &mut after,
+            &mut target,
+        );
+    }
+
+    // Helper: average PASE IVF_FLAT query ms under given options.
+    let flat_query_ms = |opts: GeneralizedOptions| {
+        let built = pase_ivfflat(opts, params, &ds);
+        millis(avg_query_time(nq, |q| {
+            built
+                .index
+                .search_with_nprobe(&built.bm, ds.queries.row(q), K, params.nprobe)
+                .expect("search");
+        }))
+    };
+    let (faiss_flat, _) = faiss_ivfflat(SpecializedOptions::default(), params, &ds);
+    let faiss_flat_ms = millis(avg_query_time(nq, |q| {
+        faiss_flat.search(ds.queries.row(q), K);
+    }));
+
+    for rc in [RootCause::Rc2MemoryManagement, RootCause::Rc5Kmeans, RootCause::Rc6HeapSize] {
+        let b = flat_query_ms(base);
+        let a = flat_query_ms(rc.apply_fix(base));
+        improved_all &= row(
+            &format!("{} (query ms)", rc.tag()),
+            &mut labels,
+            b,
+            a,
+            faiss_flat_ms,
+            &mut before,
+            &mut after,
+            &mut target,
+        );
+    }
+
+    // RC#7: IVF_PQ query ms.
+    {
+        let pq_query_ms = |opts: GeneralizedOptions| {
+            let built = pase_ivfpq(opts, params, pq, &ds);
+            millis(avg_query_time(nq, |q| {
+                built
+                    .index
+                    .search_with_nprobe(&built.bm, ds.queries.row(q), K, params.nprobe)
+                    .expect("search");
+            }))
+        };
+        let (faiss_pq, _) = faiss_ivfpq(SpecializedOptions::default(), params, pq, &ds);
+        let t = millis(avg_query_time(nq, |q| {
+            faiss_pq.search(ds.queries.row(q), K);
+        }));
+        let b = pq_query_ms(base);
+        let a = pq_query_ms(RootCause::Rc7PqTable.apply_fix(base));
+        improved_all &= row(
+            "RC#7 pq table (query ms)",
+            &mut labels,
+            b,
+            a,
+            t,
+            &mut before,
+            &mut after,
+            &mut target,
+        );
+    }
+
+    // RC#4: HNSW size MB.
+    {
+        let b = pase_hnsw(base, hparams, &ds);
+        let b_mb = b.index.size_bytes(&b.bm) as f64 / 1e6;
+        drop(b);
+        let a = pase_hnsw(RootCause::Rc4PageLayout.apply_fix(base), hparams, &ds);
+        let a_mb = a.index.size_bytes(&a.bm) as f64 / 1e6;
+        drop(a);
+        let (f, _) = faiss_hnsw(SpecializedOptions::default(), hparams, &ds);
+        let t_mb = f.size_bytes() as f64 / 1e6;
+        improved_all &= row(
+            "RC#4 layout (HNSW MB)",
+            &mut labels,
+            b_mb,
+            a_mb,
+            t_mb,
+            &mut before,
+            &mut after,
+            &mut target,
+        );
+    }
+
+    // RC#3: IVF_FLAT query ms at 8 threads (wide probing so a query
+    // has parallel work). Measured over the persistent pool on
+    // multicore machines; Amdahl-modeled from a profiled serial run on
+    // core-starved ones (see parallel_model).
+    {
+        let wide_probe = params.clusters / 2;
+        let nq8 = nq.min(30);
+        let queries8 = vdb_core::vecmath::VectorSet::from_flat(
+            ds.queries.dim(),
+            ds.queries.as_flat()[..nq8 * ds.queries.dim()].to_vec(),
+        );
+        let mode = parallelism_mode();
+        let (b, a, t) = match mode {
+            ParallelismMode::Measured => {
+                let batch_ms = |opts: GeneralizedOptions| {
+                    let built = pase_ivfflat(opts, params, &ds);
+                    let (_, took) = time(|| {
+                        built
+                            .index
+                            .search_batch_with_nprobe(&built.bm, &queries8, K, wide_probe)
+                            .expect("search")
+                    });
+                    millis(took) / nq8 as f64
+                };
+                let b = batch_ms(GeneralizedOptions { threads: 8, ..base });
+                let a = batch_ms(GeneralizedOptions {
+                    threads: 8,
+                    ..RootCause::Rc3Parallelism.apply_fix(base)
+                });
+                let parallel_faiss = SpecializedOptions { threads: 8, ..Default::default() };
+                let (idx, _) = faiss_ivfflat(parallel_faiss, params, &ds);
+                let (_, took) = time(|| idx.search_batch(&queries8, K, wide_probe));
+                (b, a, millis(took) / nq8 as f64)
+            }
+            ParallelismMode::Modeled => {
+                let built = pase_ivfflat(base, params, &ds);
+                let prof = profile_serial(|| {
+                    built
+                        .index
+                        .search_batch_with_nprobe(&built.bm, &queries8, K, wide_probe)
+                        .expect("search");
+                });
+                let lock_ms = lock_cost_ms();
+                let b = model_global_locked(&prof, 8, lock_ms) / nq8 as f64;
+                let a = model_local_heap(&prof, 8, K, nq8) / nq8 as f64;
+                let (idx, _) = faiss_ivfflat(SpecializedOptions::default(), params, &ds);
+                let fprof = profile_serial(|| {
+                    idx.search_batch(&queries8, K, wide_probe);
+                });
+                let t = model_local_heap(&fprof, 8, K, nq8) / nq8 as f64;
+                (b, a, t)
+            }
+        };
+        improved_all &= row(
+            "RC#3 parallel (8T query ms)",
+            &mut labels,
+            b,
+            a,
+            t,
+            &mut before,
+            &mut after,
+            &mut target,
+        );
+    }
+
+    // All fixes together: PASE fully fixed vs Faiss (query ms).
+    let converged = {
+        let b = flat_query_ms(base);
+        let a = flat_query_ms(RootCause::all_fixed());
+        row(
+            "ALL fixes (query ms)",
+            &mut labels,
+            b,
+            a,
+            faiss_flat_ms,
+            &mut before,
+            &mut after,
+            &mut target,
+        );
+        // The headline claim: the fully fixed generalized engine is in
+        // the specialized engine's ballpark (within 2x).
+        a <= faiss_flat_ms * 2.0
+    };
+
+    let record = ExperimentRecord {
+        id: "ablation".into(),
+        title: "Root-cause ablation: fixing PASE one cause at a time (§IX-C)".into(),
+        paper_claim: "every root cause is an implementation issue; fixing them closes the gap"
+            .into(),
+        x_labels: labels,
+        unit: "mixed (s / ms / MB)".into(),
+        series: vec![before, after, target],
+        measured_factor: None,
+        shape_holds: improved_all && converged,
+        notes: format!("scale {:?}; every fix must not regress, ALL must land within 2x of Faiss", scale()),
+    };
+    emit(&record);
+}

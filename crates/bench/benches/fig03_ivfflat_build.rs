@@ -1,0 +1,63 @@
+//! Figure 3: IVF_FLAT index construction time, PASE vs Faiss, on all
+//! six datasets, split into training and adding phases.
+//!
+//! Paper: PASE is 35.0×–84.8× slower; the adding phase dominates both
+//! systems. The absolute factor here depends on how fast the blocked
+//! GEMM is relative to the naive loop on this machine; the shape under
+//! test is (a) PASE is several times slower everywhere, and (b) adding
+//! dominates.
+
+use vdb_bench::*;
+use vdb_core::generalized::GeneralizedOptions;
+use vdb_core::specialized::SpecializedOptions;
+use vdb_core::{ExperimentRecord, Series};
+
+fn main() {
+    let mut pase_total = Series::new("PASE");
+    let mut faiss_total = Series::new("Faiss");
+    let mut pase_add_frac = Series::new("PASE add fraction");
+    let mut faiss_add_frac = Series::new("Faiss add fraction");
+    let mut labels = Vec::new();
+
+    for (i, id) in all_datasets().into_iter().enumerate() {
+        let ds = dataset(id);
+        let params = ivf_params_for(&ds);
+        labels.push(id.name().to_string());
+
+        let built = pase_ivfflat(GeneralizedOptions::default(), params, &ds);
+        let (_, faiss_timing) = faiss_ivfflat(SpecializedOptions::default(), params, &ds);
+
+        pase_total.push(i as f64, secs(built.timing.total()));
+        faiss_total.push(i as f64, secs(faiss_timing.total()));
+        pase_add_frac
+            .push(i as f64, secs(built.timing.add) / secs(built.timing.total()).max(1e-12));
+        faiss_add_frac
+            .push(i as f64, secs(faiss_timing.add) / secs(faiss_timing.total()).max(1e-12));
+        println!(
+            "{:<10} PASE {:.2}s (train {:.2}s) | Faiss {:.2}s (train {:.2}s)",
+            id.name(),
+            secs(built.timing.total()),
+            secs(built.timing.train),
+            secs(faiss_timing.total()),
+            secs(faiss_timing.train),
+        );
+    }
+
+    let mut record = ExperimentRecord {
+        id: "fig03".into(),
+        title: "IVF_FLAT index construction time".into(),
+        paper_claim: "PASE 35.0x-84.8x slower than Faiss; adding phase dominates".into(),
+        x_labels: labels,
+        unit: "s".into(),
+        series: vec![pase_total, faiss_total, pase_add_frac, faiss_add_frac],
+        measured_factor: None,
+        shape_holds: false,
+        notes: format!("scale {:?}", scale()),
+    };
+    let (min_f, max_f) = record.factor_range().unwrap_or((0.0, 0.0));
+    record.measured_factor = Some(max_f);
+    // Shape: PASE slower everywhere; adding dominates PASE's build.
+    let add_dominates = record.series[2].points.iter().all(|&(_, frac)| frac > 0.5);
+    record.shape_holds = min_f > 2.0 && add_dominates;
+    emit(&record);
+}

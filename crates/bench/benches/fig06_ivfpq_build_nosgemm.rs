@@ -1,0 +1,53 @@
+//! Figure 6: IVF_PQ construction with SGEMM disabled in Faiss.
+//!
+//! Paper: the gap becomes negligible; the remainder is k-means/PQ
+//! implementation differences (RC#5).
+
+use vdb_bench::*;
+use vdb_core::gemm::GemmKernel;
+use vdb_core::generalized::GeneralizedOptions;
+use vdb_core::specialized::SpecializedOptions;
+use vdb_core::{ExperimentRecord, Series};
+
+fn main() {
+    let mut pase_total = Series::new("PASE");
+    let mut faiss_total = Series::new("Faiss (no SGEMM)");
+    let mut labels = Vec::new();
+
+    let faiss_opts = SpecializedOptions { gemm: GemmKernel::Naive, ..Default::default() };
+
+    for (i, id) in all_datasets().into_iter().enumerate() {
+        let ds = dataset(id);
+        let params = ivf_params_for(&ds);
+        let pq = pq_params_for(&ds);
+        labels.push(id.name().to_string());
+
+        let built = pase_ivfpq(GeneralizedOptions::default(), params, pq, &ds);
+        let (_, faiss_timing) = faiss_ivfpq(faiss_opts, params, pq, &ds);
+
+        pase_total.push(i as f64, secs(built.timing.total()));
+        faiss_total.push(i as f64, secs(faiss_timing.total()));
+        println!(
+            "{:<10} PASE {:.2}s | Faiss-noSGEMM {:.2}s",
+            id.name(),
+            secs(built.timing.total()),
+            secs(faiss_timing.total()),
+        );
+    }
+
+    let mut record = ExperimentRecord {
+        id: "fig06".into(),
+        title: "IVF_PQ construction with SGEMM disabled in Faiss".into(),
+        paper_claim: "gap negligible without SGEMM (RC#1)".into(),
+        x_labels: labels,
+        unit: "s".into(),
+        series: vec![pase_total, faiss_total],
+        measured_factor: None,
+        shape_holds: false,
+        notes: format!("scale {:?}", scale()),
+    };
+    let (min_f, max_f) = record.factor_range().unwrap_or((0.0, 0.0));
+    record.measured_factor = Some(max_f);
+    record.shape_holds = min_f > 1.0 / 3.0 && max_f < 3.0;
+    emit(&record);
+}

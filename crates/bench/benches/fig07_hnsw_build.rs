@@ -1,0 +1,53 @@
+//! Figure 7: HNSW index construction time, PASE vs Faiss, all six
+//! datasets.
+//!
+//! Paper: PASE is 1.6×–8.7× slower — and the cause is *not* SGEMM
+//! (HNSW uses none) but buffer-manager overhead on every vector and
+//! neighbor access (RC#2). Shape under test: PASE consistently slower.
+
+use vdb_bench::*;
+use vdb_core::generalized::GeneralizedOptions;
+use vdb_core::specialized::SpecializedOptions;
+use vdb_core::vecmath::HnswParams;
+use vdb_core::{ExperimentRecord, Series};
+
+fn main() {
+    let mut pase_total = Series::new("PASE");
+    let mut faiss_total = Series::new("Faiss");
+    let mut labels = Vec::new();
+    let params = HnswParams::default();
+
+    for (i, id) in all_datasets().into_iter().enumerate() {
+        let ds = dataset(id);
+        labels.push(id.name().to_string());
+
+        let built = pase_hnsw(GeneralizedOptions::default(), params, &ds);
+        let (_, faiss_timing) = faiss_hnsw(SpecializedOptions::default(), params, &ds);
+
+        pase_total.push(i as f64, secs(built.timing.total()));
+        faiss_total.push(i as f64, secs(faiss_timing.total()));
+        println!(
+            "{:<10} PASE {:.2}s | Faiss {:.2}s",
+            id.name(),
+            secs(built.timing.total()),
+            secs(faiss_timing.total()),
+        );
+    }
+
+    let mut record = ExperimentRecord {
+        id: "fig07".into(),
+        title: "HNSW index construction time".into(),
+        paper_claim: "PASE 1.6x-8.7x slower; root cause is memory management (RC#2), not SGEMM"
+            .into(),
+        x_labels: labels,
+        unit: "s".into(),
+        series: vec![pase_total, faiss_total],
+        measured_factor: None,
+        shape_holds: false,
+        notes: format!("scale {:?}", scale()),
+    };
+    let (min_f, max_f) = record.factor_range().unwrap_or((0.0, 0.0));
+    record.measured_factor = Some(max_f);
+    record.shape_holds = min_f > 1.2;
+    emit(&record);
+}

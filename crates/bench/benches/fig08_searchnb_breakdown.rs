@@ -1,0 +1,90 @@
+//! Figure 8: breakdown of `SearchNbToAdd` during HNSW construction.
+//!
+//! Paper: Faiss spends 80.6% of it on distance calculation; PASE only
+//! 22% — because PASE burns 46% on tuple access (buffer-manager
+//! indirection), 14% on `HVTGet` (visited checks) and 7.7% on
+//! `pasepfirst` (neighbor-list traversal), all negligible in Faiss.
+//! Absolute distance-calculation time is similar in both (RC#2).
+
+use vdb_bench::*;
+use vdb_core::datagen::DatasetId;
+use vdb_core::generalized::GeneralizedOptions;
+use vdb_core::profile::{self, Category};
+use vdb_core::specialized::SpecializedOptions;
+use vdb_core::vecmath::HnswParams;
+use vdb_core::{ExperimentRecord, Series};
+
+const LEAVES: [Category; 4] = [
+    Category::DistanceCalc,
+    Category::TupleAccess,
+    Category::HvtGet,
+    Category::NeighborIter,
+];
+
+fn main() {
+    let ds = dataset(DatasetId::Sift1M);
+    let params = HnswParams::default();
+    profile::enable(true);
+
+    profile::reset_local();
+    let built = pase_hnsw(GeneralizedOptions::default(), params, &ds);
+    let pase_bd = profile::take_local();
+    drop(built);
+
+    profile::reset_local();
+    let (faiss_idx, _) = faiss_hnsw(SpecializedOptions::default(), params, &ds);
+    let faiss_bd = profile::take_local();
+    profile::enable(false);
+    drop(faiss_idx);
+
+    println!("--- PASE leaf breakdown (within HNSW build) ---");
+    println!("{}", pase_bd.table(&LEAVES));
+    println!("--- Faiss leaf breakdown (within HNSW build) ---");
+    println!("{}", faiss_bd.table(&LEAVES));
+
+    let pase_leaf_total: u64 = LEAVES.iter().map(|&c| pase_bd.nanos(c)).sum();
+    let faiss_leaf_total: u64 = LEAVES.iter().map(|&c| faiss_bd.nanos(c)).sum();
+
+    let mut labels = Vec::new();
+    let mut pase_series = Series::new("PASE share");
+    let mut faiss_series = Series::new("Faiss share");
+    for (i, cat) in LEAVES.iter().enumerate() {
+        labels.push(cat.label().to_string());
+        pase_series.push(i as f64, pase_bd.nanos(*cat) as f64 / pase_leaf_total.max(1) as f64);
+        faiss_series
+            .push(i as f64, faiss_bd.nanos(*cat) as f64 / faiss_leaf_total.max(1) as f64);
+    }
+
+    // Shape: Faiss's leaf time is mostly distance; PASE's distance
+    // share is much smaller because tuple access + HVTGet eat it; yet
+    // the two engines' absolute distance time is comparable.
+    let faiss_dist_share = faiss_series.points[0].1;
+    let pase_dist_share = pase_series.points[0].1;
+    let pase_overhead_share = pase_series.points[1].1 + pase_series.points[2].1;
+    let dist_ratio =
+        pase_bd.nanos(Category::DistanceCalc) as f64 / faiss_bd.nanos(Category::DistanceCalc).max(1) as f64;
+    let shape = faiss_dist_share > 0.6
+        && pase_dist_share < faiss_dist_share
+        && pase_overhead_share > 0.3
+        && dist_ratio > 0.3
+        && dist_ratio < 3.0;
+
+    let record = ExperimentRecord {
+        id: "fig08".into(),
+        title: "SearchNbToAdd breakdown during HNSW build (SIFT1M-class)".into(),
+        paper_claim: "Faiss ~80% distance calc; PASE ~22% distance, 46% tuple access, 14% HVTGet; absolute distance time similar"
+            .into(),
+        x_labels: labels,
+        unit: "fraction".into(),
+        series: vec![pase_series, faiss_series],
+        measured_factor: Some(dist_ratio),
+        shape_holds: shape,
+        notes: format!(
+            "scale {:?}; PASE dist {:.0}ms vs Faiss dist {:.0}ms",
+            scale(),
+            pase_bd.millis(Category::DistanceCalc),
+            faiss_bd.millis(Category::DistanceCalc),
+        ),
+    };
+    emit(&record);
+}

@@ -1,0 +1,74 @@
+//! Figure 10: impact of build parameters on the construction-time gap
+//! (SIFT1M): cluster count `c` ∈ {100, 500, 1000} for IVF_FLAT/IVF_PQ
+//! and base neighbor count `bnn` ∈ {16, 32, 64} for HNSW.
+//!
+//! Paper: the PASE/Faiss gap *grows* with `c` (SGEMM absorbs the extra
+//! assignment work) and with `bnn` (more neighbor/tuple traffic through
+//! the buffer manager).
+
+use vdb_bench::*;
+use vdb_core::datagen::DatasetId;
+use vdb_core::generalized::GeneralizedOptions;
+use vdb_core::specialized::SpecializedOptions;
+use vdb_core::vecmath::{HnswParams, IvfParams};
+use vdb_core::{ExperimentRecord, Series};
+
+const CLUSTERS: [usize; 3] = [100, 500, 1000];
+const BNNS: [usize; 3] = [16, 32, 64];
+
+fn main() {
+    let ds = dataset(DatasetId::Sift1M);
+
+    let mut ivfflat_factor = Series::new("IVF_FLAT PASE/Faiss factor vs c");
+    for (i, &c) in CLUSTERS.iter().enumerate() {
+        let params = IvfParams { clusters: c, ..ivf_params_for(&ds) };
+        let built = pase_ivfflat(GeneralizedOptions::default(), params, &ds);
+        let (_, faiss) = faiss_ivfflat(SpecializedOptions::default(), params, &ds);
+        let factor = secs(built.timing.total()) / secs(faiss.total()).max(1e-12);
+        ivfflat_factor.push(i as f64, factor);
+        println!("IVF_FLAT c={c}: factor {factor:.1}x");
+    }
+
+    let mut ivfpq_factor = Series::new("IVF_PQ PASE/Faiss factor vs c");
+    let pq = pq_params_for(&ds);
+    for (i, &c) in CLUSTERS.iter().enumerate() {
+        let params = IvfParams { clusters: c, ..ivf_params_for(&ds) };
+        let built = pase_ivfpq(GeneralizedOptions::default(), params, pq, &ds);
+        let (_, faiss) = faiss_ivfpq(SpecializedOptions::default(), params, pq, &ds);
+        let factor = secs(built.timing.total()) / secs(faiss.total()).max(1e-12);
+        ivfpq_factor.push(i as f64, factor);
+        println!("IVF_PQ   c={c}: factor {factor:.1}x");
+    }
+
+    let mut hnsw_factor = Series::new("HNSW PASE/Faiss factor vs bnn");
+    for (i, &bnn) in BNNS.iter().enumerate() {
+        let params = HnswParams { bnn, ..Default::default() };
+        let built = pase_hnsw(GeneralizedOptions::default(), params, &ds);
+        let (_, faiss) = faiss_hnsw(SpecializedOptions::default(), params, &ds);
+        let factor = secs(built.timing.total()) / secs(faiss.total()).max(1e-12);
+        hnsw_factor.push(i as f64, factor);
+        println!("HNSW     bnn={bnn}: factor {factor:.1}x");
+    }
+
+    // Shape: IVF_FLAT factor grows from c=100 to c=1000; HNSW factor
+    // does not shrink materially as bnn grows.
+    let flat_grows = ivfflat_factor.points[2].1 > ivfflat_factor.points[0].1;
+    let hnsw_not_shrinking = hnsw_factor.points[2].1 > 0.8 * hnsw_factor.points[0].1;
+
+    let record = ExperimentRecord {
+        id: "fig10".into(),
+        title: "Construction-time gap vs build parameters (SIFT1M-class)".into(),
+        paper_claim: "PASE/Faiss factor grows with c (IVF) and with bnn (HNSW)".into(),
+        x_labels: vec![
+            "c=100 / bnn=16".into(),
+            "c=500 / bnn=32".into(),
+            "c=1000 / bnn=64".into(),
+        ],
+        unit: "x".into(),
+        series: vec![ivfflat_factor, ivfpq_factor, hnsw_factor],
+        measured_factor: None,
+        shape_holds: flat_grows && hnsw_not_shrinking,
+        notes: format!("scale {:?}", scale()),
+    };
+    emit(&record);
+}

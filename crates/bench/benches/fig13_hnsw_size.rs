@@ -1,0 +1,48 @@
+//! Figure 13: HNSW index size, PASE vs Faiss, all six datasets.
+//!
+//! Paper: PASE consumes 2.9×–13.3× more space (RC#4). Two causes:
+//! 24-byte `HNSWNeighborTuple`s where Faiss stores a 4-byte id, and a
+//! fresh page per adjacency list (~768–1152 useful bytes out of 8KB).
+
+use vdb_bench::*;
+use vdb_core::generalized::{GeneralizedOptions, PaseIndex};
+use vdb_core::specialized::{SpecializedOptions, VectorIndex};
+use vdb_core::vecmath::HnswParams;
+use vdb_core::{ExperimentRecord, Series};
+
+fn main() {
+    let mut pase_mb = Series::new("PASE");
+    let mut faiss_mb = Series::new("Faiss");
+    let mut labels = Vec::new();
+    let params = HnswParams::default();
+
+    for (i, id) in all_datasets().into_iter().enumerate() {
+        let ds = dataset(id);
+        labels.push(id.name().to_string());
+
+        let built = pase_hnsw(GeneralizedOptions::default(), params, &ds);
+        let (faiss_idx, _) = faiss_hnsw(SpecializedOptions::default(), params, &ds);
+
+        let p = built.index.size_bytes(&built.bm) as f64 / 1e6;
+        let f = faiss_idx.size_bytes() as f64 / 1e6;
+        pase_mb.push(i as f64, p);
+        faiss_mb.push(i as f64, f);
+        println!("{:<10} PASE {p:.1} MB | Faiss {f:.1} MB ({:.1}x)", id.name(), p / f);
+    }
+
+    let mut record = ExperimentRecord {
+        id: "fig13".into(),
+        title: "HNSW index size".into(),
+        paper_claim: "PASE consumes 2.9x-13.3x more space than Faiss (RC#4)".into(),
+        x_labels: labels,
+        unit: "MB".into(),
+        series: vec![pase_mb, faiss_mb],
+        measured_factor: None,
+        shape_holds: false,
+        notes: format!("scale {:?}", scale()),
+    };
+    let (min_f, max_f) = record.factor_range().unwrap_or((0.0, 0.0));
+    record.measured_factor = Some(max_f);
+    record.shape_holds = min_f > 2.0;
+    emit(&record);
+}

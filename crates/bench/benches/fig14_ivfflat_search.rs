@@ -1,0 +1,57 @@
+//! Figure 14: average IVF_FLAT query time, PASE vs Faiss, all six
+//! datasets (k = 100, nprobe = 20).
+//!
+//! Paper: PASE is 2.0×–3.4× slower. Root causes: different k-means
+//! centroids (RC#5), tuple access (RC#2), and the size-n heap (RC#6).
+
+use vdb_bench::*;
+use vdb_core::generalized::GeneralizedOptions;
+use vdb_core::specialized::{SpecializedOptions, VectorIndex};
+use vdb_core::{ExperimentRecord, Series};
+
+const K: usize = 100;
+
+fn main() {
+    let mut pase_ms = Series::new("PASE");
+    let mut faiss_ms = Series::new("Faiss");
+    let mut labels = Vec::new();
+
+    for (i, id) in all_datasets().into_iter().enumerate() {
+        let ds = dataset(id);
+        let params = ivf_params_for(&ds);
+        labels.push(id.name().to_string());
+
+        let built = pase_ivfflat(GeneralizedOptions::default(), params, &ds);
+        let (faiss_idx, _) = faiss_ivfflat(SpecializedOptions::default(), params, &ds);
+
+        let nq = ds.queries.len();
+        let p = millis(avg_query_time(nq, |q| {
+            built
+                .index
+                .search_with_nprobe(&built.bm, ds.queries.row(q), K, params.nprobe)
+                .expect("PASE search");
+        }));
+        let f = millis(avg_query_time(nq, |q| {
+            faiss_idx.search(ds.queries.row(q), K);
+        }));
+        pase_ms.push(i as f64, p);
+        faiss_ms.push(i as f64, f);
+        println!("{:<10} PASE {p:.3} ms | Faiss {f:.3} ms ({:.1}x)", id.name(), p / f);
+    }
+
+    let mut record = ExperimentRecord {
+        id: "fig14".into(),
+        title: "IVF_FLAT average query time".into(),
+        paper_claim: "PASE 2.0x-3.4x slower than Faiss".into(),
+        x_labels: labels,
+        unit: "ms".into(),
+        series: vec![pase_ms, faiss_ms],
+        measured_factor: None,
+        shape_holds: false,
+        notes: format!("scale {:?}, k={K}", scale()),
+    };
+    let (min_f, max_f) = record.factor_range().unwrap_or((0.0, 0.0));
+    record.measured_factor = Some(max_f);
+    record.shape_holds = min_f > 1.3;
+    emit(&record);
+}

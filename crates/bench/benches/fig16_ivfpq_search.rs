@@ -1,0 +1,60 @@
+//! Figure 16: average IVF_PQ query time, PASE vs Faiss, all six
+//! datasets.
+//!
+//! Paper: PASE is 3.9×–11.2× slower. On top of the IVF_FLAT causes
+//! (RC#2, RC#5, RC#6), PASE rebuilds its ADC precomputed table the
+//! straightforward way every query (RC#7).
+
+use vdb_bench::*;
+use vdb_core::generalized::GeneralizedOptions;
+use vdb_core::specialized::{SpecializedOptions, VectorIndex};
+use vdb_core::{ExperimentRecord, Series};
+
+const K: usize = 100;
+
+fn main() {
+    let mut pase_ms = Series::new("PASE");
+    let mut faiss_ms = Series::new("Faiss");
+    let mut labels = Vec::new();
+
+    for (i, id) in all_datasets().into_iter().enumerate() {
+        let ds = dataset(id);
+        let params = ivf_params_for(&ds);
+        let pq = pq_params_for(&ds);
+        labels.push(id.name().to_string());
+
+        let built = pase_ivfpq(GeneralizedOptions::default(), params, pq, &ds);
+        let (faiss_idx, _) = faiss_ivfpq(SpecializedOptions::default(), params, pq, &ds);
+
+        let nq = ds.queries.len();
+        let p = millis(avg_query_time(nq, |q| {
+            built
+                .index
+                .search_with_nprobe(&built.bm, ds.queries.row(q), K, params.nprobe)
+                .expect("PASE search");
+        }));
+        let f = millis(avg_query_time(nq, |q| {
+            faiss_idx.search(ds.queries.row(q), K);
+        }));
+        pase_ms.push(i as f64, p);
+        faiss_ms.push(i as f64, f);
+        println!("{:<10} PASE {p:.3} ms | Faiss {f:.3} ms ({:.1}x)", id.name(), p / f);
+    }
+
+    let mut record = ExperimentRecord {
+        id: "fig16".into(),
+        title: "IVF_PQ average query time".into(),
+        paper_claim: "PASE 3.9x-11.2x slower than Faiss (adds RC#7 to the IVF_FLAT causes)"
+            .into(),
+        x_labels: labels,
+        unit: "ms".into(),
+        series: vec![pase_ms, faiss_ms],
+        measured_factor: None,
+        shape_holds: false,
+        notes: format!("scale {:?}, k={K}", scale()),
+    };
+    let (min_f, max_f) = record.factor_range().unwrap_or((0.0, 0.0));
+    record.measured_factor = Some(max_f);
+    record.shape_holds = min_f > 1.5;
+    emit(&record);
+}

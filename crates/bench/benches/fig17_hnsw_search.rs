@@ -1,0 +1,59 @@
+//! Figure 17: average HNSW query time, PASE vs Faiss, all six datasets
+//! (efs = 200, k = 100).
+//!
+//! Paper: PASE is 2.2×–7.3× slower; distance-computation time is nearly
+//! identical in the two systems, so the gap is almost pure tuple access
+//! (RC#2).
+
+use vdb_bench::*;
+use vdb_core::generalized::GeneralizedOptions;
+use vdb_core::specialized::{SpecializedOptions, VectorIndex};
+use vdb_core::vecmath::HnswParams;
+use vdb_core::{ExperimentRecord, Series};
+
+const K: usize = 100;
+
+fn main() {
+    let mut pase_ms = Series::new("PASE");
+    let mut faiss_ms = Series::new("Faiss");
+    let mut labels = Vec::new();
+    let params = HnswParams::default();
+
+    for (i, id) in all_datasets().into_iter().enumerate() {
+        let ds = dataset(id);
+        labels.push(id.name().to_string());
+
+        let built = pase_hnsw(GeneralizedOptions::default(), params, &ds);
+        let (faiss_idx, _) = faiss_hnsw(SpecializedOptions::default(), params, &ds);
+
+        let nq = ds.queries.len();
+        let p = millis(avg_query_time(nq, |q| {
+            built
+                .index
+                .search_with_ef(&built.bm, ds.queries.row(q), K, params.efs)
+                .expect("PASE search");
+        }));
+        let f = millis(avg_query_time(nq, |q| {
+            faiss_idx.search(ds.queries.row(q), K);
+        }));
+        pase_ms.push(i as f64, p);
+        faiss_ms.push(i as f64, f);
+        println!("{:<10} PASE {p:.3} ms | Faiss {f:.3} ms ({:.1}x)", id.name(), p / f);
+    }
+
+    let mut record = ExperimentRecord {
+        id: "fig17".into(),
+        title: "HNSW average query time".into(),
+        paper_claim: "PASE 2.2x-7.3x slower; gap is mainly tuple access (RC#2)".into(),
+        x_labels: labels,
+        unit: "ms".into(),
+        series: vec![pase_ms, faiss_ms],
+        measured_factor: None,
+        shape_holds: false,
+        notes: format!("scale {:?}, k={K}, efs={}", scale(), params.efs),
+    };
+    let (min_f, max_f) = record.factor_range().unwrap_or((0.0, 0.0));
+    record.measured_factor = Some(max_f);
+    record.shape_holds = min_f > 1.3;
+    emit(&record);
+}

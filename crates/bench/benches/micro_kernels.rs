@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks for the primitive operations behind the
+//! root causes: distance kernels, top-k heaps (RC#6), and PQ table
+//! construction (RC#7). The macro experiments live in the other bench
+//! targets; these quantify the per-operation deltas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vdb_core::vecmath::distance::{l2_sqr_ref, l2_sqr_unrolled};
+use vdb_core::vecmath::pq::train_default;
+use vdb_core::vecmath::{KHeap, KmeansFlavor, NHeap, PqTableMode, VectorSet};
+
+fn pseudo_random(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn bench_distance_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    for &d in &[128usize, 960] {
+        let x = pseudo_random(d, 1);
+        let y = pseudo_random(d, 2);
+        group.bench_with_input(BenchmarkId::new("unrolled", d), &d, |b, _| {
+            b.iter(|| l2_sqr_unrolled(&x, &y))
+        });
+        group.bench_with_input(BenchmarkId::new("reference", d), &d, |b, _| {
+            b.iter(|| l2_sqr_ref(&x, &y))
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk_heaps(c: &mut Criterion) {
+    // RC#6: pushing n candidates through a size-k heap vs a size-n heap.
+    let mut group = c.benchmark_group("topk_rc6");
+    let n = 20_000usize;
+    let k = 100usize;
+    let dists = pseudo_random(n, 3);
+    group.bench_function("size_k_heap", |b| {
+        b.iter(|| {
+            let mut h = KHeap::new(k);
+            for (i, &d) in dists.iter().enumerate() {
+                h.push(i as u64, d);
+            }
+            h.into_sorted()
+        })
+    });
+    group.bench_function("size_n_heap", |b| {
+        b.iter(|| {
+            let mut h = NHeap::new(k);
+            for (i, &d) in dists.iter().enumerate() {
+                h.push(i as u64, d);
+            }
+            h.into_sorted()
+        })
+    });
+    group.finish();
+}
+
+fn bench_pq_tables(c: &mut Criterion) {
+    // RC#7: optimized vs straightforward ADC table construction.
+    let mut group = c.benchmark_group("pq_table_rc7");
+    let d = 128;
+    let training = VectorSet::from_flat(d, pseudo_random(500 * d, 4));
+    let pq = train_default(
+        &training,
+        16,
+        256,
+        KmeansFlavor::FaissStyle,
+        7,
+        vdb_core::gemm::GemmKernel::Blas,
+    );
+    let query = pseudo_random(d, 5);
+    group.bench_function("optimized", |b| {
+        b.iter(|| pq.adc_table(PqTableMode::Optimized, &query))
+    });
+    group.bench_function("straightforward", |b| {
+        b.iter(|| pq.adc_table(PqTableMode::Straightforward, &query))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_distance_kernels, bench_topk_heaps, bench_pq_tables
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Table V: time breakdown of IVF_FLAT search on SIFT1M.
+//!
+//! Paper: Faiss spends 94.96% of query time in distance calculation;
+//! PASE only 54.80% — the rest leaks into tuple access (23.5%, RC#2)
+//! and min-heap maintenance (13.4%, RC#6 — its heap holds all n probed
+//! candidates, not k).
+
+use vdb_bench::*;
+use vdb_core::datagen::DatasetId;
+use vdb_core::generalized::GeneralizedOptions;
+use vdb_core::profile::{self, Category};
+use vdb_core::specialized::{SpecializedOptions, VectorIndex};
+use vdb_core::{ExperimentRecord, Series};
+
+const K: usize = 100;
+const LEAVES: [Category; 3] =
+    [Category::DistanceCalc, Category::TupleAccess, Category::MinHeap];
+
+fn main() {
+    let ds = dataset(DatasetId::Sift1M);
+    let params = ivf_params_for(&ds);
+
+    let built = pase_ivfflat(GeneralizedOptions::default(), params, &ds);
+    let (faiss_idx, _) = faiss_ivfflat(SpecializedOptions::default(), params, &ds);
+    let nq = ds.queries.len();
+
+    profile::enable(true);
+    profile::reset_local();
+    for q in 0..nq {
+        built
+            .index
+            .search_with_nprobe(&built.bm, ds.queries.row(q), K, params.nprobe)
+            .expect("PASE search");
+    }
+    let pase_bd = profile::take_local();
+
+    profile::reset_local();
+    for q in 0..nq {
+        faiss_idx.search(ds.queries.row(q), K);
+    }
+    let faiss_bd = profile::take_local();
+    profile::enable(false);
+
+    println!("--- PASE IVF_FLAT search breakdown ({nq} queries) ---");
+    println!("{}", pase_bd.table(&LEAVES));
+    println!("--- Faiss IVF_FLAT search breakdown ({nq} queries) ---");
+    println!("{}", faiss_bd.table(&LEAVES));
+
+    let mut labels = Vec::new();
+    let mut pase_series = Series::new("PASE");
+    let mut faiss_series = Series::new("Faiss");
+    for (i, cat) in LEAVES.iter().enumerate() {
+        labels.push(cat.label().to_string());
+        pase_series.push(i as f64, pase_bd.millis(*cat) / nq as f64);
+        faiss_series.push(i as f64, faiss_bd.millis(*cat) / nq as f64);
+    }
+
+    // Shape: Faiss's profile is dominated by distance calc; PASE's
+    // distance share is visibly lower because tuple access and heap
+    // time are substantial; PASE's heap time far exceeds Faiss's.
+    let faiss_dist_frac = faiss_bd.fraction(Category::DistanceCalc);
+    let pase_dist_frac = pase_bd.fraction(Category::DistanceCalc);
+    let pase_overhead = pase_bd.nanos(Category::TupleAccess) + pase_bd.nanos(Category::MinHeap);
+    let faiss_overhead =
+        faiss_bd.nanos(Category::TupleAccess) + faiss_bd.nanos(Category::MinHeap);
+    // At reduced scale each query sees ~k*30 candidates rather than the
+    // paper's k*200, so accepted-push fractions (and thus Faiss's heap
+    // share) are structurally larger; the robust signature is that
+    // distance still dominates Faiss while PASE leaks several times
+    // Faiss's overhead into tuple access + heap work.
+    let shape = faiss_dist_frac > 0.55
+        && pase_dist_frac < 0.75
+        && pase_overhead > 3 * faiss_overhead.max(1);
+
+    let record = ExperimentRecord {
+        id: "tab05".into(),
+        title: "IVF_FLAT search time breakdown (SIFT1M-class)".into(),
+        paper_claim: "Faiss ~95% distance calc; PASE ~55% distance, ~24% tuple access, ~13% min-heap"
+            .into(),
+        x_labels: labels,
+        unit: "ms/query".into(),
+        series: vec![pase_series, faiss_series],
+        measured_factor: Some(pase_overhead as f64 / faiss_overhead.max(1) as f64),
+        shape_holds: shape,
+        notes: format!(
+            "scale {:?}; PASE dist {:.0}% vs Faiss dist {:.0}%",
+            scale(),
+            100.0 * pase_dist_frac,
+            100.0 * faiss_dist_frac,
+        ),
+    };
+    emit(&record);
+}

@@ -1,0 +1,118 @@
+//! Paired engine construction with identical parameters.
+//!
+//! The paper's methodology (§III): "compare PASE and Faiss, using the
+//! same index type and parameters". These helpers build the matched
+//! pair for each index type and return both handles plus their build
+//! timings.
+
+use crate::buffer_manager_for;
+use vdb_core::datagen::Dataset;
+use vdb_core::generalized::{
+    GeneralizedOptions, PaseHnswIndex, PaseIvfFlatIndex, PaseIvfPqIndex,
+};
+use vdb_core::specialized::{HnswIndex, IvfFlatIndex, IvfPqIndex, SpecializedOptions};
+use vdb_core::storage::{BufferManager, PageSize};
+use vdb_core::vecmath::{BuildTiming, HnswParams, IvfParams, PqParams};
+
+/// A built PASE-side index plus the buffer manager it lives in.
+pub struct PaseBuilt<I> {
+    /// The buffer manager backing the index's pages.
+    pub bm: BufferManager,
+    /// The index.
+    pub index: I,
+    /// Train/add timing.
+    pub timing: BuildTiming,
+}
+
+/// Default IVF parameters for a dataset at the current scale: `c = √n`
+/// (the paper's rule), `sr = 0.01` with a floor so tiny scales still
+/// train sanely, `nprobe = 20` capped at `c`.
+pub fn ivf_params_for(ds: &Dataset) -> IvfParams {
+    let mut p = IvfParams::scaled_to(ds.base.len());
+    // At reduced scale a 1% sample can undershoot the cluster count;
+    // sample_indices() already floors at `clusters`, so just cap nprobe.
+    p.nprobe = p.nprobe.min(p.clusters);
+    p
+}
+
+/// The paper's per-dataset PQ `m` (Table II), adjusted to divide the
+/// dimension (it always does for the six datasets).
+pub fn pq_params_for(ds: &Dataset) -> PqParams {
+    PqParams { m: ds.spec.id.default_pq_m(), cpq: 256 }
+}
+
+/// Build the specialized (Faiss) IVF_FLAT.
+pub fn faiss_ivfflat(
+    opts: SpecializedOptions,
+    params: IvfParams,
+    ds: &Dataset,
+) -> (IvfFlatIndex, BuildTiming) {
+    IvfFlatIndex::build(opts, params, &ds.base)
+}
+
+/// Build the generalized (PASE) IVF_FLAT on a fresh buffer pool.
+pub fn pase_ivfflat(
+    opts: GeneralizedOptions,
+    params: IvfParams,
+    ds: &Dataset,
+) -> PaseBuilt<PaseIvfFlatIndex> {
+    let bm = buffer_manager_for(PageSize::Size8K, ds.base.len(), ds.base.dim(), 0);
+    let (index, timing) =
+        PaseIvfFlatIndex::build(opts, params, &bm, &ds.base).expect("PASE IVF_FLAT build");
+    PaseBuilt { bm, index, timing }
+}
+
+/// Build the specialized (Faiss) IVF_PQ.
+pub fn faiss_ivfpq(
+    opts: SpecializedOptions,
+    params: IvfParams,
+    pq: PqParams,
+    ds: &Dataset,
+) -> (IvfPqIndex, BuildTiming) {
+    IvfPqIndex::build(opts, params, pq, &ds.base)
+}
+
+/// Build the generalized (PASE) IVF_PQ on a fresh buffer pool.
+pub fn pase_ivfpq(
+    opts: GeneralizedOptions,
+    params: IvfParams,
+    pq: PqParams,
+    ds: &Dataset,
+) -> PaseBuilt<PaseIvfPqIndex> {
+    let bm = buffer_manager_for(PageSize::Size8K, ds.base.len(), ds.base.dim(), 0);
+    let (index, timing) =
+        PaseIvfPqIndex::build(opts, params, pq, &bm, &ds.base).expect("PASE IVF_PQ build");
+    PaseBuilt { bm, index, timing }
+}
+
+/// Build the specialized (Faiss) HNSW.
+pub fn faiss_hnsw(
+    opts: SpecializedOptions,
+    params: HnswParams,
+    ds: &Dataset,
+) -> (HnswIndex, BuildTiming) {
+    HnswIndex::build(opts, params, &ds.base)
+}
+
+/// Build the generalized (PASE) HNSW on a fresh buffer pool sized for
+/// its page-per-adjacency layout.
+pub fn pase_hnsw(
+    opts: GeneralizedOptions,
+    params: HnswParams,
+    ds: &Dataset,
+) -> PaseBuilt<PaseHnswIndex> {
+    pase_hnsw_on(opts, params, ds, PageSize::Size8K)
+}
+
+/// [`pase_hnsw`] with an explicit page size (Table IV flips to 4KB).
+pub fn pase_hnsw_on(
+    opts: GeneralizedOptions,
+    params: HnswParams,
+    ds: &Dataset,
+    page_size: PageSize,
+) -> PaseBuilt<PaseHnswIndex> {
+    let bm = buffer_manager_for(page_size, ds.base.len(), ds.base.dim(), ds.base.len());
+    let (index, timing) =
+        PaseHnswIndex::build(opts, params, &bm, &ds.base).expect("PASE HNSW build");
+    PaseBuilt { bm, index, timing }
+}

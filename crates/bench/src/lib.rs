@@ -1,0 +1,108 @@
+//! Shared experiment harness.
+//!
+//! Every bench target in `benches/` regenerates one artifact of the
+//! paper's evaluation (Figures 2–19, Tables III–V) and reports a
+//! paper-vs-measured [`ExperimentRecord`]. This library holds the
+//! common machinery: scale selection, dataset preparation, buffer-pool
+//! sizing, engine construction for both systems with identical
+//! parameters (the paper's methodology), timing, and record output.
+//!
+//! Scale is controlled by `VDB_SCALE` (`ci` | `quick` | `paper`);
+//! absolute numbers shrink with scale but the comparisons' *shape* is
+//! what each record asserts.
+//!
+//! [`ExperimentRecord`]: vdb_core::ExperimentRecord
+
+pub mod engines;
+pub mod parallel_model;
+pub mod report;
+
+pub use engines::*;
+pub use parallel_model::*;
+pub use report::*;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vdb_core::datagen::{Dataset, DatasetId, Scale};
+use vdb_core::storage::{BufferManager, DiskManager, PageSize};
+
+/// The experiment scale from `VDB_SCALE`.
+pub fn scale() -> Scale {
+    Scale::from_env()
+}
+
+/// Datasets used when a figure shows all six of Table I.
+pub fn all_datasets() -> [DatasetId; 6] {
+    DatasetId::ALL
+}
+
+/// Generate one dataset at the current scale.
+pub fn dataset(id: DatasetId) -> Dataset {
+    id.generate(scale())
+}
+
+/// Time a closure once (macro-benchmark style: these experiments are
+/// multi-second builds, not nanosecond kernels).
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Average wall-clock per query over `n_queries`, running `f` per query.
+pub fn avg_query_time<F: FnMut(usize)>(n_queries: usize, mut f: F) -> Duration {
+    assert!(n_queries > 0);
+    let t0 = Instant::now();
+    for q in 0..n_queries {
+        f(q);
+    }
+    t0.elapsed() / n_queries as u32
+}
+
+/// A buffer manager sized so the working set stays resident — the
+/// paper's setting ("our server has enough memory to keep the entire
+/// vector data and index in main memory").
+///
+/// `hnsw_nodes` should be the vector count when building a PASE HNSW
+/// index (page-per-adjacency needs ≥ one page per node).
+pub fn buffer_manager_for(
+    page_size: PageSize,
+    n: usize,
+    dim: usize,
+    hnsw_nodes: usize,
+) -> BufferManager {
+    let data_bytes = n * (dim * 4 + 16) * 2; // tuples + slack, doubled for copies
+    let data_pages = data_bytes / page_size.bytes() + 64;
+    let hnsw_pages = hnsw_nodes * 2 + 64;
+    let pool = (data_pages + hnsw_pages).max(256);
+    let disk = Arc::new(DiskManager::new(page_size));
+    BufferManager::new(disk, pool)
+}
+
+/// Duration in seconds as f64.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// Duration in milliseconds as f64.
+pub fn millis(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_query_time_divides() {
+        let avg = avg_query_time(10, |_| std::thread::yield_now());
+        assert!(avg < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn buffer_manager_pool_scales_with_hnsw_nodes() {
+        let small = buffer_manager_for(PageSize::Size8K, 1000, 16, 0);
+        let large = buffer_manager_for(PageSize::Size8K, 1000, 16, 5000);
+        assert!(large.capacity() > small.capacity() + 5000);
+    }
+}

@@ -1,0 +1,175 @@
+//! Parallel-scaling substitution for core-starved machines.
+//!
+//! The paper's Figures 9 and 18 ran on a 152-core Xeon. When this
+//! repository runs in a container with one or two cores, wall-clock
+//! multithreading cannot show *any* speedup, so the parallel benches
+//! switch to an analytical model driven entirely by **measured serial
+//! components** (the same substitution rule the study applies to
+//! missing hardware):
+//!
+//! * scan work divides across `t` workers (it is embarrassingly
+//!   parallel over probe partitions — both engines implement exactly
+//!   that);
+//! * heap work either divides too (Faiss's local heaps, merged at
+//!   `t·k` extra pushes) or is *serialized* behind one mutex with a
+//!   measured per-acquisition cost (PASE's global heap, RC#3);
+//! * the IVF adding phase divides; training does not (neither system
+//!   parallelizes it).
+//!
+//! On machines with ≥ 8 available cores the benches measure real
+//! wall-clock scaling over the persistent worker pool instead; the
+//! emitted record says which mode produced it.
+
+use std::time::Instant;
+use vdb_core::profile::{self, Category};
+
+/// How a parallel experiment obtains its numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParallelismMode {
+    /// Real wall-clock over the persistent worker pool.
+    Measured,
+    /// Amdahl model over measured serial components (single-core box).
+    Modeled,
+}
+
+/// Pick the mode for this machine: measured needs enough cores that an
+/// 8-thread sweep can physically scale.
+pub fn parallelism_mode() -> ParallelismMode {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores >= 8 {
+        ParallelismMode::Measured
+    } else {
+        ParallelismMode::Modeled
+    }
+}
+
+/// Serial execution profile of a search batch.
+#[derive(Clone, Copy, Debug)]
+pub struct SerialProfile {
+    /// Total wall milliseconds.
+    pub wall_ms: f64,
+    /// Milliseconds spent in heap maintenance (`MinHeap`).
+    pub heap_ms: f64,
+    /// Number of heap pushes.
+    pub pushes: u64,
+}
+
+/// Run `work` once with profiling enabled and capture the components
+/// the model needs.
+pub fn profile_serial(work: impl FnOnce()) -> SerialProfile {
+    profile::enable(true);
+    profile::reset_local();
+    let t0 = Instant::now();
+    work();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let bd = profile::take_local();
+    profile::enable(false);
+    SerialProfile {
+        wall_ms,
+        heap_ms: bd.millis(Category::MinHeap),
+        pushes: bd.count(Category::MinHeap),
+    }
+}
+
+/// Measured cost of one uncontended mutex acquire/release, in
+/// milliseconds. [`model_global_locked`] scales it by the contender
+/// count to account for cache-line transfer under contention.
+pub fn lock_cost_ms() -> f64 {
+    let m = parking_lot::Mutex::new(0u64);
+    let iters = 1_000_000u64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        *m.lock() += 1;
+    }
+    let total = t0.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(*m.lock());
+    total / iters as f64
+}
+
+/// Rough per-push cost for merge accounting (ms): merging k-bounded
+/// local heaps is mostly O(1) rejections.
+const PUSH_MS: f64 = 5e-9 * 1e3;
+
+/// Modeled batch time (ms) for the local-heap strategy at `t` threads:
+/// everything divides; merging adds `t·k` pushes per query.
+pub fn model_local_heap(p: &SerialProfile, t: usize, k: usize, queries: usize) -> f64 {
+    p.wall_ms / t as f64 + (t * k * queries) as f64 * PUSH_MS
+}
+
+/// Modeled batch time (ms) for the global-locked strategy at `t`
+/// threads: scan divides, heap maintenance serializes behind the lock,
+/// and every push pays one *contended* acquisition — under `t`
+/// contenders each acquire moves the lock's cache line from another
+/// core, so the per-acquisition cost is scaled by `t` (the standard
+/// contention model; §VII-D calls this "significant performance
+/// overhead").
+pub fn model_global_locked(p: &SerialProfile, t: usize, lock_ms: f64) -> f64 {
+    let scan_ms = (p.wall_ms - p.heap_ms).max(0.0);
+    let lock_overhead =
+        if t > 1 { p.pushes as f64 * lock_ms * t as f64 } else { 0.0 };
+    scan_ms / t as f64 + p.heap_ms + lock_overhead
+}
+
+/// Modeled build time (ms) at `t` threads: training is serial, adding
+/// divides (both engines shard the adding phase by vector ranges).
+pub fn model_build(train_ms: f64, add_ms: f64, t: usize) -> f64 {
+    train_ms + add_ms / t as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> SerialProfile {
+        SerialProfile { wall_ms: 100.0, heap_ms: 20.0, pushes: 50_000 }
+    }
+
+    #[test]
+    fn local_model_scales_down() {
+        let p = profile();
+        let t1 = model_local_heap(&p, 1, 100, 10);
+        let t8 = model_local_heap(&p, 8, 100, 10);
+        assert!(t8 < t1 / 4.0, "{t1} -> {t8}");
+    }
+
+    #[test]
+    fn locked_model_hits_amdahl_floor() {
+        let p = profile();
+        let lock = 15e-6; // 15ns in ms
+        let t8 = model_global_locked(&p, 8, lock);
+        // Serialized heap (20ms) plus lock overhead bounds it below.
+        assert!(t8 >= 20.0);
+        // And the locked strategy scales worse than the local one.
+        assert!(t8 > model_local_heap(&p, 8, 100, 10));
+    }
+
+    #[test]
+    fn locked_model_no_lock_cost_single_thread() {
+        let p = profile();
+        let one = model_global_locked(&p, 1, 1.0);
+        assert!((one - p.wall_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn build_model_is_amdahl() {
+        assert_eq!(model_build(10.0, 80.0, 8), 20.0);
+        assert_eq!(model_build(10.0, 80.0, 1), 90.0);
+    }
+
+    #[test]
+    fn lock_cost_is_sane() {
+        let c = lock_cost_ms();
+        assert!(c > 0.0 && c < 1e-3, "lock cost {c} ms implausible");
+    }
+
+    #[test]
+    fn profile_serial_captures_components() {
+        let p = profile_serial(|| {
+            let _t = profile::scoped(Category::MinHeap);
+            std::hint::black_box((0..100_000).sum::<u64>());
+        });
+        assert!(p.wall_ms > 0.0);
+        assert!(p.heap_ms > 0.0);
+        assert!(p.heap_ms <= p.wall_ms * 1.5);
+    }
+}

@@ -1,0 +1,72 @@
+//! Record output: stdout markdown + JSON lines under `target/experiments/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use vdb_core::ExperimentRecord;
+
+/// Directory where experiment JSON records accumulate.
+///
+/// Anchored to the workspace root via the crate's manifest dir, because
+/// `cargo bench` runs bench binaries with the *package* directory as
+/// cwd while `cargo run` keeps the caller's — a relative path would
+/// scatter records.
+pub fn experiments_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target")
+        .join("experiments")
+}
+
+/// Print a record and persist it as `<id>.json` under
+/// [`experiments_dir`]. Called once at the end of every bench target.
+pub fn emit(record: &ExperimentRecord) {
+    println!("{}", record.to_markdown());
+    if !record.shape_holds {
+        eprintln!(
+            "WARNING: {} did not reproduce the paper's shape: {}",
+            record.id, record.notes
+        );
+    }
+    let dir = experiments_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("cannot create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{}.json", record.id));
+    match fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{}", record.to_json_line());
+            println!("(record written to {})", path.display());
+        }
+        Err(e) => eprintln!("cannot write {path:?}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::Series;
+
+    #[test]
+    fn emit_writes_json_file() {
+        let rec = ExperimentRecord {
+            id: "selftest".into(),
+            title: "self test".into(),
+            paper_claim: "n/a".into(),
+            x_labels: vec!["x".into()],
+            unit: "s".into(),
+            series: vec![Series::new("only")],
+            measured_factor: None,
+            shape_holds: true,
+            notes: String::new(),
+        };
+        emit(&rec);
+        let path = experiments_dir().join("selftest.json");
+        assert!(path.exists());
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"selftest\""));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,182 @@
+//! The paper's root-cause taxonomy (§IX-B) as an executable API.
+
+use serde::{Deserialize, Serialize};
+use vdb_gemm::GemmKernel;
+use vdb_generalized::{GeneralizedOptions, HnswLayout, ParallelMode};
+use vdb_vecmath::{DistanceKernel, KmeansFlavor, PqTableMode, TopKStrategy};
+
+/// One of the seven root causes of the PASE↔Faiss gap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RootCause {
+    /// RC#1 — SGEMM optimization in the IVF adding phase.
+    Rc1Sgemm,
+    /// RC#2 — memory management (buffer-pool indirection on every access).
+    Rc2MemoryManagement,
+    /// RC#3 — parallel execution (build parallelism, local-heap merges).
+    Rc3Parallelism,
+    /// RC#4 — memory-centric vs page-centric index layout.
+    Rc4PageLayout,
+    /// RC#5 — k-means implementation differences.
+    Rc5Kmeans,
+    /// RC#6 — heap size in top-k computation (k vs n).
+    Rc6HeapSize,
+    /// RC#7 — PQ precomputed-table implementation.
+    Rc7PqTable,
+}
+
+impl RootCause {
+    /// All seven, in paper order.
+    pub const ALL: [RootCause; 7] = [
+        RootCause::Rc1Sgemm,
+        RootCause::Rc2MemoryManagement,
+        RootCause::Rc3Parallelism,
+        RootCause::Rc4PageLayout,
+        RootCause::Rc5Kmeans,
+        RootCause::Rc6HeapSize,
+        RootCause::Rc7PqTable,
+    ];
+
+    /// Short identifier as used in the paper ("RC#1" ...).
+    pub fn tag(self) -> &'static str {
+        match self {
+            RootCause::Rc1Sgemm => "RC#1",
+            RootCause::Rc2MemoryManagement => "RC#2",
+            RootCause::Rc3Parallelism => "RC#3",
+            RootCause::Rc4PageLayout => "RC#4",
+            RootCause::Rc5Kmeans => "RC#5",
+            RootCause::Rc6HeapSize => "RC#6",
+            RootCause::Rc7PqTable => "RC#7",
+        }
+    }
+
+    /// One-line description quoting the paper's framing.
+    pub fn description(self) -> &'static str {
+        match self {
+            RootCause::Rc1Sgemm => {
+                "SGEMM optimization: batch centroid assignment as matrix multiplication"
+            }
+            RootCause::Rc2MemoryManagement => {
+                "Memory management: access vectors directly instead of via the buffer manager"
+            }
+            RootCause::Rc3Parallelism => {
+                "Parallel execution: multi-threaded build and local-heap parallel search"
+            }
+            RootCause::Rc4PageLayout => {
+                "Memory-centric page structure: pack adjacency lists instead of page-per-list"
+            }
+            RootCause::Rc5Kmeans => {
+                "K-means implementation: clustering flavor changes centroids and scan volume"
+            }
+            RootCause::Rc6HeapSize => "Heap size in top-k: use a size-k heap, not size-n",
+            RootCause::Rc7PqTable => {
+                "Precomputed table: norms+inner-product PQ table with train-time codeword norms"
+            }
+        }
+    }
+
+    /// Return `opts` with this root cause *fixed* (i.e. the Faiss-side
+    /// behaviour applied to the generalized engine).
+    pub fn apply_fix(self, opts: GeneralizedOptions) -> GeneralizedOptions {
+        match self {
+            RootCause::Rc1Sgemm => GeneralizedOptions {
+                assignment_gemm: Some(GemmKernel::Blas),
+                ..opts
+            },
+            RootCause::Rc2MemoryManagement => GeneralizedOptions {
+                memory_optimized: true,
+                // Direct access also unlocks the optimized scalar kernel;
+                // the paper folds "fvec_L2sqr vs ref" into RC#2's
+                // memory-resident story.
+                distance: DistanceKernel::Optimized,
+                ..opts
+            },
+            RootCause::Rc3Parallelism => GeneralizedOptions {
+                parallel: ParallelMode::LocalHeapMerge,
+                ..opts
+            },
+            RootCause::Rc4PageLayout => GeneralizedOptions {
+                hnsw_layout: HnswLayout::Packed,
+                ..opts
+            },
+            RootCause::Rc5Kmeans => GeneralizedOptions {
+                kmeans: KmeansFlavor::FaissStyle,
+                ..opts
+            },
+            RootCause::Rc6HeapSize => GeneralizedOptions {
+                topk: TopKStrategy::SizeK,
+                ..opts
+            },
+            RootCause::Rc7PqTable => GeneralizedOptions {
+                pq_table: PqTableMode::Optimized,
+                ..opts
+            },
+        }
+    }
+
+    /// PASE defaults with *every* fix applied — the future system the
+    /// paper's §IX-C sketches.
+    pub fn all_fixed() -> GeneralizedOptions {
+        RootCause::ALL
+            .iter()
+            .fold(GeneralizedOptions::default(), |opts, rc| rc.apply_fix(opts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_match_paper_numbering() {
+        let tags: Vec<&str> = RootCause::ALL.iter().map(|rc| rc.tag()).collect();
+        assert_eq!(tags, vec!["RC#1", "RC#2", "RC#3", "RC#4", "RC#5", "RC#6", "RC#7"]);
+    }
+
+    #[test]
+    fn each_fix_changes_something() {
+        let base = GeneralizedOptions::default();
+        for rc in RootCause::ALL {
+            let fixed = rc.apply_fix(base);
+            let changed = fixed.assignment_gemm != base.assignment_gemm
+                || fixed.memory_optimized != base.memory_optimized
+                || fixed.parallel != base.parallel
+                || fixed.hnsw_layout != base.hnsw_layout
+                || fixed.kmeans != base.kmeans
+                || fixed.topk != base.topk
+                || fixed.pq_table != base.pq_table
+                || fixed.distance != base.distance;
+            assert!(changed, "{} changed nothing", rc.tag());
+        }
+    }
+
+    #[test]
+    fn all_fixed_matches_options_all_fixes() {
+        let a = RootCause::all_fixed();
+        let b = GeneralizedOptions::all_fixes();
+        assert_eq!(a.assignment_gemm, b.assignment_gemm);
+        assert_eq!(a.memory_optimized, b.memory_optimized);
+        assert_eq!(a.parallel, b.parallel);
+        assert_eq!(a.hnsw_layout, b.hnsw_layout);
+        assert_eq!(a.kmeans, b.kmeans);
+        assert_eq!(a.topk, b.topk);
+        assert_eq!(a.pq_table, b.pq_table);
+        assert_eq!(a.distance, b.distance);
+    }
+
+    #[test]
+    fn fixes_compose_independently() {
+        // Applying RC#6 then RC#1 keeps both.
+        let opts = RootCause::Rc1Sgemm
+            .apply_fix(RootCause::Rc6HeapSize.apply_fix(GeneralizedOptions::default()));
+        assert!(opts.assignment_gemm.is_some());
+        assert_eq!(opts.topk, TopKStrategy::SizeK);
+    }
+
+    #[test]
+    fn descriptions_are_distinct() {
+        let mut descs: Vec<&str> = RootCause::ALL.iter().map(|rc| rc.description()).collect();
+        descs.sort_unstable();
+        descs.dedup();
+        assert_eq!(descs.len(), 7);
+    }
+}

@@ -1,0 +1,211 @@
+//! Experiment reporting: paper-vs-measured records.
+//!
+//! Every bench target regenerates one table or figure and emits an
+//! [`ExperimentRecord`]: the series it measured, the paper's reported
+//! range for the same comparison, and a verdict on whether the *shape*
+//! (who wins, roughly by how much) reproduced. Records print as
+//! markdown (for EXPERIMENTS.md) and serialize as JSON lines (for
+//! machine checking).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One measured series: a label plus `(x, y)` points.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    /// e.g. `"PASE"`, `"Faiss"`, `"Faiss (no SGEMM)"`.
+    pub label: String,
+    /// `(x, y)` points; `x` is dataset index, thread count, parameter
+    /// value, etc., `y` the measured quantity.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// A new series.
+    pub fn new(label: impl Into<String>) -> Series {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Add a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// A regenerated table/figure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id (`fig03`, `tab05`, ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper reports for this artifact (factor ranges, who
+    /// wins).
+    pub paper_claim: String,
+    /// Labels for the x axis (dataset names, thread counts, ...).
+    pub x_labels: Vec<String>,
+    /// Unit of the y values (`"s"`, `"ms"`, `"MB"`, `"%"`, `"x"`).
+    pub unit: String,
+    /// Measured series.
+    pub series: Vec<Series>,
+    /// Measured headline factor (e.g. max slowdown of PASE vs Faiss).
+    pub measured_factor: Option<f64>,
+    /// Whether the measured shape agrees with the paper's claim.
+    pub shape_holds: bool,
+    /// Free-form notes (scale used, caveats).
+    pub notes: String,
+}
+
+impl ExperimentRecord {
+    /// Ratio of the first series' value over the second's at point `i`
+    /// (PASE/Faiss factors).
+    pub fn factor_at(&self, i: usize) -> Option<f64> {
+        let a = self.series.first()?.points.get(i)?.1;
+        let b = self.series.get(1)?.points.get(i)?.1;
+        if b == 0.0 {
+            None
+        } else {
+            Some(a / b)
+        }
+    }
+
+    /// Min/max of first-over-second factors across all points.
+    pub fn factor_range(&self) -> Option<(f64, f64)> {
+        let n = self.series.first()?.points.len();
+        let factors: Vec<f64> = (0..n).filter_map(|i| self.factor_at(i)).collect();
+        if factors.is_empty() {
+            return None;
+        }
+        let min = factors.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = factors.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some((min, max))
+    }
+
+    /// Render as a markdown section for EXPERIMENTS.md.
+    pub fn to_markdown(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}", self.id, self.title);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "*Paper:* {}", self.paper_claim);
+        if let Some((lo, hi)) = self.factor_range() {
+            let _ = writeln!(out, "*Measured factor range:* {lo:.1}×–{hi:.1}×");
+        }
+        let _ = writeln!(
+            out,
+            "*Shape holds:* {}{}",
+            if self.shape_holds { "yes" } else { "NO" },
+            if self.notes.is_empty() { String::new() } else { format!(" ({})", self.notes) },
+        );
+        let _ = writeln!(out);
+        // Table: one row per x, one column per series.
+        let _ = write!(out, "| |");
+        for s in &self.series {
+            let _ = write!(out, " {} ({}) |", s.label, self.unit);
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.series {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        let npoints = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        for i in 0..npoints {
+            let label = self
+                .x_labels
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| format!("{i}"));
+            let _ = write!(out, "| {label} |");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, " {y:.3} |");
+                    }
+                    None => {
+                        let _ = write!(out, " — |");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Serialize as one JSON line.
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("record serializes")
+    }
+}
+
+impl fmt::Display for ExperimentRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> ExperimentRecord {
+        let mut pase = Series::new("PASE");
+        pase.push(0.0, 100.0);
+        pase.push(1.0, 60.0);
+        let mut faiss = Series::new("Faiss");
+        faiss.push(0.0, 2.0);
+        faiss.push(1.0, 3.0);
+        ExperimentRecord {
+            id: "fig03".into(),
+            title: "IVF_FLAT build time".into(),
+            paper_claim: "PASE 35.0x–84.8x slower".into(),
+            x_labels: vec!["SIFT1M".into(), "GIST1M".into()],
+            unit: "s".into(),
+            series: vec![pase, faiss],
+            measured_factor: Some(50.0),
+            shape_holds: true,
+            notes: "quick scale".into(),
+        }
+    }
+
+    #[test]
+    fn factor_computation() {
+        let r = record();
+        assert_eq!(r.factor_at(0), Some(50.0));
+        assert_eq!(r.factor_range(), Some((20.0, 50.0)));
+    }
+
+    #[test]
+    fn markdown_contains_all_fields() {
+        let md = record().to_markdown();
+        assert!(md.contains("fig03"));
+        assert!(md.contains("PASE (s)"));
+        assert!(md.contains("SIFT1M"));
+        assert!(md.contains("Shape holds:* yes"));
+        assert!(md.contains("20.0×–50.0×"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = record();
+        let line = r.to_json_line();
+        let back: ExperimentRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.id, "fig03");
+        assert_eq!(back.series.len(), 2);
+    }
+
+    #[test]
+    fn missing_points_render_as_dash() {
+        let mut r = record();
+        r.series[1].points.pop();
+        let md = r.to_markdown();
+        assert!(md.contains("—"));
+    }
+
+    #[test]
+    fn zero_denominator_yields_no_factor() {
+        let mut r = record();
+        r.series[1].points[0].1 = 0.0;
+        assert_eq!(r.factor_at(0), None);
+    }
+}

@@ -1,0 +1,51 @@
+//! # vdb — are relational databases fundamentally bad at vectors?
+//!
+//! A full Rust reproduction of the ICDE 2024 study *"Are There
+//! Fundamental Limitations in Supporting Vector Data Management in
+//! Relational Databases? A Case Study of PostgreSQL"* (Zhang, Liu,
+//! Wang). The paper compares PASE (a PostgreSQL extension) against
+//! Faiss (a specialized in-memory library) and distills the performance
+//! gap into seven root causes; its headline claim is that every one of
+//! them is an implementation issue, not an architectural limit.
+//!
+//! This crate ties the reproduction together:
+//!
+//! * [`specialized`] — the Faiss stand-in: flat, IVF_FLAT, IVF_PQ and
+//!   HNSW over plain arrays, with SGEMM-batched assignment, size-k
+//!   heaps, and local-heap parallelism.
+//! * [`generalized`] — the PASE stand-in: the same three indexes built
+//!   on [`storage`]'s PostgreSQL-shaped substrate (slotted pages,
+//!   buffer manager, TIDs), exhibiting all seven root causes by
+//!   default, each one toggleable.
+//! * [`sql`] — PASE's SQL surface (`CREATE INDEX ... USING ivfflat`,
+//!   `ORDER BY vec <-> '...'::PASE LIMIT k`).
+//! * [`datagen`] — seeded stand-ins for the paper's six datasets.
+//! * [`RootCause`] — the paper's taxonomy as an API: name any root
+//!   cause and get the option flip that fixes it.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vdb_core::sql::Database;
+//!
+//! let mut db = Database::in_memory();
+//! db.execute("CREATE TABLE t (id int, vec float[3])").unwrap();
+//! db.execute("INSERT INTO t VALUES (1, '{0.9, 0.1, 0.0}'), (2, '{0.0, 0.9, 0.1}')").unwrap();
+//! let top = db.execute("SELECT id FROM t ORDER BY vec <-> '1,0,0' LIMIT 1").unwrap();
+//! assert_eq!(top.ids(), vec![1]);
+//! ```
+
+pub mod config;
+pub mod experiment;
+
+pub use config::RootCause;
+pub use experiment::{ExperimentRecord, Series};
+
+pub use vdb_datagen as datagen;
+pub use vdb_gemm as gemm;
+pub use vdb_generalized as generalized;
+pub use vdb_profile as profile;
+pub use vdb_specialized as specialized;
+pub use vdb_sql as sql;
+pub use vdb_storage as storage;
+pub use vdb_vecmath as vecmath;

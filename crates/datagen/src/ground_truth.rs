@@ -1,0 +1,111 @@
+//! Exact brute-force nearest neighbors (evaluation oracle).
+
+use crossbeam::thread;
+use vdb_vecmath::{DistanceKernel, KHeap, Metric, VectorSet};
+
+/// Exact top-k results for a set of queries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroundTruth {
+    /// `k` used when computing.
+    pub k: usize,
+    /// For each query, the ids of its `k` exact nearest base vectors,
+    /// best first.
+    pub neighbors: Vec<Vec<u64>>,
+}
+
+/// Compute exact top-k via parallel brute force.
+///
+/// Queries are split across `threads` workers; each worker runs a bounded
+/// k-heap per query, so memory stays O(threads × k).
+///
+/// # Panics
+/// Panics if `k == 0`, `threads == 0`, or dimensions mismatch.
+pub fn brute_force_topk(
+    base: &VectorSet,
+    queries: &VectorSet,
+    metric: Metric,
+    k: usize,
+    threads: usize,
+) -> GroundTruth {
+    assert!(k > 0, "k must be positive");
+    assert!(threads > 0, "need at least one thread");
+    assert_eq!(base.dim(), queries.dim(), "dimension mismatch");
+
+    let nq = queries.len();
+    let mut neighbors = vec![Vec::new(); nq];
+    if nq == 0 {
+        return GroundTruth { k, neighbors };
+    }
+
+    let chunk = nq.div_ceil(threads);
+    thread::scope(|s| {
+        for (t, out_chunk) in neighbors.chunks_mut(chunk).enumerate() {
+            s.spawn(move |_| {
+                let q0 = t * chunk;
+                for (qi, out) in out_chunk.iter_mut().enumerate() {
+                    let q = queries.row(q0 + qi);
+                    let mut heap = KHeap::new(k);
+                    for (id, v) in base.iter().enumerate() {
+                        heap.push(id as u64, metric.distance_with(DistanceKernel::Optimized, q, v));
+                    }
+                    *out = heap.into_sorted().into_iter().map(|n| n.id).collect();
+                }
+            });
+        }
+    })
+    .expect("ground-truth worker panicked");
+
+    GroundTruth { k, neighbors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::generate;
+
+    #[test]
+    fn nearest_of_base_vector_is_itself() {
+        let base = generate(8, 100, 4, 1);
+        let gt = brute_force_topk(&base, &base, Metric::L2, 1, 2);
+        for (i, nb) in gt.neighbors.iter().enumerate() {
+            assert_eq!(nb[0], i as u64);
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread() {
+        let base = generate(16, 200, 4, 2);
+        let queries = generate(16, 17, 4, 3);
+        let a = brute_force_topk(&base, &queries, Metric::L2, 5, 1);
+        let b = brute_force_topk(&base, &queries, Metric::L2, 5, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_larger_than_base_returns_all() {
+        let base = generate(4, 3, 1, 7);
+        let queries = generate(4, 2, 1, 8);
+        let gt = brute_force_topk(&base, &queries, Metric::L2, 10, 2);
+        assert!(gt.neighbors.iter().all(|nb| nb.len() == 3));
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let base = generate(8, 50, 2, 4);
+        let queries = generate(8, 5, 2, 5);
+        let gt = brute_force_topk(&base, &queries, Metric::L2, 10, 2);
+        for (qi, nb) in gt.neighbors.iter().enumerate() {
+            let q = queries.row(qi);
+            let dists: Vec<f32> =
+                nb.iter().map(|&id| Metric::L2.distance(q, base.row(id as usize))).collect();
+            assert!(dists.windows(2).all(|w| w[0] <= w[1]), "unsorted: {dists:?}");
+        }
+    }
+
+    #[test]
+    fn empty_queries_ok() {
+        let base = generate(4, 10, 1, 1);
+        let gt = brute_force_topk(&base, &VectorSet::empty(4), Metric::L2, 3, 2);
+        assert!(gt.neighbors.is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! Synthetic datasets standing in for the paper's benchmark data.
+//!
+//! The study (Table I) evaluates on six real vector datasets: SIFT1M,
+//! GIST1M, Deep1M, SIFT10M, Deep10M and TURING10M. The raw files are not
+//! redistributable here, so this crate generates **seeded Gaussian-mixture
+//! data matching each dataset's dimensionality and relative scale**. The
+//! experiments measure index construction and search cost as a function of
+//! `n`, `d` and cluster structure — none of them depend on the semantic
+//! content of SIFT descriptors, and the paper itself holds recall constant
+//! by running identical index parameters on both systems.
+//!
+//! Everything is deterministic given the dataset seed, including query
+//! generation and brute-force ground truth.
+
+pub mod gaussian;
+pub mod ground_truth;
+pub mod recall;
+pub mod spec;
+
+pub use gaussian::generate;
+pub use ground_truth::{brute_force_topk, GroundTruth};
+pub use recall::recall_at_k;
+pub use spec::{Dataset, DatasetId, DatasetSpec, Scale};

@@ -1,0 +1,78 @@
+//! Recall@k.
+
+use crate::ground_truth::GroundTruth;
+
+/// Mean recall@k across queries: the fraction of each query's true top-k
+/// that appears in its returned result list, averaged over queries.
+///
+/// `results[q]` holds the ids returned for query `q` (any order); extra
+/// entries beyond `gt.k` are ignored so recall@k stays comparable when an
+/// engine over-returns.
+///
+/// # Panics
+/// Panics if the result count does not match the ground-truth query count.
+pub fn recall_at_k(gt: &GroundTruth, results: &[Vec<u64>]) -> f64 {
+    assert_eq!(gt.neighbors.len(), results.len(), "query count mismatch");
+    if gt.neighbors.is_empty() {
+        return 1.0;
+    }
+    let mut total = 0.0f64;
+    for (truth, got) in gt.neighbors.iter().zip(results) {
+        if truth.is_empty() {
+            total += 1.0;
+            continue;
+        }
+        let take = truth.len();
+        let got_set: std::collections::HashSet<u64> = got.iter().take(take).copied().collect();
+        let hits = truth.iter().filter(|id| got_set.contains(id)).count();
+        total += hits as f64 / take as f64;
+    }
+    total / gt.neighbors.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt(neighbors: Vec<Vec<u64>>) -> GroundTruth {
+        GroundTruth { k: neighbors.first().map_or(0, |n| n.len()), neighbors }
+    }
+
+    #[test]
+    fn perfect_results_give_one() {
+        let g = gt(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(recall_at_k(&g, &[vec![3, 2, 1], vec![4, 5, 6]]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_results_give_zero() {
+        let g = gt(vec![vec![1, 2]]);
+        assert_eq!(recall_at_k(&g, &[vec![8, 9]]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let g = gt(vec![vec![1, 2, 3, 4]]);
+        assert_eq!(recall_at_k(&g, &[vec![1, 2, 99, 98]]), 0.5);
+    }
+
+    #[test]
+    fn extra_results_beyond_k_ignored() {
+        let g = gt(vec![vec![1, 2]]);
+        // The true ids appear only past position k: not counted.
+        assert_eq!(recall_at_k(&g, &[vec![7, 8, 1, 2]]), 0.0);
+    }
+
+    #[test]
+    fn empty_gt_is_perfect() {
+        let g = GroundTruth { k: 5, neighbors: vec![] };
+        assert_eq!(recall_at_k(&g, &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "query count mismatch")]
+    fn mismatched_lengths_panic() {
+        let g = gt(vec![vec![1]]);
+        recall_at_k(&g, &[]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Dataset identities and scaling.
+//!
+//! Mirrors the paper's Table I. Dimensionality is preserved exactly; the
+//! vector counts scale with [`Scale`] while keeping the 1M : 10M ratio so
+//! cross-dataset trends (e.g. "the gap grows on the 10M-class datasets")
+//! survive the shrink.
+
+use crate::gaussian;
+use serde::{Deserialize, Serialize};
+use vdb_vecmath::VectorSet;
+
+/// The six datasets of the paper's Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetId {
+    /// SIFT1M: 128-d local image descriptors.
+    Sift1M,
+    /// GIST1M: 960-d global image descriptors.
+    Gist1M,
+    /// Deep1M: 256-d CNN embeddings.
+    Deep1M,
+    /// SIFT10M: 128-d, 10× the vectors.
+    Sift10M,
+    /// Deep10M: 96-d CNN embeddings.
+    Deep10M,
+    /// TURING10M: 100-d Bing query embeddings.
+    Turing10M,
+}
+
+impl DatasetId {
+    /// All six datasets in the paper's order.
+    pub const ALL: [DatasetId; 6] = [
+        DatasetId::Sift1M,
+        DatasetId::Gist1M,
+        DatasetId::Deep1M,
+        DatasetId::Sift10M,
+        DatasetId::Deep10M,
+        DatasetId::Turing10M,
+    ];
+
+    /// The three 1M-class datasets (used by the figures that only show
+    /// SIFT1M/GIST1M/DEEP1M, e.g. Table IV).
+    pub const MILLION_CLASS: [DatasetId; 3] =
+        [DatasetId::Sift1M, DatasetId::Gist1M, DatasetId::Deep1M];
+
+    /// Display name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::Sift1M => "SIFT1M",
+            DatasetId::Gist1M => "GIST1M",
+            DatasetId::Deep1M => "DEEP1M",
+            DatasetId::Sift10M => "SIFT10M",
+            DatasetId::Deep10M => "DEEP10M",
+            DatasetId::Turing10M => "TURING10M",
+        }
+    }
+
+    /// Dimensionality from Table I.
+    pub fn dim(self) -> usize {
+        match self {
+            DatasetId::Sift1M | DatasetId::Sift10M => 128,
+            DatasetId::Gist1M => 960,
+            DatasetId::Deep1M => 256,
+            DatasetId::Deep10M => 96,
+            DatasetId::Turing10M => 100,
+        }
+    }
+
+    /// Whether this is one of the 10M-class datasets.
+    pub fn is_ten_million_class(self) -> bool {
+        matches!(self, DatasetId::Sift10M | DatasetId::Deep10M | DatasetId::Turing10M)
+    }
+
+    /// The paper's default IVF sub-vector count `m` for IVF_PQ (Table II).
+    pub fn default_pq_m(self) -> usize {
+        match self {
+            DatasetId::Sift1M | DatasetId::Sift10M => 16,
+            DatasetId::Gist1M => 60,
+            DatasetId::Deep1M => 16,
+            DatasetId::Deep10M => 12,
+            DatasetId::Turing10M => 10,
+        }
+    }
+
+    /// Deterministic per-dataset RNG seed.
+    pub fn seed(self) -> u64 {
+        match self {
+            DatasetId::Sift1M => 0x5EED_0001,
+            DatasetId::Gist1M => 0x5EED_0002,
+            DatasetId::Deep1M => 0x5EED_0003,
+            DatasetId::Sift10M => 0x5EED_0004,
+            DatasetId::Deep10M => 0x5EED_0005,
+            DatasetId::Turing10M => 0x5EED_0006,
+        }
+    }
+
+    /// Concrete sizes at a given scale.
+    pub fn spec(self, scale: Scale) -> DatasetSpec {
+        let (base, queries) = if self.is_ten_million_class() {
+            (scale.ten_million_class_n(), scale.query_count())
+        } else {
+            (scale.million_class_n(), scale.query_count())
+        };
+        DatasetSpec {
+            id: self,
+            dim: self.dim(),
+            n_vectors: base,
+            n_queries: queries,
+            // Ground-truth clusters in the generator: enough structure for
+            // IVF to be meaningful, scaled gently with n.
+            n_clusters: (base as f64).sqrt() as usize / 2 + 8,
+            seed: self.seed(),
+        }
+    }
+
+    /// Generate the dataset at a scale.
+    pub fn generate(self, scale: Scale) -> Dataset {
+        self.spec(scale).generate()
+    }
+}
+
+/// How large the synthetic datasets are.
+///
+/// Selected via the `VDB_SCALE` environment variable in the bench harness
+/// (`ci` | `quick` | `paper`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Tiny: integration-test sized.
+    Ci,
+    /// Default for benches: minutes, not hours.
+    #[default]
+    Quick,
+    /// Largest: closest to the paper's trends, still laptop-feasible.
+    Paper,
+}
+
+impl Scale {
+    /// Read the scale from `VDB_SCALE` (defaults to `Quick`).
+    pub fn from_env() -> Scale {
+        match std::env::var("VDB_SCALE").as_deref() {
+            Ok("ci") => Scale::Ci,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Vectors for a 1M-class dataset at this scale.
+    pub fn million_class_n(self) -> usize {
+        match self {
+            Scale::Ci => 2_000,
+            Scale::Quick => 20_000,
+            Scale::Paper => 100_000,
+        }
+    }
+
+    /// Vectors for a 10M-class dataset at this scale (10× ratio preserved
+    /// in spirit; 3× at the smaller scales keeps runtimes sane).
+    pub fn ten_million_class_n(self) -> usize {
+        match self {
+            Scale::Ci => 6_000,
+            Scale::Quick => 60_000,
+            Scale::Paper => 300_000,
+        }
+    }
+
+    /// Queries per dataset at this scale.
+    pub fn query_count(self) -> usize {
+        match self {
+            Scale::Ci => 20,
+            Scale::Quick => 100,
+            Scale::Paper => 200,
+        }
+    }
+}
+
+/// Fully resolved dataset parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which paper dataset this stands in for.
+    pub id: DatasetId,
+    /// Dimensionality (exactly Table I's).
+    pub dim: usize,
+    /// Number of base vectors.
+    pub n_vectors: usize,
+    /// Number of query vectors.
+    pub n_queries: usize,
+    /// Gaussian-mixture component count in the generator.
+    pub n_clusters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Materialize base vectors and queries. Both are drawn from the
+    /// same mixture (shared component means, disjoint noise streams),
+    /// like the held-out query sets of SIFT/GIST/Deep.
+    pub fn generate(&self) -> Dataset {
+        let (base, queries) = gaussian::generate_with_queries(
+            self.dim,
+            self.n_vectors,
+            self.n_queries,
+            self.n_clusters,
+            self.seed,
+        );
+        Dataset { spec: *self, base, queries }
+    }
+}
+
+/// A generated dataset: base vectors plus queries.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// The parameters that produced it.
+    pub spec: DatasetSpec,
+    /// Base (indexed) vectors.
+    pub base: VectorSet,
+    /// Query vectors.
+    pub queries: VectorSet,
+}
+
+impl Dataset {
+    /// The paper's default cluster count for IVF indexes on this dataset:
+    /// `sqrt(n)` rounded (Table II uses 1000 for 1M and 3162 for 10M).
+    pub fn default_ivf_clusters(&self) -> usize {
+        (self.spec.n_vectors as f64).sqrt().round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_match_table_one() {
+        assert_eq!(DatasetId::Sift1M.dim(), 128);
+        assert_eq!(DatasetId::Gist1M.dim(), 960);
+        assert_eq!(DatasetId::Deep1M.dim(), 256);
+        assert_eq!(DatasetId::Sift10M.dim(), 128);
+        assert_eq!(DatasetId::Deep10M.dim(), 96);
+        assert_eq!(DatasetId::Turing10M.dim(), 100);
+    }
+
+    #[test]
+    fn ten_million_class_is_larger() {
+        for scale in [Scale::Ci, Scale::Quick, Scale::Paper] {
+            assert!(scale.ten_million_class_n() > scale.million_class_n());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetId::Sift1M.spec(Scale::Ci).generate();
+        let b = DatasetId::Sift1M.spec(Scale::Ci).generate();
+        assert_eq!(a.base, b.base);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn datasets_differ_from_each_other() {
+        let a = DatasetId::Sift1M.spec(Scale::Ci).generate();
+        let b = DatasetId::Sift10M.spec(Scale::Ci).generate();
+        assert_ne!(a.base.as_flat()[..10], b.base.as_flat()[..10]);
+    }
+
+    #[test]
+    fn spec_sizes_respect_scale() {
+        let s = DatasetId::Deep1M.spec(Scale::Ci);
+        assert_eq!(s.n_vectors, 2_000);
+        assert_eq!(s.dim, 256);
+        let d = s.generate();
+        assert_eq!(d.base.len(), 2_000);
+        assert_eq!(d.queries.len(), 20);
+    }
+
+    #[test]
+    fn queries_differ_from_base() {
+        let d = DatasetId::Deep10M.spec(Scale::Ci).generate();
+        assert_ne!(d.base.row(0), d.queries.row(0));
+    }
+
+    #[test]
+    fn default_ivf_clusters_is_sqrt_n() {
+        let d = DatasetId::Sift1M.spec(Scale::Ci).generate();
+        assert_eq!(d.default_ivf_clusters(), 45); // sqrt(2000) ≈ 44.7
+    }
+}

@@ -1,0 +1,42 @@
+//! Micro-benchmark: blocked vs naive GEMM on IVF-adding-phase shapes.
+//!
+//! Supports the RC#1 analysis (paper §V-A): the blocked kernel should beat
+//! the naive loop by a widening margin as the centroid count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vdb_gemm::{gemm_nt_blocked, gemm_nt_naive};
+
+fn pseudo_random(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_nt");
+    let d = 128; // SIFT dimensionality
+    let n = 1024; // vectors per batch
+    for &centroids in &[64usize, 256] {
+        let a = pseudo_random(n * d, 7);
+        let b = pseudo_random(centroids * d, 13);
+        let mut out = vec![0.0f32; n * centroids];
+        group.bench_with_input(
+            BenchmarkId::new("blocked", centroids),
+            &centroids,
+            |bch, _| bch.iter(|| gemm_nt_blocked(n, centroids, d, &a, &b, &mut out)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", centroids),
+            &centroids,
+            |bch, _| bch.iter(|| gemm_nt_naive(n, centroids, d, &a, &b, &mut out)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Batched L2 distance tables via the norm/inner-product decomposition.
+//!
+//! §V-A of the paper: Faiss observes `d²(c, x) = ‖c‖² + ‖x‖² − 2·c·x`,
+//! precomputes all norms, obtains all inner products with one SGEMM call,
+//! and reuses the resulting table — avoiding the redundant per-pair work
+//! PASE performs. [`l2_distance_table`] is that operation.
+
+use crate::GemmKernel;
+
+/// Squared L2 norm of every row of a row-major `rows×d` matrix.
+pub fn row_norms_sq(data: &[f32], d: usize) -> Vec<f32> {
+    assert!(d > 0, "dimension must be positive");
+    assert_eq!(data.len() % d, 0, "data length must be a multiple of d");
+    data.chunks_exact(d)
+        .map(|row| row.iter().map(|x| x * x).sum())
+        .collect()
+}
+
+/// All-pairs squared L2 distances: `out[i*c_rows + j] = ‖x_i − c_j‖²`.
+///
+/// `xs` is `n×d` row-major, `cs` is `c_rows×d` row-major. Computed as
+/// `‖x‖² + ‖c‖² − 2·x·c` with the inner products produced by `kernel`;
+/// results are clamped at zero (floating-point cancellation can otherwise
+/// produce tiny negatives).
+pub fn l2_distance_table(
+    kernel: GemmKernel,
+    xs: &[f32],
+    cs: &[f32],
+    d: usize,
+) -> Vec<f32> {
+    assert!(d > 0, "dimension must be positive");
+    assert_eq!(xs.len() % d, 0, "xs length must be a multiple of d");
+    assert_eq!(cs.len() % d, 0, "cs length must be a multiple of d");
+    let n = xs.len() / d;
+    let c_rows = cs.len() / d;
+    let x_norms = row_norms_sq(xs, d);
+    let c_norms = row_norms_sq(cs, d);
+    let mut table = vec![0.0f32; n * c_rows];
+    kernel.gemm_nt(n, c_rows, d, xs, cs, &mut table);
+    for i in 0..n {
+        let row = &mut table[i * c_rows..(i + 1) * c_rows];
+        let xn = x_norms[i];
+        for (j, t) in row.iter_mut().enumerate() {
+            *t = (xn + c_norms[j] - 2.0 * *t).max(0.0);
+        }
+    }
+    table
+}
+
+/// The unbatched reference: a direct subtract-square-accumulate per pair.
+///
+/// This is PASE's code path; it exists both as a correctness oracle and as
+/// the slow arm of the RC#1 ablation.
+pub fn l2_distance_table_naive(xs: &[f32], cs: &[f32], d: usize) -> Vec<f32> {
+    assert!(d > 0, "dimension must be positive");
+    assert_eq!(xs.len() % d, 0, "xs length must be a multiple of d");
+    assert_eq!(cs.len() % d, 0, "cs length must be a multiple of d");
+    let n = xs.len() / d;
+    let c_rows = cs.len() / d;
+    let mut table = vec![0.0f32; n * c_rows];
+    for i in 0..n {
+        let x = &xs[i * d..(i + 1) * d];
+        for j in 0..c_rows {
+            let c = &cs[j * d..(j + 1) * d];
+            let mut acc = 0.0f32;
+            for p in 0..d {
+                let diff = x[p] - c[p];
+                acc += diff * diff;
+            }
+            table[i * c_rows + j] = acc;
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_norms_basic() {
+        let data = [3.0, 4.0, 0.0, 1.0];
+        assert_eq!(row_norms_sq(&data, 2), vec![25.0, 1.0]);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let xs = [1.0, 2.0, 3.0, -4.0];
+        let table = l2_distance_table(GemmKernel::Blas, &xs, &xs, 2);
+        // Diagonal entries are zero.
+        assert_eq!(table[0], 0.0);
+        assert_eq!(table[3], 0.0);
+    }
+
+    #[test]
+    fn matches_naive_table() {
+        let xs: Vec<f32> = (0..60).map(|i| (i as f32 * 0.37).sin()).collect();
+        let cs: Vec<f32> = (0..30).map(|i| (i as f32 * 0.71).cos()).collect();
+        let fast = l2_distance_table(GemmKernel::Blas, &xs, &cs, 6);
+        let slow = l2_distance_table_naive(&xs, &cs, 6);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn never_negative() {
+        // Nearly identical vectors stress cancellation.
+        let xs = [1.000001f32, 2.000001, 3.000001];
+        let cs = [1.0f32, 2.0, 3.0];
+        let table = l2_distance_table(GemmKernel::Blas, &xs, &cs, 3);
+        assert!(table[0] >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of d")]
+    fn ragged_input_panics() {
+        l2_distance_table_naive(&[1.0, 2.0, 3.0], &[1.0, 2.0], 2);
+    }
+}

@@ -1,0 +1,64 @@
+//! Reference triple-loop kernel.
+
+/// `c[m×n] = a[m×k] · b[n×k]ᵀ`, one dot product at a time.
+///
+/// This is the unaccelerated path: the same memory-access pattern PASE's
+/// adding phase has when it evaluates `fvec_L2sqr_ref` against every
+/// centroid independently. Kept deliberately simple — it is both the
+/// correctness oracle for [`crate::gemm_nt_blocked`] and the "SGEMM
+/// disabled" arm of the paper's Figures 4 and 6.
+pub fn gemm_nt_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    crate::check_dims(m, n, k, a, b, c);
+    for i in 0..m {
+        let ai = &a[i * k..(i + 1) * k];
+        let ci = &mut c[i * n..(i + 1) * n];
+        for (j, cij) in ci.iter_mut().enumerate() {
+            let bj = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += ai[p] * bj[p];
+            }
+            *cij = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_matrix() {
+        // A = I2 (rows are e0, e1), B rows are arbitrary vectors:
+        // C[i][j] = e_i · b_j = b_j[i].
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [3.0, 4.0, 5.0, 6.0];
+        let mut c = [0.0; 4];
+        gemm_nt_naive(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [3.0, 5.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn zero_k_gives_zero_products() {
+        let mut c = [7.0; 6];
+        gemm_nt_naive(2, 3, 0, &[], &[], &mut c);
+        assert_eq!(c, [0.0; 6]);
+    }
+
+    #[test]
+    fn single_element() {
+        let mut c = [0.0];
+        gemm_nt_naive(1, 1, 1, &[2.5], &[4.0], &mut c);
+        assert_eq!(c, [10.0]);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        // m=1, n=3, k=2.
+        let a = [1.0, 2.0];
+        let b = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let mut c = [0.0; 3];
+        gemm_nt_naive(1, 3, 2, &a, &b, &mut c);
+        assert_eq!(c, [1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,764 @@
+//! PASE's HNSW: the proximity graph forced into PostgreSQL pages.
+//!
+//! Two properties of this layout drive the paper's findings:
+//!
+//! * **RC#2 (§V-C):** every vector read resolves a TID through the
+//!   buffer manager, every neighbor expansion reads an adjacency tuple
+//!   from a page (`pasepfirst`), and the visited check (`HVTGet`) hashes
+//!   global ids instead of indexing a flat array. Figure 8 shows PASE
+//!   spending 46% of `SearchNbToAdd` on tuple access and 14% on
+//!   `HVTGet`, both "negligible in Faiss".
+//! * **RC#4 (§VI-C):** each neighbor entry is a 24-byte
+//!   `HNSWNeighborTuple` (8-byte pointer + 12-byte `HNSWGlobalId` +
+//!   alignment), and *every vertex's adjacency list starts on a fresh
+//!   page*, wasting most of an 8KB page on the typical 32–48 edges.
+//!   Figure 13 measures the resulting 2.9–13.3× size blowup; Table IV
+//!   shows 4KB pages halving it. [`HnswLayout::Packed`] is the
+//!   memory-centric fix.
+//!
+//! The graph algorithm itself (insertion, heuristic selection, beam
+//! search) is identical to the specialized engine's, so recall matches —
+//! the paper's methodological requirement.
+
+use crate::index_am::PaseIndex;
+use crate::options::{GeneralizedOptions, HnswLayout};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::time::Instant;
+use vdb_profile::{self as profile, Category};
+use vdb_storage::heap::{as_bytes_f32, bytemuck_f32};
+use vdb_storage::{BufferManager, Page, RelId, Result, Tid};
+use vdb_vecmath::{BuildTiming, HnswParams, KHeap, Neighbor, VectorSet};
+
+/// 24-byte on-page neighbor entry (`HNSWNeighborTuple`): the neighbor's
+/// node id, the `HNSWGlobalId` locating its vector tuple (data block +
+/// offset) and adjacency page (`nblkid`), and the 8-byte virtual-link
+/// pointer PASE embeds (unused at rest, kept for layout fidelity).
+const ENTRY_WIDE: usize = 24;
+/// 8-byte packed entry for the memory-centric layout: node id + vector
+/// block hint.
+const ENTRY_PACKED: usize = 8;
+/// Adjacency tuple header: `[count u32][pad u32]`, keeping entries
+/// 8-aligned.
+const ADJ_HEADER: usize = 8;
+
+/// Per-node metadata kept in the index's meta structures (PASE keeps the
+/// equivalent reachable from its meta page).
+struct NodeMeta {
+    level: u8,
+    vec_tid: Tid,
+    /// `(block, offno)` of the adjacency tuple per level.
+    adj: Vec<(u32, u16)>,
+}
+
+/// RC#2 fix: direct-array mirrors of vectors and adjacency.
+struct MemCache {
+    vectors: VectorSet,
+    /// `links[node][level]` → neighbor ids.
+    links: Vec<Vec<Vec<u32>>>,
+}
+
+/// The generalized HNSW index.
+pub struct PaseHnswIndex {
+    opts: GeneralizedOptions,
+    params: HnswParams,
+    dim: usize,
+    vec_rel: RelId,
+    adj_rel: RelId,
+    nodes: Vec<NodeMeta>,
+    entry: Option<u32>,
+    max_level: u8,
+    rng: StdRng,
+    /// Packed layout's current shared adjacency page.
+    packed_current: Option<u32>,
+    cache: Option<MemCache>,
+}
+
+impl PaseHnswIndex {
+    /// An empty index for `dim`-dimensional vectors.
+    pub fn new(opts: GeneralizedOptions, params: HnswParams, bm: &BufferManager, dim: usize) -> PaseHnswIndex {
+        assert!(params.bnn >= 2, "bnn must be at least 2");
+        PaseHnswIndex {
+            opts,
+            params,
+            dim,
+            vec_rel: bm.disk().create_relation(),
+            adj_rel: bm.disk().create_relation(),
+            nodes: Vec::new(),
+            entry: None,
+            max_level: 0,
+            rng: StdRng::seed_from_u64(opts.seed),
+            packed_current: None,
+            cache: None,
+        }
+    }
+
+    /// Build over a dataset; HNSW has no training phase, so all time is
+    /// "adding" (Figure 7 reports one bar).
+    pub fn build(
+        opts: GeneralizedOptions,
+        params: HnswParams,
+        bm: &BufferManager,
+        data: &VectorSet,
+    ) -> Result<(PaseHnswIndex, BuildTiming)> {
+        let mut index = PaseHnswIndex::new(opts, params, bm, data.dim());
+        let t0 = Instant::now();
+        for (i, v) in data.iter().enumerate() {
+            index.insert_vector(bm, i as u64, v)?;
+        }
+        if index.opts.memory_optimized {
+            index.populate_cache(bm)?;
+        }
+        let add = t0.elapsed();
+        Ok((index, BuildTiming { train: Default::default(), add }))
+    }
+
+    fn entry_size(&self) -> usize {
+        match self.opts.hnsw_layout {
+            HnswLayout::PagePerAdjacency => ENTRY_WIDE,
+            HnswLayout::Packed => ENTRY_PACKED,
+        }
+    }
+
+    fn capacity(&self, level: usize) -> usize {
+        if level == 0 {
+            2 * self.params.bnn
+        } else {
+            self.params.bnn
+        }
+    }
+
+    fn sample_level(&mut self) -> u8 {
+        let ml = 1.0 / (self.params.bnn as f64).ln();
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        ((-u.ln() * ml) as usize).min(31) as u8
+    }
+
+    /// Allocate the fixed-capacity adjacency tuples for a new node.
+    ///
+    /// In the PASE layout every node's first tuple starts on a brand-new
+    /// page (RC#4); in the packed layout tuples share pages.
+    fn alloc_adjacency(&mut self, bm: &BufferManager, level: u8) -> Result<Vec<(u32, u16)>> {
+        let esize = self.entry_size();
+        let mut locations = Vec::with_capacity(level as usize + 1);
+        let mut current: Option<u32> = match self.opts.hnsw_layout {
+            // RC#4: force a fresh page for this node's adjacency.
+            HnswLayout::PagePerAdjacency => None,
+            HnswLayout::Packed => self.packed_current,
+        };
+        for l in 0..=level as usize {
+            let tuple = vec![0u8; ADJ_HEADER + self.capacity(l) * esize];
+            let placed = match current {
+                Some(blk) => bm
+                    .with_page_mut(self.adj_rel, blk, |p| p.add_item(&tuple))?
+                    .map(|off| (blk, off)),
+                None => None,
+            };
+            let loc = match placed {
+                Some(loc) => loc,
+                None => {
+                    let (blk, off) = bm.new_page(self.adj_rel, 0, |p| {
+                        p.add_item(&tuple).expect("fresh page fits an adjacency tuple")
+                    })?;
+                    current = Some(blk);
+                    (blk, off)
+                }
+            };
+            locations.push(loc);
+        }
+        if self.opts.hnsw_layout == HnswLayout::Packed {
+            self.packed_current = current;
+        }
+        Ok(locations)
+    }
+
+    /// Distance from `query` to a stored node's vector, via TID fetch
+    /// unless memory-optimized.
+    fn distance_to(&self, bm: &BufferManager, query: &[f32], node: u32) -> Result<f32> {
+        if let Some(cache) = &self.cache {
+            let _t = profile::scoped(Category::DistanceCalc);
+            return Ok(self
+                .opts
+                .metric
+                .distance_with(self.opts.distance, query, cache.vectors.row(node as usize)));
+        }
+        let tid = self.nodes[node as usize].vec_tid;
+        bm.with_page(self.vec_rel, tid.block, |p| {
+            let bytes = p.item(tid.offset).expect("vector tuple must exist");
+            let v = bytemuck_f32(&bytes[8..]);
+            let _t = profile::scoped(Category::DistanceCalc);
+            self.opts.metric.distance_with(self.opts.distance, query, v)
+        })
+    }
+
+    /// Read a node's level-`l` neighbor ids (the `pasepfirst` traversal).
+    fn neighbors_of(&self, bm: &BufferManager, node: u32, l: usize) -> Result<Vec<u32>> {
+        if let Some(cache) = &self.cache {
+            let _t = profile::scoped(Category::NeighborIter);
+            return Ok(cache.links[node as usize][l].clone());
+        }
+        let (blk, off) = self.nodes[node as usize].adj[l];
+        let esize = self.entry_size();
+        bm.with_page(self.adj_rel, blk, |p| {
+            let _t = profile::scoped(Category::NeighborIter);
+            let bytes = p.item(off).expect("adjacency tuple must exist");
+            let count = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+            let mut out = Vec::with_capacity(count);
+            for i in 0..count {
+                let base = ADJ_HEADER + i * esize;
+                out.push(u32::from_le_bytes(bytes[base..base + 4].try_into().unwrap()));
+            }
+            out
+        })
+    }
+
+    /// Overwrite a node's level-`l` adjacency list.
+    fn set_neighbors(&self, bm: &BufferManager, node: u32, l: usize, nbs: &[u32]) -> Result<()> {
+        let cap = self.capacity(l);
+        assert!(nbs.len() <= cap, "adjacency overflow");
+        let (blk, off) = self.nodes[node as usize].adj[l];
+        let esize = self.entry_size();
+        // Snapshot the global ids before taking the page latch.
+        let entries: Vec<(u32, Tid, u32)> = nbs
+            .iter()
+            .map(|&nb| {
+                let meta = &self.nodes[nb as usize];
+                (nb, meta.vec_tid, meta.adj.first().map_or(0, |&(b, _)| b))
+            })
+            .collect();
+        bm.with_page_mut(self.adj_rel, blk, |p| {
+            let bytes = p.item_mut(off).expect("adjacency tuple must exist");
+            bytes[0..4].copy_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (i, &(nb, vec_tid, nblk)) in entries.iter().enumerate() {
+                let base = ADJ_HEADER + i * esize;
+                bytes[base..base + 4].copy_from_slice(&nb.to_le_bytes());
+                if esize == ENTRY_WIDE {
+                    // HNSWGlobalId: dblkid, doffset, nblkid + pointer pad.
+                    bytes[base + 4..base + 8].copy_from_slice(&vec_tid.block.to_le_bytes());
+                    bytes[base + 8..base + 10].copy_from_slice(&vec_tid.offset.to_le_bytes());
+                    bytes[base + 10..base + 12].copy_from_slice(&[0u8; 2]);
+                    bytes[base + 12..base + 16].copy_from_slice(&nblk.to_le_bytes());
+                    bytes[base + 16..base + 24].copy_from_slice(&0u64.to_le_bytes());
+                } else {
+                    bytes[base + 4..base + 8].copy_from_slice(&vec_tid.block.to_le_bytes());
+                }
+            }
+        })
+    }
+
+    /// Append one neighbor if the tuple has room; returns whether it fit.
+    fn push_neighbor(&self, bm: &BufferManager, node: u32, l: usize, nb: u32) -> Result<bool> {
+        let cap = self.capacity(l);
+        let (blk, off) = self.nodes[node as usize].adj[l];
+        let esize = self.entry_size();
+        let meta = &self.nodes[nb as usize];
+        let (vec_tid, nblk) = (meta.vec_tid, meta.adj.first().map_or(0, |&(b, _)| b));
+        bm.with_page_mut(self.adj_rel, blk, |p| {
+            let bytes = p.item_mut(off).expect("adjacency tuple must exist");
+            let count = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+            if count >= cap {
+                return false;
+            }
+            let base = ADJ_HEADER + count * esize;
+            bytes[base..base + 4].copy_from_slice(&nb.to_le_bytes());
+            if esize == ENTRY_WIDE {
+                bytes[base + 4..base + 8].copy_from_slice(&vec_tid.block.to_le_bytes());
+                bytes[base + 8..base + 10].copy_from_slice(&vec_tid.offset.to_le_bytes());
+                bytes[base + 10..base + 12].copy_from_slice(&[0u8; 2]);
+                bytes[base + 12..base + 16].copy_from_slice(&nblk.to_le_bytes());
+                bytes[base + 16..base + 24].copy_from_slice(&0u64.to_le_bytes());
+            } else {
+                bytes[base + 4..base + 8].copy_from_slice(&vec_tid.block.to_le_bytes());
+            }
+            bytes[0..4].copy_from_slice(&((count + 1) as u32).to_le_bytes());
+            true
+        })
+    }
+
+    /// Insert one `(id, vector)`; the node id is the insertion order.
+    /// (The application-level `id` is stored in the vector tuple and
+    /// returned from searches.)
+    pub fn insert_vector(&mut self, bm: &BufferManager, id: u64, v: &[f32]) -> Result<u32> {
+        assert_eq!(v.len(), self.dim, "dimension mismatch");
+        let node = self.nodes.len() as u32;
+        let level = self.sample_level();
+
+        // Vector tuple: [id u64][vector].
+        let mut tuple = Vec::with_capacity(8 + v.len() * 4);
+        tuple.extend_from_slice(&id.to_le_bytes());
+        tuple.extend_from_slice(as_bytes_f32(v));
+        let vec_tid = append_tuple(bm, self.vec_rel, &tuple)?;
+        let adj = self.alloc_adjacency(bm, level)?;
+        self.nodes.push(NodeMeta { level, vec_tid, adj });
+
+        if let Some(cache) = &mut self.cache {
+            cache.vectors.push(v);
+            cache.links.push((0..=level as usize).map(|_| Vec::new()).collect());
+        }
+
+        let Some(mut ep) = self.entry else {
+            self.entry = Some(node);
+            self.max_level = level;
+            return Ok(node);
+        };
+
+        // Greedy descent through levels above the node's own.
+        if self.max_level > level {
+            let _t = profile::scoped(Category::GreedyUpdate);
+            for l in (level as usize + 1..=self.max_level as usize).rev() {
+                ep = self.greedy_closest(bm, v, ep, l)?;
+            }
+        }
+
+        let top = level.min(self.max_level) as usize;
+        for l in (0..=top).rev() {
+            let found = {
+                let _t = profile::scoped(Category::SearchNbToAdd);
+                self.search_layer(bm, v, ep, self.params.efb.max(1), l)?
+            };
+            if let Some(best) = found.first() {
+                ep = best.id as u32;
+            }
+            let candidates: Vec<(f32, u32)> =
+                found.iter().map(|n| (n.distance, n.id as u32)).collect();
+            // Select `bnn` links per insert; lists grow toward
+            // capacity(l) before shrinking (see the specialized engine).
+            let selected = self.select_heuristic(bm, &candidates, self.params.bnn)?;
+            self.connect(bm, node, &selected, l)?;
+        }
+
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(node);
+        }
+        Ok(node)
+    }
+
+    fn connect(&mut self, bm: &BufferManager, node: u32, selected: &[u32], l: usize) -> Result<()> {
+        let cap = self.capacity(l);
+        {
+            let _t = profile::scoped(Category::AddLink);
+            self.set_neighbors(bm, node, l, selected)?;
+            if let Some(cache) = &mut self.cache {
+                cache.links[node as usize][l] = selected.to_vec();
+            }
+        }
+        for &nb in selected {
+            let fit = {
+                let _t = profile::scoped(Category::AddLink);
+                let fit = self.push_neighbor(bm, nb, l, node)?;
+                if fit {
+                    if let Some(cache) = &mut self.cache {
+                        cache.links[nb as usize][l].push(node);
+                    }
+                }
+                fit
+            };
+            if !fit {
+                // Over capacity: rebuild the neighbor's list with the
+                // candidate included, pruned by the heuristic.
+                let _t = profile::scoped(Category::ShrinkNbList);
+                let mut current = self.neighbors_of(bm, nb, l)?;
+                current.push(node);
+                let base_vec = self.vector_of(bm, nb)?;
+                let mut with_d = Vec::with_capacity(current.len());
+                for &c in &current {
+                    with_d.push((self.distance_to(bm, &base_vec, c)?, c));
+                }
+                let kept = self.select_heuristic(bm, &with_d, cap)?;
+                self.set_neighbors(bm, nb, l, &kept)?;
+                if let Some(cache) = &mut self.cache {
+                    cache.links[nb as usize][l] = kept;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Copy a node's vector out (needed when it serves as a base point
+    /// for neighbor-of-neighbor distances).
+    fn vector_of(&self, bm: &BufferManager, node: u32) -> Result<Vec<f32>> {
+        if let Some(cache) = &self.cache {
+            return Ok(cache.vectors.row(node as usize).to_vec());
+        }
+        let tid = self.nodes[node as usize].vec_tid;
+        bm.with_page(self.vec_rel, tid.block, |p| {
+            let bytes = p.item(tid.offset).expect("vector tuple must exist");
+            bytemuck_f32(&bytes[8..]).to_vec()
+        })
+    }
+
+    /// The diversity heuristic (same algorithm as the specialized
+    /// engine, but every distance resolves TIDs through the buffer
+    /// manager).
+    fn select_heuristic(
+        &self,
+        bm: &BufferManager,
+        candidates: &[(f32, u32)],
+        cap: usize,
+    ) -> Result<Vec<u32>> {
+        let mut sorted = candidates.to_vec();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut kept: Vec<(f32, u32)> = Vec::with_capacity(cap);
+        let mut skipped: Vec<u32> = Vec::new();
+        for &(d, e) in &sorted {
+            if kept.len() >= cap {
+                break;
+            }
+            let ev = self.vector_of(bm, e)?;
+            let mut diverse = true;
+            for &(_, s) in &kept {
+                if self.distance_to(bm, &ev, s)? < d {
+                    diverse = false;
+                    break;
+                }
+            }
+            if diverse {
+                kept.push((d, e));
+            } else {
+                skipped.push(e);
+            }
+        }
+        let mut out: Vec<u32> = kept.into_iter().map(|(_, e)| e).collect();
+        for e in skipped {
+            if out.len() >= cap {
+                break;
+            }
+            out.push(e);
+        }
+        Ok(out)
+    }
+
+    fn greedy_closest(&self, bm: &BufferManager, q: &[f32], mut ep: u32, l: usize) -> Result<u32> {
+        let mut best_d = self.distance_to(bm, q, ep)?;
+        loop {
+            let mut improved = false;
+            for nb in self.neighbors_of(bm, ep, l)? {
+                let d = self.distance_to(bm, q, nb)?;
+                if d < best_d {
+                    best_d = d;
+                    ep = nb;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return Ok(ep);
+            }
+        }
+    }
+
+    /// Beam search on one level. The visited set is a hash on node ids —
+    /// PASE's `HVTGet`, measurably slower than Faiss's flat array.
+    fn search_layer(
+        &self,
+        bm: &BufferManager,
+        q: &[f32],
+        ep: u32,
+        ef: usize,
+        l: usize,
+    ) -> Result<Vec<Neighbor>> {
+        let mut visited: HashSet<u32> = HashSet::with_capacity(ef * 4);
+        {
+            let _t = profile::scoped(Category::HvtGet);
+            visited.insert(ep);
+        }
+        let d0 = self.distance_to(bm, q, ep)?;
+        let mut results = KHeap::new(ef);
+        results.push(ep as u64, d0);
+        let mut candidates: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
+        candidates.push(Reverse(Neighbor::new(ep as u64, d0)));
+
+        while let Some(Reverse(cand)) = candidates.pop() {
+            if cand.distance > results.threshold() {
+                break;
+            }
+            for nb in self.neighbors_of(bm, cand.id as u32, l)? {
+                let seen = {
+                    let _t = profile::scoped(Category::HvtGet);
+                    !visited.insert(nb)
+                };
+                if seen {
+                    continue;
+                }
+                let d = self.distance_to(bm, q, nb)?;
+                if d < results.threshold() {
+                    results.push(nb as u64, d);
+                    candidates.push(Reverse(Neighbor::new(nb as u64, d)));
+                }
+            }
+        }
+        Ok(results.into_sorted())
+    }
+
+    /// Map internal node ids to stored application ids.
+    fn resolve_ids(&self, bm: &BufferManager, found: Vec<Neighbor>) -> Result<Vec<Neighbor>> {
+        let mut out = Vec::with_capacity(found.len());
+        for n in found {
+            let tid = self.nodes[n.id as usize].vec_tid;
+            let app_id = bm.with_page(self.vec_rel, tid.block, |p| {
+                let bytes = p.item(tid.offset).expect("vector tuple must exist");
+                u64::from_le_bytes(bytes[..8].try_into().unwrap())
+            })?;
+            out.push(Neighbor::new(app_id, n.distance));
+        }
+        Ok(out)
+    }
+
+    /// Search with an explicit `efs` (Figure 19 sweeps this).
+    pub fn search_with_ef(
+        &self,
+        bm: &BufferManager,
+        query: &[f32],
+        k: usize,
+        efs: usize,
+    ) -> Result<Vec<Neighbor>> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        assert!(k > 0, "k must be positive");
+        let Some(mut ep) = self.entry else {
+            return Ok(Vec::new());
+        };
+        for l in (1..=self.max_level as usize).rev() {
+            ep = self.greedy_closest(bm, query, ep, l)?;
+        }
+        let mut found = self.search_layer(bm, query, ep, efs.max(k), 0)?;
+        found.truncate(k);
+        self.resolve_ids(bm, found)
+    }
+
+    /// Materialize the RC#2 cache from the pages.
+    fn populate_cache(&mut self, bm: &BufferManager) -> Result<()> {
+        let mut vectors = VectorSet::empty(self.dim);
+        let mut links = Vec::with_capacity(self.nodes.len());
+        for node in 0..self.nodes.len() as u32 {
+            vectors.push(&self.vector_of(bm, node)?);
+            let meta = &self.nodes[node as usize];
+            let mut per_level = Vec::with_capacity(meta.level as usize + 1);
+            for l in 0..=meta.level as usize {
+                per_level.push(self.neighbors_of(bm, node, l)?);
+            }
+            links.push(per_level);
+        }
+        self.cache = Some(MemCache { vectors, links });
+        Ok(())
+    }
+
+    /// Node levels (for distribution checks).
+    pub fn levels(&self) -> Vec<u8> {
+        self.nodes.iter().map(|n| n.level).collect()
+    }
+
+    /// Pages used by the adjacency relation alone (the RC#4 blowup).
+    pub fn adjacency_bytes(&self, bm: &BufferManager) -> usize {
+        bm.disk().relation_bytes(self.adj_rel)
+    }
+}
+
+impl PaseIndex for PaseHnswIndex {
+    fn am_name(&self) -> &'static str {
+        "hnsw"
+    }
+
+    fn scan(&self, bm: &BufferManager, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        self.search_with_ef(bm, query, k, self.params.efs)
+    }
+
+    fn scan_with_knob(
+        &self,
+        bm: &BufferManager,
+        query: &[f32],
+        k: usize,
+        knob: Option<usize>,
+    ) -> Result<Vec<Neighbor>> {
+        self.search_with_ef(bm, query, k, knob.unwrap_or(self.params.efs))
+    }
+
+    fn insert(&mut self, bm: &BufferManager, id: u64, vector: &[f32]) -> Result<()> {
+        self.insert_vector(bm, id, vector).map(|_| ())
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn size_bytes(&self, bm: &BufferManager) -> usize {
+        bm.disk().relation_bytes(self.vec_rel) + bm.disk().relation_bytes(self.adj_rel)
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Append a tuple to the last page of `rel`, extending as needed.
+fn append_tuple(bm: &BufferManager, rel: RelId, tuple: &[u8]) -> Result<Tid> {
+    let nblocks = bm.disk().nblocks(rel);
+    if nblocks > 0 {
+        let last = nblocks as u32 - 1;
+        if let Some(off) = bm.with_page_mut(rel, last, |p: &mut Page| p.add_item(tuple))? {
+            return Ok(Tid::new(last, off));
+        }
+    }
+    let (blk, off) = bm
+        .new_page(rel, 0, |p| p.add_item(tuple).expect("fresh page must fit tuple"))?;
+    Ok(Tid::new(blk, off))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vdb_datagen::gaussian::generate;
+    use vdb_storage::{DiskManager, PageSize};
+
+    fn setup(pool: usize) -> BufferManager {
+        let disk = Arc::new(DiskManager::new(PageSize::Size8K));
+        BufferManager::new(disk, pool)
+    }
+
+    fn small_params() -> HnswParams {
+        HnswParams { bnn: 8, efb: 32, efs: 64 }
+    }
+
+    fn build_small(opts: GeneralizedOptions) -> (BufferManager, PaseHnswIndex, VectorSet) {
+        let bm = setup(4096);
+        let data = generate(16, 600, 8, 5);
+        let (idx, _) = PaseHnswIndex::build(opts, small_params(), &bm, &data).unwrap();
+        (bm, idx, data)
+    }
+
+    #[test]
+    fn indexes_every_vector() {
+        let (_bm, idx, data) = build_small(GeneralizedOptions::default());
+        assert_eq!(idx.len(), data.len());
+    }
+
+    #[test]
+    fn self_queries_mostly_return_self() {
+        let (bm, idx, data) = build_small(GeneralizedOptions::default());
+        let hits = (0..data.len())
+            .filter(|&qi| {
+                idx.search_with_ef(&bm, data.row(qi), 1, 64)
+                    .unwrap()
+                    .first()
+                    .is_some_and(|n| n.id == qi as u64)
+            })
+            .count();
+        assert!(hits * 100 >= data.len() * 95, "self-recall {hits}/{}", data.len());
+    }
+
+    #[test]
+    fn recall_against_brute_force() {
+        let (bm, idx, data) = build_small(GeneralizedOptions::default());
+        let mut hits = 0;
+        for qi in 0..15 {
+            let q = data.row(qi * 37);
+            let mut oracle: Vec<(u64, f32)> = (0..data.len())
+                .map(|i| (i as u64, vdb_vecmath::Metric::L2.distance(q, data.row(i))))
+                .collect();
+            oracle.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let truth: Vec<u64> = oracle.iter().take(10).map(|&(id, _)| id).collect();
+            let got = idx.search_with_ef(&bm, q, 10, 64).unwrap();
+            hits += got.iter().filter(|n| truth.contains(&n.id)).count();
+        }
+        let recall = hits as f64 / 150.0;
+        assert!(recall > 0.8, "recall {recall} too low");
+    }
+
+    #[test]
+    fn memory_optimized_matches_paged_results() {
+        let base = GeneralizedOptions::default();
+        let (bm, paged, data) = build_small(base);
+        let fixed = GeneralizedOptions { memory_optimized: true, ..base };
+        let (idx2, _) =
+            PaseHnswIndex::build(fixed, small_params(), &bm, &data).unwrap();
+        for qi in [0usize, 100, 500] {
+            let q = data.row(qi);
+            assert_eq!(
+                paged.search_with_ef(&bm, q, 10, 64).unwrap(),
+                idx2.search_with_ef(&bm, q, 10, 64).unwrap(),
+                "query {qi}"
+            );
+        }
+    }
+
+    #[test]
+    fn page_per_adjacency_uses_one_page_per_node() {
+        let (bm, idx, data) = build_small(GeneralizedOptions::default());
+        let adj_pages = idx.adjacency_bytes(&bm) / 8192;
+        // RC#4: at least one adjacency page per node.
+        assert!(adj_pages >= data.len(), "only {adj_pages} pages for {} nodes", data.len());
+    }
+
+    #[test]
+    fn packed_layout_is_far_smaller() {
+        let pase = GeneralizedOptions::default();
+        let packed = GeneralizedOptions { hnsw_layout: HnswLayout::Packed, ..pase };
+        let (bm1, idx1, _) = build_small(pase);
+        let (bm2, idx2, _) = build_small(packed);
+        let wide = idx1.adjacency_bytes(&bm1);
+        let tight = idx2.adjacency_bytes(&bm2);
+        assert!(
+            wide > tight * 5,
+            "packed layout should shrink adjacency: {wide} vs {tight}"
+        );
+    }
+
+    #[test]
+    fn packed_layout_same_results() {
+        let pase = GeneralizedOptions::default();
+        let (bm, idx1, data) = build_small(pase);
+        let packed = GeneralizedOptions { hnsw_layout: HnswLayout::Packed, ..pase };
+        let (idx2, _) = PaseHnswIndex::build(packed, small_params(), &bm, &data).unwrap();
+        for qi in [3usize, 333] {
+            let q = data.row(qi);
+            assert_eq!(
+                idx1.search_with_ef(&bm, q, 5, 64).unwrap(),
+                idx2.search_with_ef(&bm, q, 5, 64).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn adjacency_counts_respect_capacity() {
+        let (bm, idx, _) = build_small(GeneralizedOptions::default());
+        for node in 0..idx.len() as u32 {
+            let meta = &idx.nodes[node as usize];
+            for l in 0..=meta.level as usize {
+                let nbs = idx.neighbors_of(&bm, node, l).unwrap();
+                assert!(nbs.len() <= idx.capacity(l), "node {node} level {l}");
+                // All neighbor ids must be valid nodes.
+                assert!(nbs.iter().all(|&nb| (nb as usize) < idx.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn build_records_paper_breakdown_categories() {
+        profile::enable(true);
+        profile::reset_local();
+        let bm = setup(2048);
+        let data = generate(8, 150, 4, 2);
+        let _ = PaseHnswIndex::build(
+            GeneralizedOptions::default(),
+            HnswParams { bnn: 6, efb: 16, efs: 16 },
+            &bm,
+            &data,
+        )
+        .unwrap();
+        let b = profile::take_local();
+        profile::enable(false);
+        assert!(b.nanos(Category::SearchNbToAdd) > 0);
+        assert!(b.nanos(Category::TupleAccess) > 0);
+        assert!(b.count(Category::HvtGet) > 0);
+        assert!(b.nanos(Category::NeighborIter) > 0);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let bm = setup(64);
+        let idx = PaseHnswIndex::new(GeneralizedOptions::default(), small_params(), &bm, 4);
+        assert!(idx.search_with_ef(&bm, &[0.0; 4], 3, 16).unwrap().is_empty());
+    }
+}

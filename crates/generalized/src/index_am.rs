@@ -1,0 +1,50 @@
+//! The index access-method interface (PostgreSQL's `IndexAmRoutine`).
+//!
+//! Paper §II-E: "the index implementation has to follow certain rules.
+//! First, it needs to implement the interfaces, e.g., `build()`,
+//! `insert()`, `scan()`, via PostgreSQL's IndexAmRoutine." The SQL layer
+//! dispatches through this trait without knowing the index type.
+
+use vdb_storage::{BufferManager, Result};
+use vdb_vecmath::Neighbor;
+
+/// What every generalized index exposes to the executor.
+pub trait PaseIndex: Send + Sync {
+    /// Human-readable access-method name (`ivfflat`, `ivfpq`, `hnsw`).
+    fn am_name(&self) -> &'static str;
+
+    /// Top-k scan for a query vector.
+    fn scan(&self, bm: &BufferManager, query: &[f32], k: usize) -> Result<Vec<Neighbor>>;
+
+    /// Top-k scan with a per-query knob from a `::PASE` literal —
+    /// `nprobe` for IVF indexes, `efs` for HNSW. Defaults to ignoring
+    /// the knob.
+    fn scan_with_knob(
+        &self,
+        bm: &BufferManager,
+        query: &[f32],
+        k: usize,
+        knob: Option<usize>,
+    ) -> Result<Vec<Neighbor>> {
+        let _ = knob;
+        self.scan(bm, query, k)
+    }
+
+    /// Insert one `(id, vector)` pair into the index.
+    fn insert(&mut self, bm: &BufferManager, id: u64, vector: &[f32]) -> Result<()>;
+
+    /// Indexed vector count.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// On-"disk" size in bytes (pages × page size), the metric of the
+    /// paper's Figures 11–13.
+    fn size_bytes(&self, bm: &BufferManager) -> usize;
+
+    /// Vector dimensionality.
+    fn dim(&self) -> usize;
+}

@@ -1,0 +1,783 @@
+//! PASE's IVF_FLAT: centroid pages plus bucket-chained data pages.
+//!
+//! Paper §VI-A: "IVF_FLAT is stored in centroid pages and data pages
+//! where the centroid pages store centroid vectors and data pages store
+//! base vectors in the buckets of each centroid." Every search walks the
+//! probed buckets' page chains through the buffer manager (RC#2),
+//! computes distances with the reference kernel, and accumulates a
+//! size-*n* heap (RC#6). The adding phase assigns one vector at a time
+//! with scalar distances — no SGEMM (RC#1) — which is why Figure 3 shows
+//! 35–85× slower builds.
+
+use crate::index_am::PaseIndex;
+use crate::options::{GeneralizedOptions, ParallelMode};
+use parking_lot::Mutex;
+use std::time::Instant;
+use vdb_profile::{self as profile, Category};
+use vdb_storage::heap::{as_bytes_f32, bytemuck_f32};
+use vdb_storage::{BufferManager, Page, RelId, Result, Tid};
+use vdb_vecmath::sampling::sample_indices;
+use vdb_vecmath::{
+    BuildTiming, IvfParams, KHeap, Kmeans, KmeansParams, Neighbor, VectorSet,
+};
+
+/// Sentinel "no next page" block number in the page chain.
+const NO_NEXT: u32 = u32::MAX;
+/// Special-space layout of data pages: `[next_block u32][bucket u32]`.
+const SPECIAL_LEN: usize = 8;
+
+/// Per-bucket page-chain bookkeeping (PASE keeps the equivalent in its
+/// index meta page).
+#[derive(Clone, Copy, Debug)]
+struct BucketChain {
+    head: u32,
+    tail: u32,
+    count: usize,
+}
+
+/// RC#2 fix: a direct-array mirror of one bucket.
+struct BucketCache {
+    ids: Vec<u64>,
+    vectors: VectorSet,
+}
+
+/// The generalized IVF_FLAT index.
+pub struct PaseIvfFlatIndex {
+    opts: GeneralizedOptions,
+    params: IvfParams,
+    dim: usize,
+    /// In-memory copy of the trained centroids, used for assignment at
+    /// build time (PASE also trains in memory before writing pages).
+    quantizer: Kmeans,
+    centroid_rel: RelId,
+    data_rel: RelId,
+    chains: Vec<Option<BucketChain>>,
+    len: usize,
+    cache: Option<Vec<BucketCache>>,
+}
+
+impl PaseIvfFlatIndex {
+    /// Train on a sample of `data`, write centroid pages, then add every
+    /// vector. Returns the paper's train/add timing split.
+    pub fn build(
+        opts: GeneralizedOptions,
+        params: IvfParams,
+        bm: &BufferManager,
+        data: &VectorSet,
+    ) -> Result<(PaseIvfFlatIndex, BuildTiming)> {
+        Self::build_with_ids(opts, params, bm, None, data)
+    }
+
+    /// [`build`](Self::build) with explicit application ids instead of
+    /// positional ids (used by the SQL layer, whose tables carry user
+    /// ids).
+    pub fn build_with_ids(
+        opts: GeneralizedOptions,
+        params: IvfParams,
+        bm: &BufferManager,
+        ids: Option<&[u64]>,
+        data: &VectorSet,
+    ) -> Result<(PaseIvfFlatIndex, BuildTiming)> {
+        assert!(!data.is_empty(), "cannot build IVF_FLAT over no vectors");
+        if let Some(ids) = ids {
+            assert_eq!(ids.len(), data.len(), "ids/data length mismatch");
+        }
+        let t0 = Instant::now();
+        let sample_idx =
+            sample_indices(data.len(), params.sample_ratio, params.clusters, opts.seed);
+        let sample = data.gather(&sample_idx);
+        let quantizer = Kmeans::train(
+            opts.kmeans,
+            &sample,
+            &KmeansParams {
+                k: params.clusters,
+                iters: opts.kmeans_iters,
+                seed: opts.seed,
+                gemm: opts.assignment_gemm.unwrap_or(vdb_gemm::GemmKernel::Naive),
+            },
+        );
+        let train = t0.elapsed();
+
+        let t1 = Instant::now();
+        let mut index = PaseIvfFlatIndex::empty(opts, params, bm, quantizer)?;
+        index.add_all(bm, data, ids)?;
+        if index.opts.memory_optimized {
+            index.populate_cache(bm)?;
+        }
+        let add = t1.elapsed();
+        Ok((index, BuildTiming { train, add }))
+    }
+
+    /// Create the relations and write the centroid pages.
+    fn empty(
+        opts: GeneralizedOptions,
+        params: IvfParams,
+        bm: &BufferManager,
+        quantizer: Kmeans,
+    ) -> Result<PaseIvfFlatIndex> {
+        let dim = quantizer.dim();
+        let centroid_rel = bm.disk().create_relation();
+        let data_rel = bm.disk().create_relation();
+        write_vector_pages(bm, centroid_rel, quantizer.centroids())?;
+        let chains = vec![None; quantizer.k()];
+        Ok(PaseIvfFlatIndex {
+            opts,
+            params,
+            dim,
+            quantizer,
+            centroid_rel,
+            data_rel,
+            chains,
+            len: 0,
+            cache: None,
+        })
+    }
+
+    /// The adding phase. Without `assignment_gemm` (the PASE default),
+    /// each vector is compared against every centroid with the scalar
+    /// reference loop — the `fvec_L2sqr_ref` bottleneck of §V-A.
+    fn add_all(&mut self, bm: &BufferManager, data: &VectorSet, ids: Option<&[u64]>) -> Result<()> {
+        let _t = profile::scoped(Category::IvfAdd);
+        let id_of = |base: u64, i: usize| ids.map_or(base + i as u64, |v| v[i]);
+        let base = self.len as u64;
+        match self.opts.assignment_gemm {
+            Some(kernel) => {
+                let assignments = self.quantizer.assign_batch(kernel, data);
+                for (i, &a) in assignments.iter().enumerate() {
+                    self.append(bm, a as usize, id_of(base, i), data.row(i))?;
+                }
+            }
+            None => {
+                for i in 0..data.len() {
+                    let v = data.row(i);
+                    let (a, _) = self.quantizer.nearest(self.opts.distance, v);
+                    self.append(bm, a, id_of(base, i), v)?;
+                }
+            }
+        }
+        self.len += data.len();
+        Ok(())
+    }
+
+    /// Append one `(id, vector)` tuple to bucket `b`'s page chain.
+    fn append(&mut self, bm: &BufferManager, b: usize, id: u64, v: &[f32]) -> Result<Tid> {
+        let mut tuple = Vec::with_capacity(8 + v.len() * 4);
+        tuple.extend_from_slice(&id.to_le_bytes());
+        tuple.extend_from_slice(as_bytes_f32(v));
+
+        if let Some(chain) = self.chains[b] {
+            if let Some(off) =
+                bm.with_page_mut(self.data_rel, chain.tail, |p| p.add_item(&tuple))?
+            {
+                self.chains[b] = Some(BucketChain { count: chain.count + 1, ..chain });
+                return Ok(Tid::new(chain.tail, off));
+            }
+        }
+
+        // Need a fresh page at the end of the chain.
+        let (blk, off) = bm.new_page(self.data_rel, SPECIAL_LEN, |p| {
+            write_special(p, NO_NEXT, b as u32);
+            p.add_item(&tuple).expect("fresh page fits one tuple")
+        })?;
+        match self.chains[b] {
+            Some(chain) => {
+                bm.with_page_mut(self.data_rel, chain.tail, |p| {
+                    let (_, bucket) = read_special(p);
+                    write_special(p, blk, bucket);
+                })?;
+                self.chains[b] =
+                    Some(BucketChain { head: chain.head, tail: blk, count: chain.count + 1 });
+            }
+            None => self.chains[b] = Some(BucketChain { head: blk, tail: blk, count: 1 }),
+        }
+        Ok(Tid::new(blk, off))
+    }
+
+    /// Materialize the RC#2 "memory-optimized table" cache by scanning
+    /// every bucket chain once.
+    fn populate_cache(&mut self, bm: &BufferManager) -> Result<()> {
+        let mut cache = Vec::with_capacity(self.chains.len());
+        for b in 0..self.chains.len() {
+            let mut ids = Vec::new();
+            let mut vectors = VectorSet::empty(self.dim);
+            self.walk_bucket(bm, b, |id, v| {
+                ids.push(id);
+                vectors.push(v);
+            })?;
+            cache.push(BucketCache { ids, vectors });
+        }
+        self.cache = Some(cache);
+        Ok(())
+    }
+
+    /// Walk bucket `b`'s page chain, invoking `f(id, vector)` per tuple.
+    fn walk_bucket(
+        &self,
+        bm: &BufferManager,
+        b: usize,
+        mut f: impl FnMut(u64, &[f32]),
+    ) -> Result<()> {
+        let Some(chain) = self.chains[b] else {
+            return Ok(());
+        };
+        let mut blk = chain.head;
+        loop {
+            let next = bm.with_page(self.data_rel, blk, |p| {
+                for (_, bytes) in p.items() {
+                    let id = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+                    f(id, bytemuck_f32(&bytes[8..]));
+                }
+                read_special(p).0
+            })?;
+            if next == NO_NEXT {
+                return Ok(());
+            }
+            blk = next;
+        }
+    }
+
+    /// The trained centroids (e.g. for transplanting into Faiss* —
+    /// Figure 15).
+    pub fn centroids(&self) -> &VectorSet {
+        self.quantizer.centroids()
+    }
+
+    /// Per-bucket tuple counts.
+    pub fn bucket_sizes(&self) -> Vec<usize> {
+        self.chains.iter().map(|c| c.map_or(0, |c| c.count)).collect()
+    }
+
+    /// Select the `nprobe` closest centroids, reading centroid pages
+    /// through the buffer manager (unless memory-optimized).
+    pub(crate) fn select_probes(
+        &self,
+        bm: &BufferManager,
+        query: &[f32],
+        nprobe: usize,
+    ) -> Result<Vec<usize>> {
+        if self.opts.memory_optimized {
+            return Ok(self
+                .quantizer
+                .nearest_n(self.opts.distance, query, nprobe)
+                .into_iter()
+                .map(|(b, _)| b)
+                .collect());
+        }
+        let mut dists: Vec<(usize, f32)> = Vec::with_capacity(self.quantizer.k());
+        let nblocks = bm.disk().nblocks(self.centroid_rel);
+        let mut idx = 0usize;
+        for blk in 0..nblocks as u32 {
+            bm.with_page(self.centroid_rel, blk, |p| {
+                for (_, bytes) in p.items() {
+                    let c = bytemuck_f32(bytes);
+                    let d = {
+                        let _t = profile::scoped(Category::DistanceCalc);
+                        self.opts.metric.distance_with(self.opts.distance, query, c)
+                    };
+                    dists.push((idx, d));
+                    idx += 1;
+                }
+            })?;
+        }
+        dists.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        dists.truncate(nprobe.max(1));
+        Ok(dists.into_iter().map(|(b, _)| b).collect())
+    }
+
+    /// Search with an explicit `nprobe` (Figure 19 sweeps this).
+    pub fn search_with_nprobe(
+        &self,
+        bm: &BufferManager,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+    ) -> Result<Vec<Neighbor>> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        assert!(k > 0, "k must be positive");
+        let probes = self.select_probes(bm, query, nprobe)?;
+
+        if self.opts.threads <= 1 {
+            let mut collector = self.opts.topk.collector(k);
+            for &b in &probes {
+                self.scan_bucket_into(bm, b, query, &mut |id, d| collector.push(id, d))?;
+            }
+            Ok(collector.into_sorted())
+        } else {
+            self.search_parallel(bm, query, k, &probes)
+        }
+    }
+
+    /// Batch search with intra-query parallelism over a persistent
+    /// worker pool: one round per query, workers scanning disjoint
+    /// probe partitions. The merge strategy follows
+    /// [`ParallelMode`] — PASE's shared locked heap (every candidate
+    /// takes the mutex) or the fixed local-heap merge.
+    pub fn search_batch_with_nprobe(
+        &self,
+        bm: &BufferManager,
+        queries: &VectorSet,
+        k: usize,
+        nprobe: usize,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        let threads = self.opts.threads.max(1);
+        if threads == 1 {
+            return queries
+                .iter()
+                .map(|q| self.search_with_nprobe(bm, q, k, nprobe))
+                .collect();
+        }
+        let probes: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|q| self.select_probes(bm, q, nprobe))
+            .collect::<Result<_>>()?;
+        let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+        let errors: Mutex<Option<vdb_storage::StorageError>> = Mutex::new(None);
+        match self.opts.parallel {
+            ParallelMode::GlobalLockedHeap => {
+                // One shared, mutex-guarded collector per query (RC#3).
+                let shared: Vec<Mutex<vdb_vecmath::TopKCollector>> =
+                    (0..queries.len()).map(|_| Mutex::new(self.opts.topk.collector(k))).collect();
+                vdb_vecmath::parallel::rounds(
+                    queries.len(),
+                    threads,
+                    |q, t| {
+                        let query = queries.row(q);
+                        let plist = &probes[q];
+                        let chunk = plist.len().div_ceil(threads);
+                        let lo = (t * chunk).min(plist.len());
+                        let hi = ((t + 1) * chunk).min(plist.len());
+                        for &b in &plist[lo..hi] {
+                            let r = self.scan_bucket_into(bm, b, query, &mut |id, d| {
+                                shared[q].lock().push(id, d);
+                            });
+                            if let Err(e) = r {
+                                *errors.lock() = Some(e);
+                            }
+                        }
+                    },
+                    |q, _| {
+                        let collector =
+                            std::mem::replace(&mut *shared[q].lock(), self.opts.topk.collector(k));
+                        out[q] = collector.into_sorted();
+                    },
+                );
+            }
+            ParallelMode::LocalHeapMerge => {
+                vdb_vecmath::parallel::rounds(
+                    queries.len(),
+                    threads,
+                    |q, t| {
+                        let query = queries.row(q);
+                        let plist = &probes[q];
+                        let chunk = plist.len().div_ceil(threads);
+                        let lo = (t * chunk).min(plist.len());
+                        let hi = ((t + 1) * chunk).min(plist.len());
+                        let mut local = KHeap::new(k);
+                        for &b in &plist[lo..hi] {
+                            let r = self.scan_bucket_into(bm, b, query, &mut |id, d| {
+                                local.push(id, d);
+                            });
+                            if let Err(e) = r {
+                                *errors.lock() = Some(e);
+                            }
+                        }
+                        local
+                    },
+                    |q, locals| {
+                        let mut merged = KHeap::new(k);
+                        for local in locals {
+                            merged.merge(local);
+                        }
+                        out[q] = merged.into_sorted();
+                    },
+                );
+            }
+        }
+        if let Some(e) = errors.into_inner() {
+            return Err(e);
+        }
+        Ok(out)
+    }
+
+    /// Scan one bucket, feeding `(id, distance)` pairs to `push`.
+    ///
+    /// The paged path works page by page in three attributed phases,
+    /// mirroring how Table V separates the costs: tuple access
+    /// (line-pointer chase + parse, on top of the buffer manager's own
+    /// pin/unpin accounting), distance computation, and heap pushes.
+    pub(crate) fn scan_bucket_into(
+        &self,
+        bm: &BufferManager,
+        b: usize,
+        query: &[f32],
+        push: &mut dyn FnMut(u64, f32),
+    ) -> Result<()> {
+        if let Some(cache) = &self.cache {
+            // RC#2 fix: direct arrays, no buffer manager.
+            let bucket = &cache[b];
+            let dists: Vec<f32> = {
+                let _t = profile::scoped(Category::DistanceCalc);
+                bucket
+                    .vectors
+                    .iter()
+                    .map(|v| self.opts.metric.distance_with(self.opts.distance, query, v))
+                    .collect()
+            };
+            let _h = profile::scoped(Category::MinHeap);
+            profile::count(Category::MinHeap, dists.len() as u64);
+            for (i, &d) in dists.iter().enumerate() {
+                push(bucket.ids[i], d);
+            }
+            return Ok(());
+        }
+
+        let Some(chain) = self.chains[b] else {
+            return Ok(());
+        };
+        let mut ids: Vec<u64> = Vec::new();
+        let mut dists: Vec<f32> = Vec::new();
+        let mut blk = chain.head;
+        loop {
+            ids.clear();
+            dists.clear();
+            let next = bm.with_page(self.data_rel, blk, |p| {
+                let tuples: Vec<(u64, &[f32])> = {
+                    let _t = profile::scoped(Category::TupleAccess);
+                    p.items()
+                        .map(|(_, bytes)| {
+                            (
+                                u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+                                bytemuck_f32(&bytes[8..]),
+                            )
+                        })
+                        .collect()
+                };
+                {
+                    let _t = profile::scoped(Category::DistanceCalc);
+                    for (id, v) in tuples {
+                        ids.push(id);
+                        dists.push(self.opts.metric.distance_with(self.opts.distance, query, v));
+                    }
+                }
+                read_special(p).0
+            })?;
+            {
+                let _h = profile::scoped(Category::MinHeap);
+                profile::count(Category::MinHeap, dists.len() as u64);
+                for (i, &d) in dists.iter().enumerate() {
+                    push(ids[i], d);
+                }
+            }
+            if next == NO_NEXT {
+                return Ok(());
+            }
+            blk = next;
+        }
+    }
+
+    /// RC#3: intra-query parallel scan. PASE's mode pushes every
+    /// candidate into one mutex-protected heap; the fixed mode uses
+    /// local heaps merged at the end.
+    fn search_parallel(
+        &self,
+        bm: &BufferManager,
+        query: &[f32],
+        k: usize,
+        probes: &[usize],
+    ) -> Result<Vec<Neighbor>> {
+        let threads = self.opts.threads.min(probes.len()).max(1);
+        let chunk = probes.len().div_ceil(threads);
+        match self.opts.parallel {
+            ParallelMode::GlobalLockedHeap => {
+                let shared = Mutex::new(self.opts.topk.collector(k));
+                let errors: Mutex<Option<vdb_storage::StorageError>> = Mutex::new(None);
+                crossbeam::thread::scope(|s| {
+                    let shared = &shared;
+                    let errors = &errors;
+                    for part in probes.chunks(chunk) {
+                        s.spawn(move |_| {
+                            for &b in part {
+                                let r = self.scan_bucket_into(bm, b, query, &mut |id, d| {
+                                    // One lock acquisition per candidate —
+                                    // the contention §VII-D blames.
+                                    shared.lock().push(id, d);
+                                });
+                                if let Err(e) = r {
+                                    *errors.lock() = Some(e);
+                                }
+                            }
+                        });
+                    }
+                })
+                .expect("search worker panicked");
+                if let Some(e) = errors.into_inner() {
+                    return Err(e);
+                }
+                Ok(shared.into_inner().into_sorted())
+            }
+            ParallelMode::LocalHeapMerge => {
+                let locals: Mutex<Vec<KHeap>> = Mutex::new(Vec::new());
+                let errors: Mutex<Option<vdb_storage::StorageError>> = Mutex::new(None);
+                crossbeam::thread::scope(|s| {
+                    let locals = &locals;
+                    let errors = &errors;
+                    for part in probes.chunks(chunk) {
+                        s.spawn(move |_| {
+                            let mut local = KHeap::new(k);
+                            for &b in part {
+                                let r = self.scan_bucket_into(bm, b, query, &mut |id, d| {
+                                    local.push(id, d);
+                                });
+                                if let Err(e) = r {
+                                    *errors.lock() = Some(e);
+                                }
+                            }
+                            locals.lock().push(local);
+                        });
+                    }
+                })
+                .expect("search worker panicked");
+                if let Some(e) = errors.into_inner() {
+                    return Err(e);
+                }
+                let mut merged = KHeap::new(k);
+                for local in locals.into_inner() {
+                    merged.merge(local);
+                }
+                Ok(merged.into_sorted())
+            }
+        }
+    }
+}
+
+impl PaseIndex for PaseIvfFlatIndex {
+    fn am_name(&self) -> &'static str {
+        "ivfflat"
+    }
+
+    fn scan(&self, bm: &BufferManager, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        self.search_with_nprobe(bm, query, k, self.params.nprobe)
+    }
+
+    fn scan_with_knob(
+        &self,
+        bm: &BufferManager,
+        query: &[f32],
+        k: usize,
+        knob: Option<usize>,
+    ) -> Result<Vec<Neighbor>> {
+        self.search_with_nprobe(bm, query, k, knob.unwrap_or(self.params.nprobe))
+    }
+
+    fn insert(&mut self, bm: &BufferManager, id: u64, vector: &[f32]) -> Result<()> {
+        assert_eq!(vector.len(), self.dim, "dimension mismatch");
+        let (b, _) = self.quantizer.nearest(self.opts.distance, vector);
+        self.append(bm, b, id, vector)?;
+        self.len += 1;
+        if let Some(cache) = &mut self.cache {
+            cache[b].ids.push(id);
+            cache[b].vectors.push(vector);
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn size_bytes(&self, bm: &BufferManager) -> usize {
+        bm.disk().relation_bytes(self.centroid_rel) + bm.disk().relation_bytes(self.data_rel)
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Write a vector set into sequential pages of `rel` (used for centroid
+/// pages; tuples are bare f32 arrays).
+fn write_vector_pages(bm: &BufferManager, rel: RelId, vectors: &VectorSet) -> Result<()> {
+    let mut current: Option<u32> = None;
+    for v in vectors.iter() {
+        let bytes = as_bytes_f32(v);
+        let placed = match current {
+            Some(blk) => bm.with_page_mut(rel, blk, |p| p.add_item(bytes))?.is_some(),
+            None => false,
+        };
+        if !placed {
+            let (blk, _) = bm.new_page(rel, 0, |p| {
+                p.add_item(bytes).expect("fresh page fits a centroid")
+            })?;
+            current = Some(blk);
+        }
+    }
+    Ok(())
+}
+
+fn write_special(p: &mut Page, next: u32, bucket: u32) {
+    let sp = p.special_mut();
+    sp[0..4].copy_from_slice(&next.to_le_bytes());
+    sp[4..8].copy_from_slice(&bucket.to_le_bytes());
+}
+
+fn read_special(p: &Page) -> (u32, u32) {
+    let sp = p.special();
+    (
+        u32::from_le_bytes(sp[0..4].try_into().unwrap()),
+        u32::from_le_bytes(sp[4..8].try_into().unwrap()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vdb_datagen::gaussian::generate;
+    use vdb_storage::{DiskManager, PageSize};
+
+    fn setup() -> (BufferManager, VectorSet) {
+        let disk = Arc::new(DiskManager::new(PageSize::Size8K));
+        let bm = BufferManager::new(disk, 4096);
+        let data = generate(16, 1200, 16, 77);
+        (bm, data)
+    }
+
+    fn small_params() -> IvfParams {
+        IvfParams { clusters: 16, sample_ratio: 0.5, nprobe: 4 }
+    }
+
+    #[test]
+    fn build_distributes_all_vectors() {
+        let (bm, data) = setup();
+        let (idx, timing) =
+            PaseIvfFlatIndex::build(GeneralizedOptions::default(), small_params(), &bm, &data)
+                .unwrap();
+        assert_eq!(idx.len(), 1200);
+        assert_eq!(idx.bucket_sizes().iter().sum::<usize>(), 1200);
+        assert!(timing.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn full_probe_returns_exact_topk() {
+        let (bm, data) = setup();
+        let (idx, _) =
+            PaseIvfFlatIndex::build(GeneralizedOptions::default(), small_params(), &bm, &data)
+                .unwrap();
+        let q = data.row(3);
+        let res = idx.search_with_nprobe(&bm, q, 5, 16).unwrap();
+        assert_eq!(res[0].id, 3);
+        assert_eq!(res[0].distance, 0.0);
+        // Results sorted ascending.
+        assert!(res.windows(2).all(|w| w[0].distance <= w[1].distance));
+    }
+
+    #[test]
+    fn matches_brute_force_with_full_probe() {
+        let (bm, data) = setup();
+        let (idx, _) =
+            PaseIvfFlatIndex::build(GeneralizedOptions::default(), small_params(), &bm, &data)
+                .unwrap();
+        for qi in [0usize, 57, 901] {
+            let q = data.row(qi);
+            let got = idx.search_with_nprobe(&bm, q, 10, 16).unwrap();
+            // Brute force oracle.
+            let mut oracle: Vec<(u64, f32)> = (0..data.len())
+                .map(|i| (i as u64, vdb_vecmath::Metric::L2.distance(q, data.row(i))))
+                .collect();
+            oracle.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            let got_ids: Vec<u64> = got.iter().map(|n| n.id).collect();
+            let want_ids: Vec<u64> = oracle.iter().take(10).map(|&(id, _)| id).collect();
+            assert_eq!(got_ids, want_ids, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn memory_optimized_gives_identical_results() {
+        let (bm, data) = setup();
+        let base = GeneralizedOptions::default();
+        let fixed = GeneralizedOptions { memory_optimized: true, ..base };
+        let (a, _) = PaseIvfFlatIndex::build(base, small_params(), &bm, &data).unwrap();
+        let (b, _) = PaseIvfFlatIndex::build(fixed, small_params(), &bm, &data).unwrap();
+        for qi in [5usize, 100] {
+            let q = data.row(qi);
+            assert_eq!(
+                a.search_with_nprobe(&bm, q, 10, 4).unwrap(),
+                b.search_with_nprobe(&bm, q, 10, 4).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_modes_agree_with_serial() {
+        let (bm, data) = setup();
+        let serial = GeneralizedOptions::default();
+        let locked = GeneralizedOptions { threads: 4, ..serial };
+        let merged = GeneralizedOptions {
+            threads: 4,
+            parallel: ParallelMode::LocalHeapMerge,
+            ..serial
+        };
+        let (a, _) = PaseIvfFlatIndex::build(serial, small_params(), &bm, &data).unwrap();
+        let (b, _) = PaseIvfFlatIndex::build(locked, small_params(), &bm, &data).unwrap();
+        let (c, _) = PaseIvfFlatIndex::build(merged, small_params(), &bm, &data).unwrap();
+        let q = data.row(44);
+        let ra = a.search_with_nprobe(&bm, q, 10, 8).unwrap();
+        let rb = b.search_with_nprobe(&bm, q, 10, 8).unwrap();
+        let rc = c.search_with_nprobe(&bm, q, 10, 8).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(ra, rc);
+    }
+
+    #[test]
+    fn insert_after_build_is_searchable() {
+        let (bm, data) = setup();
+        let (mut idx, _) =
+            PaseIvfFlatIndex::build(GeneralizedOptions::default(), small_params(), &bm, &data)
+                .unwrap();
+        let novel = vec![42.0f32; 16];
+        idx.insert(&bm, 999_999, &novel).unwrap();
+        let res = idx.search_with_nprobe(&bm, &novel, 1, 16).unwrap();
+        assert_eq!(res[0].id, 999_999);
+    }
+
+    #[test]
+    fn gemm_assignment_matches_scalar_assignment() {
+        let (bm, data) = setup();
+        let pase = GeneralizedOptions::default();
+        let gemm = GeneralizedOptions {
+            assignment_gemm: Some(vdb_gemm::GemmKernel::Blas),
+            ..pase
+        };
+        let (a, _) = PaseIvfFlatIndex::build(pase, small_params(), &bm, &data).unwrap();
+        let (b, _) = PaseIvfFlatIndex::build(gemm, small_params(), &bm, &data).unwrap();
+        assert_eq!(a.bucket_sizes(), b.bucket_sizes());
+    }
+
+    #[test]
+    fn size_counts_whole_pages() {
+        let (bm, data) = setup();
+        let (idx, _) =
+            PaseIvfFlatIndex::build(GeneralizedOptions::default(), small_params(), &bm, &data)
+                .unwrap();
+        let size = idx.size_bytes(&bm);
+        assert_eq!(size % 8192, 0);
+        // At least the raw vector payload must be covered.
+        assert!(size >= 1200 * 16 * 4);
+    }
+
+    #[test]
+    fn profile_separates_tuple_access_from_distance() {
+        let (bm, data) = setup();
+        let (idx, _) =
+            PaseIvfFlatIndex::build(GeneralizedOptions::default(), small_params(), &bm, &data)
+                .unwrap();
+        profile::enable(true);
+        profile::reset_local();
+        idx.search_with_nprobe(&bm, data.row(0), 10, 8).unwrap();
+        let b = profile::take_local();
+        profile::enable(false);
+        assert!(b.nanos(Category::DistanceCalc) > 0, "no distance time");
+        assert!(b.nanos(Category::TupleAccess) > 0, "no tuple-access time");
+        assert!(b.nanos(Category::MinHeap) > 0, "no heap time");
+    }
+}

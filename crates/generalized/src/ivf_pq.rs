@@ -1,0 +1,751 @@
+//! PASE's IVF_PQ: the paged IVF structure with PQ-coded tuples.
+//!
+//! Identical page organization to [`crate::ivf_flat`], but data-page
+//! tuples hold `m`-byte PQ codes instead of raw vectors, and each query
+//! first materializes an ADC precomputed table. PASE computes that table
+//! the straightforward way — full subtract-square distances per entry,
+//! every query — which is the paper's **RC#7** (§VII-B); the optimized
+//! Faiss construction is one options flip away.
+
+use crate::index_am::PaseIndex;
+use crate::options::{GeneralizedOptions, ParallelMode};
+use parking_lot::Mutex;
+use std::time::Instant;
+use vdb_profile::{self as profile, Category};
+use vdb_storage::heap::{as_bytes_f32, bytemuck_f32};
+use vdb_storage::{BufferManager, Page, RelId, Result, Tid};
+use vdb_vecmath::sampling::sample_indices;
+use vdb_vecmath::{
+    BuildTiming, IvfParams, KHeap, Kmeans, KmeansParams, Neighbor, PqParams, ProductQuantizer,
+    VectorSet,
+};
+
+const NO_NEXT: u32 = u32::MAX;
+const SPECIAL_LEN: usize = 8;
+
+#[derive(Clone, Copy, Debug)]
+struct BucketChain {
+    head: u32,
+    tail: u32,
+    count: usize,
+}
+
+/// RC#2 fix: direct-array mirror of one bucket's codes.
+struct BucketCache {
+    ids: Vec<u64>,
+    codes: Vec<u8>,
+}
+
+/// The generalized IVF_PQ index.
+pub struct PaseIvfPqIndex {
+    opts: GeneralizedOptions,
+    params: IvfParams,
+    pq_params: PqParams,
+    dim: usize,
+    quantizer: Kmeans,
+    pq: ProductQuantizer,
+    centroid_rel: RelId,
+    codebook_rel: RelId,
+    data_rel: RelId,
+    chains: Vec<Option<BucketChain>>,
+    len: usize,
+    cache: Option<Vec<BucketCache>>,
+}
+
+impl PaseIvfPqIndex {
+    /// Train coarse centroids and PQ codebooks on a sample, write their
+    /// pages, then encode and add every vector.
+    pub fn build(
+        opts: GeneralizedOptions,
+        params: IvfParams,
+        pq_params: PqParams,
+        bm: &BufferManager,
+        data: &VectorSet,
+    ) -> Result<(PaseIvfPqIndex, BuildTiming)> {
+        Self::build_with_ids(opts, params, pq_params, bm, None, data)
+    }
+
+    /// [`build`](Self::build) with explicit application ids (SQL layer).
+    pub fn build_with_ids(
+        opts: GeneralizedOptions,
+        params: IvfParams,
+        pq_params: PqParams,
+        bm: &BufferManager,
+        ids: Option<&[u64]>,
+        data: &VectorSet,
+    ) -> Result<(PaseIvfPqIndex, BuildTiming)> {
+        assert!(!data.is_empty(), "cannot build IVF_PQ over no vectors");
+        if let Some(ids) = ids {
+            assert_eq!(ids.len(), data.len(), "ids/data length mismatch");
+        }
+        let t0 = Instant::now();
+        let sample_idx =
+            sample_indices(data.len(), params.sample_ratio, params.clusters, opts.seed);
+        let sample = data.gather(&sample_idx);
+        let gemm = opts.assignment_gemm.unwrap_or(vdb_gemm::GemmKernel::Naive);
+        let quantizer = Kmeans::train(
+            opts.kmeans,
+            &sample,
+            &KmeansParams {
+                k: params.clusters,
+                iters: opts.kmeans_iters,
+                seed: opts.seed,
+                gemm,
+            },
+        );
+        let pq = ProductQuantizer::train(
+            &sample,
+            pq_params.m,
+            pq_params.cpq,
+            opts.kmeans,
+            &KmeansParams {
+                k: pq_params.cpq,
+                iters: opts.kmeans_iters.min(8),
+                seed: opts.seed ^ 0x9E3779B9,
+                gemm,
+            },
+        );
+        let train = t0.elapsed();
+
+        let t1 = Instant::now();
+        let centroid_rel = bm.disk().create_relation();
+        let codebook_rel = bm.disk().create_relation();
+        let data_rel = bm.disk().create_relation();
+        write_vector_pages(bm, centroid_rel, quantizer.centroids())?;
+        write_codebook_pages(bm, codebook_rel, &pq)?;
+        let chains = vec![None; quantizer.k()];
+        let mut index = PaseIvfPqIndex {
+            opts,
+            params,
+            pq_params,
+            dim: quantizer.dim(),
+            quantizer,
+            pq,
+            centroid_rel,
+            codebook_rel,
+            data_rel,
+            chains,
+            len: 0,
+            cache: None,
+        };
+        index.add_all(bm, data, ids)?;
+        if index.opts.memory_optimized {
+            index.populate_cache(bm)?;
+        }
+        let add = t1.elapsed();
+        Ok((index, BuildTiming { train, add }))
+    }
+
+    fn add_all(&mut self, bm: &BufferManager, data: &VectorSet, ids: Option<&[u64]>) -> Result<()> {
+        let _t = profile::scoped(Category::IvfAdd);
+        let id_of = |base: u64, i: usize| ids.map_or(base + i as u64, |v| v[i]);
+        let base = self.len as u64;
+        match self.opts.assignment_gemm {
+            Some(kernel) => {
+                let assignments = self.quantizer.assign_batch(kernel, data);
+                for (i, &a) in assignments.iter().enumerate() {
+                    let code = self.pq.encode(data.row(i));
+                    self.append(bm, a as usize, id_of(base, i), &code)?;
+                }
+            }
+            None => {
+                for i in 0..data.len() {
+                    let v = data.row(i);
+                    let (a, _) = self.quantizer.nearest(self.opts.distance, v);
+                    let code = self.pq.encode(v);
+                    self.append(bm, a, id_of(base, i), &code)?;
+                }
+            }
+        }
+        self.len += data.len();
+        Ok(())
+    }
+
+    fn append(&mut self, bm: &BufferManager, b: usize, id: u64, code: &[u8]) -> Result<Tid> {
+        let mut tuple = Vec::with_capacity(8 + code.len());
+        tuple.extend_from_slice(&id.to_le_bytes());
+        tuple.extend_from_slice(code);
+
+        if let Some(chain) = self.chains[b] {
+            if let Some(off) =
+                bm.with_page_mut(self.data_rel, chain.tail, |p| p.add_item(&tuple))?
+            {
+                self.chains[b] = Some(BucketChain { count: chain.count + 1, ..chain });
+                return Ok(Tid::new(chain.tail, off));
+            }
+        }
+        let (blk, off) = bm.new_page(self.data_rel, SPECIAL_LEN, |p| {
+            write_special(p, NO_NEXT, b as u32);
+            p.add_item(&tuple).expect("fresh page fits one code tuple")
+        })?;
+        match self.chains[b] {
+            Some(chain) => {
+                bm.with_page_mut(self.data_rel, chain.tail, |p| {
+                    let (_, bucket) = read_special(p);
+                    write_special(p, blk, bucket);
+                })?;
+                self.chains[b] =
+                    Some(BucketChain { head: chain.head, tail: blk, count: chain.count + 1 });
+            }
+            None => self.chains[b] = Some(BucketChain { head: blk, tail: blk, count: 1 }),
+        }
+        Ok(Tid::new(blk, off))
+    }
+
+    fn populate_cache(&mut self, bm: &BufferManager) -> Result<()> {
+        let mut cache = Vec::with_capacity(self.chains.len());
+        for b in 0..self.chains.len() {
+            let mut ids = Vec::new();
+            let mut codes = Vec::new();
+            self.walk_bucket(bm, b, |id, code| {
+                ids.push(id);
+                codes.extend_from_slice(code);
+            })?;
+            cache.push(BucketCache { ids, codes });
+        }
+        self.cache = Some(cache);
+        Ok(())
+    }
+
+    fn walk_bucket(
+        &self,
+        bm: &BufferManager,
+        b: usize,
+        mut f: impl FnMut(u64, &[u8]),
+    ) -> Result<()> {
+        let Some(chain) = self.chains[b] else {
+            return Ok(());
+        };
+        let mut blk = chain.head;
+        loop {
+            let next = bm.with_page(self.data_rel, blk, |p| {
+                for (_, bytes) in p.items() {
+                    let id = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+                    f(id, &bytes[8..]);
+                }
+                read_special(p).0
+            })?;
+            if next == NO_NEXT {
+                return Ok(());
+            }
+            blk = next;
+        }
+    }
+
+    /// The product quantizer.
+    pub fn pq(&self) -> &ProductQuantizer {
+        &self.pq
+    }
+
+    /// The PQ parameters the index was built with.
+    pub fn pq_params(&self) -> PqParams {
+        self.pq_params
+    }
+
+    /// Per-bucket tuple counts.
+    pub fn bucket_sizes(&self) -> Vec<usize> {
+        self.chains.iter().map(|c| c.map_or(0, |c| c.count)).collect()
+    }
+
+    fn select_probes(
+        &self,
+        bm: &BufferManager,
+        query: &[f32],
+        nprobe: usize,
+    ) -> Result<Vec<usize>> {
+        if self.opts.memory_optimized {
+            return Ok(self
+                .quantizer
+                .nearest_n(self.opts.distance, query, nprobe)
+                .into_iter()
+                .map(|(b, _)| b)
+                .collect());
+        }
+        let mut dists: Vec<(usize, f32)> = Vec::with_capacity(self.quantizer.k());
+        let nblocks = bm.disk().nblocks(self.centroid_rel);
+        let mut idx = 0usize;
+        for blk in 0..nblocks as u32 {
+            bm.with_page(self.centroid_rel, blk, |p| {
+                for (_, bytes) in p.items() {
+                    let c = bytemuck_f32(bytes);
+                    let d = {
+                        let _t = profile::scoped(Category::DistanceCalc);
+                        self.opts.metric.distance_with(self.opts.distance, query, c)
+                    };
+                    dists.push((idx, d));
+                    idx += 1;
+                }
+            })?;
+        }
+        dists.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        dists.truncate(nprobe.max(1));
+        Ok(dists.into_iter().map(|(b, _)| b).collect())
+    }
+
+    /// Search with an explicit `nprobe`.
+    pub fn search_with_nprobe(
+        &self,
+        bm: &BufferManager,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+    ) -> Result<Vec<Neighbor>> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        assert!(k > 0, "k must be positive");
+        let probes = self.select_probes(bm, query, nprobe)?;
+        // RC#7: table construction strategy comes from the options.
+        let table = self.pq.adc_table(self.opts.pq_table, query);
+
+        if self.opts.threads <= 1 {
+            let mut collector = self.opts.topk.collector(k);
+            for &b in &probes {
+                self.scan_bucket_into(bm, b, &table, &mut |id, d| collector.push(id, d))?;
+            }
+            Ok(collector.into_sorted())
+        } else {
+            self.search_parallel(bm, k, &probes, &table)
+        }
+    }
+
+    /// Batch search with intra-query parallelism over a persistent
+    /// worker pool (see the IVF_FLAT equivalent).
+    pub fn search_batch_with_nprobe(
+        &self,
+        bm: &BufferManager,
+        queries: &VectorSet,
+        k: usize,
+        nprobe: usize,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        let threads = self.opts.threads.max(1);
+        if threads == 1 {
+            return queries
+                .iter()
+                .map(|q| self.search_with_nprobe(bm, q, k, nprobe))
+                .collect();
+        }
+        let prep: Vec<(Vec<usize>, Vec<f32>)> = queries
+            .iter()
+            .map(|q| {
+                Ok((
+                    self.select_probes(bm, q, nprobe)?,
+                    self.pq.adc_table(self.opts.pq_table, q),
+                ))
+            })
+            .collect::<Result<_>>()?;
+        let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+        let errors: Mutex<Option<vdb_storage::StorageError>> = Mutex::new(None);
+        match self.opts.parallel {
+            ParallelMode::GlobalLockedHeap => {
+                let shared: Vec<Mutex<vdb_vecmath::TopKCollector>> =
+                    (0..queries.len()).map(|_| Mutex::new(self.opts.topk.collector(k))).collect();
+                vdb_vecmath::parallel::rounds(
+                    queries.len(),
+                    threads,
+                    |q, t| {
+                        let (plist, table) = &prep[q];
+                        let chunk = plist.len().div_ceil(threads);
+                        let lo = (t * chunk).min(plist.len());
+                        let hi = ((t + 1) * chunk).min(plist.len());
+                        for &b in &plist[lo..hi] {
+                            let r = self.scan_bucket_into(bm, b, table, &mut |id, d| {
+                                shared[q].lock().push(id, d);
+                            });
+                            if let Err(e) = r {
+                                *errors.lock() = Some(e);
+                            }
+                        }
+                    },
+                    |q, _| {
+                        let collector =
+                            std::mem::replace(&mut *shared[q].lock(), self.opts.topk.collector(k));
+                        out[q] = collector.into_sorted();
+                    },
+                );
+            }
+            ParallelMode::LocalHeapMerge => {
+                vdb_vecmath::parallel::rounds(
+                    queries.len(),
+                    threads,
+                    |q, t| {
+                        let (plist, table) = &prep[q];
+                        let chunk = plist.len().div_ceil(threads);
+                        let lo = (t * chunk).min(plist.len());
+                        let hi = ((t + 1) * chunk).min(plist.len());
+                        let mut local = KHeap::new(k);
+                        for &b in &plist[lo..hi] {
+                            let r = self.scan_bucket_into(bm, b, table, &mut |id, d| {
+                                local.push(id, d);
+                            });
+                            if let Err(e) = r {
+                                *errors.lock() = Some(e);
+                            }
+                        }
+                        local
+                    },
+                    |q, locals| {
+                        let mut merged = KHeap::new(k);
+                        for local in locals {
+                            merged.merge(local);
+                        }
+                        out[q] = merged.into_sorted();
+                    },
+                );
+            }
+        }
+        if let Some(e) = errors.into_inner() {
+            return Err(e);
+        }
+        Ok(out)
+    }
+
+    /// Paged scan in three attributed phases (tuple parse, ADC lookup,
+    /// heap push), like the IVF_FLAT scan.
+    fn scan_bucket_into(
+        &self,
+        bm: &BufferManager,
+        b: usize,
+        table: &[f32],
+        push: &mut dyn FnMut(u64, f32),
+    ) -> Result<()> {
+        let clen = self.pq.code_len();
+        if let Some(cache) = &self.cache {
+            let bucket = &cache[b];
+            let dists: Vec<f32> = {
+                let _t = profile::scoped(Category::DistanceCalc);
+                bucket
+                    .codes
+                    .chunks_exact(clen)
+                    .map(|code| self.pq.adc_distance(table, code))
+                    .collect()
+            };
+            let _h = profile::scoped(Category::MinHeap);
+            profile::count(Category::MinHeap, dists.len() as u64);
+            for (i, &d) in dists.iter().enumerate() {
+                push(bucket.ids[i], d);
+            }
+            return Ok(());
+        }
+
+        let Some(chain) = self.chains[b] else {
+            return Ok(());
+        };
+        let mut ids: Vec<u64> = Vec::new();
+        let mut dists: Vec<f32> = Vec::new();
+        let mut blk = chain.head;
+        loop {
+            ids.clear();
+            dists.clear();
+            let next = bm.with_page(self.data_rel, blk, |p| {
+                let tuples: Vec<(u64, &[u8])> = {
+                    let _t = profile::scoped(Category::TupleAccess);
+                    p.items()
+                        .map(|(_, bytes)| {
+                            (u64::from_le_bytes(bytes[..8].try_into().unwrap()), &bytes[8..])
+                        })
+                        .collect()
+                };
+                {
+                    let _t = profile::scoped(Category::DistanceCalc);
+                    for (id, code) in tuples {
+                        ids.push(id);
+                        dists.push(self.pq.adc_distance(table, code));
+                    }
+                }
+                read_special(p).0
+            })?;
+            {
+                let _h = profile::scoped(Category::MinHeap);
+                profile::count(Category::MinHeap, dists.len() as u64);
+                for (i, &d) in dists.iter().enumerate() {
+                    push(ids[i], d);
+                }
+            }
+            if next == NO_NEXT {
+                return Ok(());
+            }
+            blk = next;
+        }
+    }
+
+    fn search_parallel(
+        &self,
+        bm: &BufferManager,
+        k: usize,
+        probes: &[usize],
+        table: &[f32],
+    ) -> Result<Vec<Neighbor>> {
+        let threads = self.opts.threads.min(probes.len()).max(1);
+        let chunk = probes.len().div_ceil(threads);
+        let errors: Mutex<Option<vdb_storage::StorageError>> = Mutex::new(None);
+        match self.opts.parallel {
+            ParallelMode::GlobalLockedHeap => {
+                let shared = Mutex::new(self.opts.topk.collector(k));
+                crossbeam::thread::scope(|s| {
+                    let shared = &shared;
+                    let errors = &errors;
+                    for part in probes.chunks(chunk) {
+                        s.spawn(move |_| {
+                            for &b in part {
+                                let r = self.scan_bucket_into(bm, b, table, &mut |id, d| {
+                                    shared.lock().push(id, d);
+                                });
+                                if let Err(e) = r {
+                                    *errors.lock() = Some(e);
+                                }
+                            }
+                        });
+                    }
+                })
+                .expect("search worker panicked");
+                if let Some(e) = errors.into_inner() {
+                    return Err(e);
+                }
+                Ok(shared.into_inner().into_sorted())
+            }
+            ParallelMode::LocalHeapMerge => {
+                let locals: Mutex<Vec<KHeap>> = Mutex::new(Vec::new());
+                crossbeam::thread::scope(|s| {
+                    let locals = &locals;
+                    let errors = &errors;
+                    for part in probes.chunks(chunk) {
+                        s.spawn(move |_| {
+                            let mut local = KHeap::new(k);
+                            for &b in part {
+                                let r = self.scan_bucket_into(bm, b, table, &mut |id, d| {
+                                    local.push(id, d);
+                                });
+                                if let Err(e) = r {
+                                    *errors.lock() = Some(e);
+                                }
+                            }
+                            locals.lock().push(local);
+                        });
+                    }
+                })
+                .expect("search worker panicked");
+                if let Some(e) = errors.into_inner() {
+                    return Err(e);
+                }
+                let mut merged = KHeap::new(k);
+                for local in locals.into_inner() {
+                    merged.merge(local);
+                }
+                Ok(merged.into_sorted())
+            }
+        }
+    }
+}
+
+impl PaseIndex for PaseIvfPqIndex {
+    fn am_name(&self) -> &'static str {
+        "ivfpq"
+    }
+
+    fn scan(&self, bm: &BufferManager, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        self.search_with_nprobe(bm, query, k, self.params.nprobe)
+    }
+
+    fn scan_with_knob(
+        &self,
+        bm: &BufferManager,
+        query: &[f32],
+        k: usize,
+        knob: Option<usize>,
+    ) -> Result<Vec<Neighbor>> {
+        self.search_with_nprobe(bm, query, k, knob.unwrap_or(self.params.nprobe))
+    }
+
+    fn insert(&mut self, bm: &BufferManager, id: u64, vector: &[f32]) -> Result<()> {
+        assert_eq!(vector.len(), self.dim, "dimension mismatch");
+        let (b, _) = self.quantizer.nearest(self.opts.distance, vector);
+        let code = self.pq.encode(vector);
+        self.append(bm, b, id, &code)?;
+        self.len += 1;
+        if let Some(cache) = &mut self.cache {
+            cache[b].ids.push(id);
+            cache[b].codes.extend_from_slice(&code);
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn size_bytes(&self, bm: &BufferManager) -> usize {
+        bm.disk().relation_bytes(self.centroid_rel)
+            + bm.disk().relation_bytes(self.codebook_rel)
+            + bm.disk().relation_bytes(self.data_rel)
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+fn write_vector_pages(bm: &BufferManager, rel: RelId, vectors: &VectorSet) -> Result<()> {
+    let mut current: Option<u32> = None;
+    for v in vectors.iter() {
+        let bytes = as_bytes_f32(v);
+        let placed = match current {
+            Some(blk) => bm.with_page_mut(rel, blk, |p| p.add_item(bytes))?.is_some(),
+            None => false,
+        };
+        if !placed {
+            let (blk, _) =
+                bm.new_page(rel, 0, |p| p.add_item(bytes).expect("fresh page fits a centroid"))?;
+            current = Some(blk);
+        }
+    }
+    Ok(())
+}
+
+/// Persist the PQ codebooks (one tuple per codeword) so index size
+/// accounting covers them, as PASE's meta pages do.
+fn write_codebook_pages(bm: &BufferManager, rel: RelId, pq: &ProductQuantizer) -> Result<()> {
+    let mut current: Option<u32> = None;
+    for sub in 0..pq.m() {
+        for j in 0..pq.cpq() {
+            let bytes = as_bytes_f32(pq.codeword(sub, j));
+            let placed = match current {
+                Some(blk) => bm.with_page_mut(rel, blk, |p| p.add_item(bytes))?.is_some(),
+                None => false,
+            };
+            if !placed {
+                let (blk, _) = bm.new_page(rel, 0, |p| {
+                    p.add_item(bytes).expect("fresh page fits a codeword")
+                })?;
+                current = Some(blk);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn write_special(p: &mut Page, next: u32, bucket: u32) {
+    let sp = p.special_mut();
+    sp[0..4].copy_from_slice(&next.to_le_bytes());
+    sp[4..8].copy_from_slice(&bucket.to_le_bytes());
+}
+
+fn read_special(p: &Page) -> (u32, u32) {
+    let sp = p.special();
+    (
+        u32::from_le_bytes(sp[0..4].try_into().unwrap()),
+        u32::from_le_bytes(sp[4..8].try_into().unwrap()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vdb_datagen::gaussian::generate;
+    use vdb_storage::{DiskManager, PageSize};
+    use vdb_vecmath::PqTableMode;
+
+    fn setup() -> (BufferManager, VectorSet) {
+        let disk = Arc::new(DiskManager::new(PageSize::Size8K));
+        let bm = BufferManager::new(disk, 4096);
+        let data = generate(16, 1000, 16, 33);
+        (bm, data)
+    }
+
+    fn params() -> (IvfParams, PqParams) {
+        (IvfParams { clusters: 16, sample_ratio: 0.5, nprobe: 4 }, PqParams { m: 8, cpq: 64 })
+    }
+
+    #[test]
+    fn build_distributes_all_vectors() {
+        let (bm, data) = setup();
+        let (ivf, pqp) = params();
+        let (idx, timing) =
+            PaseIvfPqIndex::build(GeneralizedOptions::default(), ivf, pqp, &bm, &data).unwrap();
+        assert_eq!(idx.len(), 1000);
+        assert_eq!(idx.bucket_sizes().iter().sum::<usize>(), 1000);
+        assert!(timing.train > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn table_modes_rank_identically() {
+        let (bm, data) = setup();
+        let (ivf, pqp) = params();
+        let slow = GeneralizedOptions::default();
+        let fast = GeneralizedOptions { pq_table: PqTableMode::Optimized, ..slow };
+        let (a, _) = PaseIvfPqIndex::build(slow, ivf, pqp, &bm, &data).unwrap();
+        let (b, _) = PaseIvfPqIndex::build(fast, ivf, pqp, &bm, &data).unwrap();
+        for qi in [2usize, 77, 900] {
+            let q = data.row(qi);
+            let ia: Vec<u64> =
+                a.search_with_nprobe(&bm, q, 5, 4).unwrap().iter().map(|n| n.id).collect();
+            let ib: Vec<u64> =
+                b.search_with_nprobe(&bm, q, 5, 4).unwrap().iter().map(|n| n.id).collect();
+            assert_eq!(ia, ib, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn memory_optimized_matches_paged_path() {
+        let (bm, data) = setup();
+        let (ivf, pqp) = params();
+        let base = GeneralizedOptions::default();
+        let fixed = GeneralizedOptions { memory_optimized: true, ..base };
+        let (a, _) = PaseIvfPqIndex::build(base, ivf, pqp, &bm, &data).unwrap();
+        let (b, _) = PaseIvfPqIndex::build(fixed, ivf, pqp, &bm, &data).unwrap();
+        let q = data.row(123);
+        assert_eq!(
+            a.search_with_nprobe(&bm, q, 10, 8).unwrap(),
+            b.search_with_nprobe(&bm, q, 10, 8).unwrap(),
+        );
+    }
+
+    #[test]
+    fn parallel_modes_agree_with_serial() {
+        let (bm, data) = setup();
+        let (ivf, pqp) = params();
+        let serial = GeneralizedOptions::default();
+        let locked = GeneralizedOptions { threads: 4, ..serial };
+        let merged =
+            GeneralizedOptions { threads: 4, parallel: ParallelMode::LocalHeapMerge, ..serial };
+        let (a, _) = PaseIvfPqIndex::build(serial, ivf, pqp, &bm, &data).unwrap();
+        let (b, _) = PaseIvfPqIndex::build(locked, ivf, pqp, &bm, &data).unwrap();
+        let (c, _) = PaseIvfPqIndex::build(merged, ivf, pqp, &bm, &data).unwrap();
+        let q = data.row(500);
+        let ra = a.search_with_nprobe(&bm, q, 10, 8).unwrap();
+        assert_eq!(ra, b.search_with_nprobe(&bm, q, 10, 8).unwrap());
+        assert_eq!(ra, c.search_with_nprobe(&bm, q, 10, 8).unwrap());
+    }
+
+    #[test]
+    fn code_tuples_compress_the_data_relation() {
+        // Use enough vectors per bucket that page granularity stops
+        // masking the compression (Figure 12 vs Figure 11).
+        let disk = Arc::new(DiskManager::new(PageSize::Size8K));
+        let bm = BufferManager::new(disk, 4096);
+        let data = generate(64, 5000, 16, 4);
+        let ivf = IvfParams { clusters: 16, sample_ratio: 0.2, nprobe: 4 };
+        let pqp = PqParams { m: 8, cpq: 64 };
+        let opts = GeneralizedOptions::default();
+        let (pq_idx, _) = PaseIvfPqIndex::build(opts, ivf, pqp, &bm, &data).unwrap();
+        let (flat_idx, _) =
+            crate::ivf_flat::PaseIvfFlatIndex::build(opts, ivf, &bm, &data).unwrap();
+        let pq_bytes = bm.disk().relation_bytes(pq_idx.data_rel);
+        let flat_bytes = flat_idx.size_bytes(&bm);
+        assert!(
+            pq_bytes * 3 < flat_bytes,
+            "PQ data relation {pq_bytes} not much smaller than flat {flat_bytes}"
+        );
+    }
+
+    #[test]
+    fn insert_after_build_found_with_full_probe() {
+        let (bm, data) = setup();
+        let (ivf, pqp) = params();
+        let (mut idx, _) =
+            PaseIvfPqIndex::build(GeneralizedOptions::default(), ivf, pqp, &bm, &data).unwrap();
+        let novel = vec![9.0f32; 16];
+        idx.insert(&bm, 777_777, &novel).unwrap();
+        let res = idx.search_with_nprobe(&bm, &novel, 1, 16).unwrap();
+        assert_eq!(res[0].id, 777_777);
+    }
+}

@@ -1,0 +1,134 @@
+//! Generalized-engine configuration: one switch per root cause.
+
+use vdb_gemm::GemmKernel;
+use vdb_vecmath::{DistanceKernel, KmeansFlavor, Metric, PqTableMode, TopKStrategy};
+
+/// How a parallel search combines per-thread results (RC#3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ParallelMode {
+    /// PASE: every worker pushes into one shared heap under a mutex.
+    /// §VII-D: "directly use a global heap with locks to support
+    /// concurrent insertions, which will lead to significant performance
+    /// overhead".
+    #[default]
+    GlobalLockedHeap,
+    /// Faiss: per-worker local heaps merged lock-free at the end.
+    LocalHeapMerge,
+}
+
+/// How HNSW adjacency lists are laid out on pages (RC#4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HnswLayout {
+    /// PASE: every vertex's adjacency list starts on a fresh page, each
+    /// neighbor entry is a 24-byte `HNSWNeighborTuple` (§VI-C).
+    #[default]
+    PagePerAdjacency,
+    /// Memory-centric fix: adjacency lists packed densely, 8-byte
+    /// entries.
+    Packed,
+}
+
+/// All knobs of the generalized engine. `Default` is PASE as the paper
+/// measured it; flipping everything to the "fixed" side makes the engine
+/// behave like the future system §IX-C sketches.
+#[derive(Clone, Copy, Debug)]
+pub struct GeneralizedOptions {
+    /// Similarity metric.
+    pub metric: Metric,
+    /// Scalar distance kernel; PASE's `fvec_L2sqr_ref` is the reference
+    /// loop.
+    pub distance: DistanceKernel,
+    /// RC#1: `None` assigns vectors to centroids one scalar distance at
+    /// a time (PASE); `Some(kernel)` batches through a distance table.
+    pub assignment_gemm: Option<GemmKernel>,
+    /// RC#6: top-k strategy (PASE uses the size-n heap).
+    pub topk: TopKStrategy,
+    /// RC#5: clustering flavor.
+    pub kmeans: KmeansFlavor,
+    /// Lloyd iterations.
+    pub kmeans_iters: usize,
+    /// RC#7: ADC precomputed-table implementation.
+    pub pq_table: PqTableMode,
+    /// RC#3: parallel-search merge strategy.
+    pub parallel: ParallelMode,
+    /// Worker threads for search (PASE builds are always serial — the
+    /// paper notes PASE "does not support parallelism for index
+    /// construction").
+    pub threads: usize,
+    /// RC#2: cache vectors/adjacency in direct arrays after build,
+    /// bypassing the buffer manager (the "memory-optimized table
+    /// design" fix).
+    pub memory_optimized: bool,
+    /// RC#4: HNSW page layout.
+    pub hnsw_layout: HnswLayout,
+    /// Seed for training.
+    pub seed: u64,
+}
+
+impl Default for GeneralizedOptions {
+    fn default() -> Self {
+        GeneralizedOptions {
+            metric: Metric::L2,
+            distance: DistanceKernel::Reference,
+            assignment_gemm: None,
+            topk: TopKStrategy::SizeN,
+            kmeans: KmeansFlavor::PaseStyle,
+            kmeans_iters: 10,
+            pq_table: PqTableMode::Straightforward,
+            parallel: ParallelMode::GlobalLockedHeap,
+            threads: 1,
+            memory_optimized: false,
+            hnsw_layout: HnswLayout::PagePerAdjacency,
+            seed: 42,
+        }
+    }
+}
+
+impl GeneralizedOptions {
+    /// The paper's §IX-C target: every root-cause fix applied. Useful
+    /// for the "gap is bridgeable" ablation bench.
+    pub fn all_fixes() -> GeneralizedOptions {
+        GeneralizedOptions {
+            distance: DistanceKernel::Optimized,
+            assignment_gemm: Some(GemmKernel::Blas),
+            topk: TopKStrategy::SizeK,
+            kmeans: KmeansFlavor::FaissStyle,
+            pq_table: PqTableMode::Optimized,
+            parallel: ParallelMode::LocalHeapMerge,
+            memory_optimized: true,
+            hnsw_layout: HnswLayout::Packed,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_pase_shaped() {
+        let o = GeneralizedOptions::default();
+        assert_eq!(o.distance, DistanceKernel::Reference);
+        assert!(o.assignment_gemm.is_none());
+        assert_eq!(o.topk, TopKStrategy::SizeN);
+        assert_eq!(o.kmeans, KmeansFlavor::PaseStyle);
+        assert_eq!(o.pq_table, PqTableMode::Straightforward);
+        assert_eq!(o.parallel, ParallelMode::GlobalLockedHeap);
+        assert!(!o.memory_optimized);
+        assert_eq!(o.hnsw_layout, HnswLayout::PagePerAdjacency);
+    }
+
+    #[test]
+    fn all_fixes_flips_every_root_cause() {
+        let o = GeneralizedOptions::all_fixes();
+        assert_eq!(o.distance, DistanceKernel::Optimized);
+        assert!(o.assignment_gemm.is_some());
+        assert_eq!(o.topk, TopKStrategy::SizeK);
+        assert_eq!(o.kmeans, KmeansFlavor::FaissStyle);
+        assert_eq!(o.pq_table, PqTableMode::Optimized);
+        assert_eq!(o.parallel, ParallelMode::LocalHeapMerge);
+        assert!(o.memory_optimized);
+        assert_eq!(o.hnsw_layout, HnswLayout::Packed);
+    }
+}

@@ -1,0 +1,208 @@
+//! Aggregated per-category time/count breakdowns.
+
+use crate::Category;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Accumulated wall time (nanoseconds) and event counts per [`Category`].
+///
+/// Breakdowns from worker threads can be [`merge`](Breakdown::merge)d into
+/// one report, mirroring how `perf` aggregates samples process-wide.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Breakdown {
+    nanos: [u64; Category::COUNT],
+    counts: [u64; Category::COUNT],
+}
+
+impl Breakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Nanoseconds attributed to `cat`.
+    #[inline]
+    pub fn nanos(&self, cat: Category) -> u64 {
+        self.nanos[cat.index()]
+    }
+
+    /// Event count attributed to `cat`.
+    #[inline]
+    pub fn count(&self, cat: Category) -> u64 {
+        self.counts[cat.index()]
+    }
+
+    /// Milliseconds attributed to `cat`.
+    pub fn millis(&self, cat: Category) -> f64 {
+        self.nanos(cat) as f64 / 1e6
+    }
+
+    /// Total nanoseconds across all categories.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// Fraction (0..=1) of the total attributed to `cat`; 0 when empty.
+    pub fn fraction(&self, cat: Category) -> f64 {
+        let total = self.total_nanos();
+        if total == 0 {
+            0.0
+        } else {
+            self.nanos(cat) as f64 / total as f64
+        }
+    }
+
+    /// Add raw nanoseconds to a category.
+    #[inline]
+    pub fn add_nanos(&mut self, cat: Category, nanos: u64) {
+        self.nanos[cat.index()] += nanos;
+    }
+
+    /// Add raw counts to a category.
+    #[inline]
+    pub fn add_count(&mut self, cat: Category, n: u64) {
+        self.counts[cat.index()] += n;
+    }
+
+    /// Fold another breakdown (e.g. from a worker thread) into this one.
+    pub fn merge(&mut self, other: &Breakdown) {
+        for i in 0..Category::COUNT {
+            self.nanos[i] += other.nanos[i];
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Sum the time of several categories (e.g. "Others" = everything not
+    /// named in a paper table).
+    pub fn nanos_of(&self, cats: &[Category]) -> u64 {
+        cats.iter().map(|&c| self.nanos(c)).sum()
+    }
+
+    /// Categories with nonzero time, largest first.
+    pub fn nonzero(&self) -> Vec<(Category, u64)> {
+        let mut v: Vec<(Category, u64)> = Category::ALL
+            .iter()
+            .copied()
+            .filter(|&c| self.nanos(c) > 0)
+            .map(|c| (c, self.nanos(c)))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    /// Render a paper-style table restricted to `cats`, with everything
+    /// else folded into an "Others" row, like Tables III/V in the paper.
+    pub fn table(&self, cats: &[Category]) -> String {
+        use fmt::Write as _;
+        let total = self.total_nanos().max(1);
+        let named: u64 = self.nanos_of(cats);
+        let others = self.total_nanos().saturating_sub(named);
+        let mut out = String::new();
+        for &c in cats {
+            let ns = self.nanos(c);
+            let _ = writeln!(
+                out,
+                "{:<16} {:>7.2}% {:>12.2} ms ({} events)",
+                c.label(),
+                100.0 * ns as f64 / total as f64,
+                ns as f64 / 1e6,
+                self.count(c),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:>7.2}% {:>12.2} ms",
+            "Others",
+            100.0 * others as f64 / total as f64,
+            others as f64 / 1e6,
+        );
+        out
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (c, ns) in self.nonzero() {
+            writeln!(
+                f,
+                "{:<16} {:>7.2}% {:>12.2} ms",
+                c.label(),
+                100.0 * self.fraction(c),
+                ns as f64 / 1e6
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_both_fields() {
+        let mut a = Breakdown::new();
+        a.add_nanos(Category::DistanceCalc, 10);
+        a.add_count(Category::DistanceCalc, 1);
+        let mut b = Breakdown::new();
+        b.add_nanos(Category::DistanceCalc, 5);
+        b.add_nanos(Category::MinHeap, 7);
+        b.add_count(Category::MinHeap, 2);
+        a.merge(&b);
+        assert_eq!(a.nanos(Category::DistanceCalc), 15);
+        assert_eq!(a.nanos(Category::MinHeap), 7);
+        assert_eq!(a.count(Category::MinHeap), 2);
+        assert_eq!(a.total_nanos(), 22);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut b = Breakdown::new();
+        b.add_nanos(Category::DistanceCalc, 30);
+        b.add_nanos(Category::TupleAccess, 70);
+        let sum: f64 = Category::ALL.iter().map(|&c| b.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((b.fraction(Category::TupleAccess) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_fraction() {
+        let b = Breakdown::new();
+        assert_eq!(b.fraction(Category::Other), 0.0);
+        assert_eq!(b.total_nanos(), 0);
+    }
+
+    #[test]
+    fn nonzero_sorted_descending() {
+        let mut b = Breakdown::new();
+        b.add_nanos(Category::MinHeap, 1);
+        b.add_nanos(Category::DistanceCalc, 100);
+        b.add_nanos(Category::TupleAccess, 50);
+        let nz = b.nonzero();
+        assert_eq!(nz[0].0, Category::DistanceCalc);
+        assert_eq!(nz[1].0, Category::TupleAccess);
+        assert_eq!(nz[2].0, Category::MinHeap);
+    }
+
+    #[test]
+    fn table_folds_unnamed_into_others() {
+        let mut b = Breakdown::new();
+        b.add_nanos(Category::DistanceCalc, 80);
+        b.add_nanos(Category::SqlFrontend, 20);
+        let t = b.table(&[Category::DistanceCalc]);
+        assert!(t.contains("fvec_L2sqr"));
+        assert!(t.contains("Others"));
+        assert!(t.contains("80.00%"));
+        assert!(t.contains("20.00%"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut b = Breakdown::new();
+        b.add_nanos(Category::Gemm, 123);
+        b.add_count(Category::Gemm, 4);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: Breakdown = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

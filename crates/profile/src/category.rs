@@ -1,0 +1,135 @@
+//! Attribution categories.
+//!
+//! The set mirrors the function-level buckets the paper reports:
+//! Table III (HNSW build: `SearchNbToAdd`, `AddLink`, `GreedyUpdate`,
+//! `ShrinkNbList`, others), Figure 8 (`fvec_L2sqr`, tuple access, `HVTGet`,
+//! `pasepfirst`), and Table V (distance, tuple access, min-heap, others).
+
+use serde::{Deserialize, Serialize};
+
+/// A time-attribution bucket.
+///
+/// Categories are deliberately flat (no hierarchy); nested scopes attribute
+/// their time to the innermost active category only if callers structure
+/// the scopes that way — the timers themselves simply accumulate wall time
+/// per category, exactly as `perf` attributes samples to the function on
+/// top of the stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum Category {
+    /// Vector distance kernels (`fvec_L2sqr` and friends).
+    DistanceCalc,
+    /// Buffer-manager pin/unpin, page lookup, line-pointer chase, tuple copy.
+    TupleAccess,
+    /// Top-k heap maintenance.
+    MinHeap,
+    /// Visited-set check during HNSW traversal (`HVTGet` in PASE).
+    HvtGet,
+    /// Iterating a vertex's neighbor list via indirection (`pasepfirst`).
+    NeighborIter,
+    /// HNSW build: finding neighbors for a newly inserted vector.
+    SearchNbToAdd,
+    /// HNSW build: wiring the selected edges.
+    AddLink,
+    /// HNSW build: greedy descent through upper layers.
+    GreedyUpdate,
+    /// HNSW build: pruning a neighbor list that exceeded its budget.
+    ShrinkNbList,
+    /// K-means training (the IVF "training phase").
+    KmeansTrain,
+    /// IVF "adding phase": assigning base vectors to centroids.
+    IvfAdd,
+    /// PQ precomputed-table construction per query (RC#7).
+    PqTable,
+    /// Matrix-multiplication kernels (RC#1).
+    Gemm,
+    /// Buffer-pool page miss handling (read from the simulated disk).
+    PageMiss,
+    /// SQL parse + plan time.
+    SqlFrontend,
+    /// Anything not covered above.
+    Other,
+}
+
+impl Category {
+    /// Number of categories; sizes the fixed accumulator arrays.
+    pub const COUNT: usize = 16;
+
+    /// All categories in declaration order.
+    pub const ALL: [Category; Category::COUNT] = [
+        Category::DistanceCalc,
+        Category::TupleAccess,
+        Category::MinHeap,
+        Category::HvtGet,
+        Category::NeighborIter,
+        Category::SearchNbToAdd,
+        Category::AddLink,
+        Category::GreedyUpdate,
+        Category::ShrinkNbList,
+        Category::KmeansTrain,
+        Category::IvfAdd,
+        Category::PqTable,
+        Category::Gemm,
+        Category::PageMiss,
+        Category::SqlFrontend,
+        Category::Other,
+    ];
+
+    /// Stable index into accumulator arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable label matching the paper's terminology.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::DistanceCalc => "fvec_L2sqr",
+            Category::TupleAccess => "Tuple Access",
+            Category::MinHeap => "Min-heap",
+            Category::HvtGet => "HVTGet",
+            Category::NeighborIter => "pasepfirst",
+            Category::SearchNbToAdd => "SearchNbToAdd",
+            Category::AddLink => "AddLink",
+            Category::GreedyUpdate => "GreedyUpdate",
+            Category::ShrinkNbList => "ShrinkNbList",
+            Category::KmeansTrain => "KmeansTrain",
+            Category::IvfAdd => "IvfAdd",
+            Category::PqTable => "PqTable",
+            Category::Gemm => "SGEMM",
+            Category::PageMiss => "PageMiss",
+            Category::SqlFrontend => "SqlFrontend",
+            Category::Other => "Others",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_every_category_once() {
+        let mut seen = [false; Category::COUNT];
+        for c in Category::ALL {
+            assert!(!seen[c.index()], "duplicate {c:?}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = Category::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Category::COUNT);
+    }
+}

@@ -1,0 +1,187 @@
+//! Deterministic, perf-style time attribution.
+//!
+//! The ICDE 2024 study attributes wall time to functions with Linux `perf`
+//! and Flame Graphs (Tables III and V, Figure 8 of the paper). This crate
+//! provides the same attribution explicitly: hot code paths are wrapped in
+//! [`scoped`] guards (or the [`time!`] macro) tagged with a [`Category`],
+//! and per-thread accumulators are drained into a [`Breakdown`] that prints
+//! the paper's relative/absolute breakdown tables.
+//!
+//! Profiling is globally gated by an atomic flag so that benches which do
+//! not need a breakdown pay a single relaxed load per scope.
+//!
+//! # Example
+//! ```
+//! use vdb_profile::{self as profile, Category};
+//!
+//! profile::enable(true);
+//! profile::reset_local();
+//! {
+//!     let _t = profile::scoped(Category::DistanceCalc);
+//!     // ... hot work ...
+//! }
+//! let breakdown = profile::take_local();
+//! assert!(breakdown.nanos(Category::DistanceCalc) > 0);
+//! profile::enable(false);
+//! ```
+
+mod breakdown;
+mod category;
+mod timer;
+
+pub use breakdown::Breakdown;
+pub use category::Category;
+pub use timer::{scoped, ScopedTimer};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static LOCAL: RefCell<Breakdown> = RefCell::new(Breakdown::new());
+}
+
+/// Globally enable or disable profiling.
+///
+/// When disabled, [`scoped`] guards are no-ops apart from one relaxed
+/// atomic load, so instrumented code can stay instrumented in production
+/// benches.
+pub fn enable(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether profiling is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clear this thread's accumulated breakdown.
+pub fn reset_local() {
+    LOCAL.with(|l| *l.borrow_mut() = Breakdown::new());
+}
+
+/// Drain and return this thread's accumulated breakdown, resetting it.
+pub fn take_local() -> Breakdown {
+    LOCAL.with(|l| std::mem::take(&mut *l.borrow_mut()))
+}
+
+/// Peek at this thread's accumulated breakdown without resetting it.
+pub fn snapshot_local() -> Breakdown {
+    LOCAL.with(|l| l.borrow().clone())
+}
+
+/// Add `nanos` of elapsed time to `cat` on the current thread.
+///
+/// Usually called by [`ScopedTimer::drop`]; exposed for code that measures
+/// a duration itself (e.g. when a scope spans a closure boundary).
+#[inline]
+pub fn record(cat: Category, nanos: u64) {
+    if enabled() {
+        LOCAL.with(|l| l.borrow_mut().add_nanos(cat, nanos));
+    }
+}
+
+/// Increment the event counter for `cat` (e.g. one tuple access, one heap
+/// push) without adding time.
+#[inline]
+pub fn count(cat: Category, n: u64) {
+    if enabled() {
+        LOCAL.with(|l| l.borrow_mut().add_count(cat, n));
+    }
+}
+
+/// Time an expression under a category and yield its value.
+///
+/// ```
+/// use vdb_profile::{time, Category};
+/// let x = time!(Category::DistanceCalc, 1 + 1);
+/// assert_eq!(x, 2);
+/// ```
+#[macro_export]
+macro_rules! time {
+    ($cat:expr, $e:expr) => {{
+        let _vdb_profile_guard = $crate::scoped($cat);
+        $e
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_records_nothing() {
+        enable(false);
+        reset_local();
+        {
+            let _t = scoped(Category::DistanceCalc);
+        }
+        assert_eq!(take_local().total_nanos(), 0);
+    }
+
+    #[test]
+    fn enabled_records_time() {
+        enable(true);
+        reset_local();
+        {
+            let _t = scoped(Category::MinHeap);
+            std::hint::black_box((0..1000).sum::<u64>());
+        }
+        let b = take_local();
+        assert!(b.nanos(Category::MinHeap) > 0);
+        assert_eq!(b.nanos(Category::DistanceCalc), 0);
+        enable(false);
+    }
+
+    #[test]
+    fn take_local_resets() {
+        enable(true);
+        reset_local();
+        record(Category::TupleAccess, 42);
+        let b = take_local();
+        assert_eq!(b.nanos(Category::TupleAccess), 42);
+        assert_eq!(take_local().total_nanos(), 0);
+        enable(false);
+    }
+
+    #[test]
+    fn counts_are_independent_of_time() {
+        enable(true);
+        reset_local();
+        count(Category::HvtGet, 7);
+        count(Category::HvtGet, 3);
+        let b = take_local();
+        assert_eq!(b.count(Category::HvtGet), 10);
+        assert_eq!(b.nanos(Category::HvtGet), 0);
+        enable(false);
+    }
+
+    #[test]
+    fn time_macro_yields_value() {
+        enable(true);
+        reset_local();
+        let v = time!(Category::Gemm, 6 * 7);
+        assert_eq!(v, 42);
+        assert!(snapshot_local().count(Category::Gemm) >= 1);
+        enable(false);
+        reset_local();
+    }
+
+    #[test]
+    fn threads_have_independent_accumulators() {
+        enable(true);
+        reset_local();
+        let h = std::thread::spawn(|| {
+            record(Category::AddLink, 100);
+            take_local()
+        });
+        let child = h.join().unwrap();
+        assert_eq!(child.nanos(Category::AddLink), 100);
+        // The parent thread saw none of it.
+        assert_eq!(snapshot_local().nanos(Category::AddLink), 0);
+        enable(false);
+        reset_local();
+    }
+}

@@ -1,0 +1,71 @@
+//! Scoped timers.
+
+use crate::{count, enabled, record, Category};
+use std::time::Instant;
+
+/// RAII guard that attributes its lifetime's wall time to a [`Category`].
+///
+/// If profiling was disabled when the guard was created, no clock is read
+/// at all. Each guard also bumps the category's event counter by one, so a
+/// [`crate::Breakdown`] knows both "how long" and "how many times".
+pub struct ScopedTimer {
+    cat: Category,
+    start: Option<Instant>,
+}
+
+/// Start a scoped timer for `cat`.
+#[inline]
+pub fn scoped(cat: Category) -> ScopedTimer {
+    let start = if enabled() { Some(Instant::now()) } else { None };
+    ScopedTimer { cat, start }
+}
+
+impl ScopedTimer {
+    /// Stop the timer early, recording the elapsed time now instead of at
+    /// scope exit. Dropping after `stop` records nothing further.
+    pub fn stop(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some(start) = self.start.take() {
+            record(self.cat, start.elapsed().as_nanos() as u64);
+            count(self.cat, 1);
+        }
+    }
+}
+
+impl Drop for ScopedTimer {
+    #[inline]
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{enable, reset_local, take_local};
+
+    #[test]
+    fn stop_records_once() {
+        enable(true);
+        reset_local();
+        let t = scoped(Category::Other);
+        t.stop();
+        let b = take_local();
+        assert_eq!(b.count(Category::Other), 1);
+        enable(false);
+    }
+
+    #[test]
+    fn guard_counts_events() {
+        enable(true);
+        reset_local();
+        for _ in 0..5 {
+            let _t = scoped(Category::PageMiss);
+        }
+        assert_eq!(take_local().count(Category::PageMiss), 5);
+        enable(false);
+    }
+}

@@ -1,0 +1,98 @@
+//! Brute-force flat index (Faiss's `IndexFlat`).
+//!
+//! The exact-search baseline: scans every vector. Used as a correctness
+//! oracle for the approximate indexes and for recall measurements.
+
+use crate::options::SpecializedOptions;
+use crate::VectorIndex;
+use vdb_vecmath::{Neighbor, VectorSet};
+
+/// Exhaustive-scan index.
+pub struct FlatIndex {
+    opts: SpecializedOptions,
+    data: VectorSet,
+}
+
+impl FlatIndex {
+    /// Index `data` (no build step needed — flat search is just a scan).
+    pub fn new(opts: SpecializedOptions, data: VectorSet) -> FlatIndex {
+        FlatIndex { opts, data }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    /// Append a vector; its id is its insertion order.
+    pub fn add(&mut self, v: &[f32]) {
+        self.data.push(v);
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.data.dim(), "dimension mismatch");
+        let mut collector = self.opts.topk.collector(k);
+        for (id, v) in self.data.iter().enumerate() {
+            let d = self.opts.metric.distance_with(self.opts.distance, query, v);
+            collector.push(id as u64, d);
+        }
+        collector.into_sorted()
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.data.as_flat().len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> FlatIndex {
+        let mut data = VectorSet::empty(2);
+        data.push(&[0.0, 0.0]);
+        data.push(&[1.0, 0.0]);
+        data.push(&[5.0, 5.0]);
+        FlatIndex::new(SpecializedOptions::default(), data)
+    }
+
+    #[test]
+    fn finds_exact_nearest() {
+        let idx = index();
+        let res = idx.search(&[0.9, 0.1], 2);
+        assert_eq!(res[0].id, 1);
+        assert_eq!(res[1].id, 0);
+    }
+
+    #[test]
+    fn k_exceeding_len_returns_all() {
+        let idx = index();
+        assert_eq!(idx.search(&[0.0, 0.0], 10).len(), 3);
+    }
+
+    #[test]
+    fn add_extends_search_space() {
+        let mut idx = index();
+        idx.add(&[0.95, 0.05]);
+        let res = idx.search(&[0.9, 0.1], 1);
+        assert_eq!(res[0].id, 3);
+    }
+
+    #[test]
+    fn size_counts_raw_floats() {
+        let idx = index();
+        assert_eq!(idx.size_bytes(), 3 * 2 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_query_dim_panics() {
+        index().search(&[1.0], 1);
+    }
+}

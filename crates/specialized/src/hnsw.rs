@@ -1,0 +1,508 @@
+//! HNSW (Hierarchical Navigable Small World) — direct-memory flavor.
+//!
+//! The graph the paper describes in §II-B: a multi-level proximity graph
+//! where level 0 holds every vector with up to `2*bnn` neighbors and
+//! upper levels hold exponentially thinning subsets with up to `bnn`.
+//! Inserting greedily descends from the entry point (`GreedyUpdate`),
+//! searches each target level for nearest neighbors with an `efb`-long
+//! queue (`SearchNbToAdd`), wires bidirectional edges (`AddLink`) and
+//! prunes overfull adjacency lists (`ShrinkNbList`) — the four phases of
+//! the paper's Table III, instrumented here under exactly those names.
+//!
+//! In this specialized engine a neighbor is a 4-byte array index and a
+//! visited-check is one slot of an epoch-stamped array — the costs the
+//! paper's Figure 8 shows as "negligible in Faiss". The generalized
+//! engine's HNSW pays buffer-manager indirection for the same operations.
+
+use crate::options::{BuildTiming, HnswParams, SpecializedOptions};
+use crate::VectorIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+use vdb_profile::{self as profile, Category};
+use vdb_vecmath::{KHeap, Neighbor, VectorSet};
+
+/// Epoch-stamped visited table (Faiss's `VisitedTable`): O(1) check and
+/// mark, O(1) amortized reset between queries.
+struct Visited {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl Visited {
+    fn new() -> Visited {
+        Visited { stamp: Vec::new(), epoch: 0 }
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Returns whether `id` was already visited, marking it either way.
+    /// This is the `HVTGet` operation of the paper's Figure 8 — an
+    /// epoch-stamped array slot here, so it is *counted* but not timed:
+    /// its real cost (~1–2ns) is far below the timer's own cost, and
+    /// the paper reports it as "negligible in Faiss". The generalized
+    /// engine's hash-based HVTGet is timed, because that one is not.
+    #[inline]
+    fn check_and_mark(&mut self, id: u32) -> bool {
+        profile::count(Category::HvtGet, 1);
+        let slot = &mut self.stamp[id as usize];
+        let seen = *slot == self.epoch;
+        *slot = self.epoch;
+        seen
+    }
+}
+
+thread_local! {
+    static VISITED: RefCell<Visited> = RefCell::new(Visited::new());
+}
+
+/// The HNSW index.
+pub struct HnswIndex {
+    opts: SpecializedOptions,
+    params: HnswParams,
+    data: VectorSet,
+    /// Top level of each node.
+    levels: Vec<u8>,
+    /// `links[node][level]` → neighbor ids; `links[node].len() ==
+    /// levels[node] + 1`.
+    links: Vec<Vec<Vec<u32>>>,
+    entry: Option<u32>,
+    max_level: u8,
+    rng: StdRng,
+}
+
+impl HnswIndex {
+    /// An empty index for `dim`-dimensional vectors.
+    pub fn new(opts: SpecializedOptions, params: HnswParams, dim: usize) -> HnswIndex {
+        assert!(params.bnn >= 2, "bnn must be at least 2");
+        assert!(params.efb >= 1 && params.efs >= 1, "queue lengths must be positive");
+        let rng = StdRng::seed_from_u64(opts.seed);
+        HnswIndex {
+            opts,
+            params,
+            data: VectorSet::empty(dim),
+            levels: Vec::new(),
+            links: Vec::new(),
+            entry: None,
+            max_level: 0,
+            rng,
+        }
+    }
+
+    /// Build over a whole dataset, timing the adding phase (HNSW has no
+    /// separate training phase — Figure 7 reports a single bar).
+    pub fn build(
+        opts: SpecializedOptions,
+        params: HnswParams,
+        data: &VectorSet,
+    ) -> (HnswIndex, BuildTiming) {
+        let mut index = HnswIndex::new(opts, params, data.dim());
+        let t0 = Instant::now();
+        for v in data.iter() {
+            index.insert(v);
+        }
+        let add = t0.elapsed();
+        (index, BuildTiming { train: Default::default(), add })
+    }
+
+    /// Max neighbors at a level: `2*bnn` on the base layer, `bnn` above
+    /// (paper §II-B).
+    fn capacity(&self, level: usize) -> usize {
+        if level == 0 {
+            2 * self.params.bnn
+        } else {
+            self.params.bnn
+        }
+    }
+
+    /// Geometric level assignment: `floor(-ln(U) / ln(bnn))`.
+    fn sample_level(&mut self) -> u8 {
+        let ml = 1.0 / (self.params.bnn as f64).ln();
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        ((-u.ln() * ml) as usize).min(31) as u8
+    }
+
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        let _t = profile::scoped(Category::DistanceCalc);
+        self.opts.metric.distance_with(self.opts.distance, a, b)
+    }
+
+    /// Insert one vector; its id is its insertion order.
+    pub fn insert(&mut self, v: &[f32]) -> u32 {
+        assert_eq!(v.len(), self.data.dim(), "dimension mismatch");
+        let id = self.data.len() as u32;
+        let level = self.sample_level();
+        self.data.push(v);
+        self.levels.push(level);
+        self.links.push((0..=level as usize).map(|_| Vec::new()).collect());
+
+        let Some(mut ep) = self.entry else {
+            self.entry = Some(id);
+            self.max_level = level;
+            return id;
+        };
+
+        let q = self.data.row(id as usize).to_vec();
+
+        // Greedy descent through the levels above the node's own.
+        if self.max_level > level {
+            let _t = profile::scoped(Category::GreedyUpdate);
+            for l in (level as usize + 1..=self.max_level as usize).rev() {
+                ep = self.greedy_closest(&q, ep, l);
+            }
+        }
+
+        // Connect on every level from min(level, max_level) down to 0.
+        let top = level.min(self.max_level) as usize;
+        for l in (0..=top).rev() {
+            let found = {
+                let _t = profile::scoped(Category::SearchNbToAdd);
+                self.search_layer(&q, ep, self.params.efb.max(1), l)
+            };
+            if let Some(best) = found.first() {
+                ep = best.id as u32;
+            }
+            let candidates: Vec<(f32, u32)> =
+                found.iter().map(|n| (n.distance, n.id as u32)).collect();
+            // Select `bnn` links per insert (Malkov's M); lists may then
+            // grow to capacity(l) — 2*bnn on the base layer — before the
+            // shrink heuristic prunes them. Selecting capacity(l) here
+            // would keep every list permanently overflowing and turn
+            // ShrinkNbList into the dominant build phase, which neither
+            // system exhibits (Table III).
+            let selected = self.select_heuristic(&candidates, self.params.bnn);
+            self.connect(id, &selected, l);
+        }
+
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    /// Wire bidirectional edges between `id` and `selected` on level `l`,
+    /// shrinking any adjacency list that overflows its capacity.
+    fn connect(&mut self, id: u32, selected: &[u32], l: usize) {
+        let cap = self.capacity(l);
+        {
+            let _t = profile::scoped(Category::AddLink);
+            self.links[id as usize][l] = selected.to_vec();
+            for &nb in selected {
+                self.links[nb as usize][l].push(id);
+            }
+        }
+        for &nb in selected {
+            if self.links[nb as usize][l].len() > cap {
+                self.shrink(nb, l, cap);
+            }
+        }
+    }
+
+    /// Prune `node`'s level-`l` adjacency list back to `cap` entries
+    /// using the diversity heuristic.
+    fn shrink(&mut self, node: u32, l: usize, cap: usize) {
+        let _t = profile::scoped(Category::ShrinkNbList);
+        let base = self.data.row(node as usize).to_vec();
+        let with_d: Vec<(f32, u32)> = self.links[node as usize][l]
+            .iter()
+            .map(|&nb| (self.distance(&base, self.data.row(nb as usize)), nb))
+            .collect();
+        self.links[node as usize][l] = self.select_heuristic(&with_d, cap);
+    }
+
+    /// HNSW's neighbor-selection heuristic (Malkov & Yashunin Alg. 4;
+    /// Faiss's `shrink_neighbor_list`): walk candidates closest-first and
+    /// keep one only if it is closer to the base point than to every
+    /// neighbor kept so far — preserving the long-range "highway" edges
+    /// that plain closest-k selection prunes away. Remaining capacity is
+    /// backfilled with the skipped candidates (`keepPrunedConnections`).
+    fn select_heuristic(&self, candidates: &[(f32, u32)], cap: usize) -> Vec<u32> {
+        let mut sorted = candidates.to_vec();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut kept: Vec<(f32, u32)> = Vec::with_capacity(cap);
+        let mut skipped: Vec<u32> = Vec::new();
+        for &(d, e) in &sorted {
+            if kept.len() >= cap {
+                break;
+            }
+            let ev = self.data.row(e as usize);
+            let diverse = kept
+                .iter()
+                .all(|&(_, s)| self.distance(ev, self.data.row(s as usize)) >= d);
+            if diverse {
+                kept.push((d, e));
+            } else {
+                skipped.push(e);
+            }
+        }
+        let mut out: Vec<u32> = kept.into_iter().map(|(_, e)| e).collect();
+        for e in skipped {
+            if out.len() >= cap {
+                break;
+            }
+            out.push(e);
+        }
+        out
+    }
+
+    /// Greedy walk on level `l`: repeatedly move to the closest neighbor
+    /// until no neighbor improves on the current node.
+    fn greedy_closest(&self, q: &[f32], mut ep: u32, l: usize) -> u32 {
+        let mut best_d = self.distance(q, self.data.row(ep as usize));
+        loop {
+            let mut improved = false;
+            // Direct slice borrow: counted, not timed (see HVTGet note).
+            profile::count(Category::NeighborIter, 1);
+            let neighbors = &self.links[ep as usize][l];
+            for &nb in neighbors {
+                let d = self.distance(q, self.data.row(nb as usize));
+                if d < best_d {
+                    best_d = d;
+                    ep = nb;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    /// Beam search on one level with queue length `ef`; returns up to
+    /// `ef` nearest vertices, best first.
+    fn search_layer(&self, q: &[f32], ep: u32, ef: usize, l: usize) -> Vec<Neighbor> {
+        VISITED.with(|cell| {
+            let mut visited = cell.borrow_mut();
+            visited.begin(self.data.len());
+
+            let d0 = self.distance(q, self.data.row(ep as usize));
+            visited.check_and_mark(ep);
+
+            let mut results = KHeap::new(ef);
+            results.push(ep as u64, d0);
+            let mut candidates: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
+            candidates.push(Reverse(Neighbor::new(ep as u64, d0)));
+
+            while let Some(Reverse(cand)) = candidates.pop() {
+                if cand.distance > results.threshold() {
+                    break;
+                }
+                profile::count(Category::NeighborIter, 1);
+                let neighbors = &self.links[cand.id as usize][l];
+                for &nb in neighbors {
+                    if visited.check_and_mark(nb) {
+                        continue;
+                    }
+                    let d = self.distance(q, self.data.row(nb as usize));
+                    if d < results.threshold() {
+                        results.push(nb as u64, d);
+                        candidates.push(Reverse(Neighbor::new(nb as u64, d)));
+                    }
+                }
+            }
+            results.into_sorted()
+        })
+    }
+
+    /// Search with an explicit `efs` (Figure 19 sweeps this).
+    pub fn search_with_ef(&self, query: &[f32], k: usize, efs: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.data.dim(), "dimension mismatch");
+        assert!(k > 0, "k must be positive");
+        let Some(mut ep) = self.entry else {
+            return Vec::new();
+        };
+        for l in (1..=self.max_level as usize).rev() {
+            ep = self.greedy_closest(query, ep, l);
+        }
+        let mut found = self.search_layer(query, ep, efs.max(k), 0);
+        found.truncate(k);
+        found
+    }
+
+    /// Graph statistics: `(edges_total, max_degree)` on level 0.
+    pub fn level0_stats(&self) -> (usize, usize) {
+        let mut total = 0;
+        let mut max_deg = 0;
+        for node_links in &self.links {
+            let deg = node_links[0].len();
+            total += deg;
+            max_deg = max_deg.max(deg);
+        }
+        (total, max_deg)
+    }
+
+    /// The node levels (for distribution checks).
+    pub fn levels(&self) -> &[u8] {
+        &self.levels
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search_with_ef(query, k, self.params.efs)
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Vectors + 4-byte neighbor ids + 1-byte levels. This is the compact
+    /// layout Figure 13 contrasts with PASE's 24-bytes-per-neighbor,
+    /// page-per-adjacency-list layout (RC#4).
+    fn size_bytes(&self) -> usize {
+        let vectors = self.data.as_flat().len() * std::mem::size_of::<f32>();
+        let edges: usize = self
+            .links
+            .iter()
+            .flat_map(|per_node| per_node.iter())
+            .map(|l| l.len() * std::mem::size_of::<u32>())
+            .sum();
+        vectors + edges + self.levels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use vdb_datagen::gaussian::generate;
+
+    fn build_small() -> (HnswIndex, VectorSet) {
+        let data = generate(16, 800, 8, 5);
+        let (idx, _) = HnswIndex::build(
+            SpecializedOptions::default(),
+            HnswParams { bnn: 8, efb: 32, efs: 64 },
+            &data,
+        );
+        (idx, data)
+    }
+
+    #[test]
+    fn indexes_every_vector() {
+        let (idx, data) = build_small();
+        assert_eq!(idx.len(), data.len());
+    }
+
+    #[test]
+    fn self_queries_nearly_always_return_self() {
+        // HNSW is approximate: a handful of nodes can sit in hard-to-reach
+        // graph regions, so assert a high self-recall rate, not perfection.
+        let (idx, data) = build_small();
+        let hits = (0..data.len())
+            .filter(|&qi| {
+                idx.search(data.row(qi), 1).first().is_some_and(|n| n.id == qi as u64)
+            })
+            .count();
+        assert!(
+            hits * 100 >= data.len() * 95,
+            "self-recall {hits}/{} below 95%",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn recall_against_flat_is_high() {
+        let (idx, data) = build_small();
+        let flat = FlatIndex::new(SpecializedOptions::default(), data.clone());
+        let mut hits = 0;
+        for qi in 0..20 {
+            let q = data.row(qi * 31);
+            let truth: Vec<u64> = flat.search(q, 10).iter().map(|n| n.id).collect();
+            let got = idx.search(q, 10);
+            hits += got.iter().filter(|n| truth.contains(&n.id)).count();
+        }
+        let recall = hits as f64 / 200.0;
+        assert!(recall > 0.8, "HNSW recall {recall} too low");
+    }
+
+    #[test]
+    fn degrees_respect_capacity() {
+        let (idx, _) = build_small();
+        let (_, max_deg) = idx.level0_stats();
+        assert!(max_deg <= 16, "level-0 degree {max_deg} exceeds 2*bnn");
+        for (node, per_level) in idx.links.iter().enumerate() {
+            for (l, nbs) in per_level.iter().enumerate().skip(1) {
+                assert!(nbs.len() <= 8, "node {node} level {l} degree {}", nbs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn level_distribution_decays() {
+        let (idx, _) = build_small();
+        let l0 = idx.levels().iter().filter(|&&l| l == 0).count();
+        let l1plus = idx.levels().len() - l0;
+        assert!(l0 > l1plus * 2, "level decay broken: {l0} vs {l1plus}");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let data = generate(8, 300, 4, 9);
+        let opts = SpecializedOptions::default();
+        let p = HnswParams { bnn: 6, efb: 24, efs: 32 };
+        let (a, _) = HnswIndex::build(opts, p, &data);
+        let (b, _) = HnswIndex::build(opts, p, &data);
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.links, b.links);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = HnswIndex::new(SpecializedOptions::default(), HnswParams::default(), 4);
+        assert!(idx.search(&[0.0; 4], 5).is_empty());
+    }
+
+    #[test]
+    fn larger_efs_never_hurts_recall() {
+        let (idx, data) = build_small();
+        let flat = FlatIndex::new(SpecializedOptions::default(), data.clone());
+        let mut low = 0;
+        let mut high = 0;
+        for qi in 0..10 {
+            let q = data.row(qi * 67);
+            let truth: Vec<u64> = flat.search(q, 10).iter().map(|n| n.id).collect();
+            low += idx
+                .search_with_ef(q, 10, 16)
+                .iter()
+                .filter(|n| truth.contains(&n.id))
+                .count();
+            high += idx
+                .search_with_ef(q, 10, 128)
+                .iter()
+                .filter(|n| truth.contains(&n.id))
+                .count();
+        }
+        assert!(high >= low, "efs=128 recall {high} < efs=16 recall {low}");
+    }
+
+    #[test]
+    fn profile_records_build_phases() {
+        profile::enable(true);
+        profile::reset_local();
+        let data = generate(8, 200, 4, 2);
+        let _ = HnswIndex::build(
+            SpecializedOptions::default(),
+            HnswParams { bnn: 6, efb: 16, efs: 16 },
+            &data,
+        );
+        let b = profile::take_local();
+        profile::enable(false);
+        assert!(b.nanos(Category::SearchNbToAdd) > 0);
+        assert!(b.nanos(Category::AddLink) > 0);
+        assert!(b.count(Category::HvtGet) > 0);
+    }
+}

@@ -1,0 +1,386 @@
+//! IVF_PQ (Faiss's `IndexIVFPQ`).
+//!
+//! Same coarse structure as IVF_FLAT, but bucket entries store `m`-byte
+//! PQ codes instead of raw vectors. Queries build a per-query ADC
+//! precomputed table — with the optimized norms-plus-inner-product
+//! construction by default (RC#7) — and accumulate code distances by
+//! table lookup.
+
+use crate::options::{BuildTiming, IvfParams, PqParams, SpecializedOptions};
+use crate::parallel::map_chunks;
+use crate::VectorIndex;
+use std::time::Instant;
+use vdb_profile::{self as profile, Category};
+use vdb_vecmath::sampling::sample_indices;
+use vdb_vecmath::{KHeap, Kmeans, KmeansParams, Neighbor, PqTableMode, ProductQuantizer, VectorSet};
+
+/// One inverted list of `(id, code)` entries; codes are concatenated.
+struct CodeBucket {
+    ids: Vec<u64>,
+    codes: Vec<u8>,
+}
+
+/// The IVF_PQ index.
+pub struct IvfPqIndex {
+    opts: SpecializedOptions,
+    params: IvfParams,
+    pq_params: PqParams,
+    table_mode: PqTableMode,
+    quantizer: Kmeans,
+    pq: ProductQuantizer,
+    buckets: Vec<CodeBucket>,
+    len: usize,
+}
+
+impl IvfPqIndex {
+    /// Train coarse quantizer and PQ codebooks on a sample, then encode
+    /// and add all of `data`.
+    pub fn build(
+        opts: SpecializedOptions,
+        params: IvfParams,
+        pq_params: PqParams,
+        data: &VectorSet,
+    ) -> (IvfPqIndex, BuildTiming) {
+        Self::build_with_table_mode(opts, params, pq_params, PqTableMode::Optimized, data)
+    }
+
+    /// Build selecting the ADC table implementation (RC#7 switch).
+    pub fn build_with_table_mode(
+        opts: SpecializedOptions,
+        params: IvfParams,
+        pq_params: PqParams,
+        table_mode: PqTableMode,
+        data: &VectorSet,
+    ) -> (IvfPqIndex, BuildTiming) {
+        assert!(!data.is_empty(), "cannot build IVF_PQ over no vectors");
+        let t0 = Instant::now();
+        let idx = sample_indices(data.len(), params.sample_ratio, params.clusters, opts.seed);
+        let sample = data.gather(&idx);
+        let quantizer = Kmeans::train(
+            opts.kmeans,
+            &sample,
+            &KmeansParams {
+                k: params.clusters,
+                iters: opts.kmeans_iters,
+                seed: opts.seed,
+                gemm: opts.gemm,
+            },
+        );
+        let pq = ProductQuantizer::train(
+            &sample,
+            pq_params.m,
+            pq_params.cpq,
+            opts.kmeans,
+            &KmeansParams {
+                k: pq_params.cpq,
+                iters: opts.kmeans_iters.min(8),
+                seed: opts.seed ^ 0x9E3779B9,
+                gemm: opts.gemm,
+            },
+        );
+        let train = t0.elapsed();
+
+        let t1 = Instant::now();
+        let buckets = (0..quantizer.k())
+            .map(|_| CodeBucket { ids: Vec::new(), codes: Vec::new() })
+            .collect();
+        let mut index = IvfPqIndex {
+            opts,
+            params,
+            pq_params,
+            table_mode,
+            quantizer,
+            pq,
+            buckets,
+            len: 0,
+        };
+        index.add_all(data);
+        let add = t1.elapsed();
+
+        (index, BuildTiming { train, add })
+    }
+
+    /// Adding phase: batched coarse assignment (RC#1, optionally
+    /// parallel) plus per-vector PQ encoding.
+    fn add_all(&mut self, data: &VectorSet) {
+        let _t = profile::scoped(Category::IvfAdd);
+        let d = data.dim();
+        let threads = self.opts.threads.max(1);
+        let assignments: Vec<u32> = if threads == 1 {
+            self.quantizer.assign_batch(self.opts.gemm, data)
+        } else {
+            map_chunks(data.len(), threads, |r| {
+                let chunk =
+                    VectorSet::from_flat(d, data.as_flat()[r.start * d..r.end * d].to_vec());
+                self.quantizer.assign_batch(self.opts.gemm, &chunk)
+            })
+            .concat()
+        };
+        // Encoding is embarrassingly parallel too.
+        let codes: Vec<Vec<u8>> = map_chunks(data.len(), threads, |r| {
+            let mut chunk_codes = Vec::with_capacity((r.end - r.start) * self.pq.code_len());
+            for i in r {
+                chunk_codes.extend(self.pq.encode(data.row(i)));
+            }
+            chunk_codes
+        });
+        let codes: Vec<u8> = codes.concat();
+
+        let clen = self.pq.code_len();
+        for (i, &a) in assignments.iter().enumerate() {
+            let bucket = &mut self.buckets[a as usize];
+            bucket.ids.push(self.len as u64 + i as u64);
+            bucket.codes.extend_from_slice(&codes[i * clen..(i + 1) * clen]);
+        }
+        self.len += data.len();
+    }
+
+    /// The product quantizer (e.g. for inspecting codebooks).
+    pub fn pq(&self) -> &ProductQuantizer {
+        &self.pq
+    }
+
+    /// The coarse quantizer.
+    pub fn quantizer(&self) -> &Kmeans {
+        &self.quantizer
+    }
+
+    /// The PQ parameters the index was built with.
+    pub fn pq_params(&self) -> PqParams {
+        self.pq_params
+    }
+
+    /// Search with an explicit `nprobe`.
+    pub fn search_with_nprobe(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.quantizer.dim(), "dimension mismatch");
+        assert!(k > 0, "k must be positive");
+        let probes = self.quantizer.nearest_n(self.opts.distance, query, nprobe);
+        // RC#7: the per-query precomputed table.
+        let table = self.pq.adc_table(self.table_mode, query);
+        let clen = self.pq.code_len();
+
+        if self.opts.threads <= 1 {
+            let mut collector = self.opts.topk.collector(k);
+            let mut scratch: Vec<f32> = Vec::new();
+            for &(b, _) in &probes {
+                let bucket = &self.buckets[b];
+                {
+                    let _t = profile::scoped(Category::DistanceCalc);
+                    scratch.clear();
+                    scratch.extend(
+                        bucket
+                            .codes
+                            .chunks_exact(clen)
+                            .map(|code| self.pq.adc_distance(&table, code)),
+                    );
+                }
+                let _h = profile::scoped(Category::MinHeap);
+                profile::count(Category::MinHeap, scratch.len() as u64);
+                let mut thr = collector.threshold();
+                for (i, &dist) in scratch.iter().enumerate() {
+                    if dist < thr {
+                        collector.push(bucket.ids[i], dist);
+                        thr = collector.threshold();
+                    }
+                }
+            }
+            collector.into_sorted()
+        } else {
+            let locals = map_chunks(probes.len(), self.opts.threads, |r| {
+                let mut local = KHeap::new(k);
+                for &(b, _) in &probes[r] {
+                    let bucket = &self.buckets[b];
+                    for (i, code) in bucket.codes.chunks_exact(clen).enumerate() {
+                        local.push(bucket.ids[i], self.pq.adc_distance(&table, code));
+                    }
+                }
+                local
+            });
+            let mut merged = KHeap::new(k);
+            for local in locals {
+                merged.merge(local);
+            }
+            merged.into_sorted()
+        }
+    }
+
+    /// Batch search over the persistent worker pool (Figure 18's
+    /// intra-query parallelism). ADC tables are built once per query on
+    /// the caller; workers scan probe partitions into local heaps.
+    pub fn search_batch(
+        &self,
+        queries: &vdb_vecmath::VectorSet,
+        k: usize,
+        nprobe: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        let threads = self.opts.threads.max(1);
+        if threads == 1 {
+            return queries.iter().map(|q| self.search_with_nprobe(q, k, nprobe)).collect();
+        }
+        let clen = self.pq.code_len();
+        let prep: Vec<(Vec<usize>, Vec<f32>)> = queries
+            .iter()
+            .map(|q| {
+                let probes = self
+                    .quantizer
+                    .nearest_n(self.opts.distance, q, nprobe)
+                    .into_iter()
+                    .map(|(b, _)| b)
+                    .collect();
+                (probes, self.pq.adc_table(self.table_mode, q))
+            })
+            .collect();
+        let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+        crate::parallel::rounds(
+            queries.len(),
+            threads,
+            |q, t| {
+                let (plist, table) = &prep[q];
+                let chunk = plist.len().div_ceil(threads);
+                let lo = (t * chunk).min(plist.len());
+                let hi = ((t + 1) * chunk).min(plist.len());
+                let mut local = KHeap::new(k);
+                for &b in &plist[lo..hi] {
+                    let bucket = &self.buckets[b];
+                    let mut thr = local.threshold();
+                    for (i, code) in bucket.codes.chunks_exact(clen).enumerate() {
+                        let dist = self.pq.adc_distance(table, code);
+                        if dist < thr {
+                            local.push(bucket.ids[i], dist);
+                            thr = local.threshold();
+                        }
+                    }
+                }
+                local
+            },
+            |q, locals| {
+                let mut merged = KHeap::new(k);
+                for local in locals {
+                    merged.merge(local);
+                }
+                out[q] = merged.into_sorted();
+            },
+        );
+        out
+    }
+
+    /// Per-bucket occupancy.
+    pub fn bucket_sizes(&self) -> Vec<usize> {
+        self.buckets.iter().map(|b| b.ids.len()).collect()
+    }
+}
+
+impl VectorIndex for IvfPqIndex {
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search_with_nprobe(query, k, self.params.nprobe)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Centroids + codebooks + per-bucket codes and ids. Codes are `m`
+    /// bytes per vector — the compression that makes Figure 12's sizes
+    /// an order of magnitude below Figure 11's.
+    fn size_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f32>();
+        let centroid = self.quantizer.centroids().as_flat().len() * f;
+        let codebooks = self.pq.codebook_bytes();
+        let data: usize = self
+            .buckets
+            .iter()
+            .map(|b| b.codes.len() + b.ids.len() * std::mem::size_of::<u64>())
+            .sum();
+        centroid + codebooks + data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use vdb_datagen::gaussian::generate;
+
+    fn params() -> (IvfParams, PqParams) {
+        (IvfParams { clusters: 16, sample_ratio: 0.5, nprobe: 4 }, PqParams { m: 8, cpq: 64 })
+    }
+
+    fn dataset() -> VectorSet {
+        generate(16, 1000, 16, 33)
+    }
+
+    #[test]
+    fn build_distributes_all_vectors() {
+        let data = dataset();
+        let (ivf, pqp) = params();
+        let (idx, timing) =
+            IvfPqIndex::build(SpecializedOptions::default(), ivf, pqp, &data);
+        assert_eq!(idx.len(), 1000);
+        assert_eq!(idx.bucket_sizes().iter().sum::<usize>(), 1000);
+        assert!(timing.train > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn recall_reasonable_for_quantized_search() {
+        let data = dataset();
+        let (ivf, pqp) = params();
+        let opts = SpecializedOptions::default();
+        let (idx, _) = IvfPqIndex::build(opts, ivf, pqp, &data);
+        let flat = FlatIndex::new(opts, data.clone());
+        let mut hits = 0;
+        for qi in 0..20 {
+            let q = data.row(qi * 11);
+            let truth: Vec<u64> = flat.search(q, 10).iter().map(|n| n.id).collect();
+            let got = idx.search_with_nprobe(q, 10, 16);
+            hits += got.iter().filter(|n| truth.contains(&n.id)).count();
+        }
+        let recall = hits as f64 / 200.0;
+        // PQ is lossy; with full probing recall should still be solid.
+        assert!(recall > 0.4, "recall {recall} too low");
+    }
+
+    #[test]
+    fn table_modes_agree_on_results() {
+        let data = dataset();
+        let (ivf, pqp) = params();
+        let opts = SpecializedOptions::default();
+        let (a, _) = IvfPqIndex::build_with_table_mode(
+            opts, ivf, pqp, PqTableMode::Optimized, &data,
+        );
+        let (b, _) = IvfPqIndex::build_with_table_mode(
+            opts, ivf, pqp, PqTableMode::Straightforward, &data,
+        );
+        for qi in [1usize, 50, 500] {
+            let q = data.row(qi);
+            let ra = a.search(q, 5);
+            let rb = b.search(q, 5);
+            let ids_a: Vec<u64> = ra.iter().map(|n| n.id).collect();
+            let ids_b: Vec<u64> = rb.iter().map(|n| n.id).collect();
+            assert_eq!(ids_a, ids_b, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn parallel_search_matches_serial() {
+        let data = dataset();
+        let (ivf, pqp) = params();
+        let serial = SpecializedOptions::default();
+        let parallel = SpecializedOptions { threads: 4, ..serial };
+        let (a, _) = IvfPqIndex::build(serial, ivf, pqp, &data);
+        let (b, _) = IvfPqIndex::build(parallel, ivf, pqp, &data);
+        for qi in [9usize, 99, 999] {
+            let q = data.row(qi);
+            assert_eq!(a.search(q, 10), b.search(q, 10), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn pq_index_is_much_smaller_than_flat() {
+        let data = dataset();
+        let (ivf, pqp) = params();
+        let (idx, _) = IvfPqIndex::build(SpecializedOptions::default(), ivf, pqp, &data);
+        let raw_bytes = data.len() * data.dim() * 4;
+        // Codes are 4 bytes/vector vs 64 raw, plus ids and codebooks.
+        assert!(idx.size_bytes() < raw_bytes / 2, "{} vs {}", idx.size_bytes(), raw_bytes);
+    }
+}

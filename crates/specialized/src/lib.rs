@@ -1,0 +1,55 @@
+//! The specialized vector engine — this repository's Faiss.
+//!
+//! A purpose-built, in-memory vector search library: vectors live in flat
+//! arrays addressed by integer id, with no pages, no buffer manager and
+//! no tuple indirection. Where the paper credits Faiss with a specific
+//! optimization, this engine implements it and exposes the switch:
+//!
+//! * **RC#1** — the IVF adding phase assigns vectors to centroids with a
+//!   blocked GEMM distance table ([`vdb_gemm`]); [`SpecializedOptions::gemm`]
+//!   can flip to the naive kernel to reproduce Figures 4 and 6.
+//! * **RC#3** — index build and search fan out over threads; parallel
+//!   search merges per-thread *local* heaps instead of locking a shared
+//!   one (Figures 9 and 18).
+//! * **RC#5** — clustering defaults to the Faiss-style k-means flavor; the
+//!   Faiss* centroid transplant of Figure 15 is [`IvfFlatIndex::with_centroids`].
+//! * **RC#6** — top-k uses a bounded size-k heap.
+//! * **RC#7** — IVF_PQ queries use the optimized precomputed table.
+//!
+//! The three index types are the three the paper evaluates: [`IvfFlatIndex`],
+//! [`IvfPqIndex`] and [`HnswIndex`], plus a brute-force [`FlatIndex`]
+//! baseline and the survey's fourth quantization index, [`IvfSq8Index`]
+//! (§II-B lists IVF_SQ8 alongside the others), as an extension.
+
+pub mod flat;
+pub mod hnsw;
+pub mod ivf_flat;
+pub mod ivf_pq;
+pub mod ivf_sq8;
+pub mod options;
+/// Fork-join and persistent-pool helpers (shared via `vdb_vecmath`).
+pub mod parallel {
+    pub use vdb_vecmath::parallel::*;
+}
+
+pub use flat::FlatIndex;
+pub use hnsw::HnswIndex;
+pub use ivf_flat::IvfFlatIndex;
+pub use ivf_pq::IvfPqIndex;
+pub use ivf_sq8::IvfSq8Index;
+pub use options::{BuildTiming, HnswParams, IvfParams, PqParams, SpecializedOptions};
+pub use vdb_vecmath::Neighbor;
+
+/// Common interface over the specialized indexes.
+pub trait VectorIndex {
+    /// Top-k search for a single query.
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// In-memory footprint in bytes (for the Figure 11–13 comparisons).
+    fn size_bytes(&self) -> usize;
+}

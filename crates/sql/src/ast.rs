@@ -1,0 +1,156 @@
+//! Abstract syntax for the supported SQL dialect.
+
+use vdb_vecmath::Metric;
+
+/// Which vector access method an index uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    /// PASE `ivfflat`.
+    IvfFlat,
+    /// PASE `ivfpq`.
+    IvfPq,
+    /// PASE `hnsw`.
+    Hnsw,
+}
+
+impl IndexKind {
+    /// Parse an access-method name from `USING <name>(col)`.
+    pub fn from_name(name: &str) -> Option<IndexKind> {
+        match name {
+            "ivfflat" | "pase_ivfflat" => Some(IndexKind::IvfFlat),
+            "ivfpq" | "pase_ivfpq" => Some(IndexKind::IvfPq),
+            "hnsw" | "pase_hnsw" => Some(IndexKind::Hnsw),
+            _ => None,
+        }
+    }
+}
+
+/// A column definition in `CREATE TABLE`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnDef {
+    /// `id int`
+    Id(String),
+    /// `vec float[dim]`; `dim = None` for `float[]` (fixed by the first
+    /// insert).
+    Vector(String, Option<usize>),
+}
+
+/// One `WITH (key = value)` index option.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndexOption {
+    /// Option key, lower-cased.
+    pub key: String,
+    /// Numeric value (PASE's options are all numeric).
+    pub value: f64,
+}
+
+/// The ORDER BY clause of a vector search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VectorOrderBy {
+    /// Column being ordered.
+    pub column: String,
+    /// Operator: `<->` (L2), `<#>` (inner product), `<=>` (cosine).
+    pub operator: String,
+    /// Raw query literal (PASE-format string).
+    pub literal: String,
+    /// Whether the literal carried a `::PASE` cast.
+    pub pase_cast: bool,
+}
+
+impl VectorOrderBy {
+    /// The metric implied by the operator, following pgvector/PASE
+    /// conventions.
+    pub fn metric(&self) -> Metric {
+        match self.operator.as_str() {
+            "<#>" => Metric::InnerProduct,
+            "<=>" => Metric::Cosine,
+            _ => Metric::L2,
+        }
+    }
+}
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (id int, vec float[d])`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column list (exactly one id and one vector column supported).
+        columns: Vec<ColumnDef>,
+    },
+    /// `CREATE INDEX name ON table USING am(col) WITH (...)`
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Access method.
+        kind: IndexKind,
+        /// Indexed column.
+        column: String,
+        /// `WITH` options.
+        options: Vec<IndexOption>,
+    },
+    /// `INSERT INTO t VALUES (id, '{v1, v2, ...}')`, possibly multi-row.
+    Insert {
+        /// Target table.
+        table: String,
+        /// `(id, vector)` rows.
+        rows: Vec<(i64, Vec<f32>)>,
+    },
+    /// `SELECT cols FROM t [WHERE id = n] [ORDER BY vec <op> lit] [LIMIT k]`
+    Select {
+        /// Projected columns (`id`, `vec`, `distance`, or `*`).
+        columns: Vec<String>,
+        /// Source table.
+        table: String,
+        /// Optional `id = n` filter.
+        where_id: Option<i64>,
+        /// Optional vector ordering.
+        order_by: Option<VectorOrderBy>,
+        /// Optional row limit.
+        limit: Option<usize>,
+    },
+    /// `DELETE FROM t WHERE id = n`
+    Delete {
+        /// Target table.
+        table: String,
+        /// The id to delete.
+        id: i64,
+    },
+    /// `EXPLAIN <select>` — show the plan without running it.
+    Explain(Box<Statement>),
+    /// `DROP TABLE name` / `DROP INDEX name`
+    Drop {
+        /// `"table"` or `"index"`.
+        what: String,
+        /// Object name.
+        name: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_kind_parsing() {
+        assert_eq!(IndexKind::from_name("ivfflat"), Some(IndexKind::IvfFlat));
+        assert_eq!(IndexKind::from_name("pase_hnsw"), Some(IndexKind::Hnsw));
+        assert_eq!(IndexKind::from_name("btree"), None);
+    }
+
+    #[test]
+    fn operator_metric_mapping() {
+        let mk = |op: &str| VectorOrderBy {
+            column: "v".into(),
+            operator: op.into(),
+            literal: String::new(),
+            pase_cast: false,
+        };
+        assert_eq!(mk("<->").metric(), Metric::L2);
+        assert_eq!(mk("<#>").metric(), Metric::InnerProduct);
+        assert_eq!(mk("<=>").metric(), Metric::Cosine);
+    }
+}

@@ -1,0 +1,698 @@
+//! The database façade: catalog, DDL/DML handling, and the `execute`
+//! entry point.
+
+use crate::ast::{ColumnDef, IndexKind, IndexOption, Statement};
+use crate::executor;
+use crate::parser::parse;
+use crate::planner::{plan_select, IndexCandidate};
+use crate::{Result, SqlError};
+use std::collections::HashMap;
+use std::sync::Arc;
+use vdb_generalized::{
+    GeneralizedOptions, PaseHnswIndex, PaseIndex, PaseIvfFlatIndex, PaseIvfPqIndex,
+};
+use vdb_profile::{self as profile, Category};
+use vdb_storage::heap::{as_bytes_f32, bytemuck_f32};
+use vdb_storage::{BufferManager, DiskManager, HeapTable, PageSize};
+use vdb_vecmath::{HnswParams, IvfParams, Metric, PqParams, VectorSet};
+
+/// A scalar or vector value in a result row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Integer (the `id` column).
+    Int(i64),
+    /// Text (EXPLAIN output).
+    Text(String),
+    /// A float (the `distance` pseudo-column).
+    Float(f64),
+    /// A vector (the `vec` column).
+    Vector(Vec<f32>),
+}
+
+/// Rows returned by a query.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryResult {
+    /// Column names, in projection order.
+    pub columns: Vec<String>,
+    /// Row values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    /// Convenience: the `id` column of every row (errors if absent).
+    pub fn ids(&self) -> Vec<i64> {
+        let idx = self.columns.iter().position(|c| c == "id").expect("no id column");
+        self.rows
+            .iter()
+            .map(|r| match &r[idx] {
+                Value::Int(i) => *i,
+                other => panic!("id column holds {other:?}"),
+            })
+            .collect()
+    }
+}
+
+pub(crate) struct TableState {
+    pub heap: HeapTable,
+    pub dim: Option<usize>,
+    /// Ids deleted since any index was built. Index scans filter
+    /// against this set — the moral equivalent of PostgreSQL's heap
+    /// visibility check on every TID an index returns (the index
+    /// itself keeps the dead entry until VACUUM).
+    pub deleted: std::collections::HashSet<i64>,
+}
+
+pub(crate) struct IndexState {
+    pub table: String,
+    pub column: String,
+    pub metric: Metric,
+    pub index: Box<dyn PaseIndex>,
+}
+
+/// An embedded vector database speaking the PASE SQL dialect.
+///
+/// ```
+/// use vdb_sql::Database;
+/// let mut db = Database::in_memory();
+/// db.execute("CREATE TABLE t (id int, vec float[3])").unwrap();
+/// db.execute("INSERT INTO t VALUES (1, '{1,0,0}'), (2, '{0,1,0}')").unwrap();
+/// let res = db.execute("SELECT id FROM t ORDER BY vec <-> '1,0,0' LIMIT 1").unwrap();
+/// assert_eq!(res.ids(), vec![1]);
+/// ```
+pub struct Database {
+    bm: BufferManager,
+    tables: HashMap<String, TableState>,
+    indexes: HashMap<String, IndexState>,
+    /// Engine configuration applied to indexes created from now on. The
+    /// default is PASE-as-measured; flip root-cause switches to study
+    /// ablations through SQL.
+    pub options: GeneralizedOptions,
+}
+
+impl Database {
+    /// A database with the given page size and buffer-pool capacity.
+    pub fn new(page_size: PageSize, pool_pages: usize) -> Database {
+        let disk = Arc::new(DiskManager::new(page_size));
+        Database {
+            bm: BufferManager::new(disk, pool_pages),
+            tables: HashMap::new(),
+            indexes: HashMap::new(),
+            options: GeneralizedOptions::default(),
+        }
+    }
+
+    /// A database with defaults sized for tests and examples (8KB pages,
+    /// 64K-page pool ≈ 512MB ceiling, allocated lazily).
+    pub fn in_memory() -> Database {
+        Database::new(PageSize::Size8K, 65_536)
+    }
+
+    /// The underlying buffer manager (for experiments that measure
+    /// buffer behaviour through SQL workloads).
+    pub fn buffer_manager(&self) -> &BufferManager {
+        &self.bm
+    }
+
+    /// Parse and execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = {
+            let _t = profile::scoped(Category::SqlFrontend);
+            parse(sql)?
+        };
+        self.run(stmt)
+    }
+
+    /// Execute a parsed statement.
+    pub fn run(&mut self, stmt: Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::CreateTable { name, columns } => self.create_table(name, columns),
+            Statement::CreateIndex { name, table, kind, column, options } => {
+                self.create_index(name, table, kind, column, options)
+            }
+            Statement::Insert { table, rows } => self.insert(table, rows),
+            select @ Statement::Select { .. } => self.select(select),
+            Statement::Delete { table, id } => self.delete(table, id),
+            Statement::Explain(inner) => self.explain(*inner),
+            Statement::Drop { what, name } => self.drop(what, name),
+        }
+    }
+
+    /// Bulk-load `(id, vector)` pairs, bypassing the SQL per-row path
+    /// (the moral equivalent of `COPY`). Fails if any index exists on
+    /// the table — create indexes after loading, as the paper's
+    /// experiments do.
+    pub fn bulk_load(&mut self, table: &str, ids: &[i64], vectors: &VectorSet) -> Result<()> {
+        assert_eq!(ids.len(), vectors.len(), "ids/vectors length mismatch");
+        if self.indexes.values().any(|ix| ix.table == table) {
+            return Err(SqlError::Semantic(format!(
+                "bulk_load into {table:?} with existing indexes is not supported"
+            )));
+        }
+        let state = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| SqlError::Semantic(format!("unknown table {table:?}")))?;
+        check_dim(&mut state.dim, vectors.dim())?;
+        for (i, &id) in ids.iter().enumerate() {
+            let mut tuple = Vec::with_capacity(8 + vectors.dim() * 4);
+            tuple.extend_from_slice(&id.to_le_bytes());
+            tuple.extend_from_slice(as_bytes_f32(vectors.row(i)));
+            state.heap.insert(&self.bm, &tuple)?;
+        }
+        Ok(())
+    }
+
+    fn create_table(&mut self, name: String, columns: Vec<ColumnDef>) -> Result<QueryResult> {
+        if self.tables.contains_key(&name) {
+            return Err(SqlError::Semantic(format!("table {name:?} already exists")));
+        }
+        let mut dim = None;
+        let mut saw_id = false;
+        let mut saw_vec = false;
+        for col in &columns {
+            match col {
+                ColumnDef::Id(c) => {
+                    if c != "id" || saw_id {
+                        return Err(SqlError::Semantic(
+                            "exactly one integer column named 'id' is supported".into(),
+                        ));
+                    }
+                    saw_id = true;
+                }
+                ColumnDef::Vector(c, d) => {
+                    if c != "vec" || saw_vec {
+                        return Err(SqlError::Semantic(
+                            "exactly one vector column named 'vec' is supported".into(),
+                        ));
+                    }
+                    saw_vec = true;
+                    dim = *d;
+                }
+            }
+        }
+        if !saw_id || !saw_vec {
+            return Err(SqlError::Semantic(
+                "tables need an 'id int' and a 'vec float[]' column".into(),
+            ));
+        }
+        let heap = HeapTable::create(&self.bm);
+        self.tables.insert(
+            name,
+            TableState { heap, dim, deleted: std::collections::HashSet::new() },
+        );
+        Ok(QueryResult::default())
+    }
+
+    fn create_index(
+        &mut self,
+        name: String,
+        table: String,
+        kind: IndexKind,
+        column: String,
+        options: Vec<IndexOption>,
+    ) -> Result<QueryResult> {
+        if self.indexes.contains_key(&name) {
+            return Err(SqlError::Semantic(format!("index {name:?} already exists")));
+        }
+        if column != "vec" {
+            return Err(SqlError::Semantic("only the 'vec' column can be indexed".into()));
+        }
+        let state = self
+            .tables
+            .get(&table)
+            .ok_or_else(|| SqlError::Semantic(format!("unknown table {table:?}")))?;
+
+        // Collect the table's contents.
+        let dim = state
+            .dim
+            .ok_or_else(|| SqlError::Semantic("cannot index an empty table of unknown dimension".into()))?;
+        let mut ids: Vec<i64> = Vec::new();
+        let mut data = VectorSet::empty(dim);
+        state.heap.scan(&self.bm, |_, bytes| {
+            ids.push(i64::from_le_bytes(bytes[..8].try_into().unwrap()));
+            data.push(bytemuck_f32(&bytes[8..]));
+        })?;
+        if data.is_empty() {
+            return Err(SqlError::Semantic("cannot build an index over an empty table".into()));
+        }
+
+        let opt = IndexBuildOptions::from_sql(&options, data.len())?;
+        let opts = GeneralizedOptions { metric: opt.metric, ..self.options };
+        let app_ids: Vec<u64> = ids.iter().map(|&i| i as u64).collect();
+        let index: Box<dyn PaseIndex> = match kind {
+            IndexKind::IvfFlat => {
+                let (idx, _) = PaseIvfFlatIndex::build_with_ids(
+                    opts,
+                    opt.ivf,
+                    &self.bm,
+                    Some(&app_ids),
+                    &data,
+                )?;
+                Box::new(idx)
+            }
+            IndexKind::IvfPq => {
+                let (idx, _) = PaseIvfPqIndex::build_with_ids(
+                    opts,
+                    opt.ivf,
+                    opt.pq,
+                    &self.bm,
+                    Some(&app_ids),
+                    &data,
+                )?;
+                Box::new(idx)
+            }
+            IndexKind::Hnsw => {
+                let (idx, _) = build_hnsw_with_ids(opts, opt.hnsw, &self.bm, &ids, &data)?;
+                Box::new(idx)
+            }
+        };
+        self.indexes.insert(
+            name,
+            IndexState { table, column, metric: opt.metric, index },
+        );
+        Ok(QueryResult::default())
+    }
+
+    fn insert(&mut self, table: String, rows: Vec<(i64, Vec<f32>)>) -> Result<QueryResult> {
+        let state = self
+            .tables
+            .get_mut(&table)
+            .ok_or_else(|| SqlError::Semantic(format!("unknown table {table:?}")))?;
+        for (id, v) in &rows {
+            check_dim(&mut state.dim, v.len())?;
+            state.deleted.remove(id);
+            let mut tuple = Vec::with_capacity(8 + v.len() * 4);
+            tuple.extend_from_slice(&id.to_le_bytes());
+            tuple.extend_from_slice(as_bytes_f32(v));
+            state.heap.insert(&self.bm, &tuple)?;
+        }
+        // Maintain all indexes on this table.
+        for ix in self.indexes.values_mut().filter(|ix| ix.table == table) {
+            for (id, v) in &rows {
+                ix.index.insert(&self.bm, *id as u64, v)?;
+            }
+        }
+        Ok(QueryResult::default())
+    }
+
+    fn select(&mut self, stmt: Statement) -> Result<QueryResult> {
+        let Statement::Select { ref table, ref columns, .. } = stmt else {
+            unreachable!("select() called with non-select");
+        };
+        let table_name = table.clone();
+        let projection = columns.clone();
+        if !self.tables.contains_key(&table_name) {
+            return Err(SqlError::Semantic(format!("unknown table {table_name:?}")));
+        }
+        let candidates: Vec<IndexCandidate> = self
+            .indexes
+            .iter()
+            .filter(|(_, ix)| ix.table == table_name)
+            .map(|(name, ix)| IndexCandidate {
+                name: name.clone(),
+                column: ix.column.clone(),
+                metric: ix.metric,
+            })
+            .collect();
+        let plan = plan_select(&stmt, &candidates)?;
+        executor::execute_select(self, &table_name, &projection, plan)
+    }
+
+    /// Delete a row by id: dead in the heap immediately, filtered out
+    /// of index results by the visibility check until a rebuild.
+    fn delete(&mut self, table: String, id: i64) -> Result<QueryResult> {
+        let state = self
+            .tables
+            .get_mut(&table)
+            .ok_or_else(|| SqlError::Semantic(format!("unknown table {table:?}")))?;
+        let mut victim = None;
+        state.heap.scan(&self.bm, |tid, bytes| {
+            if i64::from_le_bytes(bytes[..8].try_into().unwrap()) == id {
+                victim = Some(tid);
+            }
+        })?;
+        match victim {
+            Some(tid) => {
+                state.heap.delete(&self.bm, tid)?;
+                state.deleted.insert(id);
+                Ok(QueryResult::default())
+            }
+            None => Err(SqlError::Semantic(format!("no row with id {id} in {table:?}"))),
+        }
+    }
+
+    /// Produce the plan a SELECT would run, without executing it.
+    fn explain(&mut self, stmt: Statement) -> Result<QueryResult> {
+        let Statement::Select { ref table, .. } = stmt else {
+            return Err(SqlError::Semantic("EXPLAIN supports only SELECT".into()));
+        };
+        let table_name = table.clone();
+        if !self.tables.contains_key(&table_name) {
+            return Err(SqlError::Semantic(format!("unknown table {table_name:?}")));
+        }
+        let candidates: Vec<IndexCandidate> = self
+            .indexes
+            .iter()
+            .filter(|(_, ix)| ix.table == table_name)
+            .map(|(name, ix)| IndexCandidate {
+                name: name.clone(),
+                column: ix.column.clone(),
+                metric: ix.metric,
+            })
+            .collect();
+        let plan = plan_select(&stmt, &candidates)?;
+        let line = match &plan {
+            crate::planner::Plan::IndexScan { index, k, .. } => {
+                let am = self.index(index)?.index.am_name();
+                format!("Index Scan using {index} ({am}) on {table_name} (k={k})")
+            }
+            crate::planner::Plan::SeqScanTopK { k, .. } => {
+                format!("Seq Scan on {table_name} -> Sort -> Limit (k={k})")
+            }
+            crate::planner::Plan::PointLookup { id } => {
+                format!("Seq Scan on {table_name} (filter: id = {id})")
+            }
+            crate::planner::Plan::FullScan { limit } => match limit {
+                Some(l) => format!("Seq Scan on {table_name} (limit {l})"),
+                None => format!("Seq Scan on {table_name}"),
+            },
+        };
+        Ok(QueryResult {
+            columns: vec!["plan".into()],
+            rows: vec![vec![Value::Text(line)]],
+        })
+    }
+
+    fn drop(&mut self, what: String, name: String) -> Result<QueryResult> {
+        let removed = match what.as_str() {
+            "table" => {
+                let existed = self.tables.remove(&name).is_some();
+                // Cascade: drop indexes on the table.
+                self.indexes.retain(|_, ix| ix.table != name);
+                existed
+            }
+            "index" => self.indexes.remove(&name).is_some(),
+            _ => unreachable!("parser guarantees table|index"),
+        };
+        if removed {
+            Ok(QueryResult::default())
+        } else {
+            Err(SqlError::Semantic(format!("unknown {what} {name:?}")))
+        }
+    }
+
+    pub(crate) fn table(&self, name: &str) -> Result<&TableState> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| SqlError::Semantic(format!("unknown table {name:?}")))
+    }
+
+    pub(crate) fn index(&self, name: &str) -> Result<&IndexState> {
+        self.indexes
+            .get(name)
+            .ok_or_else(|| SqlError::Semantic(format!("unknown index {name:?}")))
+    }
+
+    pub(crate) fn bm(&self) -> &BufferManager {
+        &self.bm
+    }
+
+    /// Size in bytes of a named index (Figures 11–13 through SQL).
+    pub fn index_size_bytes(&self, name: &str) -> Result<usize> {
+        Ok(self.index(name)?.index.size_bytes(&self.bm))
+    }
+}
+
+fn check_dim(dim: &mut Option<usize>, got: usize) -> Result<()> {
+    match dim {
+        Some(d) if *d != got => Err(SqlError::Semantic(format!(
+            "vector dimension mismatch: table has {d}, got {got}"
+        ))),
+        Some(_) => Ok(()),
+        None => {
+            *dim = Some(got);
+            Ok(())
+        }
+    }
+}
+
+fn build_hnsw_with_ids(
+    opts: GeneralizedOptions,
+    params: HnswParams,
+    bm: &BufferManager,
+    ids: &[i64],
+    data: &VectorSet,
+) -> Result<(PaseHnswIndex, vdb_vecmath::BuildTiming)> {
+    let mut index = PaseHnswIndex::new(opts, params, bm, data.dim());
+    let t0 = std::time::Instant::now();
+    for (i, v) in data.iter().enumerate() {
+        index.insert_vector(bm, ids[i] as u64, v)?;
+    }
+    let add = t0.elapsed();
+    Ok((index, vdb_vecmath::BuildTiming { train: Default::default(), add }))
+}
+
+/// Options extracted from `WITH (...)`.
+struct IndexBuildOptions {
+    metric: Metric,
+    ivf: IvfParams,
+    pq: PqParams,
+    hnsw: HnswParams,
+}
+
+impl IndexBuildOptions {
+    fn from_sql(options: &[IndexOption], n: usize) -> Result<IndexBuildOptions> {
+        let mut metric = Metric::L2;
+        let mut ivf = IvfParams::scaled_to(n);
+        let mut pq = PqParams::default();
+        let mut hnsw = HnswParams::default();
+        for opt in options {
+            let v = opt.value;
+            match opt.key.as_str() {
+                "distance_type" => {
+                    metric = Metric::from_pase_code(v as u32).ok_or_else(|| {
+                        SqlError::Semantic(format!("unknown distance_type {v}"))
+                    })?;
+                }
+                "clusters" | "clustering_params_clusters" => ivf.clusters = positive(v)?,
+                // PASE expresses the ratio in thousandths (paper §II-E:
+                // "10 means the sampling ratio is 10/1000").
+                "sample_ratio" | "clustering_params_sample" => {
+                    let ratio = if v >= 1.0 { v / 1000.0 } else { v };
+                    if ratio <= 0.0 || ratio > 1.0 {
+                        return Err(SqlError::Semantic(format!("bad sample_ratio {v}")));
+                    }
+                    ivf.sample_ratio = ratio;
+                }
+                "nprobe" => ivf.nprobe = positive(v)?,
+                "m" => pq.m = positive(v)?,
+                "cpq" | "pq_centroids" => pq.cpq = positive(v)?,
+                "bnn" => hnsw.bnn = positive(v)?,
+                "efb" | "ef_build" => hnsw.efb = positive(v)?,
+                "efs" | "ef_search" => hnsw.efs = positive(v)?,
+                other => {
+                    return Err(SqlError::Semantic(format!("unknown index option {other:?}")))
+                }
+            }
+        }
+        Ok(IndexBuildOptions { metric, ivf, pq, hnsw })
+    }
+}
+
+fn positive(v: f64) -> Result<usize> {
+    if v >= 1.0 && v.fract() == 0.0 {
+        Ok(v as usize)
+    } else {
+        Err(SqlError::Semantic(format!("expected positive integer, got {v}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_datagen::gaussian::generate;
+
+    fn db_with_data(n: usize, dim: usize) -> Database {
+        let mut db = Database::in_memory();
+        db.execute(&format!("CREATE TABLE items (id int, vec float[{dim}])")).unwrap();
+        let data = generate(dim, n, 8, 11);
+        let ids: Vec<i64> = (0..n as i64).collect();
+        db.bulk_load("items", &ids, &data).unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select_round_trip() {
+        let mut db = Database::in_memory();
+        db.execute("CREATE TABLE t (id int, vec float[2])").unwrap();
+        db.execute("INSERT INTO t VALUES (10, '{1, 0}'), (20, '{0, 1}')").unwrap();
+        let res = db.execute("SELECT id, vec FROM t WHERE id = 20").unwrap();
+        assert_eq!(res.rows.len(), 1);
+        assert_eq!(res.rows[0][0], Value::Int(20));
+        assert_eq!(res.rows[0][1], Value::Vector(vec![0.0, 1.0]));
+    }
+
+    #[test]
+    fn vector_search_without_index_uses_seq_scan() {
+        let mut db = Database::in_memory();
+        db.execute("CREATE TABLE t (id int, vec float[2])").unwrap();
+        db.execute("INSERT INTO t VALUES (1, '{0,0}'), (2, '{5,5}'), (3, '{1,1}')").unwrap();
+        let res = db.execute("SELECT id FROM t ORDER BY vec <-> '0.9,0.9' LIMIT 2").unwrap();
+        assert_eq!(res.ids(), vec![3, 1]);
+    }
+
+    #[test]
+    fn ivfflat_index_scan_end_to_end() {
+        let mut db = db_with_data(500, 8);
+        db.execute(
+            "CREATE INDEX idx ON items USING ivfflat(vec) \
+             WITH (clusters = 8, sample_ratio = 500, distance_type = 0)",
+        )
+        .unwrap();
+        let res = db
+            .execute("SELECT id, distance FROM items ORDER BY vec <-> '0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5:8' LIMIT 5")
+            .unwrap();
+        assert_eq!(res.rows.len(), 5);
+        // Distances ascending.
+        let dists: Vec<f64> = res
+            .rows
+            .iter()
+            .map(|r| match r[1] {
+                Value::Float(d) => d,
+                _ => panic!("distance column wrong type"),
+            })
+            .collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn hnsw_index_scan_finds_exact_match() {
+        let mut db = Database::in_memory();
+        db.execute("CREATE TABLE t (id int, vec float[4])").unwrap();
+        let data = generate(4, 300, 4, 3);
+        let ids: Vec<i64> = (100..400).collect();
+        db.bulk_load("t", &ids, &data).unwrap();
+        db.execute("CREATE INDEX h ON t USING hnsw(vec) WITH (bnn = 8, efb = 32, efs = 64)")
+            .unwrap();
+        // Query with an exact base vector: its (offset) id must come back.
+        let q: Vec<String> = data.row(7).iter().map(|x| x.to_string()).collect();
+        let sql = format!("SELECT id FROM t ORDER BY vec <-> '{}' LIMIT 1", q.join(","));
+        let res = db.execute(&sql).unwrap();
+        assert_eq!(res.ids(), vec![107]);
+    }
+
+    #[test]
+    fn ivfpq_index_scan_returns_k_rows() {
+        let mut db = db_with_data(400, 8);
+        db.execute(
+            "CREATE INDEX p ON items USING ivfpq(vec) \
+             WITH (clusters = 8, m = 4, cpq = 32, sample_ratio = 500)",
+        )
+        .unwrap();
+        let res = db
+            .execute("SELECT id FROM items ORDER BY vec <-> '0,0,0,0,0,0,0,0:8' LIMIT 7")
+            .unwrap();
+        assert_eq!(res.rows.len(), 7);
+    }
+
+    #[test]
+    fn pase_cast_knob_is_honored() {
+        let mut db = db_with_data(300, 4);
+        db.execute(
+            "CREATE INDEX idx ON items USING ivfflat(vec) WITH (clusters = 8, sample_ratio = 500)",
+        )
+        .unwrap();
+        // knob = full probe: result must equal the seq-scan answer.
+        let with_index = db
+            .execute("SELECT id FROM items ORDER BY vec <-> '0.5,0.5,0.5,0.5:8'::PASE LIMIT 5")
+            .unwrap();
+        db.execute("DROP INDEX idx").unwrap();
+        let seq = db
+            .execute("SELECT id FROM items ORDER BY vec <-> '0.5,0.5,0.5,0.5' LIMIT 5")
+            .unwrap();
+        assert_eq!(with_index.ids(), seq.ids());
+    }
+
+    #[test]
+    fn insert_after_index_is_searchable() {
+        let mut db = db_with_data(200, 4);
+        db.execute(
+            "CREATE INDEX idx ON items USING ivfflat(vec) WITH (clusters = 4, sample_ratio = 500)",
+        )
+        .unwrap();
+        db.execute("INSERT INTO items VALUES (99999, '{50, 50, 50, 50}')").unwrap();
+        let res = db
+            .execute("SELECT id FROM items ORDER BY vec <-> '50,50,50,50:4' LIMIT 1")
+            .unwrap();
+        assert_eq!(res.ids(), vec![99999]);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut db = Database::in_memory();
+        db.execute("CREATE TABLE t (id int, vec float[3])").unwrap();
+        let err = db.execute("INSERT INTO t VALUES (1, '{1,2}')").unwrap_err();
+        assert!(matches!(err, SqlError::Semantic(_)));
+    }
+
+    #[test]
+    fn unknown_table_is_rejected() {
+        let mut db = Database::in_memory();
+        assert!(db.execute("SELECT id FROM nope LIMIT 1").is_err());
+        assert!(db.execute("INSERT INTO nope VALUES (1, '{1}')").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_and_index_rejected() {
+        let mut db = db_with_data(100, 4);
+        assert!(db.execute("CREATE TABLE items (id int, vec float[4])").is_err());
+        db.execute("CREATE INDEX i ON items USING ivfflat(vec) WITH (clusters=4, sample_ratio=500)")
+            .unwrap();
+        assert!(db
+            .execute("CREATE INDEX i ON items USING ivfflat(vec) WITH (clusters=4)")
+            .is_err());
+    }
+
+    #[test]
+    fn drop_table_cascades_indexes() {
+        let mut db = db_with_data(100, 4);
+        db.execute("CREATE INDEX i ON items USING ivfflat(vec) WITH (clusters=4, sample_ratio=500)")
+            .unwrap();
+        db.execute("DROP TABLE items").unwrap();
+        assert!(db.execute("DROP INDEX i").is_err());
+    }
+
+    #[test]
+    fn index_size_is_queryable() {
+        let mut db = db_with_data(300, 8);
+        db.execute("CREATE INDEX i ON items USING ivfflat(vec) WITH (clusters=8, sample_ratio=500)")
+            .unwrap();
+        let size = db.index_size_bytes("i").unwrap();
+        assert!(size >= 300 * 8 * 4, "index size {size} implausibly small");
+    }
+
+    #[test]
+    fn metric_operators_route_to_matching_index_only() {
+        let mut db = db_with_data(200, 4);
+        db.execute(
+            "CREATE INDEX l2 ON items USING ivfflat(vec) WITH (clusters=4, distance_type=0, sample_ratio=500)",
+        )
+        .unwrap();
+        // The cosine operator has no matching index; both must still
+        // return k rows (seq-scan fallback for cosine).
+        let cos = db.execute("SELECT id FROM items ORDER BY vec <=> '1,1,1,1' LIMIT 3").unwrap();
+        assert_eq!(cos.rows.len(), 3);
+        let l2 = db.execute("SELECT id FROM items ORDER BY vec <-> '1,1,1,1' LIMIT 3").unwrap();
+        assert_eq!(l2.rows.len(), 3);
+    }
+
+    #[test]
+    fn bulk_load_after_index_rejected() {
+        let mut db = db_with_data(100, 4);
+        db.execute("CREATE INDEX i ON items USING ivfflat(vec) WITH (clusters=4, sample_ratio=500)")
+            .unwrap();
+        let more = generate(4, 10, 2, 9);
+        let ids: Vec<i64> = (1000..1010).collect();
+        assert!(db.bulk_load("items", &ids, &more).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Plan execution.
+
+use crate::database::{Database, QueryResult, Value};
+use crate::planner::Plan;
+use crate::{Result, SqlError};
+use vdb_storage::heap::bytemuck_f32;
+use vdb_vecmath::{Metric, NHeap, Neighbor};
+
+/// Execute a planned `SELECT` against `db`.
+pub fn execute_select(
+    db: &Database,
+    table: &str,
+    projection: &[String],
+    plan: Plan,
+) -> Result<QueryResult> {
+    match plan {
+        Plan::IndexScan { index, query, k, .. } => {
+            let ix = db.index(&index)?;
+            if query.vector.len() != ix.index.dim() {
+                return Err(SqlError::Semantic(format!(
+                    "query dimension {} does not match index dimension {}",
+                    query.vector.len(),
+                    ix.index.dim()
+                )));
+            }
+            let mut found =
+                ix.index.scan_with_knob(db.bm(), &query.vector, k, query.knob)?;
+            // Visibility check: indexes keep entries for deleted rows
+            // until rebuilt (as PostgreSQL does until VACUUM); filter
+            // them against the table's dead set.
+            let deleted = &db.table(table)?.deleted;
+            if !deleted.is_empty() {
+                found.retain(|n| !deleted.contains(&(n.id as i64)));
+            }
+            project_neighbors(db, table, projection, &found)
+        }
+        Plan::SeqScanTopK { query, k, metric } => {
+            let found = seq_scan_topk(db, table, &query.vector, k, metric)?;
+            project_neighbors(db, table, projection, &found)
+        }
+        Plan::PointLookup { id } => {
+            let state = db.table(table)?;
+            let mut rows = Vec::new();
+            state.heap.scan(db.bm(), |_, bytes| {
+                let row_id = i64::from_le_bytes(bytes[..8].try_into().unwrap());
+                if row_id == id {
+                    rows.push((row_id, bytemuck_f32(&bytes[8..]).to_vec()));
+                }
+            })?;
+            let out: Vec<(i64, Vec<f32>, Option<f32>)> =
+                rows.into_iter().map(|(id, v)| (id, v, None)).collect();
+            project_rows(projection, &out)
+        }
+        Plan::FullScan { limit } => {
+            let state = db.table(table)?;
+            let mut rows = Vec::new();
+            state.heap.scan(db.bm(), |_, bytes| {
+                if limit.is_some_and(|l| rows.len() >= l) {
+                    return;
+                }
+                let row_id = i64::from_le_bytes(bytes[..8].try_into().unwrap());
+                rows.push((row_id, bytemuck_f32(&bytes[8..]).to_vec(), None));
+            })?;
+            project_rows(projection, &rows)
+        }
+    }
+}
+
+/// No usable index: scan every tuple and keep the top k. This mirrors
+/// the PostgreSQL fallback — and uses the size-n heap, since that *is*
+/// the executor behaviour RC#6 describes.
+fn seq_scan_topk(
+    db: &Database,
+    table: &str,
+    query: &[f32],
+    k: usize,
+    metric: Metric,
+) -> Result<Vec<Neighbor>> {
+    let state = db.table(table)?;
+    let dim = state
+        .dim
+        .ok_or_else(|| SqlError::Semantic("table has no rows to search".into()))?;
+    if query.len() != dim {
+        return Err(SqlError::Semantic(format!(
+            "query dimension {} does not match table dimension {dim}",
+            query.len()
+        )));
+    }
+    let mut heap = NHeap::new(k);
+    state.heap.scan(db.bm(), |_, bytes| {
+        let id = i64::from_le_bytes(bytes[..8].try_into().unwrap());
+        let v = bytemuck_f32(&bytes[8..]);
+        heap.push(id as u64, metric.distance(query, v));
+    })?;
+    Ok(heap.into_sorted())
+}
+
+/// Resolve neighbors into projected rows (fetching vectors from the
+/// table when `vec` is projected).
+fn project_neighbors(
+    db: &Database,
+    table: &str,
+    projection: &[String],
+    found: &[Neighbor],
+) -> Result<QueryResult> {
+    let needs_vec = projection.iter().any(|c| c == "vec" || c == "*");
+    let mut rows: Vec<(i64, Vec<f32>, Option<f32>)> = Vec::with_capacity(found.len());
+    if needs_vec {
+        // One table pass resolving every requested id.
+        let state = db.table(table)?;
+        let mut vec_of = std::collections::HashMap::new();
+        state.heap.scan(db.bm(), |_, bytes| {
+            let id = i64::from_le_bytes(bytes[..8].try_into().unwrap());
+            vec_of.insert(id, bytemuck_f32(&bytes[8..]).to_vec());
+        })?;
+        for n in found {
+            let id = n.id as i64;
+            let v = vec_of
+                .get(&id)
+                .cloned()
+                .ok_or_else(|| SqlError::Semantic(format!("index returned unknown id {id}")))?;
+            rows.push((id, v, Some(n.distance)));
+        }
+    } else {
+        for n in found {
+            rows.push((n.id as i64, Vec::new(), Some(n.distance)));
+        }
+    }
+    project_rows(projection, &rows)
+}
+
+/// Apply the projection list to `(id, vec, distance)` triples.
+fn project_rows(
+    projection: &[String],
+    rows: &[(i64, Vec<f32>, Option<f32>)],
+) -> Result<QueryResult> {
+    let cols: Vec<String> = if projection.iter().any(|c| c == "*") {
+        vec!["id".into(), "vec".into()]
+    } else {
+        projection.to_vec()
+    };
+    let mut out = QueryResult { columns: cols.clone(), rows: Vec::with_capacity(rows.len()) };
+    for (id, vec, dist) in rows {
+        let mut row = Vec::with_capacity(cols.len());
+        for c in &cols {
+            match c.as_str() {
+                "id" => row.push(Value::Int(*id)),
+                "vec" => row.push(Value::Vector(vec.clone())),
+                "distance" => {
+                    let d = dist.ok_or_else(|| {
+                        SqlError::Semantic("distance is only available in vector searches".into())
+                    })?;
+                    row.push(Value::Float(d as f64));
+                }
+                other => {
+                    return Err(SqlError::Semantic(format!("unknown column {other:?}")))
+                }
+            }
+        }
+        out.rows.push(row);
+    }
+    Ok(out)
+}

@@ -1,0 +1,225 @@
+//! Hand-written SQL tokenizer.
+
+use crate::{Result, SqlError};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (stored lower-cased; originals with
+    /// quotes are not supported).
+    Ident(String),
+    /// Numeric literal (integer or decimal, optional sign handled by the
+    /// parser).
+    Number(String),
+    /// Single-quoted string literal, quotes stripped, `''` unescaped.
+    StringLit(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Equals,
+    /// `*`
+    Star,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `::` type-cast operator.
+    DoubleColon,
+    /// A vector similarity operator: `<->`, `<#>`, or `<=>`.
+    VectorOp(String),
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Equals);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b':') {
+                    tokens.push(Token::DoubleColon);
+                    i += 2;
+                } else {
+                    return Err(SqlError::Parse(format!("stray ':' at byte {i}")));
+                }
+            }
+            '<' => {
+                // <->, <#>, <=>
+                let op: &[u8] = bytes.get(i..i + 3).unwrap_or_default();
+                match op {
+                    b"<->" | b"<#>" | b"<=>" => {
+                        tokens.push(Token::VectorOp(
+                            std::str::from_utf8(op).unwrap().to_string(),
+                        ));
+                        i += 3;
+                    }
+                    _ => return Err(SqlError::Parse(format!("unknown operator at byte {i}"))),
+                }
+            }
+            '\'' => {
+                let mut lit = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::Parse("unterminated string".into())),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            lit.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            lit.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::StringLit(lit));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1; // consume digit or '-'
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || (bytes[i] == b'-' && matches!(bytes[i - 1], b'e' | b'E')))
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Number(input[start..i].to_string()));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(SqlError::Parse(format!("unexpected character {other:?} at byte {i}")))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_create_table() {
+        let toks = tokenize("CREATE TABLE t (id int, vec float[]);").unwrap();
+        assert_eq!(toks[0], Token::Ident("create".into()));
+        assert_eq!(toks[1], Token::Ident("table".into()));
+        assert!(toks.contains(&Token::LBracket));
+        assert_eq!(*toks.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn tokenizes_vector_operators() {
+        for op in ["<->", "<#>", "<=>"] {
+            let toks = tokenize(&format!("vec {op} 'x'")).unwrap();
+            assert_eq!(toks[1], Token::VectorOp(op.to_string()));
+        }
+    }
+
+    #[test]
+    fn tokenizes_pase_cast() {
+        let toks = tokenize("'0.1,0.2:10'::PASE").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::StringLit("0.1,0.2:10".into()),
+                Token::DoubleColon,
+                Token::Ident("pase".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escape_doubling() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::StringLit("it's".into())]);
+    }
+
+    #[test]
+    fn numbers_including_negative_and_scientific() {
+        let toks = tokenize("42 -3.5 1e-4").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Number("42".into()),
+                Token::Number("-3.5".into()),
+                Token::Number("1e-4".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_lowercased() {
+        let toks = tokenize("SELECT Id FROM T").unwrap();
+        assert_eq!(toks[0], Token::Ident("select".into()));
+        assert_eq!(toks[1], Token::Ident("id".into()));
+        assert_eq!(toks[3], Token::Ident("t".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(tokenize("'oops"), Err(SqlError::Parse(_))));
+    }
+
+    #[test]
+    fn unknown_operator_errors() {
+        assert!(matches!(tokenize("a <> b"), Err(SqlError::Parse(_))));
+    }
+}

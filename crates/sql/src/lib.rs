@@ -1,0 +1,68 @@
+//! The SQL layer (paper §II-E).
+//!
+//! PASE's user interface is plain SQL with a vector-flavored extension:
+//!
+//! ```sql
+//! CREATE TABLE t (id int, vec float[]);
+//! INSERT INTO t VALUES (1, '{0.1, 0.2, 0.3}');
+//! CREATE INDEX ivfflat_idx ON t USING ivfflat(vec)
+//!     WITH (clusters = 256, sample_ratio = 10, distance_type = 0);
+//! SELECT id FROM t
+//! ORDER BY vec <#> '0.1,0.2,0.3:10'::PASE ASC LIMIT 10;
+//! ```
+//!
+//! This crate implements that surface end to end: a hand-written lexer
+//! and recursive-descent parser, a catalog-aware planner that routes
+//! `ORDER BY vec <op> literal LIMIT k` through the matching vector index
+//! (or falls back to a sequential scan + sort — exactly what PostgreSQL
+//! does when no index qualifies), and an executor over the
+//! [`vdb_storage`] heap tables and [`vdb_generalized`] indexes.
+//!
+//! The entry point is [`Database`].
+
+pub mod ast;
+pub mod database;
+pub mod executor;
+pub mod lexer;
+pub mod parser;
+pub mod pase_literal;
+pub mod planner;
+
+pub use ast::{IndexKind, Statement};
+pub use database::{Database, QueryResult, Value};
+pub use pase_literal::PaseLiteral;
+
+use std::fmt;
+
+/// Errors from any stage of query processing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Tokenizer or parser rejection, with a human-readable reason.
+    Parse(String),
+    /// Valid syntax, invalid semantics (unknown table, dimension
+    /// mismatch, duplicate index, ...).
+    Semantic(String),
+    /// Storage-layer failure.
+    Storage(vdb_storage::StorageError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SqlError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            SqlError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<vdb_storage::StorageError> for SqlError {
+    fn from(e: vdb_storage::StorageError) -> Self {
+        SqlError::Storage(e)
+    }
+}
+
+/// SQL-layer result type.
+pub type Result<T> = std::result::Result<T, SqlError>;

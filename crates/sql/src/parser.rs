@@ -1,0 +1,482 @@
+//! Recursive-descent parser over [`crate::lexer`] tokens.
+
+use crate::ast::{ColumnDef, IndexKind, IndexOption, Statement, VectorOrderBy};
+use crate::lexer::{tokenize, Token};
+use crate::pase_literal::parse_vector_text;
+use crate::{Result, SqlError};
+
+/// Parse a single SQL statement (a trailing semicolon is allowed).
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_optional_semicolon();
+    if !p.at_end() {
+        return Err(SqlError::Parse(format!("trailing tokens after statement: {:?}", p.peek())));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| SqlError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_ident(&mut self, word: &str) -> Result<()> {
+        match self.next()? {
+            Token::Ident(w) if w == word => Ok(()),
+            other => Err(SqlError::Parse(format!("expected {word:?}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(w) => Ok(w),
+            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<()> {
+        let got = self.next()?;
+        if got == tok {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!("expected {tok:?}, found {got:?}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        match self.next()? {
+            Token::Number(n) => n
+                .parse::<f64>()
+                .map_err(|_| SqlError::Parse(format!("bad number {n:?}"))),
+            other => Err(SqlError::Parse(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn peek_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(w)) if w == word)
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if self.peek_ident(word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_optional_semicolon(&mut self) {
+        if matches!(self.peek(), Some(Token::Semicolon)) {
+            self.pos += 1;
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            Some(Token::Ident(w)) => match w.as_str() {
+                "create" => self.create(),
+                "insert" => self.insert(),
+                "select" => self.select(),
+                "delete" => self.delete(),
+                "explain" => self.explain(),
+                "drop" => self.drop(),
+                other => Err(SqlError::Parse(format!("unsupported statement {other:?}"))),
+            },
+            other => Err(SqlError::Parse(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    fn create(&mut self) -> Result<Statement> {
+        self.expect_ident("create")?;
+        if self.eat_ident("table") {
+            return self.create_table();
+        }
+        if self.eat_ident("index") {
+            return self.create_index();
+        }
+        Err(SqlError::Parse("expected TABLE or INDEX after CREATE".into()))
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect(Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.ident()?;
+            match ty.as_str() {
+                "int" | "integer" | "bigint" => columns.push(ColumnDef::Id(col)),
+                "float" => {
+                    // float[] or float[d]
+                    self.expect(Token::LBracket)?;
+                    let dim = match self.peek() {
+                        Some(Token::Number(_)) => {
+                            let d = self.number()? as usize;
+                            if d == 0 {
+                                return Err(SqlError::Parse("vector dimension must be > 0".into()));
+                            }
+                            Some(d)
+                        }
+                        _ => None,
+                    };
+                    self.expect(Token::RBracket)?;
+                    columns.push(ColumnDef::Vector(col, dim));
+                }
+                other => {
+                    return Err(SqlError::Parse(format!("unsupported column type {other:?}")))
+                }
+            }
+            match self.next()? {
+                Token::Comma => continue,
+                Token::RParen => break,
+                other => {
+                    return Err(SqlError::Parse(format!("expected ',' or ')', found {other:?}")))
+                }
+            }
+        }
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn create_index(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_ident("on")?;
+        let table = self.ident()?;
+        self.expect_ident("using")?;
+        let am = self.ident()?;
+        let kind = IndexKind::from_name(&am)
+            .ok_or_else(|| SqlError::Parse(format!("unknown access method {am:?}")))?;
+        self.expect(Token::LParen)?;
+        let column = self.ident()?;
+        self.expect(Token::RParen)?;
+
+        let mut options = Vec::new();
+        if self.eat_ident("with") {
+            self.expect(Token::LParen)?;
+            loop {
+                let key = self.ident()?;
+                self.expect(Token::Equals)?;
+                let value = self.number()?;
+                options.push(IndexOption { key, value });
+                match self.next()? {
+                    Token::Comma => continue,
+                    Token::RParen => break,
+                    other => {
+                        return Err(SqlError::Parse(format!(
+                            "expected ',' or ')' in WITH options, found {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(Statement::CreateIndex { name, table, kind, column, options })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_ident("insert")?;
+        self.expect_ident("into")?;
+        let table = self.ident()?;
+        self.expect_ident("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(Token::LParen)?;
+            let id = self.number()? as i64;
+            self.expect(Token::Comma)?;
+            let vec_text = match self.next()? {
+                Token::StringLit(s) => s,
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected vector string literal, found {other:?}"
+                    )))
+                }
+            };
+            let vector = parse_vector_text(&vec_text)?;
+            if vector.is_empty() {
+                return Err(SqlError::Parse("empty vector in INSERT".into()));
+            }
+            self.expect(Token::RParen)?;
+            rows.push((id, vector));
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                continue;
+            }
+            break;
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn select(&mut self) -> Result<Statement> {
+        self.expect_ident("select")?;
+        let mut columns = Vec::new();
+        loop {
+            match self.next()? {
+                Token::Star => columns.push("*".to_string()),
+                Token::Ident(w) => columns.push(w),
+                other => {
+                    return Err(SqlError::Parse(format!("expected column, found {other:?}")))
+                }
+            }
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                continue;
+            }
+            break;
+        }
+        self.expect_ident("from")?;
+        let table = self.ident()?;
+
+        let mut where_id = None;
+        if self.eat_ident("where") {
+            let col = self.ident()?;
+            if col != "id" {
+                return Err(SqlError::Parse("only WHERE id = <n> is supported".into()));
+            }
+            self.expect(Token::Equals)?;
+            where_id = Some(self.number()? as i64);
+        }
+
+        let mut order_by = None;
+        if self.eat_ident("order") {
+            self.expect_ident("by")?;
+            let column = self.ident()?;
+            let operator = match self.next()? {
+                Token::VectorOp(op) => op,
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected vector operator, found {other:?}"
+                    )))
+                }
+            };
+            let literal = match self.next()? {
+                Token::StringLit(s) => s,
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected query literal, found {other:?}"
+                    )))
+                }
+            };
+            let mut pase_cast = false;
+            if matches!(self.peek(), Some(Token::DoubleColon)) {
+                self.pos += 1;
+                let ty = self.ident()?;
+                if ty != "pase" {
+                    return Err(SqlError::Parse(format!("unknown cast target {ty:?}")));
+                }
+                pase_cast = true;
+            }
+            // Optional ASC (descending vector search is not meaningful).
+            self.eat_ident("asc");
+            order_by = Some(VectorOrderBy { column, operator, literal, pase_cast });
+        }
+
+        let mut limit = None;
+        if self.eat_ident("limit") {
+            let n = self.number()?;
+            if n < 1.0 {
+                return Err(SqlError::Parse("LIMIT must be at least 1".into()));
+            }
+            limit = Some(n as usize);
+        }
+
+        Ok(Statement::Select { columns, table, where_id, order_by, limit })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_ident("delete")?;
+        self.expect_ident("from")?;
+        let table = self.ident()?;
+        self.expect_ident("where")?;
+        let col = self.ident()?;
+        if col != "id" {
+            return Err(SqlError::Parse("only DELETE ... WHERE id = <n> is supported".into()));
+        }
+        self.expect(Token::Equals)?;
+        let id = self.number()? as i64;
+        Ok(Statement::Delete { table, id })
+    }
+
+    fn explain(&mut self) -> Result<Statement> {
+        self.expect_ident("explain")?;
+        let inner = self.select()?;
+        Ok(Statement::Explain(Box::new(inner)))
+    }
+
+    fn drop(&mut self) -> Result<Statement> {
+        self.expect_ident("drop")?;
+        let what = self.ident()?;
+        if what != "table" && what != "index" {
+            return Err(SqlError::Parse("expected DROP TABLE or DROP INDEX".into()));
+        }
+        let name = self.ident()?;
+        Ok(Statement::Drop { what, name })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table() {
+        let stmt = parse("CREATE TABLE t (id int, vec float[128]);").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CreateTable {
+                name: "t".into(),
+                columns: vec![
+                    ColumnDef::Id("id".into()),
+                    ColumnDef::Vector("vec".into(), Some(128)),
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_unsized_vector_column() {
+        let stmt = parse("CREATE TABLE t (id int, vec float[])").unwrap();
+        match stmt {
+            Statement::CreateTable { columns, .. } => {
+                assert_eq!(columns[1], ColumnDef::Vector("vec".into(), None));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_index_with_options() {
+        let stmt = parse(
+            "CREATE INDEX ivfflat_idx ON t USING ivfflat(vec) \
+             WITH (clusters = 256, sample_ratio = 10, distance_type = 0)",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateIndex { name, table, kind, column, options } => {
+                assert_eq!(name, "ivfflat_idx");
+                assert_eq!(table, "t");
+                assert_eq!(kind, IndexKind::IvfFlat);
+                assert_eq!(column, "vec");
+                assert_eq!(options.len(), 3);
+                assert_eq!(options[0].key, "clusters");
+                assert_eq!(options[0].value, 256.0);
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_multi_row() {
+        let stmt =
+            parse("INSERT INTO t VALUES (1, '{1,2}'), (2, '3,4')").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Insert {
+                table: "t".into(),
+                rows: vec![(1, vec![1.0, 2.0]), (2, vec![3.0, 4.0])],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_paper_select() {
+        // Exactly the paper's §II-E example query shape.
+        let stmt = parse(
+            "SELECT id FROM T ORDER BY vec <#> '0.1,0.2,0.3'::PASE ASC LIMIT 10;",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select { columns, table, order_by, limit, .. } => {
+                assert_eq!(columns, vec!["id"]);
+                assert_eq!(table, "t");
+                let ob = order_by.unwrap();
+                assert_eq!(ob.operator, "<#>");
+                assert!(ob.pase_cast);
+                assert_eq!(limit, Some(10));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_point_lookup() {
+        let stmt = parse("SELECT id, vec FROM t WHERE id = 7").unwrap();
+        match stmt {
+            Statement::Select { where_id, order_by, .. } => {
+                assert_eq!(where_id, Some(7));
+                assert!(order_by.is_none());
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_drop() {
+        assert_eq!(
+            parse("DROP INDEX foo").unwrap(),
+            Statement::Drop { what: "index".into(), name: "foo".into() }
+        );
+    }
+
+    #[test]
+    fn parses_delete() {
+        assert_eq!(
+            parse("DELETE FROM t WHERE id = 9").unwrap(),
+            Statement::Delete { table: "t".into(), id: 9 }
+        );
+    }
+
+    #[test]
+    fn parses_explain_select() {
+        let stmt = parse("EXPLAIN SELECT id FROM t ORDER BY vec <-> '1,2' LIMIT 3").unwrap();
+        match stmt {
+            Statement::Explain(inner) => {
+                assert!(matches!(*inner, Statement::Select { .. }));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_delete_on_non_id() {
+        assert!(parse("DELETE FROM t WHERE vec = 3").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("DROP TABLE t t2").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_am() {
+        assert!(parse("CREATE INDEX i ON t USING btree(vec)").is_err());
+    }
+
+    #[test]
+    fn rejects_limit_zero() {
+        assert!(parse("SELECT id FROM t LIMIT 0").is_err());
+    }
+
+    #[test]
+    fn rejects_where_on_other_columns() {
+        assert!(parse("SELECT id FROM t WHERE vec = 3").is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! PASE's query-vector literal format.
+//!
+//! PASE encodes the query and per-query search knobs in one string cast
+//! to `::PASE` (paper §II-E): `'v1,v2,...,vd:<knob>:<flag>'` where the
+//! knob is `nprobe` for IVF indexes or `efs` for HNSW. Both suffix
+//! fields are optional.
+
+use crate::{Result, SqlError};
+
+/// A parsed PASE literal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PaseLiteral {
+    /// The query vector.
+    pub vector: Vec<f32>,
+    /// Per-query `nprobe`/`efs` override, if present.
+    pub knob: Option<usize>,
+    /// The trailing flag field, if present (PASE uses it for scan
+    /// options; carried through uninterpreted).
+    pub flag: Option<i64>,
+}
+
+impl PaseLiteral {
+    /// Parse `'0.1,0.2,0.3:10:0'`-style text. Also accepts the pgvector
+    /// style `'{0.1, 0.2}'` braces for the vector part.
+    pub fn parse(text: &str) -> Result<PaseLiteral> {
+        let mut parts = text.splitn(3, ':');
+        let vec_part = parts.next().unwrap_or_default();
+        let knob = match parts.next() {
+            None | Some("") => None,
+            Some(s) => Some(
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| SqlError::Parse(format!("bad PASE knob {s:?}")))?,
+            ),
+        };
+        let flag = match parts.next() {
+            None | Some("") => None,
+            Some(s) => Some(
+                s.trim()
+                    .parse::<i64>()
+                    .map_err(|_| SqlError::Parse(format!("bad PASE flag {s:?}")))?,
+            ),
+        };
+        let vector = parse_vector_text(vec_part)?;
+        if vector.is_empty() {
+            return Err(SqlError::Parse("empty query vector".into()));
+        }
+        Ok(PaseLiteral { vector, knob, flag })
+    }
+}
+
+/// Parse a comma-separated float list, with or without `{}` braces.
+pub fn parse_vector_text(text: &str) -> Result<Vec<f32>> {
+    let trimmed = text.trim().trim_start_matches('{').trim_end_matches('}');
+    if trimmed.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    trimmed
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f32>()
+                .map_err(|_| SqlError::Parse(format!("bad vector component {s:?}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_vector() {
+        let lit = PaseLiteral::parse("0.1,0.2,0.3").unwrap();
+        assert_eq!(lit.vector, vec![0.1, 0.2, 0.3]);
+        assert_eq!(lit.knob, None);
+        assert_eq!(lit.flag, None);
+    }
+
+    #[test]
+    fn vector_with_knob_and_flag() {
+        let lit = PaseLiteral::parse("1,2:40:1").unwrap();
+        assert_eq!(lit.vector, vec![1.0, 2.0]);
+        assert_eq!(lit.knob, Some(40));
+        assert_eq!(lit.flag, Some(1));
+    }
+
+    #[test]
+    fn braced_pgvector_style() {
+        let lit = PaseLiteral::parse("{0.5, 1.5}").unwrap();
+        assert_eq!(lit.vector, vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let lit = PaseLiteral::parse(" 1 , 2 , 3 : 7 ").unwrap();
+        assert_eq!(lit.vector, vec![1.0, 2.0, 3.0]);
+        assert_eq!(lit.knob, Some(7));
+    }
+
+    #[test]
+    fn bad_component_rejected() {
+        assert!(PaseLiteral::parse("1,zap,3").is_err());
+    }
+
+    #[test]
+    fn empty_vector_rejected() {
+        assert!(PaseLiteral::parse(":10").is_err());
+    }
+
+    #[test]
+    fn bad_knob_rejected() {
+        assert!(PaseLiteral::parse("1,2:x").is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Query planning.
+//!
+//! Paper §II-E: one of the challenges of a generalized vector database
+//! is making "the newly-built index recognizable by the SQL query
+//! optimizer". The rule implemented here is PostgreSQL's: a `SELECT ...
+//! ORDER BY vec <op> literal LIMIT k` qualifies for an index scan when
+//! an index exists on that table+column whose operator family matches;
+//! otherwise the executor falls back to a sequential scan feeding a
+//! top-k sort.
+
+use crate::ast::{Statement, VectorOrderBy};
+use crate::pase_literal::PaseLiteral;
+use crate::{Result, SqlError};
+use vdb_vecmath::Metric;
+
+/// An executable plan for a `SELECT`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Plan {
+    /// Top-k via a vector index.
+    IndexScan {
+        /// Which index to scan.
+        index: String,
+        /// Parsed query literal.
+        query: PaseLiteral,
+        /// Result count.
+        k: usize,
+        /// Metric implied by the operator (must match the index's).
+        metric: Metric,
+    },
+    /// Top-k via sequential scan + sort (no usable index).
+    SeqScanTopK {
+        /// Parsed query literal.
+        query: PaseLiteral,
+        /// Result count.
+        k: usize,
+        /// Metric implied by the operator.
+        metric: Metric,
+    },
+    /// `WHERE id = n` point lookup via sequential scan.
+    PointLookup {
+        /// The id searched for.
+        id: i64,
+    },
+    /// Unfiltered scan (optionally limited).
+    FullScan {
+        /// Optional row limit.
+        limit: Option<usize>,
+    },
+}
+
+/// Information the planner needs about one candidate index.
+#[derive(Clone, Debug)]
+pub struct IndexCandidate {
+    /// Index name.
+    pub name: String,
+    /// Indexed column.
+    pub column: String,
+    /// Metric the index was built with.
+    pub metric: Metric,
+}
+
+/// Plan a parsed `SELECT` given the table's candidate indexes.
+pub fn plan_select(stmt: &Statement, candidates: &[IndexCandidate]) -> Result<Plan> {
+    let Statement::Select { where_id, order_by, limit, .. } = stmt else {
+        return Err(SqlError::Semantic("plan_select requires a SELECT".into()));
+    };
+
+    if let Some(id) = where_id {
+        if order_by.is_some() {
+            return Err(SqlError::Semantic(
+                "WHERE id = n combined with vector ORDER BY is not supported".into(),
+            ));
+        }
+        return Ok(Plan::PointLookup { id: *id });
+    }
+
+    let Some(ob) = order_by else {
+        return Ok(Plan::FullScan { limit: *limit });
+    };
+
+    let k = limit.ok_or_else(|| {
+        SqlError::Semantic("vector ORDER BY requires a LIMIT (top-k) clause".into())
+    })?;
+    let query = PaseLiteral::parse(&ob.literal)?;
+    let metric = ob.metric();
+
+    match pick_index(ob, metric, candidates) {
+        Some(index) => Ok(Plan::IndexScan { index, query, k, metric }),
+        None => Ok(Plan::SeqScanTopK { query, k, metric }),
+    }
+}
+
+fn pick_index(
+    ob: &VectorOrderBy,
+    metric: Metric,
+    candidates: &[IndexCandidate],
+) -> Option<String> {
+    candidates
+        .iter()
+        .find(|c| c.column == ob.column && c.metric == metric)
+        .map(|c| c.name.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn cands() -> Vec<IndexCandidate> {
+        vec![IndexCandidate { name: "idx".into(), column: "vec".into(), metric: Metric::L2 }]
+    }
+
+    #[test]
+    fn order_by_with_matching_index_uses_index_scan() {
+        let stmt = parse("SELECT id FROM t ORDER BY vec <-> '1,2' LIMIT 5").unwrap();
+        let plan = plan_select(&stmt, &cands()).unwrap();
+        match plan {
+            Plan::IndexScan { index, k, metric, .. } => {
+                assert_eq!(index, "idx");
+                assert_eq!(k, 5);
+                assert_eq!(metric, Metric::L2);
+            }
+            other => panic!("expected index scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_metric_falls_back_to_seq_scan() {
+        let stmt = parse("SELECT id FROM t ORDER BY vec <#> '1,2' LIMIT 5").unwrap();
+        let plan = plan_select(&stmt, &cands()).unwrap();
+        assert!(matches!(plan, Plan::SeqScanTopK { .. }));
+    }
+
+    #[test]
+    fn mismatched_column_falls_back() {
+        let stmt = parse("SELECT id FROM t ORDER BY other <-> '1,2' LIMIT 5").unwrap();
+        assert!(matches!(plan_select(&stmt, &cands()).unwrap(), Plan::SeqScanTopK { .. }));
+    }
+
+    #[test]
+    fn vector_order_without_limit_is_rejected() {
+        let stmt = parse("SELECT id FROM t ORDER BY vec <-> '1,2'").unwrap();
+        assert!(plan_select(&stmt, &cands()).is_err());
+    }
+
+    #[test]
+    fn where_id_plans_point_lookup() {
+        let stmt = parse("SELECT id FROM t WHERE id = 3").unwrap();
+        assert_eq!(plan_select(&stmt, &cands()).unwrap(), Plan::PointLookup { id: 3 });
+    }
+
+    #[test]
+    fn bare_select_plans_full_scan() {
+        let stmt = parse("SELECT id FROM t LIMIT 3").unwrap();
+        assert_eq!(plan_select(&stmt, &cands()).unwrap(), Plan::FullScan { limit: Some(3) });
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the SQL front end: the lexer and parser must
+//! never panic on arbitrary input, and well-formed statements must
+//! round-trip through their structured forms.
+
+use proptest::prelude::*;
+use vdb_sql::lexer::tokenize;
+use vdb_sql::parser::parse;
+use vdb_sql::pase_literal::PaseLiteral;
+
+proptest! {
+    /// Tokenizing arbitrary bytes returns Ok or Err — never panics.
+    #[test]
+    fn lexer_never_panics(input in "\\PC*") {
+        let _ = tokenize(&input);
+    }
+
+    /// Parsing arbitrary strings never panics either.
+    #[test]
+    fn parser_never_panics(input in "\\PC*") {
+        let _ = parse(&input);
+    }
+
+    /// Parsing token soup assembled from SQL-looking fragments never
+    /// panics (denser coverage of parser states than raw bytes).
+    #[test]
+    fn parser_survives_sql_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("select"), Just("from"), Just("where"), Just("order"),
+                Just("by"), Just("limit"), Just("create"), Just("table"),
+                Just("index"), Just("using"), Just("with"), Just("insert"),
+                Just("into"), Just("values"), Just("drop"), Just("delete"),
+                Just("explain"), Just("id"), Just("vec"), Just("t"),
+                Just("ivfflat"), Just("( "), Just(")"), Just(","), Just("="),
+                Just("<->"), Just("'1,2'"), Just("42"), Just("float"),
+                Just("["), Just("]"), Just("::"), Just("pase"), Just(";"),
+            ],
+            0..25,
+        )
+    ) {
+        let sql = words.join(" ");
+        let _ = parse(&sql);
+    }
+
+    /// A generated vector literal always parses back to the same floats.
+    #[test]
+    fn pase_literal_round_trips(
+        v in proptest::collection::vec(-1000.0f32..1000.0, 1..32),
+        knob in proptest::option::of(0usize..10_000),
+    ) {
+        let mut text = v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",");
+        if let Some(kn) = knob {
+            text.push_str(&format!(":{kn}"));
+        }
+        let lit = PaseLiteral::parse(&text).unwrap();
+        prop_assert_eq!(lit.vector, v);
+        prop_assert_eq!(lit.knob, knob);
+    }
+
+    /// Well-formed single-row INSERTs always parse, whatever the id and
+    /// vector contents.
+    #[test]
+    fn generated_inserts_parse(
+        id in -1_000_000i64..1_000_000,
+        v in proptest::collection::vec(-100.0f32..100.0, 1..16),
+    ) {
+        let vec_text = v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",");
+        let sql = format!("INSERT INTO t VALUES ({id}, '{{{vec_text}}}')");
+        let stmt = parse(&sql).unwrap();
+        match stmt {
+            vdb_sql::Statement::Insert { rows, .. } => {
+                prop_assert_eq!(rows[0].0, id);
+                prop_assert_eq!(&rows[0].1, &v);
+            }
+            other => prop_assert!(false, "wrong statement {other:?}"),
+        }
+    }
+
+    /// Well-formed top-k SELECTs always parse with the right k.
+    #[test]
+    fn generated_selects_parse(
+        k in 1usize..10_000,
+        v in proptest::collection::vec(-10.0f32..10.0, 1..8),
+    ) {
+        let vec_text = v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",");
+        let sql = format!("SELECT id FROM t ORDER BY vec <-> '{vec_text}' LIMIT {k}");
+        match parse(&sql).unwrap() {
+            vdb_sql::Statement::Select { limit, order_by, .. } => {
+                prop_assert_eq!(limit, Some(k));
+                prop_assert!(order_by.is_some());
+            }
+            other => prop_assert!(false, "wrong statement {other:?}"),
+        }
+    }
+}

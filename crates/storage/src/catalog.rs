@@ -1,0 +1,133 @@
+//! A minimal system catalog (`pg_class`, more or less).
+
+use crate::disk::RelId;
+use crate::{Result, StorageError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// What the catalog knows about a relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelationInfo {
+    /// Relation name.
+    pub name: String,
+    /// Underlying storage relation.
+    pub rel: RelId,
+    /// For vector tables/indexes: the vector column's dimensionality.
+    pub dim: usize,
+    /// Index relations remember which table they index.
+    pub indexed_table: Option<String>,
+}
+
+/// Name → relation mapping shared by the SQL layer and the engines.
+#[derive(Default)]
+pub struct Catalog {
+    relations: RwLock<HashMap<String, RelationInfo>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a relation; replaces any previous entry with that name.
+    pub fn register(&self, info: RelationInfo) {
+        self.relations.write().insert(info.name.clone(), info);
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Result<RelationInfo> {
+        self.relations
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Whether a relation exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.read().contains_key(name)
+    }
+
+    /// Drop a relation entry; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.relations.write().remove(name).is_some()
+    }
+
+    /// Names of all registered relations, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.relations.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// All indexes registered over a given table.
+    pub fn indexes_of(&self, table: &str) -> Vec<RelationInfo> {
+        let mut v: Vec<RelationInfo> = self
+            .relations
+            .read()
+            .values()
+            .filter(|info| info.indexed_table.as_deref() == Some(table))
+            .cloned()
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(name: &str, rel: u32, table: Option<&str>) -> RelationInfo {
+        RelationInfo {
+            name: name.to_string(),
+            rel: RelId(rel),
+            dim: 4,
+            indexed_table: table.map(String::from),
+        }
+    }
+
+    #[test]
+    fn register_and_get() {
+        let c = Catalog::new();
+        c.register(info("t", 1, None));
+        assert_eq!(c.get("t").unwrap().rel, RelId(1));
+        assert!(c.contains("t"));
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let c = Catalog::new();
+        assert!(matches!(c.get("nope"), Err(StorageError::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn register_replaces() {
+        let c = Catalog::new();
+        c.register(info("t", 1, None));
+        c.register(info("t", 2, None));
+        assert_eq!(c.get("t").unwrap().rel, RelId(2));
+    }
+
+    #[test]
+    fn indexes_of_filters_by_table() {
+        let c = Catalog::new();
+        c.register(info("t", 1, None));
+        c.register(info("idx_a", 2, Some("t")));
+        c.register(info("idx_b", 3, Some("t")));
+        c.register(info("idx_other", 4, Some("u")));
+        let idx = c.indexes_of("t");
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx[0].name, "idx_a");
+    }
+
+    #[test]
+    fn remove_works() {
+        let c = Catalog::new();
+        c.register(info("t", 1, None));
+        assert!(c.remove("t"));
+        assert!(!c.remove("t"));
+        assert!(!c.contains("t"));
+    }
+}

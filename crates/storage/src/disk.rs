@@ -1,0 +1,171 @@
+//! The simulated disk: per-relation page segments held in memory.
+//!
+//! The paper eliminates real I/O from the comparison by re-running PASE
+//! on tmpfs and observing no change (§V-A2) — the overhead under study is
+//! everything *above* the disk. Accordingly, the "disk" here is a vector
+//! of page images per relation. Reads and writes still copy full pages,
+//! as a kernel page-cache hit would.
+
+use crate::page::PageSize;
+use crate::{Result, StorageError};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// Relation identifier (like PostgreSQL's `relfilenode`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelId(pub u32);
+
+#[derive(Default)]
+struct DiskInner {
+    relations: Vec<Vec<Box<[u8]>>>,
+    reads: u64,
+    writes: u64,
+}
+
+/// In-memory page-granular storage for all relations.
+pub struct DiskManager {
+    page_size: PageSize,
+    inner: RwLock<DiskInner>,
+}
+
+impl DiskManager {
+    /// A fresh disk with the given page size.
+    pub fn new(page_size: PageSize) -> DiskManager {
+        DiskManager { page_size, inner: RwLock::new(DiskInner::default()) }
+    }
+
+    /// The page size every relation uses.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Create an empty relation and return its id.
+    pub fn create_relation(&self) -> RelId {
+        let mut inner = self.inner.write();
+        inner.relations.push(Vec::new());
+        RelId(inner.relations.len() as u32 - 1)
+    }
+
+    /// Number of blocks in a relation.
+    pub fn nblocks(&self, rel: RelId) -> usize {
+        self.inner.read().relations.get(rel.0 as usize).map_or(0, |r| r.len())
+    }
+
+    /// Append a zeroed block; returns its block number.
+    pub fn extend(&self, rel: RelId) -> u32 {
+        let mut inner = self.inner.write();
+        let size = self.page_size.bytes();
+        let pages = &mut inner.relations[rel.0 as usize];
+        pages.push(vec![0u8; size].into_boxed_slice());
+        pages.len() as u32 - 1
+    }
+
+    /// Copy a block's bytes out.
+    pub fn read_block(&self, rel: RelId, block: u32) -> Result<Box<[u8]>> {
+        let mut inner = self.inner.write();
+        inner.reads += 1;
+        inner
+            .relations
+            .get(rel.0 as usize)
+            .and_then(|r| r.get(block as usize))
+            .cloned()
+            .ok_or(StorageError::InvalidBlock(block))
+    }
+
+    /// Copy a block's bytes in.
+    pub fn write_block(&self, rel: RelId, block: u32, data: &[u8]) -> Result<()> {
+        assert_eq!(data.len(), self.page_size.bytes(), "page size mismatch");
+        let mut inner = self.inner.write();
+        inner.writes += 1;
+        let slot = inner
+            .relations
+            .get_mut(rel.0 as usize)
+            .and_then(|r| r.get_mut(block as usize))
+            .ok_or(StorageError::InvalidBlock(block))?;
+        slot.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Bytes a relation occupies on "disk" (the index-size metric of
+    /// Figures 11–13: size = pages × page size, including slack).
+    pub fn relation_bytes(&self, rel: RelId) -> usize {
+        self.nblocks(rel) * self.page_size.bytes()
+    }
+
+    /// `(reads, writes)` since creation.
+    pub fn io_counts(&self) -> (u64, u64) {
+        let inner = self.inner.read();
+        (inner.reads, inner.writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_extend_read_write() {
+        let disk = DiskManager::new(PageSize::Size4K);
+        let rel = disk.create_relation();
+        assert_eq!(disk.nblocks(rel), 0);
+        let b0 = disk.extend(rel);
+        assert_eq!(b0, 0);
+        assert_eq!(disk.nblocks(rel), 1);
+
+        let mut page = vec![0u8; 4096];
+        page[0] = 42;
+        disk.write_block(rel, 0, &page).unwrap();
+        let back = disk.read_block(rel, 0).unwrap();
+        assert_eq!(back[0], 42);
+    }
+
+    #[test]
+    fn out_of_range_block_errors() {
+        let disk = DiskManager::new(PageSize::Size8K);
+        let rel = disk.create_relation();
+        assert_eq!(disk.read_block(rel, 5), Err(StorageError::InvalidBlock(5)));
+        assert_eq!(
+            disk.write_block(rel, 0, &vec![0; 8192]),
+            Err(StorageError::InvalidBlock(0))
+        );
+    }
+
+    #[test]
+    fn relations_are_independent() {
+        let disk = DiskManager::new(PageSize::Size4K);
+        let a = disk.create_relation();
+        let b = disk.create_relation();
+        assert_ne!(a, b);
+        disk.extend(a);
+        assert_eq!(disk.nblocks(a), 1);
+        assert_eq!(disk.nblocks(b), 0);
+    }
+
+    #[test]
+    fn relation_bytes_counts_whole_pages() {
+        let disk = DiskManager::new(PageSize::Size8K);
+        let rel = disk.create_relation();
+        disk.extend(rel);
+        disk.extend(rel);
+        assert_eq!(disk.relation_bytes(rel), 2 * 8192);
+    }
+
+    #[test]
+    fn io_counters_advance() {
+        let disk = DiskManager::new(PageSize::Size4K);
+        let rel = disk.create_relation();
+        disk.extend(rel);
+        let _ = disk.read_block(rel, 0);
+        let _ = disk.write_block(rel, 0, &vec![0; 4096]);
+        assert_eq!(disk.io_counts(), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "page size mismatch")]
+    fn wrong_sized_write_panics() {
+        let disk = DiskManager::new(PageSize::Size8K);
+        let rel = disk.create_relation();
+        disk.extend(rel);
+        let _ = disk.write_block(rel, 0, &[0u8; 100]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Heap tables: relational tuple storage addressed by TID.
+//!
+//! PASE stores vectors "in a table in the same way as other attributes"
+//! (paper §II-E, Storage Layer). Every fetch resolves a [`Tid`] through
+//! the buffer manager — the "Tuple Access" cost the paper's Table V and
+//! Figure 8 break out — so fetches here are attributed to
+//! [`Category::TupleAccess`].
+
+use crate::buffer::BufferManager;
+use crate::disk::RelId;
+use crate::page::Page;
+use crate::tid::Tid;
+use crate::{Result, StorageError};
+use parking_lot::Mutex;
+use vdb_profile::{self as profile, Category};
+
+/// A heap relation: an unordered collection of tuples in slotted pages.
+pub struct HeapTable {
+    rel: RelId,
+    /// Insertion fast path: the last block that accepted a tuple (a
+    /// one-entry stand-in for PostgreSQL's free-space map).
+    last_block: Mutex<Option<u32>>,
+}
+
+impl HeapTable {
+    /// Create a new empty heap relation on the buffer manager's disk.
+    pub fn create(bm: &BufferManager) -> HeapTable {
+        HeapTable { rel: bm.disk().create_relation(), last_block: Mutex::new(None) }
+    }
+
+    /// Wrap an existing relation.
+    pub fn open(rel: RelId) -> HeapTable {
+        HeapTable { rel, last_block: Mutex::new(None) }
+    }
+
+    /// The underlying relation id.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// Insert a tuple, returning its TID.
+    ///
+    /// Errors with [`StorageError::TupleTooLarge`] if the tuple cannot
+    /// fit even an empty page.
+    pub fn insert(&self, bm: &BufferManager, tuple: &[u8]) -> Result<Tid> {
+        let max = Page::max_item_size(bm.page_size(), 0);
+        if tuple.len() > max {
+            return Err(StorageError::TupleTooLarge { need: tuple.len(), available: max });
+        }
+
+        // Fast path: try the last block we inserted into.
+        let hint = *self.last_block.lock();
+        if let Some(blk) = hint {
+            if let Some(off) = bm.with_page_mut(self.rel, blk, |p| p.add_item(tuple))? {
+                return Ok(Tid::new(blk, off));
+            }
+        }
+
+        // Slow path: fresh page.
+        let (blk, off) = bm.new_page(self.rel, 0, |p| {
+            p.add_item(tuple).expect("fresh page must fit a checked tuple")
+        })?;
+        *self.last_block.lock() = Some(blk);
+        Ok(Tid::new(blk, off))
+    }
+
+    /// Fetch the tuple at `tid` and run `f` on its bytes.
+    ///
+    /// The resolution — buffer-pool lookup, pin, line-pointer chase — is
+    /// timed under [`Category::TupleAccess`] by the buffer manager; the
+    /// closure's own work is not, so distance computation done on the
+    /// tuple stays separately attributable.
+    pub fn fetch<R>(
+        &self,
+        bm: &BufferManager,
+        tid: Tid,
+        f: impl FnOnce(&[f32]) -> R,
+    ) -> Result<R>
+    where
+        R: Sized,
+    {
+        profile::count(Category::TupleAccess, 1);
+        bm.with_page(self.rel, tid.block, |p| {
+            p.item(tid.offset)
+                .map(|bytes| f(bytemuck_f32(bytes)))
+                .ok_or(StorageError::InvalidTid(tid))
+        })?
+    }
+
+    /// Fetch the raw bytes of the tuple at `tid`.
+    pub fn fetch_bytes<R>(
+        &self,
+        bm: &BufferManager,
+        tid: Tid,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        profile::count(Category::TupleAccess, 1);
+        bm.with_page(self.rel, tid.block, |p| {
+            p.item(tid.offset).map(f).ok_or(StorageError::InvalidTid(tid))
+        })?
+    }
+
+    /// Delete the tuple at `tid`; returns whether it was live.
+    pub fn delete(&self, bm: &BufferManager, tid: Tid) -> Result<bool> {
+        bm.with_page_mut(self.rel, tid.block, |p| p.delete_item(tid.offset))
+    }
+
+    /// Sequential scan: call `f(tid, bytes)` for every live tuple.
+    pub fn scan(&self, bm: &BufferManager, mut f: impl FnMut(Tid, &[u8])) -> Result<()> {
+        let nblocks = bm.disk().nblocks(self.rel);
+        for blk in 0..nblocks as u32 {
+            bm.with_page(self.rel, blk, |p| {
+                for (off, bytes) in p.items() {
+                    f(Tid::new(blk, off), bytes);
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Number of live tuples (via a full scan).
+    pub fn count(&self, bm: &BufferManager) -> Result<usize> {
+        let mut n = 0;
+        self.scan(bm, |_, _| n += 1)?;
+        Ok(n)
+    }
+
+    /// Bytes this relation occupies (pages × page size).
+    pub fn bytes(&self, bm: &BufferManager) -> usize {
+        bm.disk().relation_bytes(self.rel)
+    }
+}
+
+/// View a byte slice as f32s (tuples storing vector payloads).
+///
+/// # Panics
+/// Panics if the slice length is not a multiple of 4.
+pub fn bytemuck_f32(bytes: &[u8]) -> &[f32] {
+    assert_eq!(bytes.len() % 4, 0, "tuple is not an f32 array");
+    // Tuples are written from &[f32] via `as_bytes_f32`, and page item
+    // space has no alignment guarantee, so check before casting.
+    let ptr = bytes.as_ptr();
+    assert_eq!(ptr.align_offset(std::mem::align_of::<f32>()), 0, "unaligned f32 tuple");
+    unsafe { std::slice::from_raw_parts(ptr.cast::<f32>(), bytes.len() / 4) }
+}
+
+/// View an f32 slice as bytes for insertion.
+pub fn as_bytes_f32(values: &[f32]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 4) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskManager;
+    use crate::page::PageSize;
+    use std::sync::Arc;
+
+    fn setup() -> (BufferManager, HeapTable) {
+        let disk = Arc::new(DiskManager::new(PageSize::Size4K));
+        let bm = BufferManager::new(disk, 16);
+        let table = HeapTable::create(&bm);
+        (bm, table)
+    }
+
+    #[test]
+    fn insert_and_fetch_round_trip() {
+        let (bm, t) = setup();
+        let v = [1.0f32, 2.0, 3.0];
+        let tid = t.insert(&bm, as_bytes_f32(&v)).unwrap();
+        let got = t.fetch(&bm, tid, |x| x.to_vec()).unwrap();
+        assert_eq!(got, v);
+    }
+
+    #[test]
+    fn inserts_spill_to_new_pages() {
+        let (bm, t) = setup();
+        let tuple = vec![0u8; 1500];
+        let mut tids = Vec::new();
+        for _ in 0..10 {
+            tids.push(t.insert(&bm, &tuple).unwrap());
+        }
+        // 4KB pages hold two 1500-byte tuples: at least 5 blocks.
+        let max_block = tids.iter().map(|t| t.block).max().unwrap();
+        assert!(max_block >= 4, "expected spill, max block {max_block}");
+        assert_eq!(t.count(&bm).unwrap(), 10);
+    }
+
+    #[test]
+    fn oversized_tuple_rejected() {
+        let (bm, t) = setup();
+        let err = t.insert(&bm, &vec![0u8; 5000]).unwrap_err();
+        assert!(matches!(err, StorageError::TupleTooLarge { .. }));
+    }
+
+    #[test]
+    fn fetch_dead_tuple_errors() {
+        let (bm, t) = setup();
+        let tid = t.insert(&bm, as_bytes_f32(&[1.0])).unwrap();
+        assert!(t.delete(&bm, tid).unwrap());
+        let err = t.fetch(&bm, tid, |_| ()).unwrap_err();
+        assert_eq!(err, StorageError::InvalidTid(tid));
+    }
+
+    #[test]
+    fn scan_sees_all_live_tuples_in_order() {
+        let (bm, t) = setup();
+        let mut expected = Vec::new();
+        for i in 0..20 {
+            let val = i as f32;
+            let tid = t.insert(&bm, as_bytes_f32(&[val])).unwrap();
+            expected.push((tid, val));
+        }
+        t.delete(&bm, expected[5].0).unwrap();
+        expected.remove(5);
+        let mut seen = Vec::new();
+        t.scan(&bm, |tid, bytes| seen.push((tid, bytemuck_f32(bytes)[0]))).unwrap();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn fetch_counts_tuple_access_profile() {
+        let (bm, t) = setup();
+        let tid = t.insert(&bm, as_bytes_f32(&[4.0, 5.0])).unwrap();
+        profile::enable(true);
+        profile::reset_local();
+        t.fetch(&bm, tid, |_| ()).unwrap();
+        let b = profile::take_local();
+        // One logical fetch plus the buffer manager's pin/unpin scopes.
+        assert!(b.count(Category::TupleAccess) >= 1);
+        assert!(b.nanos(Category::TupleAccess) > 0);
+        profile::enable(false);
+    }
+
+    #[test]
+    fn bytes_reflects_page_count() {
+        let (bm, t) = setup();
+        t.insert(&bm, &[0u8; 100]).unwrap();
+        assert_eq!(t.bytes(&bm), 4096);
+    }
+}

@@ -1,0 +1,142 @@
+//! Model-based property test: the page/buffer/heap stack against a
+//! plain in-memory map, under arbitrary operation sequences and an
+//! adversarially small buffer pool.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vdb_storage::heap::as_bytes_f32;
+use vdb_storage::{BufferManager, DiskManager, HeapTable, PageSize, StorageError, Tid};
+
+/// An operation against the storage stack.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Insert a tuple of the given length and fill byte.
+    Insert { len: usize, fill: u8 },
+    /// Fetch the i-th previously inserted tuple (mod live count).
+    Fetch(usize),
+    /// Delete the i-th previously inserted tuple (mod live count).
+    Delete(usize),
+    /// Flush everything to the disk manager.
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..600, any::<u8>()).prop_map(|(len, fill)| Op::Insert { len, fill }),
+        (0usize..1000).prop_map(Op::Fetch),
+        (0usize..1000).prop_map(Op::Delete),
+        Just(Op::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever sequence of inserts/fetches/deletes/flushes runs, and
+    /// however small the pool (forcing constant eviction), every live
+    /// tuple reads back exactly and every deleted tuple stays gone.
+    #[test]
+    fn storage_stack_matches_model(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        pool in 2usize..12,
+    ) {
+        let disk = Arc::new(DiskManager::new(PageSize::Size4K));
+        let bm = BufferManager::new(disk, pool);
+        let table = HeapTable::create(&bm);
+
+        let mut model: HashMap<Tid, Vec<u8>> = HashMap::new();
+        let mut order: Vec<Tid> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert { len, fill } => {
+                    let tuple = vec![fill; len];
+                    let tid = table.insert(&bm, &tuple).unwrap();
+                    prop_assert!(!model.contains_key(&tid), "TID reuse of {tid:?}");
+                    model.insert(tid, tuple);
+                    order.push(tid);
+                }
+                Op::Fetch(i) if !order.is_empty() => {
+                    let tid = order[i % order.len()];
+                    match model.get(&tid) {
+                        Some(expected) => {
+                            let got = table
+                                .fetch_bytes(&bm, tid, |b| b.to_vec())
+                                .unwrap();
+                            prop_assert_eq!(&got, expected);
+                        }
+                        None => {
+                            let err = table.fetch_bytes(&bm, tid, |_| ()).unwrap_err();
+                            prop_assert_eq!(err, StorageError::InvalidTid(tid));
+                        }
+                    }
+                }
+                Op::Delete(i) if !order.is_empty() => {
+                    let tid = order[i % order.len()];
+                    let was_live = table.delete(&bm, tid).unwrap();
+                    prop_assert_eq!(was_live, model.remove(&tid).is_some());
+                }
+                Op::Flush => bm.flush_all().unwrap(),
+                _ => {}
+            }
+        }
+
+        // Final full verification via sequential scan.
+        let mut seen = HashMap::new();
+        table
+            .scan(&bm, |tid, bytes| {
+                seen.insert(tid, bytes.to_vec());
+            })
+            .unwrap();
+        prop_assert_eq!(seen, model);
+    }
+
+    /// The same workload must produce identical tuple placement with a
+    /// huge pool and a tiny pool: eviction is invisible to correctness.
+    #[test]
+    fn pool_size_is_transparent(
+        lens in proptest::collection::vec(1usize..400, 1..60),
+    ) {
+        let run = |pool: usize| {
+            let disk = Arc::new(DiskManager::new(PageSize::Size4K));
+            let bm = BufferManager::new(disk, pool);
+            let table = HeapTable::create(&bm);
+            let mut tids = Vec::new();
+            for (i, &len) in lens.iter().enumerate() {
+                let payload = vec![(i % 251) as u8; len];
+                tids.push(table.insert(&bm, &payload).unwrap());
+            }
+            let mut contents = Vec::new();
+            table.scan(&bm, |tid, b| contents.push((tid, b.to_vec()))).unwrap();
+            (tids, contents)
+        };
+        let big = run(512);
+        let tiny = run(2);
+        prop_assert_eq!(big, tiny);
+    }
+
+    /// f32 payload round trip through pages preserves bit patterns.
+    #[test]
+    fn f32_tuples_bit_exact(
+        vecs in proptest::collection::vec(
+            proptest::collection::vec(any::<f32>(), 1..64),
+            1..20,
+        ),
+    ) {
+        let disk = Arc::new(DiskManager::new(PageSize::Size8K));
+        let bm = BufferManager::new(disk, 8);
+        let table = HeapTable::create(&bm);
+        let mut tids = Vec::new();
+        for v in &vecs {
+            tids.push(table.insert(&bm, as_bytes_f32(v)).unwrap());
+        }
+        for (tid, v) in tids.iter().zip(&vecs) {
+            let got = table.fetch(&bm, *tid, |f| f.to_vec()).unwrap();
+            prop_assert_eq!(got.len(), v.len());
+            for (a, b) in got.iter().zip(v) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

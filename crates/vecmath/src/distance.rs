@@ -1,0 +1,197 @@
+//! Scalar distance kernels.
+//!
+//! Two implementations of squared-L2 and inner product:
+//!
+//! * [`DistanceKernel::Optimized`] — 8-wide unrolled loops with independent
+//!   accumulators, the Rust analogue of Faiss's SIMD `fvec_L2sqr`;
+//! * [`DistanceKernel::Reference`] — the dependent-chain scalar loop,
+//!   matching PASE's `fvec_L2sqr_ref`, which the paper's profiles show as
+//!   the IVF-build bottleneck (§V-A).
+//!
+//! Every call is attributed to [`vdb_profile::Category::DistanceCalc`] when
+//! profiling is enabled, which is how the breakdown tables (Table V,
+//! Figure 8) are produced.
+
+use vdb_profile::{count, enabled, Category};
+
+/// Which scalar distance kernel to use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DistanceKernel {
+    /// Unrolled, multi-accumulator kernel (Faiss-like).
+    #[default]
+    Optimized,
+    /// Simple dependent-chain loop (`fvec_L2sqr_ref`, PASE-like).
+    Reference,
+}
+
+/// Squared L2 distance between two equal-length vectors.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn l2_sqr(kernel: DistanceKernel, x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dimension mismatch");
+    if enabled() {
+        count(Category::DistanceCalc, 1);
+    }
+    match kernel {
+        DistanceKernel::Optimized => l2_sqr_unrolled(x, y),
+        DistanceKernel::Reference => l2_sqr_ref(x, y),
+    }
+}
+
+/// Inner product of two equal-length vectors.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn inner_product(kernel: DistanceKernel, x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dimension mismatch");
+    if enabled() {
+        count(Category::DistanceCalc, 1);
+    }
+    match kernel {
+        DistanceKernel::Optimized => dot_unrolled(x, y),
+        DistanceKernel::Reference => dot_ref(x, y),
+    }
+}
+
+/// Cosine distance `1 − (x·y)/(‖x‖‖y‖)`; `1.0` if either vector is zero.
+pub fn cosine_distance(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dimension mismatch");
+    let dot = dot_unrolled(x, y);
+    let nx = dot_unrolled(x, x).sqrt();
+    let ny = dot_unrolled(y, y).sqrt();
+    if nx == 0.0 || ny == 0.0 {
+        1.0
+    } else {
+        1.0 - dot / (nx * ny)
+    }
+}
+
+/// The reference (PASE-style) squared-L2 loop: a single accumulator, so
+/// every iteration depends on the previous one.
+#[inline]
+pub fn l2_sqr_ref(x: &[f32], y: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for i in 0..x.len() {
+        let diff = x[i] - y[i];
+        acc += diff * diff;
+    }
+    acc
+}
+
+#[inline]
+fn dot_ref(x: &[f32], y: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for i in 0..x.len() {
+        acc += x[i] * y[i];
+    }
+    acc
+}
+
+/// Unrolled squared-L2 with four independent accumulators over 8-element
+/// chunks — breaks the dependency chain so the compiler vectorizes it.
+#[inline]
+pub fn l2_sqr_unrolled(x: &[f32], y: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let mut xc = x.chunks_exact(8);
+    let mut yc = y.chunks_exact(8);
+    for (xs, ys) in xc.by_ref().zip(yc.by_ref()) {
+        for lane in 0..4 {
+            let d0 = xs[2 * lane] - ys[2 * lane];
+            let d1 = xs[2 * lane + 1] - ys[2 * lane + 1];
+            acc[lane] += d0 * d0 + d1 * d1;
+        }
+    }
+    let mut tail = 0.0f32;
+    for (a, b) in xc.remainder().iter().zip(yc.remainder()) {
+        let d = a - b;
+        tail += d * d;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+#[inline]
+fn dot_unrolled(x: &[f32], y: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let mut xc = x.chunks_exact(8);
+    let mut yc = y.chunks_exact(8);
+    for (xs, ys) in xc.by_ref().zip(yc.by_ref()) {
+        for lane in 0..4 {
+            acc[lane] += xs[2 * lane] * ys[2 * lane] + xs[2 * lane + 1] * ys[2 * lane + 1];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (a, b) in xc.remainder().iter().zip(yc.remainder()) {
+        tail += a * b;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn kernels_agree_on_small_vectors() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 6.0, 8.0];
+        let expected = 9.0 + 16.0 + 25.0;
+        assert_eq!(l2_sqr(DistanceKernel::Optimized, &x, &y), expected);
+        assert_eq!(l2_sqr(DistanceKernel::Reference, &x, &y), expected);
+    }
+
+    #[test]
+    fn empty_vectors_have_zero_distance() {
+        assert_eq!(l2_sqr(DistanceKernel::Optimized, &[], &[]), 0.0);
+        assert_eq!(inner_product(DistanceKernel::Reference, &[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_lengths_panic() {
+        l2_sqr(DistanceKernel::Optimized, &[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn unrolled_handles_non_multiple_of_eight() {
+        for len in [1usize, 7, 8, 9, 15, 16, 17, 100, 128, 960] {
+            let x: Vec<f32> = (0..len).map(|i| (i as f32 * 0.1).sin()).collect();
+            let y: Vec<f32> = (0..len).map(|i| (i as f32 * 0.2).cos()).collect();
+            let fast = l2_sqr_unrolled(&x, &y);
+            let slow = l2_sqr_ref(&x, &y);
+            assert!((fast - slow).abs() < 1e-3 * (1.0 + slow), "len={len}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_one() {
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 2.0]), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kernels_agree(v in proptest::collection::vec(-100.0f32..100.0, 0..64)) {
+            let y: Vec<f32> = v.iter().map(|x| x * 0.5 + 1.0).collect();
+            let fast = l2_sqr_unrolled(&v, &y);
+            let slow = l2_sqr_ref(&v, &y);
+            prop_assert!((fast - slow).abs() <= 1e-3 * (1.0 + slow.abs()));
+        }
+
+        #[test]
+        fn prop_l2_symmetric(v in proptest::collection::vec(-10.0f32..10.0, 1..32)) {
+            let y: Vec<f32> = v.iter().rev().copied().collect();
+            let xy = l2_sqr_ref(&v, &y);
+            let yx = l2_sqr_ref(&y, &v);
+            prop_assert_eq!(xy, yx);
+        }
+
+        #[test]
+        fn prop_l2_nonnegative(v in proptest::collection::vec(-10.0f32..10.0, 1..32)) {
+            let y: Vec<f32> = v.iter().map(|x| -x).collect();
+            prop_assert!(l2_sqr_unrolled(&v, &y) >= 0.0);
+        }
+    }
+}

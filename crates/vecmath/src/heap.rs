@@ -1,0 +1,420 @@
+//! Top-k selection — bounded vs unbounded heaps (RC#6).
+//!
+//! §VII-A of the paper: Faiss inserts computed distances into a heap of
+//! size *k*, while PASE accumulates a heap of size *n* (every candidate in
+//! the probed buckets) and only then extracts the top *k*. Both strategies
+//! are implemented here so either engine can be configured with either
+//! behaviour — the ablation bench flips this flag alone.
+//!
+//! Heap maintenance time is attributed to
+//! [`vdb_profile::Category::MinHeap`].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use vdb_profile::{self as profile, Category};
+
+/// A search result: a vector id and its distance to the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Identifier of the data vector (row id / heap TID surrogate).
+    pub id: u64,
+    /// Distance under the query's metric; smaller is better.
+    pub distance: f32,
+}
+
+impl Neighbor {
+    /// Create a neighbor.
+    pub fn new(id: u64, distance: f32) -> Self {
+        Neighbor { id, distance }
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Neighbor {
+    /// Total order by distance (NaN sorts last), ties broken by id so
+    /// result sets are deterministic.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.distance
+            .total_cmp(&other.distance)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// Which top-k strategy a search uses (RC#6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TopKStrategy {
+    /// Bounded max-heap of size `k`; candidates worse than the current
+    /// k-th are rejected in O(1). Faiss's behaviour.
+    #[default]
+    SizeK,
+    /// Unbounded heap holding all `n` candidates, extracted at the end.
+    /// PASE's behaviour.
+    SizeN,
+}
+
+impl TopKStrategy {
+    /// Build a collector for `k` results with this strategy.
+    pub fn collector(self, k: usize) -> TopKCollector {
+        match self {
+            TopKStrategy::SizeK => TopKCollector::SizeK(KHeap::new(k)),
+            TopKStrategy::SizeN => TopKCollector::SizeN(NHeap::new(k)),
+        }
+    }
+}
+
+/// Bounded max-heap keeping the `k` smallest distances seen.
+#[derive(Clone, Debug)]
+pub struct KHeap {
+    k: usize,
+    // Max-heap on distance: the root is the *worst* of the current top-k,
+    // so a better candidate replaces the root.
+    heap: BinaryHeap<Neighbor>,
+}
+
+impl KHeap {
+    /// A heap that retains the `k` best (smallest-distance) entries.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KHeap { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Current worst distance among the kept entries, or `f32::INFINITY`
+    /// while fewer than `k` entries are held.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap.peek().map_or(f32::INFINITY, |n| n.distance)
+        }
+    }
+
+    /// Offer a candidate; rejected in O(1) if not better than the current
+    /// k-th best. Comparison uses the full [`Neighbor`] order (distance,
+    /// then id, NaN last) so ties and NaNs behave deterministically.
+    ///
+    /// Pushes are neither individually timed nor counted — per-push
+    /// instrumentation would measure itself, not the heap. Engines
+    /// batch-time and batch-count their push loops under
+    /// [`Category::MinHeap`].
+    #[inline]
+    pub fn push(&mut self, id: u64, distance: f32) {
+        let cand = Neighbor::new(id, distance);
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+        } else if self.heap.peek().is_some_and(|worst| cand < *worst) {
+            self.heap.pop();
+            self.heap.push(cand);
+        }
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Extract results sorted best-first.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+
+    /// Merge another heap's contents into this one (used by the
+    /// local-heap parallel search, RC#3).
+    pub fn merge(&mut self, other: KHeap) {
+        for n in other.heap {
+            self.push(n.id, n.distance);
+        }
+    }
+}
+
+/// Unbounded heap: collects *every* candidate, extracts `k` at the end.
+///
+/// Models PASE's top-k path, where the executor materializes all probed
+/// tuples into a size-*n* heap. The extra `log n` factor per push and the
+/// O(n) memory are the RC#6 overhead.
+#[derive(Clone, Debug)]
+pub struct NHeap {
+    k: usize,
+    // Min-heap via Reverse ordering is avoided; we store all and sort on
+    // extraction, but pushes still pay BinaryHeap maintenance like PASE's
+    // pairing heap does.
+    heap: BinaryHeap<std::cmp::Reverse<Neighbor>>,
+}
+
+impl NHeap {
+    /// A collector that keeps everything and truncates to `k` at the end.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        NHeap { k, heap: BinaryHeap::new() }
+    }
+
+    /// Insert a candidate (never rejected — that is the point).
+    #[inline]
+    pub fn push(&mut self, id: u64, distance: f32) {
+        self.heap.push(std::cmp::Reverse(Neighbor::new(id, distance)));
+    }
+
+    /// Number of entries currently held (grows with n, not k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pop the `k` best entries, best-first (timed: extracting from a
+    /// size-n heap is part of RC#6's cost).
+    pub fn into_sorted(mut self) -> Vec<Neighbor> {
+        let _t = profile::scoped(Category::MinHeap);
+        let mut out = Vec::with_capacity(self.k.min(self.heap.len()));
+        for _ in 0..self.k {
+            match self.heap.pop() {
+                Some(std::cmp::Reverse(n)) => out.push(n),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// Either top-k strategy behind one interface.
+#[derive(Clone, Debug)]
+pub enum TopKCollector {
+    /// Bounded (Faiss-style).
+    SizeK(KHeap),
+    /// Unbounded (PASE-style).
+    SizeN(NHeap),
+}
+
+impl TopKCollector {
+    /// Offer a candidate.
+    #[inline]
+    pub fn push(&mut self, id: u64, distance: f32) {
+        match self {
+            TopKCollector::SizeK(h) => h.push(id, distance),
+            TopKCollector::SizeN(h) => h.push(id, distance),
+        }
+    }
+
+    /// Prune threshold: meaningful only for the bounded strategy; the
+    /// unbounded strategy never prunes (returns infinity).
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        match self {
+            TopKCollector::SizeK(h) => h.threshold(),
+            TopKCollector::SizeN(_) => f32::INFINITY,
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        match self {
+            TopKCollector::SizeK(h) => h.len(),
+            TopKCollector::SizeN(h) => h.len(),
+        }
+    }
+
+    /// Whether no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extract the k best entries, best-first.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        match self {
+            TopKCollector::SizeK(h) => h.into_sorted(),
+            TopKCollector::SizeN(h) => h.into_sorted(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn oracle_topk(pairs: &[(u64, f32)], k: usize) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = pairs.iter().map(|&(id, d)| Neighbor::new(id, d)).collect();
+        v.sort_unstable();
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn kheap_keeps_k_smallest() {
+        let mut h = KHeap::new(3);
+        for (id, d) in [(1, 5.0), (2, 1.0), (3, 3.0), (4, 0.5), (5, 9.0)] {
+            h.push(id, d);
+        }
+        let out = h.into_sorted();
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn kheap_threshold_tracks_worst_kept() {
+        let mut h = KHeap::new(2);
+        assert_eq!(h.threshold(), f32::INFINITY);
+        h.push(1, 4.0);
+        assert_eq!(h.threshold(), f32::INFINITY); // not yet full
+        h.push(2, 2.0);
+        assert_eq!(h.threshold(), 4.0);
+        h.push(3, 1.0); // evicts 4.0
+        assert_eq!(h.threshold(), 2.0);
+    }
+
+    #[test]
+    fn kheap_with_fewer_than_k_returns_all() {
+        let mut h = KHeap::new(10);
+        h.push(1, 1.0);
+        h.push(2, 0.5);
+        let out = h.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, 2);
+    }
+
+    #[test]
+    fn nheap_retains_everything_until_extraction() {
+        let mut h = NHeap::new(2);
+        for i in 0..100u64 {
+            h.push(i, (100 - i) as f32);
+        }
+        assert_eq!(h.len(), 100); // RC#6: grows with n
+        let out = h.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, 99);
+        assert_eq!(out[1].id, 98);
+    }
+
+    #[test]
+    fn strategies_agree_on_results() {
+        let pairs: Vec<(u64, f32)> =
+            (0..500).map(|i| (i as u64, ((i * 7919) % 503) as f32)).collect();
+        for k in [1usize, 10, 100] {
+            let mut a = TopKStrategy::SizeK.collector(k);
+            let mut b = TopKStrategy::SizeN.collector(k);
+            for &(id, d) in &pairs {
+                a.push(id, d);
+                b.push(id, d);
+            }
+            assert_eq!(a.into_sorted(), b.into_sorted(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn ties_break_by_id_deterministically() {
+        let mut h = KHeap::new(2);
+        h.push(9, 1.0);
+        h.push(3, 1.0);
+        h.push(5, 1.0);
+        let out = h.into_sorted();
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![3, 5]);
+    }
+
+    #[test]
+    fn merge_preserves_topk() {
+        let mut a = KHeap::new(3);
+        let mut b = KHeap::new(3);
+        for (id, d) in [(1, 10.0), (2, 1.0), (3, 8.0)] {
+            a.push(id, d);
+        }
+        for (id, d) in [(4, 0.5), (5, 9.0), (6, 2.0)] {
+            b.push(id, d);
+        }
+        a.merge(b);
+        let out = a.into_sorted();
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![4, 2, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        KHeap::new(0);
+    }
+
+    #[test]
+    fn nan_sorts_last() {
+        let mut h = KHeap::new(2);
+        h.push(1, f32::NAN);
+        h.push(2, 1.0);
+        h.push(3, 2.0);
+        let out = h.into_sorted();
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kheap_matches_sort_oracle(
+            dists in proptest::collection::vec(0.0f32..1000.0, 1..200),
+            k in 1usize..50,
+        ) {
+            let pairs: Vec<(u64, f32)> =
+                dists.iter().enumerate().map(|(i, &d)| (i as u64, d)).collect();
+            let mut h = KHeap::new(k);
+            for &(id, d) in &pairs {
+                h.push(id, d);
+            }
+            prop_assert_eq!(h.into_sorted(), oracle_topk(&pairs, k));
+        }
+
+        #[test]
+        fn prop_nheap_matches_sort_oracle(
+            dists in proptest::collection::vec(0.0f32..1000.0, 1..200),
+            k in 1usize..50,
+        ) {
+            let pairs: Vec<(u64, f32)> =
+                dists.iter().enumerate().map(|(i, &d)| (i as u64, d)).collect();
+            let mut h = NHeap::new(k);
+            for &(id, d) in &pairs {
+                h.push(id, d);
+            }
+            prop_assert_eq!(h.into_sorted(), oracle_topk(&pairs, k));
+        }
+
+        #[test]
+        fn prop_merge_equals_single_heap(
+            dists in proptest::collection::vec(0.0f32..1000.0, 2..100),
+            split in 1usize..99,
+            k in 1usize..20,
+        ) {
+            let pairs: Vec<(u64, f32)> =
+                dists.iter().enumerate().map(|(i, &d)| (i as u64, d)).collect();
+            let split = split.min(pairs.len() - 1);
+            let mut single = KHeap::new(k);
+            for &(id, d) in &pairs {
+                single.push(id, d);
+            }
+            let mut left = KHeap::new(k);
+            let mut right = KHeap::new(k);
+            for &(id, d) in &pairs[..split] {
+                left.push(id, d);
+            }
+            for &(id, d) in &pairs[split..] {
+                right.push(id, d);
+            }
+            left.merge(right);
+            prop_assert_eq!(left.into_sorted(), single.into_sorted());
+        }
+    }
+}

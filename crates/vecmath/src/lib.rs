@@ -1,0 +1,37 @@
+//! Shared vector math for both vector-database engines.
+//!
+//! Everything in this crate is engine-agnostic: both the specialized
+//! (Faiss-like) and generalized (PASE-like) engines consume these
+//! primitives, but each engine picks the *variant* that matches its real
+//! counterpart — that choice is precisely what the paper's root causes
+//! are about:
+//!
+//! | Module | Root cause | Variants |
+//! |---|---|---|
+//! | [`distance`] | — | optimized unrolled kernel vs `fvec_L2sqr_ref`-style reference loop |
+//! | [`heap`] | RC#6 | size-*k* bounded heap vs size-*n* heap |
+//! | [`kmeans`] | RC#5 | Faiss-style vs PASE-style clustering |
+//! | [`pq`] | RC#7 | optimized vs straightforward ADC precomputed table |
+//!
+//! The SGEMM decision (RC#1) lives in [`vdb_gemm`] and threads through
+//! [`kmeans`] as a parameter.
+
+pub mod distance;
+pub mod heap;
+pub mod kmeans;
+pub mod metric;
+pub mod parallel;
+pub mod params;
+pub mod pq;
+pub mod sampling;
+pub mod sq;
+pub mod vectors;
+
+pub use distance::DistanceKernel;
+pub use heap::{KHeap, NHeap, Neighbor, TopKCollector, TopKStrategy};
+pub use kmeans::{Kmeans, KmeansFlavor, KmeansParams};
+pub use metric::Metric;
+pub use params::{BuildTiming, HnswParams, IvfParams, PqParams};
+pub use pq::{PqTableMode, ProductQuantizer};
+pub use sq::ScalarQuantizer;
+pub use vectors::VectorSet;

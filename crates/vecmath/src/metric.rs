@@ -1,0 +1,103 @@
+//! Similarity metrics.
+//!
+//! PASE encodes the metric as an integer in the index options (`0` =
+//! Euclidean in the paper's `CREATE INDEX` example); Faiss has
+//! `MetricType`. Both engines here share this enum. All metrics are
+//! normalized to *distances* (smaller = more similar) so heaps and result
+//! ordering are uniform.
+
+use crate::distance::{cosine_distance, inner_product, l2_sqr, DistanceKernel};
+use serde::{Deserialize, Serialize};
+
+/// Vector similarity metric.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Squared Euclidean distance (PASE distance type 0).
+    #[default]
+    L2,
+    /// Negated inner product, so smaller is still better (PASE type 1).
+    InnerProduct,
+    /// Cosine distance `1 − cos(x, y)` (PASE type 2).
+    Cosine,
+}
+
+impl Metric {
+    /// Distance between two vectors under this metric using the optimized
+    /// kernels.
+    #[inline]
+    pub fn distance(self, x: &[f32], y: &[f32]) -> f32 {
+        self.distance_with(DistanceKernel::Optimized, x, y)
+    }
+
+    /// Distance using an explicit kernel choice (the reference kernel is
+    /// PASE's `fvec_L2sqr_ref` code path).
+    #[inline]
+    pub fn distance_with(self, kernel: DistanceKernel, x: &[f32], y: &[f32]) -> f32 {
+        match self {
+            Metric::L2 => l2_sqr(kernel, x, y),
+            Metric::InnerProduct => -inner_product(kernel, x, y),
+            Metric::Cosine => cosine_distance(x, y),
+        }
+    }
+
+    /// PASE's integer code for this metric (used by the SQL layer's
+    /// `distance_type` index option).
+    pub fn pase_code(self) -> u32 {
+        match self {
+            Metric::L2 => 0,
+            Metric::InnerProduct => 1,
+            Metric::Cosine => 2,
+        }
+    }
+
+    /// Parse PASE's integer code.
+    pub fn from_pase_code(code: u32) -> Option<Metric> {
+        match code {
+            0 => Some(Metric::L2),
+            1 => Some(Metric::InnerProduct),
+            2 => Some(Metric::Cosine),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_of_identical_vectors_is_zero() {
+        let v = [1.0, -2.0, 3.5];
+        assert_eq!(Metric::L2.distance(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn l2_is_squared_euclidean() {
+        assert_eq!(Metric::L2.distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn inner_product_smaller_is_better() {
+        let q = [1.0, 0.0];
+        let close = [10.0, 0.0];
+        let far = [0.1, 0.0];
+        assert!(Metric::InnerProduct.distance(&q, &close) < Metric::InnerProduct.distance(&q, &far));
+    }
+
+    #[test]
+    fn cosine_ignores_magnitude() {
+        let a = [1.0, 1.0];
+        let b = [5.0, 5.0];
+        assert!(Metric::Cosine.distance(&a, &b).abs() < 1e-6);
+        let c = [-1.0, -1.0];
+        assert!((Metric::Cosine.distance(&a, &c) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pase_codes_round_trip() {
+        for m in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
+            assert_eq!(Metric::from_pase_code(m.pase_code()), Some(m));
+        }
+        assert_eq!(Metric::from_pase_code(7), None);
+    }
+}

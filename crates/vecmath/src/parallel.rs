@@ -1,0 +1,228 @@
+//! Minimal fork-join helpers over crossbeam scoped threads.
+//!
+//! The engine's parallelism (RC#3) is deliberately simple: static range
+//! partitioning with per-thread outputs merged by the caller. That is how
+//! Faiss parallelizes the IVF adding phase and intra-query search, and it
+//! is the pattern PASE lacks.
+
+use crossbeam::thread;
+
+/// Split `0..n` into `threads` contiguous chunks and run `work(range)`
+/// on each concurrently; returns per-chunk results in order.
+///
+/// With `threads == 1` (or a trivial range) the work runs inline, so
+/// serial benchmarks pay no thread-spawn cost.
+pub fn map_chunks<R, F>(n: usize, threads: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    if threads == 1 {
+        return vec![work(0..n)];
+    }
+    let chunk = n.div_ceil(threads);
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let work = &work;
+                // Clamp both ends: ceil-division can push the last
+                // threads past n (e.g. n=20, threads=8 → chunk=3,
+                // t=7 would start at 21).
+                let lo = (t * chunk).min(n);
+                let hi = ((t + 1) * chunk).min(n);
+                s.spawn(move |_| work(lo..hi))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("thread scope failed")
+}
+
+/// Split an explicit list of items into `threads` chunks and map each
+/// chunk; returns per-chunk results in order.
+pub fn map_item_chunks<T, R, F>(items: &[T], threads: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let ranges = map_chunks(items.len(), threads, |r| r);
+    let mut flat = Vec::with_capacity(ranges.len());
+    // map_chunks already handled threads==1 inline; reuse its chunking by
+    // running the actual work over the computed ranges.
+    if ranges.len() <= 1 {
+        for r in ranges {
+            flat.push(work(&items[r]));
+        }
+        return flat;
+    }
+    thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let work = &work;
+                let slice = &items[r];
+                s.spawn(move |_| work(slice))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("thread scope failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_whole_range_without_overlap() {
+        let parts = map_chunks(103, 4, |r| r);
+        let mut covered = vec![false; 103];
+        for r in parts {
+            for i in r {
+                assert!(!covered[i], "overlap at {i}");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let parts = map_chunks(10, 1, |r| r.len());
+        assert_eq!(parts, vec![10]);
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let parts = map_chunks(0, 4, |_| 0);
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    fn ceil_chunking_never_overruns() {
+        // n=20, threads=8 → chunk=3; the 8th range must clamp to 20..20.
+        let parts = map_chunks(20, 8, |r| r);
+        assert!(parts.iter().all(|r| r.start <= r.end && r.end <= 20));
+        let total: usize = parts.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn more_threads_than_items_clamped() {
+        let parts = map_chunks(3, 16, |r| r.len());
+        assert_eq!(parts.iter().sum::<usize>(), 3);
+        assert!(parts.len() <= 3);
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let serial: usize = (0..1000).sum();
+        let parts = map_chunks(1000, 8, |r| r.sum::<usize>());
+        assert_eq!(parts.iter().sum::<usize>(), serial);
+    }
+
+    #[test]
+    fn item_chunks_see_every_item_once() {
+        let items: Vec<u32> = (0..57).collect();
+        let sums = map_item_chunks(&items, 4, |chunk| chunk.iter().sum::<u32>());
+        assert_eq!(sums.iter().sum::<u32>(), (0..57).sum());
+    }
+}
+
+/// Persistent-worker round executor for intra-query parallelism.
+///
+/// Spawns `threads` workers **once** and reuses them for `n_rounds`
+/// rounds (one round per query). In each round every worker computes
+/// `work(round, worker)`; when all have finished, `reduce(round,
+/// per_worker_results)` runs on the caller thread before the next round
+/// starts. This is how real engines parallelize single queries — an
+/// OpenMP-style pool, not a fork/join per query, whose spawn cost would
+/// swamp sub-millisecond searches.
+pub fn rounds<R, W, Red>(n_rounds: usize, threads: usize, work: W, mut reduce: Red)
+where
+    R: Send,
+    W: Fn(usize, usize) -> R + Sync,
+    Red: FnMut(usize, Vec<R>),
+{
+    assert!(threads > 0, "need at least one worker");
+    if n_rounds == 0 {
+        return;
+    }
+    if threads == 1 {
+        for q in 0..n_rounds {
+            let r = work(q, 0);
+            reduce(q, vec![r]);
+        }
+        return;
+    }
+
+    use std::sync::Barrier;
+    let barrier = Barrier::new(threads + 1);
+    let slots: Vec<parking_lot::Mutex<Option<R>>> =
+        (0..threads).map(|_| parking_lot::Mutex::new(None)).collect();
+
+    thread::scope(|s| {
+        for t in 0..threads {
+            let barrier = &barrier;
+            let slots = &slots;
+            let work = &work;
+            s.spawn(move |_| {
+                for q in 0..n_rounds {
+                    barrier.wait(); // round start
+                    let r = work(q, t);
+                    *slots[t].lock() = Some(r);
+                    barrier.wait(); // round end
+                }
+            });
+        }
+        for q in 0..n_rounds {
+            barrier.wait();
+            barrier.wait();
+            let results: Vec<R> =
+                slots.iter().map(|m| m.lock().take().expect("worker wrote")).collect();
+            reduce(q, results);
+        }
+    })
+    .expect("round executor worker panicked");
+}
+
+#[cfg(test)]
+mod round_tests {
+    use super::*;
+
+    #[test]
+    fn rounds_runs_every_pair_once() {
+        let mut seen = Vec::new();
+        rounds(5, 3, |q, t| (q, t), |q, results| {
+            assert_eq!(results.len(), 3);
+            for (rq, _) in &results {
+                assert_eq!(*rq, q);
+            }
+            seen.push(q);
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rounds_single_thread_inline() {
+        let mut total = 0;
+        rounds(4, 1, |q, _| q * 2, |_, rs| total += rs[0]);
+        assert_eq!(total, 0 + 2 + 4 + 6);
+    }
+
+    #[test]
+    fn rounds_zero_rounds_noop() {
+        rounds(0, 4, |_, _| 0, |_, _| panic!("no rounds expected"));
+    }
+
+    #[test]
+    fn rounds_reduce_sees_results_in_worker_order() {
+        rounds(2, 4, |_, t| t, |_, rs| assert_eq!(rs, vec![0, 1, 2, 3]));
+    }
+}

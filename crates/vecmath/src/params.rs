@@ -1,0 +1,112 @@
+//! Index parameters shared by both engines, and build timing.
+//!
+//! Names and defaults follow the paper's Table II. Keeping them here
+//! guarantees the two engines are configured identically, which is the
+//! paper's methodology ("the same index type and parameters", §III).
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// IVF coarse-quantizer parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct IvfParams {
+    /// Number of clusters `c` (1000 at 1M scale, √n in general).
+    pub clusters: usize,
+    /// Training sample ratio `sr` (default 0.01; PASE writes it in
+    /// thousandths, `10` → 0.01).
+    pub sample_ratio: f64,
+    /// Buckets probed at query time, `nprobe` (default 20).
+    pub nprobe: usize,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        IvfParams { clusters: 1000, sample_ratio: 0.01, nprobe: 20 }
+    }
+}
+
+impl IvfParams {
+    /// Scale cluster count to a dataset size: √n, the paper's rule
+    /// (1000 for 1M, 3162 for 10M).
+    pub fn scaled_to(n: usize) -> IvfParams {
+        IvfParams { clusters: ((n as f64).sqrt().round() as usize).max(1), ..Default::default() }
+    }
+}
+
+/// Product-quantization parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PqParams {
+    /// Sub-vector count `m` (dataset-specific in the paper).
+    pub m: usize,
+    /// Codewords per subspace `c_pq` (default 256).
+    pub cpq: usize,
+}
+
+impl Default for PqParams {
+    fn default() -> Self {
+        PqParams { m: 16, cpq: 256 }
+    }
+}
+
+/// HNSW parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HnswParams {
+    /// Base neighbor count `bnn` (default 16). Level 0 allows `2*bnn`.
+    pub bnn: usize,
+    /// Construction queue length `efb` (default 40).
+    pub efb: usize,
+    /// Search queue length `efs` (default 200).
+    pub efs: usize,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams { bnn: 16, efb: 40, efs: 200 }
+    }
+}
+
+/// Wall-clock timing of an index build, split the way the paper's
+/// Figures 3–7 report it.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct BuildTiming {
+    /// Training phase (k-means / PQ codebooks); zero for HNSW.
+    pub train: Duration,
+    /// Adding phase (inserting vectors into the structure).
+    pub add: Duration,
+}
+
+impl BuildTiming {
+    /// Total build time.
+    pub fn total(&self) -> Duration {
+        self.train + self.add
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_two() {
+        let ivf = IvfParams::default();
+        assert_eq!(ivf.clusters, 1000);
+        assert!((ivf.sample_ratio - 0.01).abs() < 1e-12);
+        assert_eq!(ivf.nprobe, 20);
+        assert_eq!(PqParams::default().cpq, 256);
+        let h = HnswParams::default();
+        assert_eq!((h.bnn, h.efb, h.efs), (16, 40, 200));
+    }
+
+    #[test]
+    fn scaled_clusters_is_sqrt_n() {
+        assert_eq!(IvfParams::scaled_to(1_000_000).clusters, 1000);
+        assert_eq!(IvfParams::scaled_to(10_000_000).clusters, 3162);
+        assert_eq!(IvfParams::scaled_to(0).clusters, 1);
+    }
+
+    #[test]
+    fn timing_total_adds_up() {
+        let t = BuildTiming { train: Duration::from_millis(10), add: Duration::from_millis(25) };
+        assert_eq!(t.total(), Duration::from_millis(35));
+    }
+}

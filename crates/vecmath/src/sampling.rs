@@ -1,0 +1,68 @@
+//! Training-sample selection.
+//!
+//! IVF training (paper Table II) clusters a subsample of the data chosen
+//! by a sampling ratio `sr` (default 0.01). PASE expresses the ratio in
+//! thousandths in its `CREATE INDEX` options (`10` → 10/1000).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Deterministically pick `max(min_count, ceil(n * ratio))` distinct row
+/// indices out of `n`, capped at `n`.
+///
+/// # Panics
+/// Panics if `ratio` is not within `(0, 1]`.
+pub fn sample_indices(n: usize, ratio: f64, min_count: usize, seed: u64) -> Vec<usize> {
+    assert!(ratio > 0.0 && ratio <= 1.0, "sampling ratio must be in (0, 1]");
+    let want = ((n as f64 * ratio).ceil() as usize).max(min_count).min(n);
+    let mut all: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    all.partial_shuffle(&mut rng, want);
+    let mut picked: Vec<usize> = all.into_iter().take(want).collect();
+    picked.sort_unstable();
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_is_deterministic() {
+        let a = sample_indices(1000, 0.01, 1, 42);
+        let b = sample_indices(1000, 0.01, 1, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = sample_indices(1000, 0.1, 1, 1);
+        let b = sample_indices(1000, 0.1, 1, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_ratio_and_min() {
+        assert_eq!(sample_indices(1000, 0.01, 1, 0).len(), 10);
+        // min_count dominates small ratios.
+        assert_eq!(sample_indices(1000, 0.001, 50, 0).len(), 50);
+        // capped at n
+        assert_eq!(sample_indices(10, 1.0, 100, 0).len(), 10);
+    }
+
+    #[test]
+    fn indices_are_distinct_and_in_range() {
+        let s = sample_indices(100, 0.5, 1, 7);
+        let mut sorted = s.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), s.len());
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling ratio")]
+    fn zero_ratio_panics() {
+        sample_indices(10, 0.0, 1, 0);
+    }
+}

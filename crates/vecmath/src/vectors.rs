@@ -1,0 +1,134 @@
+//! Dense row-major vector storage.
+
+use serde::{Deserialize, Serialize};
+
+/// An owned, dense, row-major collection of equal-dimension vectors.
+///
+/// This is the in-memory representation both engines start from: the
+/// specialized engine keeps data in this layout permanently (direct
+/// pointer access), while the generalized engine copies it into pages.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VectorSet {
+    d: usize,
+    data: Vec<f32>,
+}
+
+impl VectorSet {
+    /// Create from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `d == 0` or `data.len()` is not a multiple of `d`.
+    pub fn from_flat(d: usize, data: Vec<f32>) -> Self {
+        assert!(d > 0, "dimension must be positive");
+        assert_eq!(data.len() % d, 0, "data length must be a multiple of d");
+        VectorSet { d, data }
+    }
+
+    /// An empty set of `d`-dimensional vectors.
+    pub fn empty(d: usize) -> Self {
+        Self::from_flat(d, Vec::new())
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Number of vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.d
+    }
+
+    /// Whether the set holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow vector `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Mutably borrow vector `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Append a vector.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != dim()`.
+    pub fn push(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.d, "dimension mismatch");
+        self.data.extend_from_slice(v);
+    }
+
+    /// The whole flat buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Iterate over rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.d)
+    }
+
+    /// Copy out a subset of rows (e.g. a training sample).
+    pub fn gather(&self, indices: &[usize]) -> VectorSet {
+        let mut data = Vec::with_capacity(indices.len() * self.d);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        VectorSet { d: self.d, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_rows() {
+        let mut vs = VectorSet::empty(3);
+        vs.push(&[1.0, 2.0, 3.0]);
+        vs.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let vs = VectorSet::from_flat(2, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+        let g = vs.gather(&[2, 0]);
+        assert_eq!(g.row(0), &[2.0, 2.0]);
+        assert_eq!(g.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn push_wrong_dim_panics() {
+        let mut vs = VectorSet::empty(2);
+        vs.push(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of d")]
+    fn ragged_flat_panics() {
+        VectorSet::from_flat(4, vec![1.0; 6]);
+    }
+
+    #[test]
+    fn iter_matches_rows() {
+        let vs = VectorSet::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let rows: Vec<&[f32]> = vs.iter().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+}

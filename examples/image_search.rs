@@ -1,0 +1,80 @@
+//! Image-similarity search — the paper's motivating workload, on both
+//! engines.
+//!
+//! Simulates a photo library whose images were embedded by a CNN
+//! (Deep1M-style 256-d vectors), builds an HNSW index in the
+//! specialized engine *and* in the generalized (PostgreSQL-shaped)
+//! engine with identical parameters, and compares recall and latency —
+//! a miniature of the paper's Figure 17 on a single scenario.
+//!
+//! ```text
+//! cargo run --release --example image_search
+//! ```
+
+use std::time::Instant;
+use vdb_core::datagen::{brute_force_topk, gaussian, recall_at_k};
+use vdb_core::generalized::{GeneralizedOptions, PaseHnswIndex};
+use vdb_core::specialized::{HnswIndex, SpecializedOptions, VectorIndex};
+use vdb_core::storage::{BufferManager, DiskManager, PageSize};
+use vdb_core::vecmath::{HnswParams, Metric};
+
+const DIM: usize = 256; // Deep-style CNN embeddings
+const N_IMAGES: usize = 8_000;
+const N_QUERIES: usize = 50;
+const K: usize = 10;
+
+fn main() {
+    println!("generating {N_IMAGES} simulated image embeddings ({DIM}-d)...");
+    let (library, queries) =
+        gaussian::generate_with_queries(DIM, N_IMAGES, N_QUERIES, 64, 2024);
+    let truth = brute_force_topk(&library, &queries, Metric::L2, K, 4);
+
+    let params = HnswParams { bnn: 16, efb: 40, efs: 64 };
+
+    // Specialized engine (the Faiss stand-in).
+    let t0 = Instant::now();
+    let (fast_idx, _) = HnswIndex::build(SpecializedOptions::default(), params, &library);
+    println!("specialized HNSW built in {:.2?}", t0.elapsed());
+
+    // Generalized engine (the PASE stand-in) — same graph parameters,
+    // but every access goes through the buffer manager.
+    let disk = std::sync::Arc::new(DiskManager::new(PageSize::Size8K));
+    let bm = BufferManager::new(disk, N_IMAGES * 2 + 2048);
+    let t1 = Instant::now();
+    let (pase_idx, _) = PaseHnswIndex::build(GeneralizedOptions::default(), params, &bm, &library)
+        .expect("generalized build");
+    println!("generalized HNSW built in {:.2?} (same parameters)", t1.elapsed());
+
+    // Query both, measure recall and latency.
+    let mut fast_results = Vec::new();
+    let t2 = Instant::now();
+    for q in queries.iter() {
+        fast_results.push(fast_idx.search(q, K).iter().map(|n| n.id).collect::<Vec<_>>());
+    }
+    let fast_lat = t2.elapsed() / N_QUERIES as u32;
+
+    let mut pase_results = Vec::new();
+    let t3 = Instant::now();
+    for q in queries.iter() {
+        let found = pase_idx.search_with_ef(&bm, q, K, params.efs).expect("search");
+        pase_results.push(found.iter().map(|n| n.id).collect::<Vec<_>>());
+    }
+    let pase_lat = t3.elapsed() / N_QUERIES as u32;
+
+    let fast_recall = recall_at_k(&truth, &fast_results);
+    let pase_recall = recall_at_k(&truth, &pase_results);
+
+    println!();
+    println!("                 recall@{K}    avg latency");
+    println!("specialized        {fast_recall:.3}      {fast_lat:.2?}");
+    println!("generalized        {pase_recall:.3}      {pase_lat:.2?}");
+    println!();
+    println!(
+        "same algorithm, same parameters -> comparable recall; the latency gap \
+         is the relational substrate (RC#2), factor {:.1}x here.",
+        pase_lat.as_secs_f64() / fast_lat.as_secs_f64()
+    );
+
+    assert!(fast_recall > 0.8, "specialized recall {fast_recall} too low");
+    assert!(pase_recall > 0.8, "generalized recall {pase_recall} too low");
+}

@@ -1,0 +1,50 @@
+//! Quickstart: the paper's §II-E SQL workflow, end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vdb_core::sql::{Database, Value};
+
+fn main() {
+    let mut db = Database::in_memory();
+
+    // 1. A relational table with a vector column (paper §II-E).
+    db.execute("CREATE TABLE t (id int, vec float[3])").unwrap();
+
+    // 2. Vector data goes in like any other attribute.
+    db.execute(
+        "INSERT INTO t VALUES \
+         (1, '{0.10, 0.20, 0.30}'), \
+         (2, '{0.90, 0.10, 0.00}'), \
+         (3, '{0.11, 0.21, 0.29}'), \
+         (4, '{0.50, 0.50, 0.50}'), \
+         (5, '{0.12, 0.19, 0.31}')",
+    )
+    .unwrap();
+
+    // 3. An IVF_FLAT index, PASE-style options: distance_type 0 is
+    //    Euclidean, sample_ratio is in thousandths (500 -> 0.5).
+    db.execute(
+        "CREATE INDEX ivfflat_idx ON t USING ivfflat(vec) \
+         WITH (clusters = 2, sample_ratio = 500, distance_type = 0)",
+    )
+    .unwrap();
+
+    // 4. The paper's query shape: top-k by similarity, with per-query
+    //    search knobs in the ::PASE literal (here nprobe = 2).
+    let result = db
+        .execute("SELECT id, distance FROM t ORDER BY vec <-> '0.1,0.2,0.3:2'::PASE ASC LIMIT 3")
+        .unwrap();
+
+    println!("top-3 neighbors of [0.1, 0.2, 0.3]:");
+    for row in &result.rows {
+        let (Value::Int(id), Value::Float(d)) = (&row[0], &row[1]) else {
+            unreachable!("projection is (id, distance)");
+        };
+        println!("  id {id}  distance {d:.6}");
+    }
+
+    assert_eq!(result.ids()[0], 1, "exact match must rank first");
+    println!("ok: vector search through plain SQL.");
+}

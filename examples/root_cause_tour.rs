@@ -1,0 +1,120 @@
+//! A guided tour of the paper's seven root causes.
+//!
+//! Builds small matched workloads and, for each root cause, measures
+//! the generalized engine before and after applying that cause's fix —
+//! a narrated, minutes-scale version of the `ablation_root_causes`
+//! bench.
+//!
+//! ```text
+//! cargo run --release --example root_cause_tour
+//! ```
+
+use std::time::Instant;
+use vdb_core::datagen::gaussian;
+use vdb_core::generalized::{GeneralizedOptions, PaseHnswIndex, PaseIndex, PaseIvfFlatIndex, PaseIvfPqIndex};
+use vdb_core::storage::{BufferManager, DiskManager, PageSize};
+use vdb_core::vecmath::{HnswParams, IvfParams, PqParams, VectorSet};
+use vdb_core::RootCause;
+
+const DIM: usize = 96;
+const N: usize = 6_000;
+const K: usize = 50;
+
+fn bm_for(n_pages: usize) -> BufferManager {
+    BufferManager::new(std::sync::Arc::new(DiskManager::new(PageSize::Size8K)), n_pages)
+}
+
+fn flat_query_ms(opts: GeneralizedOptions, params: IvfParams, data: &VectorSet, queries: &VectorSet) -> f64 {
+    let bm = bm_for(4096);
+    let (idx, _) = PaseIvfFlatIndex::build(opts, params, &bm, data).unwrap();
+    let t0 = Instant::now();
+    for q in queries.iter() {
+        idx.search_with_nprobe(&bm, q, K, params.nprobe).unwrap();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64
+}
+
+fn main() {
+    let data = gaussian::generate(DIM, N, 32, 99);
+    let queries = gaussian::generate(DIM, 30, 32, 100);
+    let params = IvfParams { clusters: 77, sample_ratio: 0.2, nprobe: 20 };
+    let base = GeneralizedOptions::default();
+
+    println!("The seven root causes (paper §IX-B), measured:\n");
+
+    // RC#1 — SGEMM in the adding phase.
+    {
+        let rc = RootCause::Rc1Sgemm;
+        let bm = bm_for(4096);
+        let t0 = Instant::now();
+        PaseIvfFlatIndex::build(base, params, &bm, &data).unwrap();
+        let slow = t0.elapsed();
+        let bm = bm_for(4096);
+        let t1 = Instant::now();
+        PaseIvfFlatIndex::build(rc.apply_fix(base), params, &bm, &data).unwrap();
+        let fast = t1.elapsed();
+        println!("{} {}", rc.tag(), rc.description());
+        println!("   IVF_FLAT build: {slow:.2?} -> {fast:.2?}\n");
+    }
+
+    // RC#2 / RC#5 / RC#6 — search-path fixes on IVF_FLAT.
+    for rc in [RootCause::Rc2MemoryManagement, RootCause::Rc5Kmeans, RootCause::Rc6HeapSize] {
+        let before = flat_query_ms(base, params, &data, &queries);
+        let after = flat_query_ms(rc.apply_fix(base), params, &data, &queries);
+        println!("{} {}", rc.tag(), rc.description());
+        println!("   IVF_FLAT query: {before:.3} ms -> {after:.3} ms\n");
+    }
+
+    // RC#3 — parallel search with 4 threads.
+    {
+        let rc = RootCause::Rc3Parallelism;
+        let before = flat_query_ms(GeneralizedOptions { threads: 4, ..base }, params, &data, &queries);
+        let after = flat_query_ms(
+            GeneralizedOptions { threads: 4, ..rc.apply_fix(base) },
+            params,
+            &data,
+            &queries,
+        );
+        println!("{} {}", rc.tag(), rc.description());
+        println!("   IVF_FLAT 4-thread query: {before:.3} ms (locked global heap) -> {after:.3} ms (local heaps)\n");
+    }
+
+    // RC#4 — HNSW page layout.
+    {
+        let rc = RootCause::Rc4PageLayout;
+        let hparams = HnswParams { bnn: 8, efb: 24, efs: 40 };
+        let small = gaussian::generate(DIM, 2_000, 16, 5);
+        let bm = bm_for(8192);
+        let (wide, _) = PaseHnswIndex::build(base, hparams, &bm, &small).unwrap();
+        let wide_mb = wide.size_bytes(&bm) as f64 / 1e6;
+        let bm2 = bm_for(8192);
+        let (packed, _) = PaseHnswIndex::build(rc.apply_fix(base), hparams, &bm2, &small).unwrap();
+        let packed_mb = packed.size_bytes(&bm2) as f64 / 1e6;
+        println!("{} {}", rc.tag(), rc.description());
+        println!("   HNSW index size: {wide_mb:.1} MB -> {packed_mb:.1} MB\n");
+    }
+
+    // RC#7 — PQ precomputed table.
+    {
+        let rc = RootCause::Rc7PqTable;
+        let pq = PqParams { m: 12, cpq: 128 };
+        let run = |opts: GeneralizedOptions| {
+            let bm = bm_for(4096);
+            let (idx, _) = PaseIvfPqIndex::build(opts, params, pq, &bm, &data).unwrap();
+            let t0 = Instant::now();
+            for q in queries.iter() {
+                idx.search_with_nprobe(&bm, q, K, params.nprobe).unwrap();
+            }
+            t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64
+        };
+        let before = run(base);
+        let after = run(rc.apply_fix(base));
+        println!("{} {}", rc.tag(), rc.description());
+        println!("   IVF_PQ query: {before:.3} ms -> {after:.3} ms\n");
+    }
+
+    println!(
+        "Conclusion (paper §IX): every gap above closed without leaving the \
+         relational architecture — no fundamental limitation, just engineering."
+    );
+}

@@ -1,0 +1,133 @@
+//! Correctness invariants of the root-cause fixes: every fix must
+//! change *performance characteristics only*. Result sets (or recall)
+//! are preserved, and the deterministic improvements (index size) are
+//! real.
+
+use std::sync::Arc;
+use vdb_core::datagen::gaussian;
+use vdb_core::generalized::{
+    GeneralizedOptions, PaseHnswIndex, PaseIndex, PaseIvfFlatIndex, PaseIvfPqIndex,
+};
+use vdb_core::storage::{BufferManager, DiskManager, PageSize};
+use vdb_core::vecmath::{HnswParams, IvfParams, PqParams};
+use vdb_core::RootCause;
+
+fn bm(pages: usize) -> BufferManager {
+    BufferManager::new(Arc::new(DiskManager::new(PageSize::Size8K)), pages)
+}
+
+/// Fixes that must not change IVF_FLAT answers at all (same centroids,
+/// same candidates, same metric): RC#2, RC#3, RC#6.
+#[test]
+fn result_preserving_fixes_preserve_results() {
+    let data = gaussian::generate(16, 1_000, 8, 55);
+    let params = IvfParams { clusters: 10, sample_ratio: 0.5, nprobe: 5 };
+    let base = GeneralizedOptions::default();
+    let pool = bm(4096);
+    let (reference, _) = PaseIvfFlatIndex::build(base, params, &pool, &data).unwrap();
+
+    for rc in [
+        RootCause::Rc2MemoryManagement,
+        RootCause::Rc3Parallelism,
+        RootCause::Rc6HeapSize,
+    ] {
+        // RC#2 flips the distance kernel too; to compare answers keep
+        // the kernel fixed and only flip the orthogonal switch.
+        let mut opts = rc.apply_fix(base);
+        opts.distance = base.distance;
+        let (fixed, _) = PaseIvfFlatIndex::build(opts, params, &pool, &data).unwrap();
+        for qi in [1usize, 500, 999] {
+            let q = data.row(qi);
+            assert_eq!(
+                reference.search_with_nprobe(&pool, q, 10, 5).unwrap(),
+                fixed.search_with_nprobe(&pool, q, 10, 5).unwrap(),
+                "{} changed results at query {qi}",
+                rc.tag()
+            );
+        }
+    }
+}
+
+/// RC#1 (GEMM assignment) must produce the same bucket assignment as
+/// the scalar loop — it is the same argmin, computed batched.
+#[test]
+fn rc1_assignment_is_equivalent() {
+    let data = gaussian::generate(24, 1_200, 10, 66);
+    let params = IvfParams { clusters: 12, sample_ratio: 0.4, nprobe: 6 };
+    let base = GeneralizedOptions::default();
+    let pool = bm(4096);
+    let (scalar, _) = PaseIvfFlatIndex::build(base, params, &pool, &data).unwrap();
+    let (gemm, _) =
+        PaseIvfFlatIndex::build(RootCause::Rc1Sgemm.apply_fix(base), params, &pool, &data)
+            .unwrap();
+    assert_eq!(scalar.bucket_sizes(), gemm.bucket_sizes());
+}
+
+/// RC#4 (packed layout) shrinks the HNSW index substantially without
+/// changing search results.
+#[test]
+fn rc4_shrinks_hnsw_without_changing_answers() {
+    let data = gaussian::generate(16, 800, 8, 77);
+    let params = HnswParams { bnn: 8, efb: 24, efs: 48 };
+    let base = GeneralizedOptions::default();
+    let pool = bm(8192);
+    let (wide, _) = PaseHnswIndex::build(base, params, &pool, &data).unwrap();
+    let (packed, _) =
+        PaseHnswIndex::build(RootCause::Rc4PageLayout.apply_fix(base), params, &pool, &data)
+            .unwrap();
+
+    let wide_bytes = wide.size_bytes(&pool);
+    let packed_bytes = packed.size_bytes(&pool);
+    assert!(
+        wide_bytes > 3 * packed_bytes,
+        "packed layout should shrink the index: {wide_bytes} vs {packed_bytes}"
+    );
+    for qi in [3usize, 400, 799] {
+        let q = data.row(qi);
+        assert_eq!(
+            wide.search_with_ef(&pool, q, 5, 48).unwrap(),
+            packed.search_with_ef(&pool, q, 5, 48).unwrap(),
+            "query {qi}"
+        );
+    }
+}
+
+/// RC#7 (optimized PQ table) must rank candidates identically up to
+/// floating-point noise; verify id sets match.
+#[test]
+fn rc7_table_mode_preserves_rankings() {
+    let data = gaussian::generate(32, 1_000, 8, 88);
+    let params = IvfParams { clusters: 8, sample_ratio: 0.5, nprobe: 8 };
+    let pq = PqParams { m: 8, cpq: 64 };
+    let base = GeneralizedOptions::default();
+    let pool = bm(4096);
+    let (slow, _) = PaseIvfPqIndex::build(base, params, pq, &pool, &data).unwrap();
+    let (fast, _) =
+        PaseIvfPqIndex::build(RootCause::Rc7PqTable.apply_fix(base), params, pq, &pool, &data)
+            .unwrap();
+    for qi in [0usize, 77, 999] {
+        let q = data.row(qi);
+        let a: Vec<u64> =
+            slow.search_with_nprobe(&pool, q, 10, 8).unwrap().iter().map(|n| n.id).collect();
+        let b: Vec<u64> =
+            fast.search_with_nprobe(&pool, q, 10, 8).unwrap().iter().map(|n| n.id).collect();
+        assert_eq!(a, b, "query {qi}");
+    }
+}
+
+/// Applying all seven fixes still returns exact results under full
+/// probing — the "future system" is correct, not just fast.
+#[test]
+fn fully_fixed_engine_is_still_exact() {
+    let data = gaussian::generate(16, 900, 8, 99);
+    let params = IvfParams { clusters: 9, sample_ratio: 0.5, nprobe: 9 };
+    let pool = bm(4096);
+    let (fixed, _) =
+        PaseIvfFlatIndex::build(RootCause::all_fixed(), params, &pool, &data).unwrap();
+    for qi in [10usize, 450, 899] {
+        let q = data.row(qi);
+        let res = fixed.search_with_nprobe(&pool, q, 1, 9).unwrap();
+        assert_eq!(res[0].id, qi as u64, "query {qi}");
+        assert_eq!(res[0].distance, 0.0);
+    }
+}

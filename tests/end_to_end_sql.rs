@@ -1,0 +1,160 @@
+//! Cross-crate integration: SQL front end → planner → generalized
+//! engine → buffer manager → pages, checked against brute force.
+
+use vdb_core::datagen::{brute_force_topk, gaussian, recall_at_k};
+use vdb_core::sql::{Database, SqlError, Value};
+use vdb_core::vecmath::{Metric, VectorSet};
+
+fn load(db: &mut Database, table: &str, data: &VectorSet) {
+    let ids: Vec<i64> = (0..data.len() as i64).collect();
+    db.bulk_load(table, &ids, data).unwrap();
+}
+
+fn vec_literal(v: &[f32]) -> String {
+    v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",")
+}
+
+#[test]
+fn paper_workflow_ivfflat() {
+    // The full §II-E workflow at integration scale.
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE t (id int, vec float[32])").unwrap();
+    let (data, _) = gaussian::generate_with_queries(32, 2_000, 0, 16, 42);
+    load(&mut db, "t", &data);
+    db.execute(
+        "CREATE INDEX ivfflat_idx ON t USING ivfflat(vec) \
+         WITH (clusters = 40, sample_ratio = 100, distance_type = 0)",
+    )
+    .unwrap();
+
+    let (_, queries) = gaussian::generate_with_queries(32, 0, 20, 16, 42);
+    let truth = brute_force_topk(&data, &queries, Metric::L2, 10, 2);
+    let mut results = Vec::new();
+    for q in queries.iter() {
+        let res = db
+            .execute(&format!(
+                "SELECT id FROM t ORDER BY vec <-> '{}:40'::PASE LIMIT 10",
+                vec_literal(q)
+            ))
+            .unwrap();
+        results.push(res.ids().into_iter().map(|i| i as u64).collect::<Vec<_>>());
+    }
+    // Full probing (nprobe = clusters) is exact.
+    let recall = recall_at_k(&truth, &results);
+    assert!(
+        (recall - 1.0).abs() < 1e-9,
+        "full-probe IVF_FLAT through SQL must be exact, got {recall}"
+    );
+}
+
+#[test]
+fn hnsw_through_sql_has_high_recall() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE t (id int, vec float[16])").unwrap();
+    let (data, queries) = gaussian::generate_with_queries(16, 1_500, 25, 8, 7);
+    load(&mut db, "t", &data);
+    db.execute("CREATE INDEX h ON t USING hnsw(vec) WITH (bnn = 12, efb = 40, efs = 80)")
+        .unwrap();
+
+    let truth = brute_force_topk(&data, &queries, Metric::L2, 10, 2);
+    let mut results = Vec::new();
+    for q in queries.iter() {
+        let res = db
+            .execute(&format!(
+                "SELECT id FROM t ORDER BY vec <-> '{}' LIMIT 10",
+                vec_literal(q)
+            ))
+            .unwrap();
+        results.push(res.ids().into_iter().map(|i| i as u64).collect::<Vec<_>>());
+    }
+    let recall = recall_at_k(&truth, &results);
+    assert!(recall > 0.85, "HNSW-through-SQL recall {recall} too low");
+}
+
+#[test]
+fn ivfpq_through_sql_beats_random() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE t (id int, vec float[32])").unwrap();
+    let (data, queries) = gaussian::generate_with_queries(32, 2_000, 15, 16, 17);
+    load(&mut db, "t", &data);
+    db.execute(
+        "CREATE INDEX p ON t USING ivfpq(vec) \
+         WITH (clusters = 40, m = 8, cpq = 64, sample_ratio = 100)",
+    )
+    .unwrap();
+
+    let truth = brute_force_topk(&data, &queries, Metric::L2, 10, 2);
+    let mut results = Vec::new();
+    for q in queries.iter() {
+        let res = db
+            .execute(&format!(
+                "SELECT id FROM t ORDER BY vec <-> '{}:40'::PASE LIMIT 10",
+                vec_literal(q)
+            ))
+            .unwrap();
+        results.push(res.ids().into_iter().map(|i| i as u64).collect::<Vec<_>>());
+    }
+    let recall = recall_at_k(&truth, &results);
+    // PQ is lossy by design (§II-B: "significantly reduce space with
+    // the downside of lower recall"), and Gaussian-mixture data puts
+    // all true neighbors inside one tight cluster where m-byte codes
+    // can barely rank them. Random guessing scores k/n = 0.005 here;
+    // demand an order of magnitude above that.
+    assert!(recall > 0.1, "IVF_PQ-through-SQL recall {recall} too low");
+}
+
+#[test]
+fn inserts_update_table_and_index_consistently() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE t (id int, vec float[8])").unwrap();
+    let data = gaussian::generate(8, 500, 4, 5);
+    load(&mut db, "t", &data);
+    db.execute("CREATE INDEX i ON t USING ivfflat(vec) WITH (clusters = 8, sample_ratio = 500)")
+        .unwrap();
+
+    // Insert a distinctive new row through SQL; both paths must see it.
+    db.execute("INSERT INTO t VALUES (7777, '{9,9,9,9,9,9,9,9}')").unwrap();
+    let by_index = db
+        .execute("SELECT id FROM t ORDER BY vec <-> '9,9,9,9,9,9,9,9:8' LIMIT 1")
+        .unwrap();
+    assert_eq!(by_index.ids(), vec![7777]);
+    let by_lookup = db.execute("SELECT id, vec FROM t WHERE id = 7777").unwrap();
+    assert_eq!(by_lookup.rows.len(), 1);
+    assert_eq!(by_lookup.rows[0][1], Value::Vector(vec![9.0; 8]));
+}
+
+#[test]
+fn seq_scan_and_index_scan_agree_on_exact_search() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE t (id int, vec float[8])").unwrap();
+    let data = gaussian::generate(8, 800, 8, 12);
+    load(&mut db, "t", &data);
+
+    let q = vec_literal(data.row(123));
+    let seq = db
+        .execute(&format!("SELECT id FROM t ORDER BY vec <-> '{q}' LIMIT 5"))
+        .unwrap();
+    db.execute("CREATE INDEX i ON t USING ivfflat(vec) WITH (clusters = 10, sample_ratio = 500)")
+        .unwrap();
+    let indexed = db
+        .execute(&format!("SELECT id FROM t ORDER BY vec <-> '{q}:10'::PASE LIMIT 5"))
+        .unwrap();
+    assert_eq!(seq.ids(), indexed.ids());
+}
+
+#[test]
+fn semantic_errors_are_reported_not_panicked() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE t (id int, vec float[4])").unwrap();
+    db.execute("INSERT INTO t VALUES (1, '{1,2,3,4}')").unwrap();
+
+    // Query dimension mismatch against a table scan.
+    let err = db.execute("SELECT id FROM t ORDER BY vec <-> '1,2' LIMIT 1").unwrap_err();
+    assert!(matches!(err, SqlError::Semantic(_)), "got {err:?}");
+
+    // Query dimension mismatch against an index scan.
+    db.execute("CREATE INDEX i ON t USING ivfflat(vec) WITH (clusters = 1, sample_ratio = 1000)")
+        .unwrap();
+    let err = db.execute("SELECT id FROM t ORDER BY vec <-> '1,2,3' LIMIT 1").unwrap_err();
+    assert!(matches!(err, SqlError::Semantic(_)), "got {err:?}");
+}

@@ -1,0 +1,158 @@
+//! The paper's methodological premise, verified: the two engines run
+//! the same algorithms with the same parameters, so their *answers*
+//! coincide wherever the algorithm is deterministic, and their recall
+//! matches where it is approximate.
+
+use std::sync::Arc;
+use vdb_core::datagen::{brute_force_topk, gaussian, recall_at_k};
+use vdb_core::generalized::{GeneralizedOptions, PaseHnswIndex, PaseIvfFlatIndex};
+use vdb_core::specialized::{HnswIndex, IvfFlatIndex, SpecializedOptions, VectorIndex};
+use vdb_core::storage::{BufferManager, DiskManager, PageSize};
+use vdb_core::vecmath::{DistanceKernel, HnswParams, IvfParams, KmeansFlavor, Metric, TopKStrategy};
+
+fn bm(pages: usize) -> BufferManager {
+    BufferManager::new(Arc::new(DiskManager::new(PageSize::Size8K)), pages)
+}
+
+/// With the same centroids and full probing, both engines' IVF_FLAT
+/// must return the *identical* top-k (same candidates, same metric).
+#[test]
+fn ivfflat_same_centroids_same_results() {
+    let data = gaussian::generate(24, 1_500, 12, 3);
+    let params = IvfParams { clusters: 12, sample_ratio: 0.3, nprobe: 12 };
+
+    // Build the generalized index first, then transplant its centroids
+    // into the specialized engine (the paper's Faiss* trick in reverse).
+    let bm = bm(4096);
+    // Use the optimized kernel on both sides so distances are
+    // bit-identical.
+    let gen_opts = GeneralizedOptions {
+        distance: DistanceKernel::Optimized,
+        topk: TopKStrategy::SizeK,
+        ..Default::default()
+    };
+    let (pase, _) = PaseIvfFlatIndex::build(gen_opts, params, &bm, &data).unwrap();
+    let spec_opts = SpecializedOptions::default();
+    let (faiss_star, _) = IvfFlatIndex::with_centroids(
+        spec_opts,
+        params,
+        pase.centroids().clone(),
+        &data,
+    );
+
+    for qi in [0usize, 100, 700, 1499] {
+        let q = data.row(qi);
+        let a = pase.search_with_nprobe(&bm, q, 10, 12).unwrap();
+        let b = faiss_star.search_with_nprobe(q, 10, 12);
+        assert_eq!(a, b, "query {qi}");
+    }
+}
+
+/// Same k-means flavor + same seed ⇒ same centroids in both engines.
+#[test]
+fn training_is_engine_independent() {
+    let data = gaussian::generate(16, 1_000, 8, 9);
+    let params = IvfParams { clusters: 8, sample_ratio: 0.5, nprobe: 8 };
+    let bm = bm(2048);
+    let gen_opts = GeneralizedOptions {
+        kmeans: KmeansFlavor::FaissStyle,
+        assignment_gemm: Some(vdb_core::gemm::GemmKernel::Blas),
+        ..Default::default()
+    };
+    let (pase, _) = PaseIvfFlatIndex::build(gen_opts, params, &bm, &data).unwrap();
+    let (faiss, _) = IvfFlatIndex::build(SpecializedOptions::default(), params, &data);
+    assert_eq!(
+        pase.centroids().as_flat(),
+        faiss.quantizer().centroids().as_flat(),
+        "same flavor + seed must give identical centroids"
+    );
+    assert_eq!(pase.bucket_sizes(), faiss.bucket_sizes());
+}
+
+/// HNSW recall is statistically equivalent across engines when built
+/// with the same parameters (the paper's "recall rate will be the
+/// same" premise).
+#[test]
+fn hnsw_recall_parity() {
+    let (data, queries) = gaussian::generate_with_queries(16, 1_200, 30, 8, 21);
+    let truth = brute_force_topk(&data, &queries, Metric::L2, 10, 2);
+    let params = HnswParams { bnn: 12, efb: 40, efs: 80 };
+
+    let (spec, _) = HnswIndex::build(SpecializedOptions::default(), params, &data);
+    let spec_results: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|q| spec.search(q, 10).iter().map(|n| n.id).collect())
+        .collect();
+
+    let bm = bm(4096);
+    let (gener, _) =
+        PaseHnswIndex::build(GeneralizedOptions::default(), params, &bm, &data).unwrap();
+    let gen_results: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|q| {
+            gener
+                .search_with_ef(&bm, q, 10, params.efs)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect()
+        })
+        .collect();
+
+    let spec_recall = recall_at_k(&truth, &spec_results);
+    let gen_recall = recall_at_k(&truth, &gen_results);
+    assert!(spec_recall > 0.85, "specialized recall {spec_recall}");
+    assert!(gen_recall > 0.85, "generalized recall {gen_recall}");
+    assert!(
+        (spec_recall - gen_recall).abs() < 0.1,
+        "recall divergence: {spec_recall} vs {gen_recall}"
+    );
+}
+
+/// RC#6 is a performance switch, not a correctness switch: both heap
+/// strategies return the same result set.
+#[test]
+fn heap_strategy_does_not_change_answers() {
+    let data = gaussian::generate(16, 800, 8, 31);
+    let params = IvfParams { clusters: 8, sample_ratio: 0.5, nprobe: 4 };
+    let bm = bm(2048);
+    let size_n = GeneralizedOptions::default();
+    let size_k = GeneralizedOptions { topk: TopKStrategy::SizeK, ..size_n };
+    let (a, _) = PaseIvfFlatIndex::build(size_n, params, &bm, &data).unwrap();
+    let (b, _) = PaseIvfFlatIndex::build(size_k, params, &bm, &data).unwrap();
+    for qi in [5usize, 250, 799] {
+        let q = data.row(qi);
+        assert_eq!(
+            a.search_with_nprobe(&bm, q, 20, 4).unwrap(),
+            b.search_with_nprobe(&bm, q, 20, 4).unwrap(),
+            "query {qi}"
+        );
+    }
+}
+
+/// The specialized flat index is the recall oracle: IVF_FLAT at full
+/// probe equals it exactly in both engines.
+#[test]
+fn full_probe_equals_flat_everywhere() {
+    let data = gaussian::generate(12, 600, 6, 41);
+    let params = IvfParams { clusters: 6, sample_ratio: 0.5, nprobe: 6 };
+    let flat = vdb_core::specialized::FlatIndex::new(SpecializedOptions::default(), data.clone());
+    let (ivf, _) = IvfFlatIndex::build(SpecializedOptions::default(), params, &data);
+    let bm = bm(2048);
+    let gen_opts = GeneralizedOptions {
+        distance: DistanceKernel::Optimized,
+        ..Default::default()
+    };
+    let (pase, _) = PaseIvfFlatIndex::build(gen_opts, params, &bm, &data).unwrap();
+
+    for qi in [0usize, 300, 599] {
+        let q = data.row(qi);
+        let oracle = flat.search(q, 10);
+        assert_eq!(ivf.search_with_nprobe(q, 10, 6), oracle, "specialized, query {qi}");
+        assert_eq!(
+            pase.search_with_nprobe(&bm, q, 10, 6).unwrap(),
+            oracle,
+            "generalized, query {qi}"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Failure injection across layers: exhausted buffer pools, oversized
+//! tuples, malformed SQL, and dimension mismatches must surface as
+//! errors, never as corruption or panics.
+
+use std::sync::Arc;
+use vdb_core::datagen::gaussian;
+use vdb_core::generalized::{GeneralizedOptions, PaseIndex, PaseIvfFlatIndex};
+use vdb_core::sql::{Database, SqlError};
+use vdb_core::storage::{BufferManager, DiskManager, HeapTable, PageSize, StorageError};
+use vdb_core::vecmath::IvfParams;
+
+#[test]
+fn tiny_buffer_pool_still_computes_correct_answers() {
+    // A 16-frame pool against a dataset needing ~70 pages: constant
+    // eviction, same results.
+    let data = gaussian::generate(64, 2_000, 8, 5);
+    let params = IvfParams { clusters: 8, sample_ratio: 0.5, nprobe: 8 };
+    let big = BufferManager::new(Arc::new(DiskManager::new(PageSize::Size8K)), 4096);
+    let (reference, _) =
+        PaseIvfFlatIndex::build(GeneralizedOptions::default(), params, &big, &data).unwrap();
+
+    let tiny = BufferManager::new(Arc::new(DiskManager::new(PageSize::Size8K)), 16);
+    let (thrashing, _) =
+        PaseIvfFlatIndex::build(GeneralizedOptions::default(), params, &tiny, &data).unwrap();
+    assert!(tiny.stats().evictions > 0, "tiny pool must evict");
+
+    for qi in [0usize, 321, 999] {
+        let q = data.row(qi);
+        assert_eq!(
+            reference.search_with_nprobe(&big, q, 10, 8).unwrap(),
+            thrashing.search_with_nprobe(&tiny, q, 10, 8).unwrap(),
+            "query {qi}"
+        );
+    }
+}
+
+#[test]
+fn oversized_tuple_is_rejected_cleanly() {
+    let bm = BufferManager::new(Arc::new(DiskManager::new(PageSize::Size4K)), 8);
+    let table = HeapTable::create(&bm);
+    let err = table.insert(&bm, &vec![0u8; 10_000]).unwrap_err();
+    assert!(matches!(err, StorageError::TupleTooLarge { .. }));
+    // The relation is untouched.
+    assert_eq!(table.count(&bm).unwrap(), 0);
+}
+
+#[test]
+fn vector_wider_than_page_is_an_error_not_a_panic() {
+    // A 4KB page cannot hold a 2000-dim vector tuple (8 + 8000 bytes).
+    let mut db = Database::new(PageSize::Size4K, 256);
+    db.execute("CREATE TABLE t (id int, vec float[2000])").unwrap();
+    let huge = vec!["0.5"; 2000].join(",");
+    let err = db.execute(&format!("INSERT INTO t VALUES (1, '{{{huge}}}')")).unwrap_err();
+    assert!(matches!(err, SqlError::Storage(StorageError::TupleTooLarge { .. })), "{err:?}");
+}
+
+#[test]
+fn malformed_sql_reports_parse_errors() {
+    let mut db = Database::in_memory();
+    for bad in [
+        "SELEC id FROM t",
+        "CREATE TABLE (id int)",
+        "SELECT id FROM t ORDER BY vec <-> LIMIT 5",
+        "INSERT INTO t VALUES (1, 'not,a,,number')",
+        "CREATE INDEX i ON t USING quadtree(vec)",
+        "SELECT id FROM t LIMIT 0",
+        "'unterminated",
+    ] {
+        let err = db.execute(bad).unwrap_err();
+        assert!(matches!(err, SqlError::Parse(_)), "{bad:?} gave {err:?}");
+    }
+}
+
+#[test]
+fn bad_index_options_are_semantic_errors() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE t (id int, vec float[4])").unwrap();
+    db.execute("INSERT INTO t VALUES (1, '{1,2,3,4}')").unwrap();
+    for bad in [
+        "CREATE INDEX i ON t USING ivfflat(vec) WITH (bogus = 1)",
+        "CREATE INDEX i ON t USING ivfflat(vec) WITH (clusters = 0.5)",
+        "CREATE INDEX i ON t USING ivfflat(vec) WITH (distance_type = 9)",
+        "CREATE INDEX i ON t USING ivfflat(vec) WITH (sample_ratio = 2000)",
+    ] {
+        let err = db.execute(bad).unwrap_err();
+        assert!(matches!(err, SqlError::Semantic(_)), "{bad:?} gave {err:?}");
+    }
+}
+
+#[test]
+fn empty_table_cannot_be_indexed() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE t (id int, vec float[4])").unwrap();
+    let err = db
+        .execute("CREATE INDEX i ON t USING ivfflat(vec) WITH (clusters = 2)")
+        .unwrap_err();
+    assert!(matches!(err, SqlError::Semantic(_)));
+}
+
+#[test]
+fn mixed_dimension_inserts_rejected() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE t (id int, vec float[])").unwrap();
+    db.execute("INSERT INTO t VALUES (1, '{1,2,3}')").unwrap(); // fixes dim=3
+    let err = db.execute("INSERT INTO t VALUES (2, '{1,2}')").unwrap_err();
+    assert!(matches!(err, SqlError::Semantic(_)));
+    // The good row is still there and searchable.
+    let res = db.execute("SELECT id FROM t ORDER BY vec <-> '1,2,3' LIMIT 1").unwrap();
+    assert_eq!(res.ids(), vec![1]);
+}
+
+#[test]
+fn invalid_tid_fetch_is_an_error() {
+    let bm = BufferManager::new(Arc::new(DiskManager::new(PageSize::Size8K)), 8);
+    let table = HeapTable::create(&bm);
+    let tid = table.insert(&bm, &[0u8; 16]).unwrap();
+    // Offset beyond the line-pointer array.
+    let bogus = vdb_core::storage::Tid::new(tid.block, 99);
+    let err = table.fetch_bytes(&bm, bogus, |_| ()).unwrap_err();
+    assert_eq!(err, StorageError::InvalidTid(bogus));
+    // Nonexistent block.
+    let bogus_block = vdb_core::storage::Tid::new(55, 1);
+    let err = table.fetch_bytes(&bm, bogus_block, |_| ()).unwrap_err();
+    assert_eq!(err, StorageError::InvalidBlock(55));
+}
