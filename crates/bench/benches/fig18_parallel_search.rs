@@ -89,7 +89,7 @@ fn main() {
                 // One profiled serial run per engine/index pair, then
                 // the strategy model per thread count.
                 let prof = if is_pase {
-                    let built = if is_pq {
+                    if is_pq {
                         let b = pase_ivfpq(GeneralizedOptions::default(), params, pq, &ds);
                         profile_serial(|| {
                             b.index
@@ -103,8 +103,7 @@ fn main() {
                                 .search_batch_with_nprobe(&b.bm, &queries, K, nprobe)
                                 .expect("search");
                         })
-                    };
-                    built
+                    }
                 } else if is_pq {
                     let (idx, _) = faiss_ivfpq(SpecializedOptions::default(), params, pq, &ds);
                     profile_serial(|| {

@@ -3,9 +3,10 @@
 //! construction (RC#7). The macro experiments live in the other bench
 //! targets; these quantify the per-operation deltas.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use vdb_core::vecmath::distance::{l2_sqr_ref, l2_sqr_unrolled};
 use vdb_core::vecmath::pq::train_default;
+use vdb_core::vecmath::simd;
 use vdb_core::vecmath::{KHeap, KmeansFlavor, NHeap, PqTableMode, VectorSet};
 
 fn pseudo_random(len: usize, seed: u64) -> Vec<f32> {
@@ -20,14 +21,49 @@ fn pseudo_random(len: usize, seed: u64) -> Vec<f32> {
 
 fn bench_distance_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("distance");
-    for &d in &[128usize, 960] {
+    for &d in &[64usize, 128, 960] {
         let x = pseudo_random(d, 1);
         let y = pseudo_random(d, 2);
+        group.bench_with_input(BenchmarkId::new("reference", d), &d, |b, _| {
+            b.iter(|| l2_sqr_ref(&x, &y))
+        });
         group.bench_with_input(BenchmarkId::new("unrolled", d), &d, |b, _| {
             b.iter(|| l2_sqr_unrolled(&x, &y))
         });
-        group.bench_with_input(BenchmarkId::new("reference", d), &d, |b, _| {
-            b.iter(|| l2_sqr_ref(&x, &y))
+        group.bench_with_input(BenchmarkId::new("simd", d), &d, |b, _| {
+            b.iter(|| simd::l2_sqr_auto(&x, &y))
+        });
+    }
+    group.finish();
+}
+
+/// One-vs-many scan at each dimension: per-row kernel calls vs the
+/// batched primitive. Throughput is rows/second, so the batched bar
+/// reads directly against the per-call ones.
+fn bench_batched_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_batched");
+    let n = 1024usize;
+    for &d in &[64usize, 128, 960] {
+        let q = pseudo_random(d, 6);
+        let rows = VectorSet::from_flat(d, pseudo_random(n * d, 7));
+        let mut out = vec![0.0f32; n];
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("unrolled_per_row", d), &d, |b, _| {
+            b.iter(|| {
+                for (o, row) in out.iter_mut().zip(rows.iter()) {
+                    *o = l2_sqr_unrolled(&q, row);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("simd_per_row", d), &d, |b, _| {
+            b.iter(|| {
+                for (o, row) in out.iter_mut().zip(rows.iter()) {
+                    *o = simd::l2_sqr_auto(&q, row);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("simd_batched", d), &d, |b, _| {
+            b.iter(|| simd::l2_sqr_batch(&q, &rows, &mut out))
         });
     }
     group.finish();
@@ -86,6 +122,6 @@ fn bench_pq_tables(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_distance_kernels, bench_topk_heaps, bench_pq_tables
+    targets = bench_distance_kernels, bench_batched_scan, bench_topk_heaps, bench_pq_tables
 }
 criterion_main!(benches);

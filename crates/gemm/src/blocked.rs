@@ -42,10 +42,10 @@ pub fn gemm_nt_blocked(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &m
                 accs.fill(0.0);
                 for (p, &av) in arow.iter().enumerate() {
                     let brow = &bp[p * nc..p * nc + nc];
-                    // Broadcast–FMA over nc contiguous floats.
-                    for (dst, &bv) in accs.iter_mut().zip(brow) {
-                        *dst += av * bv;
-                    }
+                    // Broadcast–FMA over nc contiguous floats, through the
+                    // dispatched micro-kernel (explicit AVX2/NEON FMA when
+                    // the host has it).
+                    crate::simd::axpy(av, brow, accs);
                 }
                 let crow = &mut c[i * n + j0..i * n + j0 + nc];
                 for (dst, &v) in crow.iter_mut().zip(accs.iter()) {

@@ -20,6 +20,7 @@
 mod blocked;
 mod distance;
 mod naive;
+mod simd;
 
 pub use blocked::gemm_nt_blocked;
 pub use distance::{l2_distance_table, l2_distance_table_naive, row_norms_sq};

@@ -1,0 +1,120 @@
+//! Dispatched broadcast-FMA micro-kernel for the blocked GEMM.
+//!
+//! `vdb-vecmath` depends on this crate, so the one-vs-one kernels in
+//! `vecmath::simd` cannot be reused here; this is the same
+//! detect-once-into-a-function-pointer scheme (including the
+//! `VDB_FORCE_SCALAR=1` override) scoped to the single primitive the
+//! blocked kernel needs: `acc[j] += a * b[j]` over a contiguous panel
+//! row.
+
+use std::sync::OnceLock;
+
+type AxpyFn = fn(f32, &[f32], &mut [f32]);
+
+static AXPY: OnceLock<AxpyFn> = OnceLock::new();
+
+/// `acc[j] += av * brow[j]` via the best kernel the host supports.
+///
+/// # Panics
+/// Panics if `brow.len() != acc.len()`.
+#[inline]
+pub(crate) fn axpy(av: f32, brow: &[f32], acc: &mut [f32]) {
+    debug_assert_eq!(brow.len(), acc.len());
+    (AXPY.get_or_init(select_axpy))(av, brow, acc)
+}
+
+fn select_axpy() -> AxpyFn {
+    if matches!(std::env::var("VDB_FORCE_SCALAR"), Ok(v) if v == "1") {
+        return axpy_scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return axpy_avx2_safe;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return axpy_neon_safe;
+        }
+    }
+    axpy_scalar
+}
+
+/// Portable fallback — the plain broadcast–multiply–accumulate loop the
+/// blocked kernel used before dispatch existed.
+fn axpy_scalar(av: f32, brow: &[f32], acc: &mut [f32]) {
+    for (dst, &bv) in acc.iter_mut().zip(brow) {
+        *dst += av * bv;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy_avx2(av: f32, brow: &[f32], acc: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = brow.len();
+    let pb = brow.as_ptr();
+    let pa = acc.as_mut_ptr();
+    let va = _mm256_set1_ps(av);
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let r = _mm256_fmadd_ps(va, _mm256_loadu_ps(pb.add(j)), _mm256_loadu_ps(pa.add(j)));
+        _mm256_storeu_ps(pa.add(j), r);
+        j += 8;
+    }
+    while j < n {
+        *pa.add(j) += av * *pb.add(j);
+        j += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn axpy_avx2_safe(av: f32, brow: &[f32], acc: &mut [f32]) {
+    unsafe { axpy_avx2(av, brow, acc) }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn axpy_neon(av: f32, brow: &[f32], acc: &mut [f32]) {
+    use std::arch::aarch64::*;
+    let n = brow.len();
+    let pb = brow.as_ptr();
+    let pa = acc.as_mut_ptr();
+    let va = vdupq_n_f32(av);
+    let mut j = 0usize;
+    while j + 4 <= n {
+        let r = vfmaq_f32(vld1q_f32(pa.add(j)), va, vld1q_f32(pb.add(j)));
+        vst1q_f32(pa.add(j), r);
+        j += 4;
+    }
+    while j < n {
+        *pa.add(j) += av * *pb.add(j);
+        j += 1;
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+fn axpy_neon_safe(av: f32, brow: &[f32], acc: &mut [f32]) {
+    unsafe { axpy_neon(av, brow, acc) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_matches_scalar() {
+        for n in [0usize, 1, 3, 7, 8, 9, 16, 31, 64, 100] {
+            let brow: Vec<f32> = (0..n).map(|i| (i as f32 * 0.3).sin()).collect();
+            let mut fast: Vec<f32> = (0..n).map(|i| i as f32 * 0.1).collect();
+            let mut slow = fast.clone();
+            axpy(1.75, &brow, &mut fast);
+            axpy_scalar(1.75, &brow, &mut slow);
+            for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "n={n} j={i}: {a} vs {b}");
+            }
+        }
+    }
+}

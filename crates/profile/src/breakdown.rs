@@ -86,7 +86,7 @@ impl Breakdown {
             .filter(|&c| self.nanos(c) > 0)
             .map(|c| (c, self.nanos(c)))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
         v
     }
 

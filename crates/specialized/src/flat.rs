@@ -34,10 +34,16 @@ impl VectorIndex for FlatIndex {
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         assert_eq!(query.len(), self.data.dim(), "dimension mismatch");
         let mut collector = self.opts.topk.collector(k);
-        for (id, v) in self.data.iter().enumerate() {
-            let d = self.opts.metric.distance_with(self.opts.distance, query, v);
-            collector.push(id as u64, d);
-        }
+        let mut scratch = Vec::new();
+        vdb_vecmath::simd::scan_into(
+            self.opts.metric,
+            self.opts.distance,
+            query,
+            &self.data,
+            None,
+            &mut collector,
+            &mut scratch,
+        );
         collector.into_sorted()
     }
 
@@ -46,7 +52,7 @@ impl VectorIndex for FlatIndex {
     }
 
     fn size_bytes(&self) -> usize {
-        self.data.as_flat().len() * std::mem::size_of::<f32>()
+        std::mem::size_of_val(self.data.as_flat())
     }
 }
 

@@ -23,7 +23,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 use vdb_profile::{self as profile, Category};
-use vdb_vecmath::{KHeap, Neighbor, VectorSet};
+use vdb_vecmath::{simd, KHeap, Neighbor, VectorSet};
 
 /// Epoch-stamped visited table (Faiss's `VisitedTable`): O(1) check and
 /// mark, O(1) amortized reset between queries.
@@ -297,17 +297,40 @@ impl HnswIndex {
             let mut candidates: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
             candidates.push(Reverse(Neighbor::new(ep as u64, d0)));
 
+            // Reused across candidate pops: the unvisited neighbors of
+            // the current node and their batched distances.
+            let mut fresh: Vec<u32> = Vec::new();
+            let mut dists: Vec<f32> = Vec::new();
             while let Some(Reverse(cand)) = candidates.pop() {
                 if cand.distance > results.threshold() {
                     break;
                 }
                 profile::count(Category::NeighborIter, 1);
                 let neighbors = &self.links[cand.id as usize][l];
+                fresh.clear();
                 for &nb in neighbors {
-                    if visited.check_and_mark(nb) {
-                        continue;
+                    if !visited.check_and_mark(nb) {
+                        fresh.push(nb);
                     }
-                    let d = self.distance(q, self.data.row(nb as usize));
+                }
+                if fresh.is_empty() {
+                    continue;
+                }
+                // One batch per adjacency list: the distance kernel runs
+                // back to back over the unvisited neighbors with the
+                // profiling branch hoisted out of the inner loop.
+                {
+                    let _t = profile::scoped(Category::DistanceCalc);
+                    simd::distance_gather(
+                        self.opts.metric,
+                        self.opts.distance,
+                        q,
+                        &self.data,
+                        &fresh,
+                        &mut dists,
+                    );
+                }
+                for (&nb, &d) in fresh.iter().zip(&dists) {
                     if d < results.threshold() {
                         results.push(nb as u64, d);
                         candidates.push(Reverse(Neighbor::new(nb as u64, d)));
@@ -364,7 +387,7 @@ impl VectorIndex for HnswIndex {
     /// layout Figure 13 contrasts with PASE's 24-bytes-per-neighbor,
     /// page-per-adjacency-list layout (RC#4).
     fn size_bytes(&self) -> usize {
-        let vectors = self.data.as_flat().len() * std::mem::size_of::<f32>();
+        let vectors = std::mem::size_of_val(self.data.as_flat());
         let edges: usize = self
             .links
             .iter()

@@ -12,7 +12,7 @@ use crate::VectorIndex;
 use std::time::Instant;
 use vdb_profile::{self as profile, Category};
 use vdb_vecmath::sampling::sample_indices;
-use vdb_vecmath::{KHeap, Kmeans, KmeansParams, Neighbor, VectorSet};
+use vdb_vecmath::{simd, KHeap, Kmeans, KmeansParams, Neighbor, VectorSet};
 
 /// One inverted list: parallel arrays of ids and vectors.
 struct Bucket {
@@ -121,19 +121,16 @@ impl IvfFlatIndex {
             let mut collector = self.opts.topk.collector(k);
             let mut scratch = Vec::new();
             for &(b, _) in &probes {
-                self.scan_bucket(b, query, &mut scratch);
                 let bucket = &self.buckets[b];
-                let _h = profile::scoped(Category::MinHeap);
-                profile::count(Category::MinHeap, scratch.len() as u64);
-                // Faiss-style inline threshold check: rejected
-                // candidates cost one compare, never a heap call.
-                let mut thr = collector.threshold();
-                for (i, &dist) in scratch.iter().enumerate() {
-                    if dist < thr {
-                        collector.push(bucket.ids[i], dist);
-                        thr = collector.threshold();
-                    }
-                }
+                simd::scan_into(
+                    self.opts.metric,
+                    self.opts.distance,
+                    query,
+                    &bucket.vectors,
+                    Some(&bucket.ids),
+                    &mut collector,
+                    &mut scratch,
+                );
             }
             collector.into_sorted()
         } else {
@@ -143,17 +140,16 @@ impl IvfFlatIndex {
                 let mut local = KHeap::new(k);
                 let mut scratch = Vec::new();
                 for &(b, _) in &probes[r] {
-                    self.scan_bucket(b, query, &mut scratch);
                     let bucket = &self.buckets[b];
-                    let _h = profile::scoped(Category::MinHeap);
-                    profile::count(Category::MinHeap, scratch.len() as u64);
-                    let mut thr = local.threshold();
-                    for (i, &dist) in scratch.iter().enumerate() {
-                        if dist < thr {
-                            local.push(bucket.ids[i], dist);
-                            thr = local.threshold();
-                        }
-                    }
+                    simd::scan_into(
+                        self.opts.metric,
+                        self.opts.distance,
+                        query,
+                        &bucket.vectors,
+                        Some(&bucket.ids),
+                        &mut local,
+                        &mut scratch,
+                    );
                 }
                 local
             });
@@ -204,15 +200,16 @@ impl IvfFlatIndex {
                 let mut local = KHeap::new(k);
                 let mut scratch = Vec::new();
                 for &b in &plist[lo..hi] {
-                    self.scan_bucket(b, query, &mut scratch);
                     let bucket = &self.buckets[b];
-                    let mut thr = local.threshold();
-                    for (i, &dist) in scratch.iter().enumerate() {
-                        if dist < thr {
-                            local.push(bucket.ids[i], dist);
-                            thr = local.threshold();
-                        }
-                    }
+                    simd::scan_into(
+                        self.opts.metric,
+                        self.opts.distance,
+                        query,
+                        &bucket.vectors,
+                        Some(&bucket.ids),
+                        &mut local,
+                        &mut scratch,
+                    );
                 }
                 local
             },
@@ -227,19 +224,6 @@ impl IvfFlatIndex {
         out
     }
 
-    /// Distances from `query` to every vector in bucket `b`, into
-    /// `scratch` (batch-timed under `DistanceCalc`, like Table V).
-    fn scan_bucket(&self, b: usize, query: &[f32], scratch: &mut Vec<f32>) {
-        let bucket = &self.buckets[b];
-        let _t = profile::scoped(Category::DistanceCalc);
-        scratch.clear();
-        scratch.extend(
-            bucket
-                .vectors
-                .iter()
-                .map(|v| self.opts.metric.distance_with(self.opts.distance, query, v)),
-        );
-    }
 }
 
 impl VectorIndex for IvfFlatIndex {
@@ -254,12 +238,11 @@ impl VectorIndex for IvfFlatIndex {
     /// Centroids plus per-bucket ids and raw vectors — the flat memory
     /// layout whose size Figure 11 shows matching PASE's paged layout.
     fn size_bytes(&self) -> usize {
-        let f = std::mem::size_of::<f32>();
-        let centroid = self.quantizer.centroids().as_flat().len() * f;
+        let centroid = std::mem::size_of_val(self.quantizer.centroids().as_flat());
         let data: usize = self
             .buckets
             .iter()
-            .map(|b| b.vectors.as_flat().len() * f + b.ids.len() * std::mem::size_of::<u64>())
+            .map(|b| std::mem::size_of_val(b.vectors.as_flat()) + b.ids.len() * std::mem::size_of::<u64>())
             .sum();
         centroid + data
     }

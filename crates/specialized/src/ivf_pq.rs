@@ -12,7 +12,9 @@ use crate::VectorIndex;
 use std::time::Instant;
 use vdb_profile::{self as profile, Category};
 use vdb_vecmath::sampling::sample_indices;
-use vdb_vecmath::{KHeap, Kmeans, KmeansParams, Neighbor, PqTableMode, ProductQuantizer, VectorSet};
+use vdb_vecmath::{
+    KHeap, Kmeans, KmeansParams, Neighbor, PqTableMode, ProductQuantizer, TopKSink, VectorSet,
+};
 
 /// One inverted list of `(id, code)` entries; codes are concatenated.
 struct CodeBucket {
@@ -157,42 +159,20 @@ impl IvfPqIndex {
         let probes = self.quantizer.nearest_n(self.opts.distance, query, nprobe);
         // RC#7: the per-query precomputed table.
         let table = self.pq.adc_table(self.table_mode, query);
-        let clen = self.pq.code_len();
 
         if self.opts.threads <= 1 {
             let mut collector = self.opts.topk.collector(k);
             let mut scratch: Vec<f32> = Vec::new();
             for &(b, _) in &probes {
-                let bucket = &self.buckets[b];
-                {
-                    let _t = profile::scoped(Category::DistanceCalc);
-                    scratch.clear();
-                    scratch.extend(
-                        bucket
-                            .codes
-                            .chunks_exact(clen)
-                            .map(|code| self.pq.adc_distance(&table, code)),
-                    );
-                }
-                let _h = profile::scoped(Category::MinHeap);
-                profile::count(Category::MinHeap, scratch.len() as u64);
-                let mut thr = collector.threshold();
-                for (i, &dist) in scratch.iter().enumerate() {
-                    if dist < thr {
-                        collector.push(bucket.ids[i], dist);
-                        thr = collector.threshold();
-                    }
-                }
+                self.scan_bucket_into(&table, b, &mut collector, &mut scratch);
             }
             collector.into_sorted()
         } else {
             let locals = map_chunks(probes.len(), self.opts.threads, |r| {
                 let mut local = KHeap::new(k);
+                let mut scratch = Vec::new();
                 for &(b, _) in &probes[r] {
-                    let bucket = &self.buckets[b];
-                    for (i, code) in bucket.codes.chunks_exact(clen).enumerate() {
-                        local.push(bucket.ids[i], self.pq.adc_distance(&table, code));
-                    }
+                    self.scan_bucket_into(&table, b, &mut local, &mut scratch);
                 }
                 local
             });
@@ -217,7 +197,6 @@ impl IvfPqIndex {
         if threads == 1 {
             return queries.iter().map(|q| self.search_with_nprobe(q, k, nprobe)).collect();
         }
-        let clen = self.pq.code_len();
         let prep: Vec<(Vec<usize>, Vec<f32>)> = queries
             .iter()
             .map(|q| {
@@ -240,16 +219,9 @@ impl IvfPqIndex {
                 let lo = (t * chunk).min(plist.len());
                 let hi = ((t + 1) * chunk).min(plist.len());
                 let mut local = KHeap::new(k);
+                let mut scratch = Vec::new();
                 for &b in &plist[lo..hi] {
-                    let bucket = &self.buckets[b];
-                    let mut thr = local.threshold();
-                    for (i, code) in bucket.codes.chunks_exact(clen).enumerate() {
-                        let dist = self.pq.adc_distance(table, code);
-                        if dist < thr {
-                            local.push(bucket.ids[i], dist);
-                            thr = local.threshold();
-                        }
-                    }
+                    self.scan_bucket_into(table, b, &mut local, &mut scratch);
                 }
                 local
             },
@@ -268,6 +240,36 @@ impl IvfPqIndex {
     pub fn bucket_sizes(&self) -> Vec<usize> {
         self.buckets.iter().map(|b| b.ids.len()).collect()
     }
+
+    /// Fused bucket scan: batched LUT distances over the packed codes
+    /// (one `DistanceCalc` scope), then threshold-pruned pushes (one
+    /// `MinHeap` scope) — the PQ analogue of
+    /// [`vdb_vecmath::simd::scan_into`].
+    fn scan_bucket_into<S: TopKSink>(
+        &self,
+        table: &[f32],
+        b: usize,
+        sink: &mut S,
+        scratch: &mut Vec<f32>,
+    ) {
+        let bucket = &self.buckets[b];
+        let n = bucket.ids.len();
+        {
+            let _t = profile::scoped(Category::DistanceCalc);
+            scratch.clear();
+            scratch.resize(n, 0.0);
+            self.pq.adc_distance_batch(table, &bucket.codes, scratch);
+        }
+        let _h = profile::scoped(Category::MinHeap);
+        profile::count(Category::MinHeap, n as u64);
+        let mut thr = sink.threshold();
+        for (i, &dist) in scratch.iter().enumerate() {
+            if dist < thr {
+                sink.push(bucket.ids[i], dist);
+                thr = sink.threshold();
+            }
+        }
+    }
 }
 
 impl VectorIndex for IvfPqIndex {
@@ -283,8 +285,7 @@ impl VectorIndex for IvfPqIndex {
     /// bytes per vector — the compression that makes Figure 12's sizes
     /// an order of magnitude below Figure 11's.
     fn size_bytes(&self) -> usize {
-        let f = std::mem::size_of::<f32>();
-        let centroid = self.quantizer.centroids().as_flat().len() * f;
+        let centroid = std::mem::size_of_val(self.quantizer.centroids().as_flat());
         let codebooks = self.pq.codebook_bytes();
         let data: usize = self
             .buckets

@@ -14,7 +14,7 @@ use std::time::Instant;
 use vdb_profile::{self as profile, Category};
 use vdb_vecmath::sampling::sample_indices;
 use vdb_vecmath::sq::ScalarQuantizer;
-use vdb_vecmath::{KHeap, Kmeans, KmeansParams, Neighbor, VectorSet};
+use vdb_vecmath::{KHeap, Kmeans, KmeansParams, Neighbor, TopKSink, VectorSet};
 
 /// One inverted list of `(id, sq8-code)` entries.
 struct Sq8Bucket {
@@ -110,26 +110,7 @@ impl IvfSq8Index {
         let mut collector = self.opts.topk.collector(k);
         let mut scratch: Vec<f32> = Vec::new();
         for &(b, _) in &probes {
-            let bucket = &self.buckets[b];
-            {
-                let _t = profile::scoped(Category::DistanceCalc);
-                scratch.clear();
-                scratch.extend(
-                    bucket
-                        .codes
-                        .chunks_exact(self.dim)
-                        .map(|code| self.sq.asym_l2_sqr(query, code)),
-                );
-            }
-            let _h = profile::scoped(Category::MinHeap);
-            profile::count(Category::MinHeap, scratch.len() as u64);
-            let mut thr = collector.threshold();
-            for (i, &dist) in scratch.iter().enumerate() {
-                if dist < thr {
-                    collector.push(bucket.ids[i], dist);
-                    thr = collector.threshold();
-                }
-            }
+            self.scan_bucket_into(query, b, &mut collector, &mut scratch);
         }
         collector.into_sorted()
     }
@@ -161,16 +142,9 @@ impl IvfSq8Index {
                 let lo = (t * chunk).min(plist.len());
                 let hi = ((t + 1) * chunk).min(plist.len());
                 let mut local = KHeap::new(k);
+                let mut scratch = Vec::new();
                 for &b in &plist[lo..hi] {
-                    let bucket = &self.buckets[b];
-                    let mut thr = local.threshold();
-                    for (i, code) in bucket.codes.chunks_exact(self.dim).enumerate() {
-                        let dist = self.sq.asym_l2_sqr(query, code);
-                        if dist < thr {
-                            local.push(bucket.ids[i], dist);
-                            thr = local.threshold();
-                        }
-                    }
+                    self.scan_bucket_into(query, b, &mut local, &mut scratch);
                 }
                 local
             },
@@ -189,6 +163,36 @@ impl IvfSq8Index {
     pub fn bucket_sizes(&self) -> Vec<usize> {
         self.buckets.iter().map(|b| b.ids.len()).collect()
     }
+
+    /// Fused bucket scan: batched fused decode-and-diff distances over
+    /// the packed codes (one `DistanceCalc` scope), then threshold-pruned
+    /// pushes (one `MinHeap` scope). Serial and parallel search share
+    /// this path so their results stay bit-identical.
+    fn scan_bucket_into<S: TopKSink>(
+        &self,
+        query: &[f32],
+        b: usize,
+        sink: &mut S,
+        scratch: &mut Vec<f32>,
+    ) {
+        let bucket = &self.buckets[b];
+        let n = bucket.ids.len();
+        {
+            let _t = profile::scoped(Category::DistanceCalc);
+            scratch.clear();
+            scratch.resize(n, 0.0);
+            self.sq.asym_l2_sqr_batch(query, &bucket.codes, scratch);
+        }
+        let _h = profile::scoped(Category::MinHeap);
+        profile::count(Category::MinHeap, n as u64);
+        let mut thr = sink.threshold();
+        for (i, &dist) in scratch.iter().enumerate() {
+            if dist < thr {
+                sink.push(bucket.ids[i], dist);
+                thr = sink.threshold();
+            }
+        }
+    }
 }
 
 impl VectorIndex for IvfSq8Index {
@@ -202,9 +206,8 @@ impl VectorIndex for IvfSq8Index {
 
     /// Centroids + per-dimension ranges + 1 byte/dim codes + ids.
     fn size_bytes(&self) -> usize {
-        let f = std::mem::size_of::<f32>();
-        let centroid = self.quantizer.centroids().as_flat().len() * f;
-        let ranges = self.dim * 2 * f;
+        let centroid = std::mem::size_of_val(self.quantizer.centroids().as_flat());
+        let ranges = self.dim * 2 * std::mem::size_of::<f32>();
         let data: usize = self
             .buckets
             .iter()

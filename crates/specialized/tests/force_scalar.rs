@@ -1,0 +1,55 @@
+//! `VDB_FORCE_SCALAR=1` must pin the dispatcher to the portable
+//! unrolled kernels, and searches through the dispatched path must
+//! then match a hand-rolled unrolled-loop scan **bit for bit**.
+//!
+//! This lives in its own integration-test binary with a single `#[test]`
+//! so the environment variable is guaranteed to be set before the
+//! process's one-time kernel selection runs.
+
+use vdb_datagen::gaussian::generate;
+use vdb_specialized::{FlatIndex, SpecializedOptions, VectorIndex};
+use vdb_vecmath::distance::{dot_unrolled, l2_sqr_unrolled};
+use vdb_vecmath::simd::{self, ActiveKernel};
+
+#[test]
+fn force_scalar_pins_fallback_and_preserves_results() {
+    std::env::set_var("VDB_FORCE_SCALAR", "1");
+
+    // The dispatcher must report the portable fallback even on hosts
+    // with AVX2/NEON.
+    assert_eq!(simd::active_kernel(), ActiveKernel::Scalar);
+
+    // The auto kernels are now exactly the unrolled loops.
+    for d in [1usize, 7, 8, 64, 127, 128, 960] {
+        let x: Vec<f32> = (0..d).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> = (0..d).map(|i| (i as f32 * 0.61).cos()).collect();
+        assert_eq!(
+            simd::l2_sqr_auto(&x, &y).to_bits(),
+            l2_sqr_unrolled(&x, &y).to_bits(),
+            "l2 d={d}"
+        );
+        assert_eq!(
+            simd::inner_product_auto(&x, &y).to_bits(),
+            dot_unrolled(&x, &y).to_bits(),
+            "dot d={d}"
+        );
+    }
+
+    // End to end: a flat search through the dispatched batch path must
+    // equal a brute-force scan computed with the unrolled loop.
+    let data = generate(24, 500, 8, 99);
+    let idx = FlatIndex::new(SpecializedOptions::default(), data.clone());
+    for qi in 0..10 {
+        let q = data.row(qi * 49);
+        let got = idx.search(q, 10);
+        let mut expect: Vec<(u64, f32)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, row)| (i as u64, l2_sqr_unrolled(q, row)))
+            .collect();
+        expect.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        expect.truncate(10);
+        let got_pairs: Vec<(u64, f32)> = got.iter().map(|n| (n.id, n.distance)).collect();
+        assert_eq!(got_pairs, expect, "query {qi}");
+    }
+}

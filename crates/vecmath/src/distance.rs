@@ -2,11 +2,14 @@
 //!
 //! Two implementations of squared-L2 and inner product:
 //!
-//! * [`DistanceKernel::Optimized`] — 8-wide unrolled loops with independent
-//!   accumulators, the Rust analogue of Faiss's SIMD `fvec_L2sqr`;
+//! * [`DistanceKernel::Optimized`] — dispatches to the best kernel the
+//!   host supports via [`crate::simd`] (explicit AVX2+FMA or NEON, with
+//!   the 8-wide unrolled loop below as the portable fallback), the Rust
+//!   analogue of Faiss's SIMD `fvec_L2sqr`;
 //! * [`DistanceKernel::Reference`] — the dependent-chain scalar loop,
 //!   matching PASE's `fvec_L2sqr_ref`, which the paper's profiles show as
-//!   the IVF-build bottleneck (§V-A).
+//!   the IVF-build bottleneck (§V-A). Never dispatched — this arm is the
+//!   RC#1 ablation baseline and must stay a dependent chain.
 //!
 //! Every call is attributed to [`vdb_profile::Category::DistanceCalc`] when
 //! profiling is enabled, which is how the breakdown tables (Table V,
@@ -35,7 +38,7 @@ pub fn l2_sqr(kernel: DistanceKernel, x: &[f32], y: &[f32]) -> f32 {
         count(Category::DistanceCalc, 1);
     }
     match kernel {
-        DistanceKernel::Optimized => l2_sqr_unrolled(x, y),
+        DistanceKernel::Optimized => crate::simd::l2_sqr_auto(x, y),
         DistanceKernel::Reference => l2_sqr_ref(x, y),
     }
 }
@@ -51,17 +54,23 @@ pub fn inner_product(kernel: DistanceKernel, x: &[f32], y: &[f32]) -> f32 {
         count(Category::DistanceCalc, 1);
     }
     match kernel {
-        DistanceKernel::Optimized => dot_unrolled(x, y),
+        DistanceKernel::Optimized => crate::simd::inner_product_auto(x, y),
         DistanceKernel::Reference => dot_ref(x, y),
     }
 }
 
 /// Cosine distance `1 − (x·y)/(‖x‖‖y‖)`; `1.0` if either vector is zero.
+///
+/// Attributed to [`Category::DistanceCalc`] like the other metrics so
+/// cosine-configured HNSW breakdowns stay comparable.
 pub fn cosine_distance(x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "dimension mismatch");
-    let dot = dot_unrolled(x, y);
-    let nx = dot_unrolled(x, x).sqrt();
-    let ny = dot_unrolled(y, y).sqrt();
+    if enabled() {
+        count(Category::DistanceCalc, 1);
+    }
+    let dot = crate::simd::inner_product_auto(x, y);
+    let nx = crate::simd::inner_product_auto(x, x).sqrt();
+    let ny = crate::simd::inner_product_auto(y, y).sqrt();
     if nx == 0.0 || ny == 0.0 {
         1.0
     } else {
@@ -112,8 +121,11 @@ pub fn l2_sqr_unrolled(x: &[f32], y: &[f32]) -> f32 {
     acc[0] + acc[1] + acc[2] + acc[3] + tail
 }
 
+/// Unrolled inner product, same accumulator structure as
+/// [`l2_sqr_unrolled`]. Serves as the portable fallback in the
+/// [`crate::simd`] dispatch table.
 #[inline]
-fn dot_unrolled(x: &[f32], y: &[f32]) -> f32 {
+pub fn dot_unrolled(x: &[f32], y: &[f32]) -> f32 {
     let mut acc = [0.0f32; 4];
     let mut xc = x.chunks_exact(8);
     let mut yc = y.chunks_exact(8);

@@ -47,6 +47,53 @@ impl Ord for Neighbor {
     }
 }
 
+/// Anything a fused scan ([`crate::simd::scan_into`]) can push
+/// candidates into. The scan reads [`TopKSink::threshold`] to prune
+/// before paying the push; unbounded sinks return infinity and accept
+/// everything.
+pub trait TopKSink {
+    /// Current prune threshold (`f32::INFINITY` = accept everything).
+    fn threshold(&self) -> f32;
+    /// Offer a candidate.
+    fn push(&mut self, id: u64, distance: f32);
+}
+
+impl TopKSink for KHeap {
+    #[inline]
+    fn threshold(&self) -> f32 {
+        KHeap::threshold(self)
+    }
+
+    #[inline]
+    fn push(&mut self, id: u64, distance: f32) {
+        KHeap::push(self, id, distance);
+    }
+}
+
+impl TopKSink for NHeap {
+    #[inline]
+    fn threshold(&self) -> f32 {
+        f32::INFINITY
+    }
+
+    #[inline]
+    fn push(&mut self, id: u64, distance: f32) {
+        NHeap::push(self, id, distance);
+    }
+}
+
+impl TopKSink for TopKCollector {
+    #[inline]
+    fn threshold(&self) -> f32 {
+        TopKCollector::threshold(self)
+    }
+
+    #[inline]
+    fn push(&mut self, id: u64, distance: f32) {
+        TopKCollector::push(self, id, distance);
+    }
+}
+
 /// Which top-k strategy a search uses (RC#6).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum TopKStrategy {

@@ -129,26 +129,53 @@ impl Kmeans {
     }
 
     /// Index and distance of the nearest centroid to `v`.
+    ///
+    /// The optimized kernel walks the centroids with the dispatched SIMD
+    /// distance and one profiling count for the whole sweep; the
+    /// reference kernel keeps the per-call path.
     pub fn nearest(&self, kernel: DistanceKernel, v: &[f32]) -> (usize, f32) {
         let mut best = (0usize, f32::INFINITY);
-        for (j, c) in self.centroids.iter().enumerate() {
-            let dist = l2_sqr(kernel, v, c);
-            if dist < best.1 {
-                best = (j, dist);
+        match kernel {
+            DistanceKernel::Optimized => {
+                if profile::enabled() {
+                    profile::count(Category::DistanceCalc, self.centroids.len() as u64);
+                }
+                for (j, c) in self.centroids.iter().enumerate() {
+                    let dist = crate::simd::l2_sqr_auto(v, c);
+                    if dist < best.1 {
+                        best = (j, dist);
+                    }
+                }
+            }
+            DistanceKernel::Reference => {
+                for (j, c) in self.centroids.iter().enumerate() {
+                    let dist = l2_sqr(kernel, v, c);
+                    if dist < best.1 {
+                        best = (j, dist);
+                    }
+                }
             }
         }
         best
     }
 
     /// Indices (and distances) of the `nprobe` nearest centroids to `v`,
-    /// closest first.
+    /// closest first. Batched for the optimized kernel (see
+    /// [`Kmeans::nearest`]).
     pub fn nearest_n(&self, kernel: DistanceKernel, v: &[f32], nprobe: usize) -> Vec<(usize, f32)> {
-        let mut all: Vec<(usize, f32)> = self
-            .centroids
-            .iter()
-            .enumerate()
-            .map(|(j, c)| (j, l2_sqr(kernel, v, c)))
-            .collect();
+        let mut all: Vec<(usize, f32)> = match kernel {
+            DistanceKernel::Optimized => {
+                let mut dists = vec![0.0f32; self.centroids.len()];
+                crate::simd::l2_sqr_batch(v, &self.centroids, &mut dists);
+                dists.iter().enumerate().map(|(j, &d)| (j, d)).collect()
+            }
+            DistanceKernel::Reference => self
+                .centroids
+                .iter()
+                .enumerate()
+                .map(|(j, c)| (j, l2_sqr(kernel, v, c)))
+                .collect(),
+        };
         all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         all.truncate(nprobe.max(1));
         all

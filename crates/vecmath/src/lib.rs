@@ -9,6 +9,7 @@
 //! | Module | Root cause | Variants |
 //! |---|---|---|
 //! | [`distance`] | — | optimized unrolled kernel vs `fvec_L2sqr_ref`-style reference loop |
+//! | [`simd`] | RC#1 | runtime-dispatched AVX2/NEON kernels and batched one-vs-many scans |
 //! | [`heap`] | RC#6 | size-*k* bounded heap vs size-*n* heap |
 //! | [`kmeans`] | RC#5 | Faiss-style vs PASE-style clustering |
 //! | [`pq`] | RC#7 | optimized vs straightforward ADC precomputed table |
@@ -24,11 +25,12 @@ pub mod parallel;
 pub mod params;
 pub mod pq;
 pub mod sampling;
+pub mod simd;
 pub mod sq;
 pub mod vectors;
 
 pub use distance::DistanceKernel;
-pub use heap::{KHeap, NHeap, Neighbor, TopKCollector, TopKStrategy};
+pub use heap::{KHeap, NHeap, Neighbor, TopKCollector, TopKSink, TopKStrategy};
 pub use kmeans::{Kmeans, KmeansFlavor, KmeansParams};
 pub use metric::Metric;
 pub use params::{BuildTiming, HnswParams, IvfParams, PqParams};

@@ -7,6 +7,7 @@
 //! ordering are uniform.
 
 use crate::distance::{cosine_distance, inner_product, l2_sqr, DistanceKernel};
+use crate::vectors::VectorSet;
 use serde::{Deserialize, Serialize};
 
 /// Vector similarity metric.
@@ -37,6 +38,41 @@ impl Metric {
             Metric::L2 => l2_sqr(kernel, x, y),
             Metric::InnerProduct => -inner_product(kernel, x, y),
             Metric::Cosine => cosine_distance(x, y),
+        }
+    }
+
+    /// Distances from `query` to every row of `rows`, resizing `out` to
+    /// `rows.len()`.
+    ///
+    /// With [`DistanceKernel::Optimized`] the L2 and inner-product
+    /// metrics go through the [`crate::simd`] batch primitives (one
+    /// profiling count per batch); every other combination falls back to
+    /// per-row [`Metric::distance_with`], so the Reference ablation arm
+    /// keeps its dependent-chain loop and per-call attribution.
+    pub fn distance_batch(
+        self,
+        kernel: DistanceKernel,
+        query: &[f32],
+        rows: &VectorSet,
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        out.resize(rows.len(), 0.0);
+        match (self, kernel) {
+            (Metric::L2, DistanceKernel::Optimized) => {
+                crate::simd::l2_sqr_batch(query, rows, out);
+            }
+            (Metric::InnerProduct, DistanceKernel::Optimized) => {
+                crate::simd::inner_product_batch(query, rows, out);
+                for v in out.iter_mut() {
+                    *v = -*v;
+                }
+            }
+            _ => {
+                for (o, row) in out.iter_mut().zip(rows.iter()) {
+                    *o = self.distance_with(kernel, query, row);
+                }
+            }
         }
     }
 

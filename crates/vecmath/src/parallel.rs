@@ -82,7 +82,7 @@ mod tests {
     #[test]
     fn covers_whole_range_without_overlap() {
         let parts = map_chunks(103, 4, |r| r);
-        let mut covered = vec![false; 103];
+        let mut covered = [false; 103];
         for r in parts {
             for i in r {
                 assert!(!covered[i], "overlap at {i}");
@@ -213,7 +213,7 @@ mod round_tests {
     fn rounds_single_thread_inline() {
         let mut total = 0;
         rounds(4, 1, |q, _| q * 2, |_, rs| total += rs[0]);
-        assert_eq!(total, 0 + 2 + 4 + 6);
+        assert_eq!(total, 2 + 4 + 6);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! once at *training* time, while PASE recomputes full subtract-square
 //! distances per query. Both paths are implemented as [`PqTableMode`]s.
 
-use crate::distance::{l2_sqr_ref, l2_sqr_unrolled};
+use crate::distance::l2_sqr_ref;
 use crate::kmeans::{Kmeans, KmeansFlavor, KmeansParams};
 use crate::vectors::VectorSet;
 use serde::{Deserialize, Serialize};
@@ -59,7 +59,7 @@ impl ProductQuantizer {
         params: &KmeansParams,
     ) -> ProductQuantizer {
         let d = training.dim();
-        assert!(m > 0 && d % m == 0, "d ({d}) must be divisible by m ({m})");
+        assert!(m > 0 && d.is_multiple_of(m), "d ({d}) must be divisible by m ({m})");
         assert!(cpq > 0 && cpq <= 256, "cpq must be in 1..=256");
         assert!(!training.is_empty(), "cannot train PQ on an empty set");
         let sub_d = d / m;
@@ -138,7 +138,7 @@ impl ProductQuantizer {
             let mut best = 0usize;
             let mut best_d = f32::INFINITY;
             for j in 0..self.cpq {
-                let dist = l2_sqr_unrolled(q, self.codeword(sub, j));
+                let dist = crate::simd::l2_sqr_auto(q, self.codeword(sub, j));
                 if dist < best_d {
                     best_d = dist;
                     best = j;
@@ -177,17 +177,14 @@ impl ProductQuantizer {
                 }
             }
             PqTableMode::Optimized => {
-                // Faiss: ‖q‖² + ‖c‖² − 2 q·c with ‖c‖² from training time.
+                // Faiss: ‖q‖² + ‖c‖² − 2 q·c with ‖c‖² from training time
+                // and the dot computed by the dispatched SIMD kernel.
                 for sub in 0..self.m {
                     let q = &query[sub * self.sub_d..(sub + 1) * self.sub_d];
-                    let qn: f32 = q.iter().map(|x| x * x).sum();
+                    let qn = crate::simd::inner_product_auto(q, q);
                     let row = &mut table[sub * self.cpq..(sub + 1) * self.cpq];
                     for (j, out) in row.iter_mut().enumerate() {
-                        let c = self.codeword(sub, j);
-                        let mut dot = 0.0f32;
-                        for (a, b) in q.iter().zip(c) {
-                            dot += a * b;
-                        }
+                        let dot = crate::simd::inner_product_auto(q, self.codeword(sub, j));
                         *out = (qn + self.codeword_norms[sub * self.cpq + j] - 2.0 * dot).max(0.0);
                     }
                 }
@@ -207,6 +204,44 @@ impl ProductQuantizer {
             acc += table[sub * self.cpq + j as usize];
         }
         acc
+    }
+
+    /// Batched LUT scan: ADC distances for every packed code in `codes`
+    /// (`out.len()` codes of `code_len()` bytes each, back to back).
+    ///
+    /// Four independent accumulators walk four subspaces per iteration,
+    /// breaking [`ProductQuantizer::adc_distance`]'s dependent chain of
+    /// table lookups; no per-code profiling or bounds re-checks. Callers
+    /// attribute the whole batch.
+    ///
+    /// # Panics
+    /// Panics if `codes.len() != out.len() * code_len()`.
+    pub fn adc_distance_batch(&self, table: &[f32], codes: &[u8], out: &mut [f32]) {
+        debug_assert_eq!(table.len(), self.m * self.cpq);
+        assert_eq!(codes.len(), out.len() * self.m, "packed codes / output length mismatch");
+        for (o, code) in out.iter_mut().zip(codes.chunks_exact(self.m)) {
+            *o = self.adc_distance_unrolled(table, code);
+        }
+    }
+
+    #[inline]
+    fn adc_distance_unrolled(&self, table: &[f32], code: &[u8]) -> f32 {
+        let cpq = self.cpq;
+        let mut acc = [0.0f32; 4];
+        let mut chunks = code.chunks_exact(4);
+        let mut base = 0usize;
+        for ch in chunks.by_ref() {
+            acc[0] += table[base + ch[0] as usize];
+            acc[1] += table[base + cpq + ch[1] as usize];
+            acc[2] += table[base + 2 * cpq + ch[2] as usize];
+            acc[3] += table[base + 3 * cpq + ch[3] as usize];
+            base += 4 * cpq;
+        }
+        let mut tail = 0.0f32;
+        for (i, &j) in chunks.remainder().iter().enumerate() {
+            tail += table[base + i * cpq + j as usize];
+        }
+        acc[0] + acc[1] + acc[2] + acc[3] + tail
     }
 
     /// In-memory size of the codebooks in bytes (for the index-size
@@ -337,6 +372,23 @@ mod tests {
         let q = data.row(0);
         let table = pq.adc_table(PqTableMode::Optimized, q);
         assert!(table.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn adc_batch_matches_per_code() {
+        let (pq, data) = small_pq();
+        let table = pq.adc_table(PqTableMode::Optimized, data.row(9));
+        let mut packed = Vec::new();
+        for i in 10..40 {
+            packed.extend_from_slice(&pq.encode(data.row(i)));
+        }
+        let n = packed.len() / pq.code_len();
+        let mut out = vec![0.0f32; n];
+        pq.adc_distance_batch(&table, &packed, &mut out);
+        for (i, &got) in out.iter().enumerate() {
+            let code = &packed[i * pq.code_len()..(i + 1) * pq.code_len()];
+            assert_eq!(got, pq.adc_distance(&table, code), "code {i}");
+        }
     }
 
     #[test]

@@ -89,6 +89,47 @@ impl ScalarQuantizer {
         acc
     }
 
+    /// Batched asymmetric squared L2 for every packed code in `codes`
+    /// (`out.len()` codes of `dim()` bytes each, back to back), with four
+    /// independent accumulators instead of
+    /// [`ScalarQuantizer::asym_l2_sqr`]'s dependent chain. Callers
+    /// attribute the whole batch.
+    ///
+    /// # Panics
+    /// Panics if `codes.len() != out.len() * dim()`.
+    pub fn asym_l2_sqr_batch(&self, query: &[f32], codes: &[u8], out: &mut [f32]) {
+        let d = self.dim();
+        debug_assert_eq!(query.len(), d);
+        assert_eq!(codes.len(), out.len() * d, "packed codes / output length mismatch");
+        for (o, code) in out.iter_mut().zip(codes.chunks_exact(d)) {
+            *o = self.asym_l2_sqr_unrolled(query, code);
+        }
+    }
+
+    #[inline]
+    fn asym_l2_sqr_unrolled(&self, query: &[f32], code: &[u8]) -> f32 {
+        let n = query.len();
+        let mut acc = [0.0f32; 4];
+        let mut j = 0usize;
+        while j + 4 <= n {
+            for (lane, a) in acc.iter_mut().enumerate() {
+                let i = j + lane;
+                let decoded = self.mins[i] + code[i] as f32 * self.steps[i];
+                let diff = query[i] - decoded;
+                *a += diff * diff;
+            }
+            j += 4;
+        }
+        let mut tail = 0.0f32;
+        while j < n {
+            let decoded = self.mins[j] + code[j] as f32 * self.steps[j];
+            let diff = query[j] - decoded;
+            tail += diff * diff;
+            j += 1;
+        }
+        acc[0] + acc[1] + acc[2] + acc[3] + tail
+    }
+
     /// Worst-case per-dimension quantization error (half a step).
     pub fn max_per_dim_error(&self) -> f32 {
         self.steps.iter().fold(0.0f32, |m, &s| m.max(s / 2.0))
@@ -150,6 +191,25 @@ mod tests {
         let code = sq.encode(&[42.0, 5.0]);
         let back = sq.decode(&code);
         assert_eq!(back[0], 42.0);
+    }
+
+    #[test]
+    fn asym_batch_matches_per_code() {
+        let data = training();
+        let sq = ScalarQuantizer::train(&data);
+        let q = data.row(0);
+        let mut packed = Vec::new();
+        for i in 1..50 {
+            packed.extend_from_slice(&sq.encode(data.row(i)));
+        }
+        let n = packed.len() / sq.dim();
+        let mut out = vec![0.0f32; n];
+        sq.asym_l2_sqr_batch(q, &packed, &mut out);
+        for (i, &got) in out.iter().enumerate() {
+            let code = &packed[i * sq.dim()..(i + 1) * sq.dim()];
+            let want = sq.asym_l2_sqr(q, code);
+            assert!((got - want).abs() <= 1e-3 * (1.0 + want), "code {i}: {got} vs {want}");
+        }
     }
 
     #[test]

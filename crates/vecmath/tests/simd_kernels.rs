@@ -1,0 +1,137 @@
+//! Cross-kernel agreement for the dispatched SIMD layer.
+//!
+//! The AVX2/NEON kernels reassociate sums (4 independent accumulators,
+//! lane-wise adds), so they cannot be bit-identical to the reference
+//! dependent chain — but they must agree within relative tolerance for
+//! **every** dimension, including non-multiples of 8 (masked tails)
+//! and unaligned sub-slices. `l2_sqr_auto`/`inner_product_auto` hit
+//! whatever kernel the host dispatches to, so on an AVX2 machine this
+//! exercises the explicit `std::arch` path and under
+//! `VDB_FORCE_SCALAR=1` (CI's second test job) the portable fallback.
+
+use proptest::prelude::*;
+use vdb_vecmath::distance::{
+    inner_product, l2_sqr_ref, l2_sqr_unrolled, DistanceKernel,
+};
+use vdb_vecmath::simd;
+
+fn pseudo_random(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) * 4.0 - 1.0
+        })
+        .collect()
+}
+
+/// Relative tolerance for reassociated f32 sums (L2: all terms are
+/// non-negative, so the result's magnitude bounds the terms').
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-3 * (1.0 + b.abs())
+}
+
+/// Dot products cancel, so the error scales with the terms' magnitude
+/// Σ|xᵢyᵢ|, not the result's.
+fn dot_close(a: f32, b: f32, x: &[f32], y: &[f32]) -> bool {
+    let mag: f32 = x.iter().zip(y).map(|(p, q)| (p * q).abs()).sum();
+    (a - b).abs() <= 1e-4 * (1.0 + mag)
+}
+
+/// Reference dot product (dependent chain): `inner_product` returns the
+/// raw dot — turning it into a distance (negation) happens at the
+/// `Metric` layer, not here.
+fn dot_ref(x: &[f32], y: &[f32]) -> f32 {
+    inner_product(DistanceKernel::Reference, x, y)
+}
+
+/// Every dimension 1..=1024 — deterministic, so the masked-tail cases
+/// (d mod 8 ∈ 1..=7) and the sub-register cases (d < 8) are all hit.
+#[test]
+fn all_dims_agree_l2_and_dot() {
+    for d in 1..=1024usize {
+        let x = pseudo_random(d, d as u64);
+        let y = pseudo_random(d, d as u64 + 7);
+        let auto = simd::l2_sqr_auto(&x, &y);
+        let unrolled = l2_sqr_unrolled(&x, &y);
+        let reference = l2_sqr_ref(&x, &y);
+        assert!(close(auto, reference), "l2 d={d}: {auto} vs ref {reference}");
+        assert!(close(auto, unrolled), "l2 d={d}: {auto} vs unrolled {unrolled}");
+        let dauto = simd::inner_product_auto(&x, &y);
+        let dref = dot_ref(&x, &y);
+        assert!(dot_close(dauto, dref, &x, &y), "dot d={d}: {dauto} vs ref {dref}");
+    }
+}
+
+/// Sub-slices starting at every offset 0..8 are never 32-byte aligned
+/// in general; the kernels use unaligned loads so results must not
+/// change character.
+#[test]
+fn unaligned_subslices_agree() {
+    let x = pseudo_random(1040, 1);
+    let y = pseudo_random(1040, 2);
+    for off in 0..8usize {
+        for d in [1usize, 7, 8, 63, 64, 127, 128, 959, 960, 1024] {
+            let (xs, ys) = (&x[off..off + d], &y[off..off + d]);
+            let auto = simd::l2_sqr_auto(xs, ys);
+            let reference = l2_sqr_ref(xs, ys);
+            assert!(close(auto, reference), "off={off} d={d}: {auto} vs {reference}");
+        }
+    }
+}
+
+/// The batch primitive must agree with per-row auto calls bit for bit
+/// (same kernel, same order), and with the reference within tolerance.
+#[test]
+fn batch_agrees_with_per_row_and_reference() {
+    for d in [1usize, 5, 8, 64, 96, 100, 128, 960] {
+        let n = 37;
+        let q = pseudo_random(d, 3);
+        let flat = pseudo_random(n * d, 4);
+        let mut out = vec![0.0f32; n];
+        simd::l2_sqr_batch_flat(&q, &flat, &mut out);
+        for (i, &got) in out.iter().enumerate() {
+            let row = &flat[i * d..(i + 1) * d];
+            assert_eq!(got.to_bits(), simd::l2_sqr_auto(&q, row).to_bits(), "d={d} row={i}");
+            assert!(close(got, l2_sqr_ref(&q, row)), "d={d} row={i}");
+        }
+    }
+}
+
+proptest! {
+    /// Random lengths (1..=1024) and random values: all three l2
+    /// kernels agree within relative tolerance.
+    #[test]
+    fn prop_l2_kernels_agree(v in proptest::collection::vec(-100.0f32..100.0, 1..1025)) {
+        let y: Vec<f32> = v.iter().rev().map(|x| x * 0.75 - 0.5).collect();
+        let auto = simd::l2_sqr_auto(&v, &y);
+        let unrolled = l2_sqr_unrolled(&v, &y);
+        let reference = l2_sqr_ref(&v, &y);
+        prop_assert!(close(auto, reference), "{} vs ref {}", auto, reference);
+        prop_assert!(close(unrolled, reference), "{} vs ref {}", unrolled, reference);
+    }
+
+    /// Same for the dot kernel (magnitude-scaled tolerance — dots
+    /// cancel).
+    #[test]
+    fn prop_dot_kernels_agree(v in proptest::collection::vec(-100.0f32..100.0, 1..1025)) {
+        let y: Vec<f32> = v.iter().map(|x| 1.0 - x * 0.25).collect();
+        let auto = simd::inner_product_auto(&v, &y);
+        let reference = dot_ref(&v, &y);
+        prop_assert!(dot_close(auto, reference, &v, &y), "{} vs ref {}", auto, reference);
+    }
+
+    /// Unaligned sub-slices of a shared buffer agree with the full-slice
+    /// result computed by the reference kernel.
+    #[test]
+    fn prop_unaligned_offsets_agree(
+        v in proptest::collection::vec(-10.0f32..10.0, 16..512),
+        off in 1usize..8,
+    ) {
+        let y: Vec<f32> = v.iter().map(|x| x + 0.5).collect();
+        let d = v.len() - off;
+        let auto = simd::l2_sqr_auto(&v[off..], &y[off..]);
+        let reference = l2_sqr_ref(&v[off..], &y[off..]);
+        prop_assert!(close(auto, reference), "off={} d={}: {} vs {}", off, d, auto, reference);
+    }
+}

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 use vdb_core::datagen::gaussian;
-use vdb_core::generalized::{GeneralizedOptions, PaseIndex, PaseIvfFlatIndex};
+use vdb_core::generalized::{GeneralizedOptions, PaseIvfFlatIndex};
 use vdb_core::sql::{Database, SqlError};
 use vdb_core::storage::{BufferManager, DiskManager, HeapTable, PageSize, StorageError};
 use vdb_core::vecmath::IvfParams;
