@@ -39,13 +39,13 @@ fn main() {
     let mut improved_all = true;
 
     let row = |label: &str,
-                   labels: &mut Vec<String>,
-                   b: f64,
-                   a: f64,
-                   t: f64,
-                   before: &mut Series,
-                   after: &mut Series,
-                   target: &mut Series| {
+               labels: &mut Vec<String>,
+               b: f64,
+               a: f64,
+               t: f64,
+               before: &mut Series,
+               after: &mut Series,
+               target: &mut Series| {
         let i = labels.len() as f64;
         labels.push(label.to_string());
         before.push(i, b);
@@ -58,7 +58,9 @@ fn main() {
     // RC#1: IVF_FLAT build seconds.
     {
         let b = pase_ivfflat(base, params, &ds).timing.total();
-        let a = pase_ivfflat(RootCause::Rc1Sgemm.apply_fix(base), params, &ds).timing.total();
+        let a = pase_ivfflat(RootCause::Rc1Sgemm.apply_fix(base), params, &ds)
+            .timing
+            .total();
         let (_, t) = faiss_ivfflat(SpecializedOptions::default(), params, &ds);
         improved_all &= row(
             "RC#1 sgemm (build s)",
@@ -87,7 +89,11 @@ fn main() {
         faiss_flat.search(ds.queries.row(q), K);
     }));
 
-    for rc in [RootCause::Rc2MemoryManagement, RootCause::Rc5Kmeans, RootCause::Rc6HeapSize] {
+    for rc in [
+        RootCause::Rc2MemoryManagement,
+        RootCause::Rc5Kmeans,
+        RootCause::Rc6HeapSize,
+    ] {
         let b = flat_query_ms(base);
         let a = flat_query_ms(rc.apply_fix(base));
         improved_all &= row(
@@ -182,7 +188,10 @@ fn main() {
                     threads: 8,
                     ..RootCause::Rc3Parallelism.apply_fix(base)
                 });
-                let parallel_faiss = SpecializedOptions { threads: 8, ..Default::default() };
+                let parallel_faiss = SpecializedOptions {
+                    threads: 8,
+                    ..Default::default()
+                };
                 let (idx, _) = faiss_ivfflat(parallel_faiss, params, &ds);
                 let (_, took) = time(|| idx.search_batch(&queries8, K, wide_probe));
                 (b, a, millis(took) / nq8 as f64)
@@ -247,7 +256,10 @@ fn main() {
         series: vec![before, after, target],
         measured_factor: None,
         shape_holds: improved_all && converged,
-        notes: format!("scale {:?}; every fix must not regress, ALL must land within 2x of Faiss", scale()),
+        notes: format!(
+            "scale {:?}; every fix must not regress, ALL must land within 2x of Faiss",
+            scale()
+        ),
     };
     emit(&record);
 }

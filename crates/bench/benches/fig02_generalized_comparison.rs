@@ -61,15 +61,15 @@ fn main() {
     // Shape: PASE is the fastest generalized engine on every dataset,
     // and Faiss beats both.
     let n = labels.len();
-    let pase_fastest_generalized =
-        (0..n).all(|i| pase_ms.points[i].1 <= pgvector_ms.points[i].1);
+    let pase_fastest_generalized = (0..n).all(|i| pase_ms.points[i].1 <= pgvector_ms.points[i].1);
     let faiss_fastest = (0..n).all(|i| faiss_ms.points[i].1 <= pase_ms.points[i].1);
 
     let record = ExperimentRecord {
         id: "fig02".into(),
         title: "Generalized vector databases compared (IVF_FLAT search)".into(),
-        paper_claim: "PASE exhibits the highest performance among open-sourced generalized vector databases"
-            .into(),
+        paper_claim:
+            "PASE exhibits the highest performance among open-sourced generalized vector databases"
+                .into(),
         x_labels: labels,
         unit: "ms".into(),
         series: vec![pase_ms, pgvector_ms, faiss_ms],

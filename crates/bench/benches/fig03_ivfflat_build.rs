@@ -29,10 +29,14 @@ fn main() {
 
         pase_total.push(i as f64, secs(built.timing.total()));
         faiss_total.push(i as f64, secs(faiss_timing.total()));
-        pase_add_frac
-            .push(i as f64, secs(built.timing.add) / secs(built.timing.total()).max(1e-12));
-        faiss_add_frac
-            .push(i as f64, secs(faiss_timing.add) / secs(faiss_timing.total()).max(1e-12));
+        pase_add_frac.push(
+            i as f64,
+            secs(built.timing.add) / secs(built.timing.total()).max(1e-12),
+        );
+        faiss_add_frac.push(
+            i as f64,
+            secs(faiss_timing.add) / secs(faiss_timing.total()).max(1e-12),
+        );
         println!(
             "{:<10} PASE {:.2}s (train {:.2}s) | Faiss {:.2}s (train {:.2}s)",
             id.name(),

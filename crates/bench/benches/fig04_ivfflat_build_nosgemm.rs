@@ -16,7 +16,10 @@ fn main() {
     let mut faiss_add = Series::new("Faiss (no SGEMM) adding");
     let mut labels = Vec::new();
 
-    let faiss_opts = SpecializedOptions { gemm: GemmKernel::Naive, ..Default::default() };
+    let faiss_opts = SpecializedOptions {
+        gemm: GemmKernel::Naive,
+        ..Default::default()
+    };
 
     for (i, id) in all_datasets().into_iter().enumerate() {
         let ds = dataset(id);

@@ -50,9 +50,14 @@ fn main() {
     let mut faiss_series = Series::new("Faiss share");
     for (i, cat) in LEAVES.iter().enumerate() {
         labels.push(cat.label().to_string());
-        pase_series.push(i as f64, pase_bd.nanos(*cat) as f64 / pase_leaf_total.max(1) as f64);
-        faiss_series
-            .push(i as f64, faiss_bd.nanos(*cat) as f64 / faiss_leaf_total.max(1) as f64);
+        pase_series.push(
+            i as f64,
+            pase_bd.nanos(*cat) as f64 / pase_leaf_total.max(1) as f64,
+        );
+        faiss_series.push(
+            i as f64,
+            faiss_bd.nanos(*cat) as f64 / faiss_leaf_total.max(1) as f64,
+        );
     }
 
     // Shape: Faiss's leaf time is mostly distance; PASE's distance
@@ -61,8 +66,8 @@ fn main() {
     let faiss_dist_share = faiss_series.points[0].1;
     let pase_dist_share = pase_series.points[0].1;
     let pase_overhead_share = pase_series.points[1].1 + pase_series.points[2].1;
-    let dist_ratio =
-        pase_bd.nanos(Category::DistanceCalc) as f64 / faiss_bd.nanos(Category::DistanceCalc).max(1) as f64;
+    let dist_ratio = pase_bd.nanos(Category::DistanceCalc) as f64
+        / faiss_bd.nanos(Category::DistanceCalc).max(1) as f64;
     let shape = faiss_dist_share > 0.6
         && pase_dist_share < faiss_dist_share
         && pase_overhead_share > 0.3

@@ -40,7 +40,11 @@ fn main() {
             ParallelismMode::Measured => THREADS
                 .iter()
                 .map(|&threads| {
-                    let opts = SpecializedOptions { gemm, threads, ..Default::default() };
+                    let opts = SpecializedOptions {
+                        gemm,
+                        threads,
+                        ..Default::default()
+                    };
                     let timing = if is_pq {
                         faiss_ivfpq(opts, params, pq, &ds).1
                     } else {
@@ -50,7 +54,10 @@ fn main() {
                 })
                 .collect(),
             ParallelismMode::Modeled => {
-                let opts = SpecializedOptions { gemm, ..Default::default() };
+                let opts = SpecializedOptions {
+                    gemm,
+                    ..Default::default()
+                };
                 let timing = if is_pq {
                     faiss_ivfpq(opts, params, pq, &ds).1
                 } else {
@@ -86,8 +93,9 @@ fn main() {
     let record = ExperimentRecord {
         id: "fig09".into(),
         title: "Parallel index construction scaling in Faiss (SIFT1M-class)".into(),
-        paper_claim: "all variants scale with threads except IVF_FLAT with SGEMM (adding already collapsed)"
-            .into(),
+        paper_claim:
+            "all variants scale with threads except IVF_FLAT with SGEMM (adding already collapsed)"
+                .into(),
         x_labels: THREADS.iter().map(|t| format!("{t} threads")).collect(),
         unit: "s".into(),
         series,

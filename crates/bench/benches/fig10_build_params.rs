@@ -21,7 +21,10 @@ fn main() {
 
     let mut ivfflat_factor = Series::new("IVF_FLAT PASE/Faiss factor vs c");
     for (i, &c) in CLUSTERS.iter().enumerate() {
-        let params = IvfParams { clusters: c, ..ivf_params_for(&ds) };
+        let params = IvfParams {
+            clusters: c,
+            ..ivf_params_for(&ds)
+        };
         let built = pase_ivfflat(GeneralizedOptions::default(), params, &ds);
         let (_, faiss) = faiss_ivfflat(SpecializedOptions::default(), params, &ds);
         let factor = secs(built.timing.total()) / secs(faiss.total()).max(1e-12);
@@ -32,7 +35,10 @@ fn main() {
     let mut ivfpq_factor = Series::new("IVF_PQ PASE/Faiss factor vs c");
     let pq = pq_params_for(&ds);
     for (i, &c) in CLUSTERS.iter().enumerate() {
-        let params = IvfParams { clusters: c, ..ivf_params_for(&ds) };
+        let params = IvfParams {
+            clusters: c,
+            ..ivf_params_for(&ds)
+        };
         let built = pase_ivfpq(GeneralizedOptions::default(), params, pq, &ds);
         let (_, faiss) = faiss_ivfpq(SpecializedOptions::default(), params, pq, &ds);
         let factor = secs(built.timing.total()) / secs(faiss.total()).max(1e-12);
@@ -42,7 +48,10 @@ fn main() {
 
     let mut hnsw_factor = Series::new("HNSW PASE/Faiss factor vs bnn");
     for (i, &bnn) in BNNS.iter().enumerate() {
-        let params = HnswParams { bnn, ..Default::default() };
+        let params = HnswParams {
+            bnn,
+            ..Default::default()
+        };
         let built = pase_hnsw(GeneralizedOptions::default(), params, &ds);
         let (_, faiss) = faiss_hnsw(SpecializedOptions::default(), params, &ds);
         let factor = secs(built.timing.total()) / secs(faiss.total()).max(1e-12);

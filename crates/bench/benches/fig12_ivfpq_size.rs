@@ -33,7 +33,10 @@ fn main() {
         pase_mb.push(i as f64, p);
         faiss_mb.push(i as f64, f);
         slack_mb.push(i as f64, slack);
-        println!("{:<10} PASE {p:.2} MB | Faiss {f:.2} MB (slack bound {slack:.2})", id.name());
+        println!(
+            "{:<10} PASE {p:.2} MB | Faiss {f:.2} MB (slack bound {slack:.2})",
+            id.name()
+        );
     }
 
     let mut record = ExperimentRecord {

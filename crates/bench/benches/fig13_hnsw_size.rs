@@ -27,7 +27,11 @@ fn main() {
         let f = faiss_idx.size_bytes() as f64 / 1e6;
         pase_mb.push(i as f64, p);
         faiss_mb.push(i as f64, f);
-        println!("{:<10} PASE {p:.1} MB | Faiss {f:.1} MB ({:.1}x)", id.name(), p / f);
+        println!(
+            "{:<10} PASE {p:.1} MB | Faiss {f:.1} MB ({:.1}x)",
+            id.name(),
+            p / f
+        );
     }
 
     let mut record = ExperimentRecord {

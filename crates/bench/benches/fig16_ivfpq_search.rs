@@ -38,14 +38,17 @@ fn main() {
         }));
         pase_ms.push(i as f64, p);
         faiss_ms.push(i as f64, f);
-        println!("{:<10} PASE {p:.3} ms | Faiss {f:.3} ms ({:.1}x)", id.name(), p / f);
+        println!(
+            "{:<10} PASE {p:.3} ms | Faiss {f:.3} ms ({:.1}x)",
+            id.name(),
+            p / f
+        );
     }
 
     let mut record = ExperimentRecord {
         id: "fig16".into(),
         title: "IVF_PQ average query time".into(),
-        paper_claim: "PASE 3.9x-11.2x slower than Faiss (adds RC#7 to the IVF_FLAT causes)"
-            .into(),
+        paper_claim: "PASE 3.9x-11.2x slower than Faiss (adds RC#7 to the IVF_FLAT causes)".into(),
         x_labels: labels,
         unit: "ms".into(),
         series: vec![pase_ms, faiss_ms],

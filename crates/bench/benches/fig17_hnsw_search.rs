@@ -38,7 +38,11 @@ fn main() {
         }));
         pase_ms.push(i as f64, p);
         faiss_ms.push(i as f64, f);
-        println!("{:<10} PASE {p:.3} ms | Faiss {f:.3} ms ({:.1}x)", id.name(), p / f);
+        println!(
+            "{:<10} PASE {p:.3} ms | Faiss {f:.3} ms ({:.1}x)",
+            id.name(),
+            p / f
+        );
     }
 
     let mut record = ExperimentRecord {

@@ -50,7 +50,10 @@ fn main() {
                 .iter()
                 .map(|&threads| {
                     let ms = if is_pase {
-                        let opts = GeneralizedOptions { threads, ..Default::default() };
+                        let opts = GeneralizedOptions {
+                            threads,
+                            ..Default::default()
+                        };
                         if is_pq {
                             let built = pase_ivfpq(opts, params, pq, &ds);
                             let (_, took) = time(|| {
@@ -71,7 +74,10 @@ fn main() {
                             millis(took)
                         }
                     } else {
-                        let opts = SpecializedOptions { threads, ..Default::default() };
+                        let opts = SpecializedOptions {
+                            threads,
+                            ..Default::default()
+                        };
                         if is_pq {
                             let (idx, _) = faiss_ivfpq(opts, params, pq, &ds);
                             let (_, took) = time(|| idx.search_batch(&queries, K, nprobe));
@@ -144,9 +150,8 @@ fn main() {
 
     // Shape: Faiss's 8-thread speedup beats PASE's for both index
     // types, and Faiss genuinely scales (>1.5x at 8 threads).
-    let shape = speedups[1].1 > speedups[0].1
-        && speedups[3].1 > speedups[2].1
-        && speedups[1].1 > 1.5;
+    let shape =
+        speedups[1].1 > speedups[0].1 && speedups[3].1 > speedups[2].1 && speedups[1].1 > 1.5;
 
     let record = ExperimentRecord {
         id: "fig18".into(),

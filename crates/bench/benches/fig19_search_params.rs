@@ -96,7 +96,10 @@ fn main() {
     let hnsw_persists = hnsw_factor.points.iter().all(|&(_, f)| f > 2.0);
     let flat_band = {
         let f0 = flat_factor.points[0].1;
-        flat_factor.points.iter().all(|&(_, f)| f > 0.5 * f0 && f < 2.0 * f0)
+        flat_factor
+            .points
+            .iter()
+            .all(|&(_, f)| f > 0.5 * f0 && f < 2.0 * f0)
     };
     let all_above_one = flat_factor
         .points

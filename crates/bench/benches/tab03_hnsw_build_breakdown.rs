@@ -72,8 +72,8 @@ fn main() {
     let record = ExperimentRecord {
         id: "tab03".into(),
         title: "Time breakdown of HNSW building (SIFT1M-class)".into(),
-        paper_claim: "SearchNbToAdd dominates both systems; PASE's is ~3.4x Faiss's in absolute time"
-            .into(),
+        paper_claim:
+            "SearchNbToAdd dominates both systems; PASE's is ~3.4x Faiss's in absolute time".into(),
         x_labels: labels,
         unit: "s".into(),
         series: vec![pase_series, faiss_series],

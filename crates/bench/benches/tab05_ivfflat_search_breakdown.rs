@@ -13,8 +13,11 @@ use vdb_core::specialized::{SpecializedOptions, VectorIndex};
 use vdb_core::{ExperimentRecord, Series};
 
 const K: usize = 100;
-const LEAVES: [Category; 3] =
-    [Category::DistanceCalc, Category::TupleAccess, Category::MinHeap];
+const LEAVES: [Category; 3] = [
+    Category::DistanceCalc,
+    Category::TupleAccess,
+    Category::MinHeap,
+];
 
 fn main() {
     let ds = dataset(DatasetId::Sift1M);
@@ -61,8 +64,7 @@ fn main() {
     let faiss_dist_frac = faiss_bd.fraction(Category::DistanceCalc);
     let pase_dist_frac = pase_bd.fraction(Category::DistanceCalc);
     let pase_overhead = pase_bd.nanos(Category::TupleAccess) + pase_bd.nanos(Category::MinHeap);
-    let faiss_overhead =
-        faiss_bd.nanos(Category::TupleAccess) + faiss_bd.nanos(Category::MinHeap);
+    let faiss_overhead = faiss_bd.nanos(Category::TupleAccess) + faiss_bd.nanos(Category::MinHeap);
     // At reduced scale each query sees ~k*30 candidates rather than the
     // paper's k*200, so accepted-push fractions (and thus Faiss's heap
     // share) are structurally larger; the robust signature is that
@@ -75,8 +77,8 @@ fn main() {
     let record = ExperimentRecord {
         id: "tab05".into(),
         title: "IVF_FLAT search time breakdown (SIFT1M-class)".into(),
-        paper_claim: "Faiss ~95% distance calc; PASE ~55% distance, ~24% tuple access, ~13% min-heap"
-            .into(),
+        paper_claim:
+            "Faiss ~95% distance calc; PASE ~55% distance, ~24% tuple access, ~13% min-heap".into(),
         x_labels: labels,
         unit: "ms/query".into(),
         series: vec![pase_series, faiss_series],

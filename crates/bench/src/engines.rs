@@ -7,9 +7,7 @@
 
 use crate::buffer_manager_for;
 use vdb_core::datagen::Dataset;
-use vdb_core::generalized::{
-    GeneralizedOptions, PaseHnswIndex, PaseIvfFlatIndex, PaseIvfPqIndex,
-};
+use vdb_core::generalized::{GeneralizedOptions, PaseHnswIndex, PaseIvfFlatIndex, PaseIvfPqIndex};
 use vdb_core::specialized::{HnswIndex, IvfFlatIndex, IvfPqIndex, SpecializedOptions};
 use vdb_core::storage::{BufferManager, PageSize};
 use vdb_core::vecmath::{BuildTiming, HnswParams, IvfParams, PqParams};
@@ -38,7 +36,10 @@ pub fn ivf_params_for(ds: &Dataset) -> IvfParams {
 /// The paper's per-dataset PQ `m` (Table II), adjusted to divide the
 /// dimension (it always does for the six datasets).
 pub fn pq_params_for(ds: &Dataset) -> PqParams {
-    PqParams { m: ds.spec.id.default_pq_m(), cpq: 256 }
+    PqParams {
+        m: ds.spec.id.default_pq_m(),
+        cpq: 256,
+    }
 }
 
 /// Build the specialized (Faiss) IVF_FLAT.

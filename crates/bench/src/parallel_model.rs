@@ -35,7 +35,9 @@ pub enum ParallelismMode {
 /// Pick the mode for this machine: measured needs enough cores that an
 /// 8-thread sweep can physically scale.
 pub fn parallelism_mode() -> ParallelismMode {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if cores >= 8 {
         ParallelismMode::Measured
     } else {
@@ -105,8 +107,11 @@ pub fn model_local_heap(p: &SerialProfile, t: usize, k: usize, queries: usize) -
 /// overhead").
 pub fn model_global_locked(p: &SerialProfile, t: usize, lock_ms: f64) -> f64 {
     let scan_ms = (p.wall_ms - p.heap_ms).max(0.0);
-    let lock_overhead =
-        if t > 1 { p.pushes as f64 * lock_ms * t as f64 } else { 0.0 };
+    let lock_overhead = if t > 1 {
+        p.pushes as f64 * lock_ms * t as f64
+    } else {
+        0.0
+    };
     scan_ms / t as f64 + p.heap_ms + lock_overhead
 }
 
@@ -121,7 +126,11 @@ mod tests {
     use super::*;
 
     fn profile() -> SerialProfile {
-        SerialProfile { wall_ms: 100.0, heap_ms: 20.0, pushes: 50_000 }
+        SerialProfile {
+            wall_ms: 100.0,
+            heap_ms: 20.0,
+            pushes: 50_000,
+        }
     }
 
     #[test]

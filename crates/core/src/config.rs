@@ -129,7 +129,10 @@ mod tests {
     #[test]
     fn tags_match_paper_numbering() {
         let tags: Vec<&str> = RootCause::ALL.iter().map(|rc| rc.tag()).collect();
-        assert_eq!(tags, vec!["RC#1", "RC#2", "RC#3", "RC#4", "RC#5", "RC#6", "RC#7"]);
+        assert_eq!(
+            tags,
+            vec!["RC#1", "RC#2", "RC#3", "RC#4", "RC#5", "RC#6", "RC#7"]
+        );
     }
 
     #[test]

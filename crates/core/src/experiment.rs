@@ -23,7 +23,10 @@ pub struct Series {
 impl Series {
     /// A new series.
     pub fn new(label: impl Into<String>) -> Series {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Add a point.
@@ -95,7 +98,11 @@ impl ExperimentRecord {
             out,
             "*Shape holds:* {}{}",
             if self.shape_holds { "yes" } else { "NO" },
-            if self.notes.is_empty() { String::new() } else { format!(" ({})", self.notes) },
+            if self.notes.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", self.notes)
+            },
         );
         let _ = writeln!(out);
         // Table: one row per x, one column per series.
@@ -109,7 +116,12 @@ impl ExperimentRecord {
             let _ = write!(out, "---|");
         }
         let _ = writeln!(out);
-        let npoints = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        let npoints = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
         for i in 0..npoints {
             let label = self
                 .x_labels

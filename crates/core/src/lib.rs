@@ -42,6 +42,7 @@ pub use config::RootCause;
 pub use experiment::{ExperimentRecord, Series};
 
 pub use vdb_datagen as datagen;
+pub use vdb_filter as filter;
 pub use vdb_gemm as gemm;
 pub use vdb_generalized as generalized;
 pub use vdb_profile as profile;

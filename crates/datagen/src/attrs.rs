@@ -1,0 +1,200 @@
+//! Scalar attribute columns for hybrid (filtered) search benchmarks,
+//! plus filtered ground truth.
+//!
+//! Filtered-ANN evaluations (see PAPERS.md) sweep predicate selectivity
+//! and distinguish two attribute regimes:
+//!
+//! * **uncorrelated** — the attribute is independent of the vector, so
+//!   the passing set is a uniform random sample of the base set;
+//! * **correlated** — the attribute is a noisy function of the vector
+//!   (here: its L2 norm), so tightening the predicate also concentrates
+//!   the passing rows in embedding space, the regime where post-filter
+//!   retry counts degenerate.
+//!
+//! [`threshold_for_selectivity`] converts a target selectivity into a
+//! `attr < t` cutoff via the empirical quantile, and
+//! [`brute_force_topk_filtered`] is the exact oracle every filtered
+//! strategy must agree with.
+
+use crate::ground_truth::GroundTruth;
+use crossbeam::thread;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vdb_vecmath::{DistanceKernel, KHeap, Metric, VectorSet};
+
+/// `n` attribute values drawn uniformly from `[0, 1)`, independent of
+/// any vector data.
+pub fn uniform_attrs(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<f64>()).collect()
+}
+
+/// One attribute value per base vector, correlated with the vector: its
+/// L2 norm plus uniform noise of half-width `noise`. `noise = 0` makes
+/// the attribute a deterministic function of the vector; larger values
+/// wash the correlation out toward the uncorrelated regime.
+pub fn correlated_attrs(base: &VectorSet, noise: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    base.iter()
+        .map(|v| {
+            let norm = v
+                .iter()
+                .map(|&x| (x as f64) * (x as f64))
+                .sum::<f64>()
+                .sqrt();
+            norm + noise * (2.0 * rng.gen::<f64>() - 1.0)
+        })
+        .collect()
+}
+
+/// The cutoff `t` such that `value < t` passes approximately
+/// `selectivity · n` of `values` (empirical quantile). `selectivity <= 0`
+/// yields `-∞` (nothing passes), `>= 1` yields `+∞` (everything passes).
+pub fn threshold_for_selectivity(values: &[f64], selectivity: f64) -> f64 {
+    if selectivity <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if selectivity >= 1.0 || values.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN attribute value"));
+    // `value < sorted[i]` passes exactly the i smallest values (ties
+    // aside), so the index *is* the passing count.
+    let pass = (selectivity * sorted.len() as f64).round() as usize;
+    sorted[pass.max(1).min(sorted.len() - 1)]
+}
+
+/// Exact filtered top-k: brute force restricted to base rows whose
+/// (positional) id passes `passes`. Rows that fail the predicate can
+/// never appear in the output — this is the oracle that pre-filter,
+/// post-filter, and brute-force-under-filter executions are all checked
+/// against.
+///
+/// # Panics
+/// Panics if `k == 0`, `threads == 0`, or dimensions mismatch.
+pub fn brute_force_topk_filtered(
+    base: &VectorSet,
+    queries: &VectorSet,
+    metric: Metric,
+    k: usize,
+    threads: usize,
+    passes: &(impl Fn(u64) -> bool + Sync),
+) -> GroundTruth {
+    assert!(k > 0, "k must be positive");
+    assert!(threads > 0, "need at least one thread");
+    assert_eq!(base.dim(), queries.dim(), "dimension mismatch");
+
+    let nq = queries.len();
+    let mut neighbors = vec![Vec::new(); nq];
+    if nq == 0 {
+        return GroundTruth { k, neighbors };
+    }
+
+    let chunk = nq.div_ceil(threads);
+    thread::scope(|s| {
+        for (t, out_chunk) in neighbors.chunks_mut(chunk).enumerate() {
+            s.spawn(move |_| {
+                let q0 = t * chunk;
+                for (qi, out) in out_chunk.iter_mut().enumerate() {
+                    let q = queries.row(q0 + qi);
+                    let mut heap = KHeap::new(k);
+                    for (id, v) in base.iter().enumerate() {
+                        if !passes(id as u64) {
+                            continue;
+                        }
+                        heap.push(
+                            id as u64,
+                            metric.distance_with(DistanceKernel::Optimized, q, v),
+                        );
+                    }
+                    *out = heap.into_sorted().into_iter().map(|n| n.id).collect();
+                }
+            });
+        }
+    })
+    .expect("filtered ground-truth worker panicked");
+
+    GroundTruth { k, neighbors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::generate_with_queries;
+    use crate::ground_truth::brute_force_topk;
+
+    #[test]
+    fn uniform_attrs_are_deterministic_and_in_range() {
+        let a = uniform_attrs(500, 9);
+        let b = uniform_attrs(500, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (0.0..1.0).contains(&x)));
+        assert_ne!(a, uniform_attrs(500, 10));
+    }
+
+    #[test]
+    fn correlated_attrs_track_vector_norm() {
+        let (base, _) = generate_with_queries(8, 300, 0, 4, 3);
+        let attrs = correlated_attrs(&base, 0.0, 1);
+        for (i, v) in base.iter().enumerate() {
+            let norm = v.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt();
+            assert!((attrs[i] - norm).abs() < 1e-9);
+        }
+        // With noise, still positively correlated: compare means of the
+        // top and bottom norm halves.
+        let noisy = correlated_attrs(&base, 0.1, 2);
+        let mut by_norm: Vec<usize> = (0..base.len()).collect();
+        by_norm.sort_by(|&a, &b| attrs[a].partial_cmp(&attrs[b]).unwrap());
+        let lo: f64 = by_norm[..150].iter().map(|&i| noisy[i]).sum::<f64>() / 150.0;
+        let hi: f64 = by_norm[150..].iter().map(|&i| noisy[i]).sum::<f64>() / 150.0;
+        assert!(hi > lo, "correlation lost: lo mean {lo}, hi mean {hi}");
+    }
+
+    #[test]
+    fn threshold_hits_target_selectivity() {
+        let attrs = uniform_attrs(10_000, 4);
+        for sel in [0.001, 0.01, 0.1, 0.5] {
+            let t = threshold_for_selectivity(&attrs, sel);
+            let pass = attrs.iter().filter(|&&a| a < t).count();
+            let got = pass as f64 / attrs.len() as f64;
+            assert!(
+                (got - sel).abs() <= 0.002 + 0.1 * sel,
+                "sel {sel}: threshold {t} passes {got}"
+            );
+        }
+        assert_eq!(threshold_for_selectivity(&attrs, 0.0), f64::NEG_INFINITY);
+        assert_eq!(threshold_for_selectivity(&attrs, 1.0), f64::INFINITY);
+        // Even the tiniest positive selectivity passes at least one row.
+        let t = threshold_for_selectivity(&attrs, 1e-9);
+        assert!(attrs.iter().any(|&a| a < t));
+    }
+
+    #[test]
+    fn filtered_ground_truth_only_contains_passing_ids() {
+        let (base, queries) = generate_with_queries(8, 400, 10, 4, 5);
+        let attrs = uniform_attrs(400, 6);
+        let t = threshold_for_selectivity(&attrs, 0.2);
+        let passes = |id: u64| attrs[id as usize] < t;
+        let gt = brute_force_topk_filtered(&base, &queries, Metric::L2, 5, 2, &passes);
+        for nb in &gt.neighbors {
+            assert!(!nb.is_empty());
+            assert!(nb.iter().all(|&id| passes(id)));
+        }
+    }
+
+    #[test]
+    fn full_selectivity_filtered_equals_unfiltered() {
+        let (base, queries) = generate_with_queries(8, 200, 7, 4, 8);
+        let all = brute_force_topk(&base, &queries, Metric::L2, 5, 2);
+        let filtered = brute_force_topk_filtered(&base, &queries, Metric::L2, 5, 2, &|_| true);
+        assert_eq!(all, filtered);
+    }
+
+    #[test]
+    fn zero_selectivity_filtered_is_empty() {
+        let (base, queries) = generate_with_queries(4, 50, 3, 2, 9);
+        let gt = brute_force_topk_filtered(&base, &queries, Metric::L2, 5, 2, &|_| false);
+        assert!(gt.neighbors.iter().all(|nb| nb.is_empty()));
+    }
+}

@@ -129,6 +129,9 @@ mod tests {
             }
         }
         // With only 2 clusters and 50 points, some pair must be close.
-        assert!(min_d < 0.5, "nearest pair {min_d} too far for clustered data");
+        assert!(
+            min_d < 0.5,
+            "nearest pair {min_d} too far for clustered data"
+        );
     }
 }

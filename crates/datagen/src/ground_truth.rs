@@ -46,7 +46,10 @@ pub fn brute_force_topk(
                     let q = queries.row(q0 + qi);
                     let mut heap = KHeap::new(k);
                     for (id, v) in base.iter().enumerate() {
-                        heap.push(id as u64, metric.distance_with(DistanceKernel::Optimized, q, v));
+                        heap.push(
+                            id as u64,
+                            metric.distance_with(DistanceKernel::Optimized, q, v),
+                        );
                     }
                     *out = heap.into_sorted().into_iter().map(|n| n.id).collect();
                 }
@@ -96,9 +99,14 @@ mod tests {
         let gt = brute_force_topk(&base, &queries, Metric::L2, 10, 2);
         for (qi, nb) in gt.neighbors.iter().enumerate() {
             let q = queries.row(qi);
-            let dists: Vec<f32> =
-                nb.iter().map(|&id| Metric::L2.distance(q, base.row(id as usize))).collect();
-            assert!(dists.windows(2).all(|w| w[0] <= w[1]), "unsorted: {dists:?}");
+            let dists: Vec<f32> = nb
+                .iter()
+                .map(|&id| Metric::L2.distance(q, base.row(id as usize)))
+                .collect();
+            assert!(
+                dists.windows(2).all(|w| w[0] <= w[1]),
+                "unsorted: {dists:?}"
+            );
         }
     }
 

@@ -12,11 +12,15 @@
 //! Everything is deterministic given the dataset seed, including query
 //! generation and brute-force ground truth.
 
+pub mod attrs;
 pub mod gaussian;
 pub mod ground_truth;
 pub mod recall;
 pub mod spec;
 
+pub use attrs::{
+    brute_force_topk_filtered, correlated_attrs, threshold_for_selectivity, uniform_attrs,
+};
 pub use gaussian::generate;
 pub use ground_truth::{brute_force_topk, GroundTruth};
 pub use recall::recall_at_k;

@@ -35,7 +35,10 @@ mod tests {
     use super::*;
 
     fn gt(neighbors: Vec<Vec<u64>>) -> GroundTruth {
-        GroundTruth { k: neighbors.first().map_or(0, |n| n.len()), neighbors }
+        GroundTruth {
+            k: neighbors.first().map_or(0, |n| n.len()),
+            neighbors,
+        }
     }
 
     #[test]
@@ -65,7 +68,10 @@ mod tests {
 
     #[test]
     fn empty_gt_is_perfect() {
-        let g = GroundTruth { k: 5, neighbors: vec![] };
+        let g = GroundTruth {
+            k: 5,
+            neighbors: vec![],
+        };
         assert_eq!(recall_at_k(&g, &[]), 1.0);
     }
 

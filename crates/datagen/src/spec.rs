@@ -67,7 +67,10 @@ impl DatasetId {
 
     /// Whether this is one of the 10M-class datasets.
     pub fn is_ten_million_class(self) -> bool {
-        matches!(self, DatasetId::Sift10M | DatasetId::Deep10M | DatasetId::Turing10M)
+        matches!(
+            self,
+            DatasetId::Sift10M | DatasetId::Deep10M | DatasetId::Turing10M
+        )
     }
 
     /// The paper's default IVF sub-vector count `m` for IVF_PQ (Table II).
@@ -201,7 +204,11 @@ impl DatasetSpec {
             self.n_clusters,
             self.seed,
         );
-        Dataset { spec: *self, base, queries }
+        Dataset {
+            spec: *self,
+            base,
+            queries,
+        }
     }
 }
 

@@ -1,0 +1,157 @@
+//! Dense selection bitmaps keyed by row id / TID ordinal.
+//!
+//! A [`SelectionBitmap`] is the materialized output of a pre-filter
+//! pass: one bit per candidate row, set when the row passes the
+//! predicate. Both engines consume it on the scan side — the
+//! specialized engine skips non-passing rows during brute-force, the
+//! generalized engine TID-qualifies its bucket-chain walks.
+
+/// A dense bitset over `u64` row ids (`word = id / 64`, `bit = id % 64`).
+///
+/// Rows ids are expected to be small and dense (heap ordinals / TIDs),
+/// which is what both engines assign; the bitmap grows automatically on
+/// [`insert`](SelectionBitmap::insert).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SelectionBitmap {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl SelectionBitmap {
+    /// An empty bitmap (no capacity reserved).
+    pub fn new() -> SelectionBitmap {
+        SelectionBitmap::default()
+    }
+
+    /// An empty bitmap pre-sized for ids in `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> SelectionBitmap {
+        SelectionBitmap {
+            words: vec![0u64; capacity.div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    /// Set the bit for `id`, growing the bitmap if needed.
+    pub fn insert(&mut self, id: u64) {
+        let word = (id / 64) as usize;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (id % 64);
+        if self.words[word] & mask == 0 {
+            self.words[word] |= mask;
+            self.count += 1;
+        }
+    }
+
+    /// Whether the bit for `id` is set.
+    #[inline]
+    pub fn contains(&self, id: u64) -> bool {
+        let word = (id / 64) as usize;
+        word < self.words.len() && self.words[word] & (1u64 << (id % 64)) != 0
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Fraction of `total` rows selected (`count / total`); 0.0 when
+    /// `total` is 0.
+    pub fn selectivity(&self, total: usize) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.count as f64 / total as f64
+        }
+    }
+
+    /// Iterate the set ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as u64;
+                    bits &= bits - 1;
+                    Some(wi as u64 * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Heap footprint of the bitmap in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+impl FromIterator<u64> for SelectionBitmap {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> SelectionBitmap {
+        let mut bm = SelectionBitmap::new();
+        for id in iter {
+            bm.insert(id);
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut bm = SelectionBitmap::new();
+        assert!(bm.is_empty());
+        bm.insert(0);
+        bm.insert(63);
+        bm.insert(64);
+        bm.insert(1000);
+        assert_eq!(bm.count(), 4);
+        assert!(bm.contains(0));
+        assert!(bm.contains(63));
+        assert!(bm.contains(64));
+        assert!(bm.contains(1000));
+        assert!(!bm.contains(1));
+        assert!(!bm.contains(999));
+        assert!(!bm.contains(100_000));
+    }
+
+    #[test]
+    fn duplicate_insert_counts_once() {
+        let mut bm = SelectionBitmap::with_capacity(128);
+        bm.insert(5);
+        bm.insert(5);
+        assert_eq!(bm.count(), 1);
+    }
+
+    #[test]
+    fn iter_yields_sorted_ids() {
+        let bm: SelectionBitmap = [300u64, 2, 65, 2, 0].into_iter().collect();
+        let ids: Vec<u64> = bm.iter().collect();
+        assert_eq!(ids, vec![0, 2, 65, 300]);
+    }
+
+    #[test]
+    fn selectivity_fraction() {
+        let bm: SelectionBitmap = (0..25u64).collect();
+        assert!((bm.selectivity(100) - 0.25).abs() < 1e-12);
+        assert_eq!(SelectionBitmap::new().selectivity(0), 0.0);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let bm = SelectionBitmap::with_capacity(129);
+        assert_eq!(bm.size_bytes(), 3 * 8);
+        assert!(bm.is_empty());
+    }
+}

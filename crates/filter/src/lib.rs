@@ -1,0 +1,38 @@
+//! Hybrid (filtered) vector search support.
+//!
+//! The paper's central argument for generalized (PostgreSQL/PASE-style)
+//! vector management is SQL integration — and the one workload where
+//! that integration has to earn its keep is the *hybrid* query:
+//!
+//! ```sql
+//! SELECT id FROM t
+//! WHERE price < 100 AND category IN (2, 7)
+//! ORDER BY vec <-> '...' LIMIT 10;
+//! ```
+//!
+//! Related work ("Filter-Agnostic Vector Search on PostgreSQL",
+//! "Filtered ANN Search in Vector Databases") frames the design space as
+//! a choice between two strategies whose costs cross over with
+//! predicate selectivity:
+//!
+//! * **pre-filter** — evaluate the predicate first, materialize a
+//!   [`SelectionBitmap`] of passing rows, then search only those rows
+//!   (exact under the filter; cost grows with the passing-row count);
+//! * **post-filter** — run the ANN search unfiltered and discard
+//!   non-passing results, retrying with a grown `k'` until `k` survivors
+//!   are found or the candidates are exhausted (cost grows as
+//!   selectivity *drops*, because `k'` must inflate by `1/selectivity`).
+//!
+//! This crate holds the engine-agnostic pieces: the typed predicate
+//! expression tree ([`Predicate`]), the dense selection bitmap, sampled
+//! selectivity estimation, the strategy-selection heuristic
+//! ([`choose_strategy`]), and the adaptive k-expansion loop
+//! ([`post_filter_search`]) both engines share.
+
+pub mod bitmap;
+pub mod expr;
+pub mod strategy;
+
+pub use bitmap::SelectionBitmap;
+pub use expr::{estimate_selectivity, AttrSchema, BoundPredicate, CmpOp, Predicate};
+pub use strategy::{choose_strategy, post_filter_search, FilterStrategy, PostFilterParams};

@@ -1,0 +1,257 @@
+//! Pre/post-filter execution strategies and the selectivity-based
+//! heuristic that chooses between them.
+//!
+//! The cost model (mirroring the filtered-ANN literature in PAPERS.md):
+//!
+//! * pre-filter does exact distance work proportional to the number of
+//!   *passing* rows — `sel · N` distance computations — so it is cheap
+//!   precisely when the predicate is tight;
+//! * post-filter runs the ANN index unfiltered and keeps passing hits,
+//!   re-running with `k' = k · growth` until `k` survive. In
+//!   expectation it needs `k' ≈ k / sel` candidates, so its cost blows
+//!   up as selectivity drops (and each retry repeats the index walk).
+//!
+//! The crossover sits where `sel · N` distance computations cost about
+//! as much as an ANN probe retrieving `k / sel` candidates; with the
+//! IVF-style indexes in this repo that lands in the low single-digit
+//! percent range, so [`choose_strategy`] defaults to pre-filter below
+//! [`PRE_FILTER_SELECTIVITY_CUTOFF`] and post-filter above it.
+
+use vdb_profile::{self as profile, Category};
+use vdb_vecmath::Neighbor;
+
+/// How a filtered vector search is executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FilterStrategy {
+    /// Evaluate the predicate first, then search only the passing rows
+    /// (exact under the filter).
+    PreFilter,
+    /// Run the ANN search unfiltered, discard non-passing results, and
+    /// retry with a grown `k'` until `k` survivors are found.
+    PostFilter,
+}
+
+impl FilterStrategy {
+    /// Lower-case label used in plans, bench output and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            FilterStrategy::PreFilter => "pre-filter",
+            FilterStrategy::PostFilter => "post-filter",
+        }
+    }
+}
+
+/// Estimated-selectivity threshold below which the planner prefers
+/// pre-filtering. See the module docs for the cost model behind it.
+pub const PRE_FILTER_SELECTIVITY_CUTOFF: f64 = 0.05;
+
+/// Pick a strategy from the estimated selectivity of the predicate.
+///
+/// Also prefers pre-filter when the expected number of passing rows is
+/// barely above `k` — post-filter would have to inflate `k'` to nearly
+/// the whole table anyway, paying repeated index walks for an answer
+/// the exact scan gets in one pass.
+pub fn choose_strategy(estimated_selectivity: f64, k: usize, n_total: usize) -> FilterStrategy {
+    let sel = estimated_selectivity.clamp(0.0, 1.0);
+    let expected_pass = sel * n_total as f64;
+    if sel <= PRE_FILTER_SELECTIVITY_CUTOFF || expected_pass <= (4 * k.max(1)) as f64 {
+        FilterStrategy::PreFilter
+    } else {
+        FilterStrategy::PostFilter
+    }
+}
+
+/// Tuning knobs for the adaptive post-filter loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PostFilterParams {
+    /// Multiplier applied to `k'` on each retry (`k' = k'·growth`).
+    pub growth: usize,
+}
+
+impl Default for PostFilterParams {
+    fn default() -> PostFilterParams {
+        PostFilterParams { growth: 2 }
+    }
+}
+
+/// Adaptive k-expansion post-filter loop shared by both engines.
+///
+/// `search(k')` runs the underlying (unfiltered) ANN search and returns
+/// up to `k'` neighbors in ascending distance order; `passes(id)` is
+/// the predicate. The loop retries with `k' = k'·growth` until `k`
+/// passing neighbors are found, the index stops yielding new
+/// candidates (`results.len() < k'`, i.e. candidates exhausted), or
+/// `k'` has covered the whole collection (`n_total`). Returns the top
+/// passing neighbors, at most `k`, in the order the search produced
+/// them.
+pub fn post_filter_search(
+    k: usize,
+    n_total: usize,
+    params: PostFilterParams,
+    mut passes: impl FnMut(u64) -> bool,
+    mut search: impl FnMut(usize) -> Vec<Neighbor>,
+) -> Vec<Neighbor> {
+    if k == 0 || n_total == 0 {
+        return Vec::new();
+    }
+    let growth = params.growth.max(2);
+    let mut k_prime = k;
+    loop {
+        let candidates = search(k_prime);
+        let exhausted = candidates.len() < k_prime;
+        let mut passing: Vec<Neighbor> = {
+            let _t = profile::scoped(Category::FilterEval);
+            candidates.into_iter().filter(|n| passes(n.id)).collect()
+        };
+        profile::count(Category::FilterEval, 1);
+        if passing.len() >= k || exhausted || k_prime >= n_total {
+            passing.truncate(k);
+            return passing;
+        }
+        k_prime = (k_prime * growth).min(n_total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(n: usize) -> Vec<Neighbor> {
+        // Ascending-distance neighbors with id == rank.
+        (0..n)
+            .map(|i| Neighbor {
+                id: i as u64,
+                distance: i as f32,
+            })
+            .collect()
+    }
+
+    /// A search closure over a fixed ranked list, recording requested k'.
+    fn ranked_search(
+        all: Vec<Neighbor>,
+        calls: std::rc::Rc<std::cell::RefCell<Vec<usize>>>,
+    ) -> impl FnMut(usize) -> Vec<Neighbor> {
+        move |k_prime| {
+            calls.borrow_mut().push(k_prime);
+            all.iter().take(k_prime).copied().collect()
+        }
+    }
+
+    #[test]
+    fn strategy_choice_follows_selectivity() {
+        assert_eq!(
+            choose_strategy(0.001, 10, 100_000),
+            FilterStrategy::PreFilter
+        );
+        assert_eq!(
+            choose_strategy(0.01, 10, 100_000),
+            FilterStrategy::PreFilter
+        );
+        assert_eq!(
+            choose_strategy(0.5, 10, 100_000),
+            FilterStrategy::PostFilter
+        );
+        assert_eq!(
+            choose_strategy(1.0, 10, 100_000),
+            FilterStrategy::PostFilter
+        );
+    }
+
+    #[test]
+    fn strategy_prefers_pre_filter_when_few_rows_pass() {
+        // 20% selectivity but only ~30 passing rows for k=10: post-filter
+        // would have to expand k' to most of the table.
+        assert_eq!(choose_strategy(0.2, 10, 150), FilterStrategy::PreFilter);
+    }
+
+    #[test]
+    fn post_filter_expands_until_k_pass() {
+        let calls = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        // Only even ids pass: selectivity 50%, so k'=4 yields 2 passing,
+        // k'=8 yields 4.
+        let out = post_filter_search(
+            4,
+            1000,
+            PostFilterParams::default(),
+            |id| id % 2 == 0,
+            ranked_search(base(1000), calls.clone()),
+        );
+        assert_eq!(
+            out.iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![0, 2, 4, 6]
+        );
+        assert_eq!(*calls.borrow(), vec![4, 8]);
+    }
+
+    #[test]
+    fn post_filter_stops_when_candidates_exhausted() {
+        let calls = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        // Collection has only 5 rows, one passing; n_total deliberately
+        // larger so exhaustion (not the n_total cap) terminates the loop.
+        let out = post_filter_search(
+            3,
+            1000,
+            PostFilterParams::default(),
+            |id| id == 4,
+            ranked_search(base(5), calls.clone()),
+        );
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![4]);
+        // First call where fewer than k' candidates come back ends it.
+        assert_eq!(*calls.borrow(), vec![3, 6]);
+    }
+
+    #[test]
+    fn post_filter_caps_k_prime_at_n_total() {
+        let calls = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let out = post_filter_search(
+            2,
+            10,
+            PostFilterParams::default(),
+            |_| false, // 0% selectivity
+            ranked_search(base(10), calls.clone()),
+        );
+        assert!(out.is_empty());
+        assert_eq!(*calls.borrow(), vec![2, 4, 8, 10]);
+    }
+
+    #[test]
+    fn zero_k_and_empty_collection_short_circuit() {
+        let mut called = false;
+        let out = post_filter_search(
+            0,
+            100,
+            PostFilterParams::default(),
+            |_| true,
+            |_| {
+                called = true;
+                Vec::new()
+            },
+        );
+        assert!(out.is_empty() && !called);
+        let out = post_filter_search(
+            5,
+            0,
+            PostFilterParams::default(),
+            |_| true,
+            |_| {
+                called = true;
+                Vec::new()
+            },
+        );
+        assert!(out.is_empty() && !called);
+    }
+
+    #[test]
+    fn full_selectivity_returns_plain_top_k() {
+        let calls = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let out = post_filter_search(
+            3,
+            100,
+            PostFilterParams::default(),
+            |_| true,
+            ranked_search(base(100), calls.clone()),
+        );
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(*calls.borrow(), vec![3]);
+    }
+}

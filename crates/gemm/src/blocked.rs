@@ -57,15 +57,7 @@ pub fn gemm_nt_blocked(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &m
 }
 
 /// Copy `B[j0..j0+nc][p0..p0+kc]` into `bp` in `[p][j]` order.
-fn pack_b_panel(
-    b: &[f32],
-    k: usize,
-    j0: usize,
-    p0: usize,
-    nc: usize,
-    kc: usize,
-    bp: &mut [f32],
-) {
+fn pack_b_panel(b: &[f32], k: usize, j0: usize, p0: usize, nc: usize, kc: usize, bp: &mut [f32]) {
     for j in 0..nc {
         let src = &b[(j0 + j) * k + p0..(j0 + j) * k + p0 + kc];
         for (p, &v) in src.iter().enumerate() {
@@ -84,7 +76,9 @@ mod tests {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         (0..len)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
             })
             .collect()

@@ -22,12 +22,7 @@ pub fn row_norms_sq(data: &[f32], d: usize) -> Vec<f32> {
 /// `‖x‖² + ‖c‖² − 2·x·c` with the inner products produced by `kernel`;
 /// results are clamped at zero (floating-point cancellation can otherwise
 /// produce tiny negatives).
-pub fn l2_distance_table(
-    kernel: GemmKernel,
-    xs: &[f32],
-    cs: &[f32],
-    d: usize,
-) -> Vec<f32> {
+pub fn l2_distance_table(kernel: GemmKernel, xs: &[f32], cs: &[f32], d: usize) -> Vec<f32> {
     assert!(d > 0, "dimension must be positive");
     assert_eq!(xs.len() % d, 0, "xs length must be a multiple of d");
     assert_eq!(cs.len() % d, 0, "cs length must be a multiple of d");

@@ -113,7 +113,10 @@ mod tests {
             axpy(1.75, &brow, &mut fast);
             axpy_scalar(1.75, &brow, &mut slow);
             for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
-                assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "n={n} j={i}: {a} vs {b}");
+                assert!(
+                    (a - b).abs() <= 1e-5 * (1.0 + b.abs()),
+                    "n={n} j={i}: {a} vs {b}"
+                );
             }
         }
     }

@@ -78,7 +78,12 @@ pub struct PaseHnswIndex {
 
 impl PaseHnswIndex {
     /// An empty index for `dim`-dimensional vectors.
-    pub fn new(opts: GeneralizedOptions, params: HnswParams, bm: &BufferManager, dim: usize) -> PaseHnswIndex {
+    pub fn new(
+        opts: GeneralizedOptions,
+        params: HnswParams,
+        bm: &BufferManager,
+        dim: usize,
+    ) -> PaseHnswIndex {
         assert!(params.bnn >= 2, "bnn must be at least 2");
         PaseHnswIndex {
             opts,
@@ -112,7 +117,13 @@ impl PaseHnswIndex {
             index.populate_cache(bm)?;
         }
         let add = t0.elapsed();
-        Ok((index, BuildTiming { train: Default::default(), add }))
+        Ok((
+            index,
+            BuildTiming {
+                train: Default::default(),
+                add,
+            },
+        ))
     }
 
     fn entry_size(&self) -> usize {
@@ -160,7 +171,8 @@ impl PaseHnswIndex {
                 Some(loc) => loc,
                 None => {
                     let (blk, off) = bm.new_page(self.adj_rel, 0, |p| {
-                        p.add_item(&tuple).expect("fresh page fits an adjacency tuple")
+                        p.add_item(&tuple)
+                            .expect("fresh page fits an adjacency tuple")
                     })?;
                     current = Some(blk);
                     (blk, off)
@@ -179,10 +191,11 @@ impl PaseHnswIndex {
     fn distance_to(&self, bm: &BufferManager, query: &[f32], node: u32) -> Result<f32> {
         if let Some(cache) = &self.cache {
             let _t = profile::scoped(Category::DistanceCalc);
-            return Ok(self
-                .opts
-                .metric
-                .distance_with(self.opts.distance, query, cache.vectors.row(node as usize)));
+            return Ok(self.opts.metric.distance_with(
+                self.opts.distance,
+                query,
+                cache.vectors.row(node as usize),
+            ));
         }
         let tid = self.nodes[node as usize].vec_tid;
         bm.with_page(self.vec_rel, tid.block, |p| {
@@ -208,7 +221,9 @@ impl PaseHnswIndex {
             let mut out = Vec::with_capacity(count);
             for i in 0..count {
                 let base = ADJ_HEADER + i * esize;
-                out.push(u32::from_le_bytes(bytes[base..base + 4].try_into().unwrap()));
+                out.push(u32::from_le_bytes(
+                    bytes[base..base + 4].try_into().unwrap(),
+                ));
             }
             out
         })
@@ -291,11 +306,17 @@ impl PaseHnswIndex {
         tuple.extend_from_slice(as_bytes_f32(v));
         let vec_tid = append_tuple(bm, self.vec_rel, &tuple)?;
         let adj = self.alloc_adjacency(bm, level)?;
-        self.nodes.push(NodeMeta { level, vec_tid, adj });
+        self.nodes.push(NodeMeta {
+            level,
+            vec_tid,
+            adj,
+        });
 
         if let Some(cache) = &mut self.cache {
             cache.vectors.push(v);
-            cache.links.push((0..=level as usize).map(|_| Vec::new()).collect());
+            cache
+                .links
+                .push((0..=level as usize).map(|_| Vec::new()).collect());
         }
 
         let Some(mut ep) = self.entry else {
@@ -600,8 +621,9 @@ fn append_tuple(bm: &BufferManager, rel: RelId, tuple: &[u8]) -> Result<Tid> {
             return Ok(Tid::new(last, off));
         }
     }
-    let (blk, off) = bm
-        .new_page(rel, 0, |p| p.add_item(tuple).expect("fresh page must fit tuple"))?;
+    let (blk, off) = bm.new_page(rel, 0, |p| {
+        p.add_item(tuple).expect("fresh page must fit tuple")
+    })?;
     Ok(Tid::new(blk, off))
 }
 
@@ -618,7 +640,11 @@ mod tests {
     }
 
     fn small_params() -> HnswParams {
-        HnswParams { bnn: 8, efb: 32, efs: 64 }
+        HnswParams {
+            bnn: 8,
+            efb: 32,
+            efs: 64,
+        }
     }
 
     fn build_small(opts: GeneralizedOptions) -> (BufferManager, PaseHnswIndex, VectorSet) {
@@ -645,7 +671,11 @@ mod tests {
                     .is_some_and(|n| n.id == qi as u64)
             })
             .count();
-        assert!(hits * 100 >= data.len() * 95, "self-recall {hits}/{}", data.len());
+        assert!(
+            hits * 100 >= data.len() * 95,
+            "self-recall {hits}/{}",
+            data.len()
+        );
     }
 
     #[test]
@@ -670,9 +700,11 @@ mod tests {
     fn memory_optimized_matches_paged_results() {
         let base = GeneralizedOptions::default();
         let (bm, paged, data) = build_small(base);
-        let fixed = GeneralizedOptions { memory_optimized: true, ..base };
-        let (idx2, _) =
-            PaseHnswIndex::build(fixed, small_params(), &bm, &data).unwrap();
+        let fixed = GeneralizedOptions {
+            memory_optimized: true,
+            ..base
+        };
+        let (idx2, _) = PaseHnswIndex::build(fixed, small_params(), &bm, &data).unwrap();
         for qi in [0usize, 100, 500] {
             let q = data.row(qi);
             assert_eq!(
@@ -688,13 +720,20 @@ mod tests {
         let (bm, idx, data) = build_small(GeneralizedOptions::default());
         let adj_pages = idx.adjacency_bytes(&bm) / 8192;
         // RC#4: at least one adjacency page per node.
-        assert!(adj_pages >= data.len(), "only {adj_pages} pages for {} nodes", data.len());
+        assert!(
+            adj_pages >= data.len(),
+            "only {adj_pages} pages for {} nodes",
+            data.len()
+        );
     }
 
     #[test]
     fn packed_layout_is_far_smaller() {
         let pase = GeneralizedOptions::default();
-        let packed = GeneralizedOptions { hnsw_layout: HnswLayout::Packed, ..pase };
+        let packed = GeneralizedOptions {
+            hnsw_layout: HnswLayout::Packed,
+            ..pase
+        };
         let (bm1, idx1, _) = build_small(pase);
         let (bm2, idx2, _) = build_small(packed);
         let wide = idx1.adjacency_bytes(&bm1);
@@ -709,7 +748,10 @@ mod tests {
     fn packed_layout_same_results() {
         let pase = GeneralizedOptions::default();
         let (bm, idx1, data) = build_small(pase);
-        let packed = GeneralizedOptions { hnsw_layout: HnswLayout::Packed, ..pase };
+        let packed = GeneralizedOptions {
+            hnsw_layout: HnswLayout::Packed,
+            ..pase
+        };
         let (idx2, _) = PaseHnswIndex::build(packed, small_params(), &bm, &data).unwrap();
         for qi in [3usize, 333] {
             let q = data.row(qi);
@@ -742,7 +784,11 @@ mod tests {
         let data = generate(8, 150, 4, 2);
         let _ = PaseHnswIndex::build(
             GeneralizedOptions::default(),
-            HnswParams { bnn: 6, efb: 16, efs: 16 },
+            HnswParams {
+                bnn: 6,
+                efb: 16,
+                efs: 16,
+            },
             &bm,
             &data,
         )
@@ -759,6 +805,9 @@ mod tests {
     fn empty_index_returns_nothing() {
         let bm = setup(64);
         let idx = PaseHnswIndex::new(GeneralizedOptions::default(), small_params(), &bm, 4);
-        assert!(idx.search_with_ef(&bm, &[0.0; 4], 3, 16).unwrap().is_empty());
+        assert!(idx
+            .search_with_ef(&bm, &[0.0; 4], 3, 16)
+            .unwrap()
+            .is_empty());
     }
 }

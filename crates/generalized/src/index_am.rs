@@ -5,6 +5,7 @@
 //! `insert()`, `scan()`, via PostgreSQL's IndexAmRoutine." The SQL layer
 //! dispatches through this trait without knowing the index type.
 
+use vdb_filter::{FilterStrategy, SelectionBitmap};
 use vdb_storage::{BufferManager, Result};
 use vdb_vecmath::Neighbor;
 
@@ -47,4 +48,46 @@ pub trait PaseIndex: Send + Sync {
 
     /// Vector dimensionality.
     fn dim(&self) -> usize;
+
+    /// Hybrid (filtered) top-k scan: only ids set in `filter` may appear
+    /// in the result.
+    ///
+    /// The default implementation serves both strategies with the shared
+    /// adaptive k-expansion loop over
+    /// [`scan_with_knob`](Self::scan_with_knob) — approximate for
+    /// approximate access methods. AMs with a native exact pre-filter
+    /// path (IVF_FLAT's TID-qualified full list scan) override the
+    /// [`FilterStrategy::PreFilter`] arm.
+    fn scan_filtered(
+        &self,
+        bm: &BufferManager,
+        query: &[f32],
+        k: usize,
+        filter: &SelectionBitmap,
+        strategy: FilterStrategy,
+        knob: Option<usize>,
+    ) -> Result<Vec<Neighbor>> {
+        let _ = strategy;
+        if k == 0 || filter.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut err = None;
+        let out = vdb_filter::post_filter_search(
+            k,
+            self.len(),
+            vdb_filter::PostFilterParams::default(),
+            |id| filter.contains(id),
+            |k_prime| match self.scan_with_knob(bm, query, k_prime, knob) {
+                Ok(found) => found,
+                Err(e) => {
+                    err = Some(e);
+                    Vec::new()
+                }
+            },
+        );
+        match err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
 }

@@ -13,13 +13,12 @@ use crate::index_am::PaseIndex;
 use crate::options::{GeneralizedOptions, ParallelMode};
 use parking_lot::Mutex;
 use std::time::Instant;
+use vdb_filter::{FilterStrategy, SelectionBitmap};
 use vdb_profile::{self as profile, Category};
 use vdb_storage::heap::{as_bytes_f32, bytemuck_f32};
 use vdb_storage::{BufferManager, Page, RelId, Result, Tid};
 use vdb_vecmath::sampling::sample_indices;
-use vdb_vecmath::{
-    BuildTiming, IvfParams, KHeap, Kmeans, KmeansParams, Neighbor, VectorSet,
-};
+use vdb_vecmath::{BuildTiming, IvfParams, KHeap, Kmeans, KmeansParams, Neighbor, VectorSet};
 
 /// Sentinel "no next page" block number in the page chain.
 const NO_NEXT: u32 = u32::MAX;
@@ -169,7 +168,10 @@ impl PaseIvfFlatIndex {
             if let Some(off) =
                 bm.with_page_mut(self.data_rel, chain.tail, |p| p.add_item(&tuple))?
             {
-                self.chains[b] = Some(BucketChain { count: chain.count + 1, ..chain });
+                self.chains[b] = Some(BucketChain {
+                    count: chain.count + 1,
+                    ..chain
+                });
                 return Ok(Tid::new(chain.tail, off));
             }
         }
@@ -185,10 +187,19 @@ impl PaseIvfFlatIndex {
                     let (_, bucket) = read_special(p);
                     write_special(p, blk, bucket);
                 })?;
-                self.chains[b] =
-                    Some(BucketChain { head: chain.head, tail: blk, count: chain.count + 1 });
+                self.chains[b] = Some(BucketChain {
+                    head: chain.head,
+                    tail: blk,
+                    count: chain.count + 1,
+                });
             }
-            None => self.chains[b] = Some(BucketChain { head: blk, tail: blk, count: 1 }),
+            None => {
+                self.chains[b] = Some(BucketChain {
+                    head: blk,
+                    tail: blk,
+                    count: 1,
+                })
+            }
         }
         Ok(Tid::new(blk, off))
     }
@@ -244,7 +255,10 @@ impl PaseIvfFlatIndex {
 
     /// Per-bucket tuple counts.
     pub fn bucket_sizes(&self) -> Vec<usize> {
-        self.chains.iter().map(|c| c.map_or(0, |c| c.count)).collect()
+        self.chains
+            .iter()
+            .map(|c| c.map_or(0, |c| c.count))
+            .collect()
     }
 
     /// Select the `nprobe` closest centroids, reading centroid pages
@@ -335,8 +349,9 @@ impl PaseIvfFlatIndex {
         match self.opts.parallel {
             ParallelMode::GlobalLockedHeap => {
                 // One shared, mutex-guarded collector per query (RC#3).
-                let shared: Vec<Mutex<vdb_vecmath::TopKCollector>> =
-                    (0..queries.len()).map(|_| Mutex::new(self.opts.topk.collector(k))).collect();
+                let shared: Vec<Mutex<vdb_vecmath::TopKCollector>> = (0..queries.len())
+                    .map(|_| Mutex::new(self.opts.topk.collector(k)))
+                    .collect();
                 vdb_vecmath::parallel::rounds(
                     queries.len(),
                     threads,
@@ -475,6 +490,84 @@ impl PaseIvfFlatIndex {
         }
     }
 
+    /// Scan one bucket like [`scan_bucket_into`](Self::scan_bucket_into),
+    /// but qualify every tuple id against `filter` *before* computing
+    /// its distance (the pre-filter fast path: distance work scales with
+    /// the passing-tuple count, while page I/O still covers the chain).
+    fn scan_bucket_filtered_into(
+        &self,
+        bm: &BufferManager,
+        b: usize,
+        query: &[f32],
+        filter: &SelectionBitmap,
+        push: &mut dyn FnMut(u64, f32),
+    ) -> Result<()> {
+        if let Some(cache) = &self.cache {
+            let bucket = &cache[b];
+            for (i, &id) in bucket.ids.iter().enumerate() {
+                let passes = {
+                    let _t = profile::scoped(Category::FilterEval);
+                    filter.contains(id)
+                };
+                if passes {
+                    let d = {
+                        let _t = profile::scoped(Category::DistanceCalc);
+                        self.opts.metric.distance_with(
+                            self.opts.distance,
+                            query,
+                            bucket.vectors.row(i),
+                        )
+                    };
+                    push(id, d);
+                }
+            }
+            return Ok(());
+        }
+
+        let Some(chain) = self.chains[b] else {
+            return Ok(());
+        };
+        let mut blk = chain.head;
+        loop {
+            let mut hits: Vec<(u64, f32)> = Vec::new();
+            let next = bm.with_page(self.data_rel, blk, |p| {
+                for (_, bytes) in p.items() {
+                    let id = {
+                        let _t = profile::scoped(Category::TupleAccess);
+                        u64::from_le_bytes(bytes[..8].try_into().unwrap())
+                    };
+                    let passes = {
+                        let _t = profile::scoped(Category::FilterEval);
+                        filter.contains(id)
+                    };
+                    if passes {
+                        let d = {
+                            let _t = profile::scoped(Category::DistanceCalc);
+                            self.opts.metric.distance_with(
+                                self.opts.distance,
+                                query,
+                                bytemuck_f32(&bytes[8..]),
+                            )
+                        };
+                        hits.push((id, d));
+                    }
+                }
+                read_special(p).0
+            })?;
+            {
+                let _h = profile::scoped(Category::MinHeap);
+                profile::count(Category::MinHeap, hits.len() as u64);
+                for (id, d) in hits {
+                    push(id, d);
+                }
+            }
+            if next == NO_NEXT {
+                return Ok(());
+            }
+            blk = next;
+        }
+    }
+
     /// RC#3: intra-query parallel scan. PASE's mode pushes every
     /// candidate into one mutex-protected heap; the fixed mode uses
     /// local heaps merged at the end.
@@ -592,6 +685,62 @@ impl PaseIndex for PaseIvfFlatIndex {
     fn dim(&self) -> usize {
         self.dim
     }
+
+    /// Pre-filter skips probe selection entirely and walks *every*
+    /// bucket's page chain through the buffer manager, qualifying each
+    /// tuple against the bitmap before computing its distance — the
+    /// paged analogue of a TID-qualified bitmap heap scan, exact under
+    /// the filter. Post-filter keeps the `nprobe`-bucket ANN scan and
+    /// grows `k'` adaptively.
+    fn scan_filtered(
+        &self,
+        bm: &BufferManager,
+        query: &[f32],
+        k: usize,
+        filter: &SelectionBitmap,
+        strategy: FilterStrategy,
+        knob: Option<usize>,
+    ) -> Result<Vec<Neighbor>> {
+        if k == 0 || filter.is_empty() {
+            return Ok(Vec::new());
+        }
+        match strategy {
+            FilterStrategy::PreFilter => {
+                let mut heap = KHeap::new(k);
+                for b in 0..self.chains.len() {
+                    self.scan_bucket_filtered_into(bm, b, query, filter, &mut |id, d| {
+                        heap.push(id, d);
+                    })?;
+                }
+                Ok(heap.into_sorted())
+            }
+            FilterStrategy::PostFilter => {
+                let mut err = None;
+                let out = vdb_filter::post_filter_search(
+                    k,
+                    self.len(),
+                    vdb_filter::PostFilterParams::default(),
+                    |id| filter.contains(id),
+                    |k_prime| match self.search_with_nprobe(
+                        bm,
+                        query,
+                        k_prime,
+                        knob.unwrap_or(self.params.nprobe),
+                    ) {
+                        Ok(found) => found,
+                        Err(e) => {
+                            err = Some(e);
+                            Vec::new()
+                        }
+                    },
+                );
+                match err {
+                    Some(e) => Err(e),
+                    None => Ok(out),
+                }
+            }
+        }
+    }
 }
 
 /// Write a vector set into sequential pages of `rel` (used for centroid
@@ -643,7 +792,11 @@ mod tests {
     }
 
     fn small_params() -> IvfParams {
-        IvfParams { clusters: 16, sample_ratio: 0.5, nprobe: 4 }
+        IvfParams {
+            clusters: 16,
+            sample_ratio: 0.5,
+            nprobe: 4,
+        }
     }
 
     #[test]
@@ -695,7 +848,10 @@ mod tests {
     fn memory_optimized_gives_identical_results() {
         let (bm, data) = setup();
         let base = GeneralizedOptions::default();
-        let fixed = GeneralizedOptions { memory_optimized: true, ..base };
+        let fixed = GeneralizedOptions {
+            memory_optimized: true,
+            ..base
+        };
         let (a, _) = PaseIvfFlatIndex::build(base, small_params(), &bm, &data).unwrap();
         let (b, _) = PaseIvfFlatIndex::build(fixed, small_params(), &bm, &data).unwrap();
         for qi in [5usize, 100] {
@@ -711,7 +867,10 @@ mod tests {
     fn parallel_modes_agree_with_serial() {
         let (bm, data) = setup();
         let serial = GeneralizedOptions::default();
-        let locked = GeneralizedOptions { threads: 4, ..serial };
+        let locked = GeneralizedOptions {
+            threads: 4,
+            ..serial
+        };
         let merged = GeneralizedOptions {
             threads: 4,
             parallel: ParallelMode::LocalHeapMerge,

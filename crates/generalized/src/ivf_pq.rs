@@ -170,7 +170,10 @@ impl PaseIvfPqIndex {
             if let Some(off) =
                 bm.with_page_mut(self.data_rel, chain.tail, |p| p.add_item(&tuple))?
             {
-                self.chains[b] = Some(BucketChain { count: chain.count + 1, ..chain });
+                self.chains[b] = Some(BucketChain {
+                    count: chain.count + 1,
+                    ..chain
+                });
                 return Ok(Tid::new(chain.tail, off));
             }
         }
@@ -184,10 +187,19 @@ impl PaseIvfPqIndex {
                     let (_, bucket) = read_special(p);
                     write_special(p, blk, bucket);
                 })?;
-                self.chains[b] =
-                    Some(BucketChain { head: chain.head, tail: blk, count: chain.count + 1 });
+                self.chains[b] = Some(BucketChain {
+                    head: chain.head,
+                    tail: blk,
+                    count: chain.count + 1,
+                });
             }
-            None => self.chains[b] = Some(BucketChain { head: blk, tail: blk, count: 1 }),
+            None => {
+                self.chains[b] = Some(BucketChain {
+                    head: blk,
+                    tail: blk,
+                    count: 1,
+                })
+            }
         }
         Ok(Tid::new(blk, off))
     }
@@ -244,7 +256,10 @@ impl PaseIvfPqIndex {
 
     /// Per-bucket tuple counts.
     pub fn bucket_sizes(&self) -> Vec<usize> {
-        self.chains.iter().map(|c| c.map_or(0, |c| c.count)).collect()
+        self.chains
+            .iter()
+            .map(|c| c.map_or(0, |c| c.count))
+            .collect()
     }
 
     fn select_probes(
@@ -336,8 +351,9 @@ impl PaseIvfPqIndex {
         let errors: Mutex<Option<vdb_storage::StorageError>> = Mutex::new(None);
         match self.opts.parallel {
             ParallelMode::GlobalLockedHeap => {
-                let shared: Vec<Mutex<vdb_vecmath::TopKCollector>> =
-                    (0..queries.len()).map(|_| Mutex::new(self.opts.topk.collector(k))).collect();
+                let shared: Vec<Mutex<vdb_vecmath::TopKCollector>> = (0..queries.len())
+                    .map(|_| Mutex::new(self.opts.topk.collector(k)))
+                    .collect();
                 vdb_vecmath::parallel::rounds(
                     queries.len(),
                     threads,
@@ -440,7 +456,10 @@ impl PaseIvfPqIndex {
                     let _t = profile::scoped(Category::TupleAccess);
                     p.items()
                         .map(|(_, bytes)| {
-                            (u64::from_le_bytes(bytes[..8].try_into().unwrap()), &bytes[8..])
+                            (
+                                u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+                                &bytes[8..],
+                            )
                         })
                         .collect()
                 };
@@ -592,8 +611,9 @@ fn write_vector_pages(bm: &BufferManager, rel: RelId, vectors: &VectorSet) -> Re
             None => false,
         };
         if !placed {
-            let (blk, _) =
-                bm.new_page(rel, 0, |p| p.add_item(bytes).expect("fresh page fits a centroid"))?;
+            let (blk, _) = bm.new_page(rel, 0, |p| {
+                p.add_item(bytes).expect("fresh page fits a centroid")
+            })?;
             current = Some(blk);
         }
     }
@@ -652,7 +672,14 @@ mod tests {
     }
 
     fn params() -> (IvfParams, PqParams) {
-        (IvfParams { clusters: 16, sample_ratio: 0.5, nprobe: 4 }, PqParams { m: 8, cpq: 64 })
+        (
+            IvfParams {
+                clusters: 16,
+                sample_ratio: 0.5,
+                nprobe: 4,
+            },
+            PqParams { m: 8, cpq: 64 },
+        )
     }
 
     #[test]
@@ -671,15 +698,26 @@ mod tests {
         let (bm, data) = setup();
         let (ivf, pqp) = params();
         let slow = GeneralizedOptions::default();
-        let fast = GeneralizedOptions { pq_table: PqTableMode::Optimized, ..slow };
+        let fast = GeneralizedOptions {
+            pq_table: PqTableMode::Optimized,
+            ..slow
+        };
         let (a, _) = PaseIvfPqIndex::build(slow, ivf, pqp, &bm, &data).unwrap();
         let (b, _) = PaseIvfPqIndex::build(fast, ivf, pqp, &bm, &data).unwrap();
         for qi in [2usize, 77, 900] {
             let q = data.row(qi);
-            let ia: Vec<u64> =
-                a.search_with_nprobe(&bm, q, 5, 4).unwrap().iter().map(|n| n.id).collect();
-            let ib: Vec<u64> =
-                b.search_with_nprobe(&bm, q, 5, 4).unwrap().iter().map(|n| n.id).collect();
+            let ia: Vec<u64> = a
+                .search_with_nprobe(&bm, q, 5, 4)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let ib: Vec<u64> = b
+                .search_with_nprobe(&bm, q, 5, 4)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
             assert_eq!(ia, ib, "query {qi}");
         }
     }
@@ -689,7 +727,10 @@ mod tests {
         let (bm, data) = setup();
         let (ivf, pqp) = params();
         let base = GeneralizedOptions::default();
-        let fixed = GeneralizedOptions { memory_optimized: true, ..base };
+        let fixed = GeneralizedOptions {
+            memory_optimized: true,
+            ..base
+        };
         let (a, _) = PaseIvfPqIndex::build(base, ivf, pqp, &bm, &data).unwrap();
         let (b, _) = PaseIvfPqIndex::build(fixed, ivf, pqp, &bm, &data).unwrap();
         let q = data.row(123);
@@ -704,9 +745,15 @@ mod tests {
         let (bm, data) = setup();
         let (ivf, pqp) = params();
         let serial = GeneralizedOptions::default();
-        let locked = GeneralizedOptions { threads: 4, ..serial };
-        let merged =
-            GeneralizedOptions { threads: 4, parallel: ParallelMode::LocalHeapMerge, ..serial };
+        let locked = GeneralizedOptions {
+            threads: 4,
+            ..serial
+        };
+        let merged = GeneralizedOptions {
+            threads: 4,
+            parallel: ParallelMode::LocalHeapMerge,
+            ..serial
+        };
         let (a, _) = PaseIvfPqIndex::build(serial, ivf, pqp, &bm, &data).unwrap();
         let (b, _) = PaseIvfPqIndex::build(locked, ivf, pqp, &bm, &data).unwrap();
         let (c, _) = PaseIvfPqIndex::build(merged, ivf, pqp, &bm, &data).unwrap();
@@ -723,7 +770,11 @@ mod tests {
         let disk = Arc::new(DiskManager::new(PageSize::Size8K));
         let bm = BufferManager::new(disk, 4096);
         let data = generate(64, 5000, 16, 4);
-        let ivf = IvfParams { clusters: 16, sample_ratio: 0.2, nprobe: 4 };
+        let ivf = IvfParams {
+            clusters: 16,
+            sample_ratio: 0.2,
+            nprobe: 4,
+        };
         let pqp = PqParams { m: 8, cpq: 64 };
         let opts = GeneralizedOptions::default();
         let (pq_idx, _) = PaseIvfPqIndex::build(opts, ivf, pqp, &bm, &data).unwrap();

@@ -33,4 +33,5 @@ pub use ivf_flat::PaseIvfFlatIndex;
 pub use ivf_pq::PaseIvfPqIndex;
 pub use options::{GeneralizedOptions, HnswLayout, ParallelMode};
 pub use pgvector::PgVectorIvfFlatIndex;
+pub use vdb_filter::{FilterStrategy, SelectionBitmap};
 pub use vdb_vecmath::Neighbor;

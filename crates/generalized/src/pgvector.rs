@@ -113,7 +113,11 @@ mod tests {
     #[test]
     fn results_match_pase_ivfflat() {
         let (bm, data) = setup();
-        let params = IvfParams { clusters: 16, sample_ratio: 0.5, nprobe: 4 };
+        let params = IvfParams {
+            clusters: 16,
+            sample_ratio: 0.5,
+            nprobe: 4,
+        };
         let opts = GeneralizedOptions::default();
         let (pg, _) = PgVectorIvfFlatIndex::build(opts, params, &bm, &data).unwrap();
         let (pase, _) = PaseIvfFlatIndex::build(opts, params, &bm, &data).unwrap();
@@ -130,10 +134,13 @@ mod tests {
     #[test]
     fn full_probe_finds_self() {
         let (bm, data) = setup();
-        let params = IvfParams { clusters: 16, sample_ratio: 0.5, nprobe: 16 };
+        let params = IvfParams {
+            clusters: 16,
+            sample_ratio: 0.5,
+            nprobe: 16,
+        };
         let (pg, _) =
-            PgVectorIvfFlatIndex::build(GeneralizedOptions::default(), params, &bm, &data)
-                .unwrap();
+            PgVectorIvfFlatIndex::build(GeneralizedOptions::default(), params, &bm, &data).unwrap();
         let res = pg.scan(&bm, data.row(9), 1).unwrap();
         assert_eq!(res[0].id, 9);
     }
@@ -141,10 +148,13 @@ mod tests {
     #[test]
     fn insert_visible_in_scan() {
         let (bm, data) = setup();
-        let params = IvfParams { clusters: 8, sample_ratio: 0.5, nprobe: 8 };
+        let params = IvfParams {
+            clusters: 8,
+            sample_ratio: 0.5,
+            nprobe: 8,
+        };
         let (mut pg, _) =
-            PgVectorIvfFlatIndex::build(GeneralizedOptions::default(), params, &bm, &data)
-                .unwrap();
+            PgVectorIvfFlatIndex::build(GeneralizedOptions::default(), params, &bm, &data).unwrap();
         let novel = vec![77.0f32; 16];
         pg.insert(&bm, 123_456, &novel).unwrap();
         let res = pg.search_with_nprobe(&bm, &novel, 1, 8).unwrap();

@@ -47,13 +47,16 @@ pub enum Category {
     PageMiss,
     /// SQL parse + plan time.
     SqlFrontend,
+    /// Predicate evaluation and selection-bitmap work in hybrid
+    /// (filtered) vector queries.
+    FilterEval,
     /// Anything not covered above.
     Other,
 }
 
 impl Category {
     /// Number of categories; sizes the fixed accumulator arrays.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 17;
 
     /// All categories in declaration order.
     pub const ALL: [Category; Category::COUNT] = [
@@ -72,6 +75,7 @@ impl Category {
         Category::Gemm,
         Category::PageMiss,
         Category::SqlFrontend,
+        Category::FilterEval,
         Category::Other,
     ];
 
@@ -99,6 +103,7 @@ impl Category {
             Category::Gemm => "SGEMM",
             Category::PageMiss => "PageMiss",
             Category::SqlFrontend => "SqlFrontend",
+            Category::FilterEval => "FilterEval",
             Category::Other => "Others",
         }
     }

@@ -16,7 +16,11 @@ pub struct ScopedTimer {
 /// Start a scoped timer for `cat`.
 #[inline]
 pub fn scoped(cat: Category) -> ScopedTimer {
-    let start = if enabled() { Some(Instant::now()) } else { None };
+    let start = if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    };
     ScopedTimer { cat, start }
 }
 

@@ -5,7 +5,9 @@
 
 use crate::options::SpecializedOptions;
 use crate::VectorIndex;
-use vdb_vecmath::{Neighbor, VectorSet};
+use vdb_filter::{FilterStrategy, SelectionBitmap};
+use vdb_profile::{self as profile, Category};
+use vdb_vecmath::{KHeap, Neighbor, VectorSet};
 
 /// Exhaustive-scan index.
 pub struct FlatIndex {
@@ -53,6 +55,45 @@ impl VectorIndex for FlatIndex {
 
     fn size_bytes(&self) -> usize {
         std::mem::size_of_val(self.data.as_flat())
+    }
+
+    /// Flat search is exact either way; pre-filter skips non-passing
+    /// rows during the scan instead of discarding them afterwards.
+    fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &SelectionBitmap,
+        strategy: FilterStrategy,
+    ) -> Vec<Neighbor> {
+        if k == 0 || filter.is_empty() {
+            return Vec::new();
+        }
+        match strategy {
+            FilterStrategy::PreFilter => {
+                let mut heap = KHeap::new(k);
+                for (i, v) in self.data.iter().enumerate() {
+                    let passes = {
+                        let _t = profile::scoped(Category::FilterEval);
+                        filter.contains(i as u64)
+                    };
+                    if passes {
+                        heap.push(
+                            i as u64,
+                            self.opts.metric.distance_with(self.opts.distance, query, v),
+                        );
+                    }
+                }
+                heap.into_sorted()
+            }
+            FilterStrategy::PostFilter => vdb_filter::post_filter_search(
+                k,
+                self.len(),
+                vdb_filter::PostFilterParams::default(),
+                |id| filter.contains(id),
+                |k_prime| self.search(query, k_prime),
+            ),
+        }
     }
 }
 

@@ -34,7 +34,10 @@ struct Visited {
 
 impl Visited {
     fn new() -> Visited {
-        Visited { stamp: Vec::new(), epoch: 0 }
+        Visited {
+            stamp: Vec::new(),
+            epoch: 0,
+        }
     }
 
     fn begin(&mut self, n: usize) {
@@ -87,7 +90,10 @@ impl HnswIndex {
     /// An empty index for `dim`-dimensional vectors.
     pub fn new(opts: SpecializedOptions, params: HnswParams, dim: usize) -> HnswIndex {
         assert!(params.bnn >= 2, "bnn must be at least 2");
-        assert!(params.efb >= 1 && params.efs >= 1, "queue lengths must be positive");
+        assert!(
+            params.efb >= 1 && params.efs >= 1,
+            "queue lengths must be positive"
+        );
         let rng = StdRng::seed_from_u64(opts.seed);
         HnswIndex {
             opts,
@@ -114,7 +120,13 @@ impl HnswIndex {
             index.insert(v);
         }
         let add = t0.elapsed();
-        (index, BuildTiming { train: Default::default(), add })
+        (
+            index,
+            BuildTiming {
+                train: Default::default(),
+                add,
+            },
+        )
     }
 
     /// Max neighbors at a level: `2*bnn` on the base layer, `bnn` above
@@ -147,7 +159,8 @@ impl HnswIndex {
         let level = self.sample_level();
         self.data.push(v);
         self.levels.push(level);
-        self.links.push((0..=level as usize).map(|_| Vec::new()).collect());
+        self.links
+            .push((0..=level as usize).map(|_| Vec::new()).collect());
 
         let Some(mut ep) = self.entry else {
             self.entry = Some(id);
@@ -408,7 +421,11 @@ mod tests {
         let data = generate(16, 800, 8, 5);
         let (idx, _) = HnswIndex::build(
             SpecializedOptions::default(),
-            HnswParams { bnn: 8, efb: 32, efs: 64 },
+            HnswParams {
+                bnn: 8,
+                efb: 32,
+                efs: 64,
+            },
             &data,
         );
         (idx, data)
@@ -427,7 +444,9 @@ mod tests {
         let (idx, data) = build_small();
         let hits = (0..data.len())
             .filter(|&qi| {
-                idx.search(data.row(qi), 1).first().is_some_and(|n| n.id == qi as u64)
+                idx.search(data.row(qi), 1)
+                    .first()
+                    .is_some_and(|n| n.id == qi as u64)
             })
             .count();
         assert!(
@@ -476,7 +495,11 @@ mod tests {
     fn build_is_deterministic() {
         let data = generate(8, 300, 4, 9);
         let opts = SpecializedOptions::default();
-        let p = HnswParams { bnn: 6, efb: 24, efs: 32 };
+        let p = HnswParams {
+            bnn: 6,
+            efb: 24,
+            efs: 32,
+        };
         let (a, _) = HnswIndex::build(opts, p, &data);
         let (b, _) = HnswIndex::build(opts, p, &data);
         assert_eq!(a.levels, b.levels);
@@ -519,7 +542,11 @@ mod tests {
         let data = generate(8, 200, 4, 2);
         let _ = HnswIndex::build(
             SpecializedOptions::default(),
-            HnswParams { bnn: 6, efb: 16, efs: 16 },
+            HnswParams {
+                bnn: 6,
+                efb: 16,
+                efs: 16,
+            },
             &data,
         );
         let b = profile::take_local();

@@ -10,6 +10,7 @@ use crate::options::{BuildTiming, IvfParams, SpecializedOptions};
 use crate::parallel::map_chunks;
 use crate::VectorIndex;
 use std::time::Instant;
+use vdb_filter::{FilterStrategy, SelectionBitmap};
 use vdb_profile::{self as profile, Category};
 use vdb_vecmath::sampling::sample_indices;
 use vdb_vecmath::{simd, KHeap, Kmeans, KmeansParams, Neighbor, VectorSet};
@@ -66,15 +67,31 @@ impl IvfFlatIndex {
         let mut index = IvfFlatIndex::empty(opts, params, quantizer);
         index.add_all(data);
         let add = t1.elapsed();
-        (index, BuildTiming { train: Default::default(), add })
+        (
+            index,
+            BuildTiming {
+                train: Default::default(),
+                add,
+            },
+        )
     }
 
     fn empty(opts: SpecializedOptions, params: IvfParams, quantizer: Kmeans) -> IvfFlatIndex {
         let k = quantizer.k();
         let d = quantizer.dim();
-        let buckets =
-            (0..k).map(|_| Bucket { ids: Vec::new(), vectors: VectorSet::empty(d) }).collect();
-        IvfFlatIndex { opts, params, quantizer, buckets, len: 0 }
+        let buckets = (0..k)
+            .map(|_| Bucket {
+                ids: Vec::new(),
+                vectors: VectorSet::empty(d),
+            })
+            .collect();
+        IvfFlatIndex {
+            opts,
+            params,
+            quantizer,
+            buckets,
+            len: 0,
+        }
     }
 
     /// The adding phase: batched assignment (RC#1), optionally sharded
@@ -174,7 +191,10 @@ impl IvfFlatIndex {
     ) -> Vec<Vec<Neighbor>> {
         let threads = self.opts.threads.max(1);
         if threads == 1 {
-            return queries.iter().map(|q| self.search_with_nprobe(q, k, nprobe)).collect();
+            return queries
+                .iter()
+                .map(|q| self.search_with_nprobe(q, k, nprobe))
+                .collect();
         }
         // Probe selection is cheap; precompute on the caller.
         let probes: Vec<Vec<usize>> = queries
@@ -223,7 +243,6 @@ impl IvfFlatIndex {
         );
         out
     }
-
 }
 
 impl VectorIndex for IvfFlatIndex {
@@ -242,9 +261,60 @@ impl VectorIndex for IvfFlatIndex {
         let data: usize = self
             .buckets
             .iter()
-            .map(|b| std::mem::size_of_val(b.vectors.as_flat()) + b.ids.len() * std::mem::size_of::<u64>())
+            .map(|b| {
+                std::mem::size_of_val(b.vectors.as_flat())
+                    + b.ids.len() * std::mem::size_of::<u64>()
+            })
             .sum();
         centroid + data
+    }
+
+    /// Pre-filter ignores the coarse quantizer entirely: every inverted
+    /// list is scanned and only bitmap-passing entries enter the heap —
+    /// exact under the filter, cost proportional to the passing count
+    /// plus one pass over the ids. Post-filter keeps the ANN probe
+    /// (`nprobe` buckets) and grows `k'` adaptively.
+    fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &SelectionBitmap,
+        strategy: FilterStrategy,
+    ) -> Vec<Neighbor> {
+        if k == 0 || filter.is_empty() {
+            return Vec::new();
+        }
+        match strategy {
+            FilterStrategy::PreFilter => {
+                let mut heap = KHeap::new(k);
+                for bucket in &self.buckets {
+                    for (i, &id) in bucket.ids.iter().enumerate() {
+                        let passes = {
+                            let _t = profile::scoped(Category::FilterEval);
+                            filter.contains(id)
+                        };
+                        if passes {
+                            heap.push(
+                                id,
+                                self.opts.metric.distance_with(
+                                    self.opts.distance,
+                                    query,
+                                    bucket.vectors.row(i),
+                                ),
+                            );
+                        }
+                    }
+                }
+                heap.into_sorted()
+            }
+            FilterStrategy::PostFilter => vdb_filter::post_filter_search(
+                k,
+                self.len(),
+                vdb_filter::PostFilterParams::default(),
+                |id| filter.contains(id),
+                |k_prime| self.search(query, k_prime),
+            ),
+        }
     }
 }
 
@@ -271,7 +341,11 @@ mod tests {
     use vdb_datagen::gaussian::generate;
 
     fn small_params() -> IvfParams {
-        IvfParams { clusters: 16, sample_ratio: 0.5, nprobe: 4 }
+        IvfParams {
+            clusters: 16,
+            sample_ratio: 0.5,
+            nprobe: 4,
+        }
     }
 
     fn dataset() -> VectorSet {
@@ -281,7 +355,8 @@ mod tests {
     #[test]
     fn all_vectors_land_in_buckets() {
         let data = dataset();
-        let (idx, timing) = IvfFlatIndex::build(SpecializedOptions::default(), small_params(), &data);
+        let (idx, timing) =
+            IvfFlatIndex::build(SpecializedOptions::default(), small_params(), &data);
         assert_eq!(idx.len(), data.len());
         assert_eq!(idx.bucket_sizes().iter().sum::<usize>(), data.len());
         assert!(timing.total() > std::time::Duration::ZERO);
@@ -323,7 +398,10 @@ mod tests {
     fn parallel_search_matches_serial() {
         let data = dataset();
         let serial_opts = SpecializedOptions::default();
-        let parallel_opts = SpecializedOptions { threads: 4, ..serial_opts };
+        let parallel_opts = SpecializedOptions {
+            threads: 4,
+            ..serial_opts
+        };
         let (idx_s, _) = IvfFlatIndex::build(serial_opts, small_params(), &data);
         let (idx_p, _) = IvfFlatIndex::build(parallel_opts, small_params(), &data);
         for qi in [3usize, 42, 700] {
@@ -336,7 +414,10 @@ mod tests {
     fn parallel_build_matches_serial_build() {
         let data = dataset();
         let serial = SpecializedOptions::default();
-        let parallel = SpecializedOptions { threads: 4, ..serial };
+        let parallel = SpecializedOptions {
+            threads: 4,
+            ..serial
+        };
         let (a, _) = IvfFlatIndex::build(serial, small_params(), &data);
         let (b, _) = IvfFlatIndex::build(parallel, small_params(), &data);
         assert_eq!(a.bucket_sizes(), b.bucket_sizes());
@@ -362,7 +443,10 @@ mod tests {
     fn naive_gemm_gives_same_results() {
         let data = dataset();
         let blas = SpecializedOptions::default();
-        let naive = SpecializedOptions { gemm: vdb_gemm::GemmKernel::Naive, ..blas };
+        let naive = SpecializedOptions {
+            gemm: vdb_gemm::GemmKernel::Naive,
+            ..blas
+        };
         let (a, _) = IvfFlatIndex::build(blas, small_params(), &data);
         let (b, _) = IvfFlatIndex::build(naive, small_params(), &data);
         // Same flavor + seed → same centroids; assignment argmin must

@@ -84,7 +84,10 @@ impl IvfPqIndex {
 
         let t1 = Instant::now();
         let buckets = (0..quantizer.k())
-            .map(|_| CodeBucket { ids: Vec::new(), codes: Vec::new() })
+            .map(|_| CodeBucket {
+                ids: Vec::new(),
+                codes: Vec::new(),
+            })
             .collect();
         let mut index = IvfPqIndex {
             opts,
@@ -132,7 +135,9 @@ impl IvfPqIndex {
         for (i, &a) in assignments.iter().enumerate() {
             let bucket = &mut self.buckets[a as usize];
             bucket.ids.push(self.len as u64 + i as u64);
-            bucket.codes.extend_from_slice(&codes[i * clen..(i + 1) * clen]);
+            bucket
+                .codes
+                .extend_from_slice(&codes[i * clen..(i + 1) * clen]);
         }
         self.len += data.len();
     }
@@ -195,7 +200,10 @@ impl IvfPqIndex {
     ) -> Vec<Vec<Neighbor>> {
         let threads = self.opts.threads.max(1);
         if threads == 1 {
-            return queries.iter().map(|q| self.search_with_nprobe(q, k, nprobe)).collect();
+            return queries
+                .iter()
+                .map(|q| self.search_with_nprobe(q, k, nprobe))
+                .collect();
         }
         let prep: Vec<(Vec<usize>, Vec<f32>)> = queries
             .iter()
@@ -303,7 +311,14 @@ mod tests {
     use vdb_datagen::gaussian::generate;
 
     fn params() -> (IvfParams, PqParams) {
-        (IvfParams { clusters: 16, sample_ratio: 0.5, nprobe: 4 }, PqParams { m: 8, cpq: 64 })
+        (
+            IvfParams {
+                clusters: 16,
+                sample_ratio: 0.5,
+                nprobe: 4,
+            },
+            PqParams { m: 8, cpq: 64 },
+        )
     }
 
     fn dataset() -> VectorSet {
@@ -314,8 +329,7 @@ mod tests {
     fn build_distributes_all_vectors() {
         let data = dataset();
         let (ivf, pqp) = params();
-        let (idx, timing) =
-            IvfPqIndex::build(SpecializedOptions::default(), ivf, pqp, &data);
+        let (idx, timing) = IvfPqIndex::build(SpecializedOptions::default(), ivf, pqp, &data);
         assert_eq!(idx.len(), 1000);
         assert_eq!(idx.bucket_sizes().iter().sum::<usize>(), 1000);
         assert!(timing.train > std::time::Duration::ZERO);
@@ -345,12 +359,10 @@ mod tests {
         let data = dataset();
         let (ivf, pqp) = params();
         let opts = SpecializedOptions::default();
-        let (a, _) = IvfPqIndex::build_with_table_mode(
-            opts, ivf, pqp, PqTableMode::Optimized, &data,
-        );
-        let (b, _) = IvfPqIndex::build_with_table_mode(
-            opts, ivf, pqp, PqTableMode::Straightforward, &data,
-        );
+        let (a, _) =
+            IvfPqIndex::build_with_table_mode(opts, ivf, pqp, PqTableMode::Optimized, &data);
+        let (b, _) =
+            IvfPqIndex::build_with_table_mode(opts, ivf, pqp, PqTableMode::Straightforward, &data);
         for qi in [1usize, 50, 500] {
             let q = data.row(qi);
             let ra = a.search(q, 5);
@@ -366,7 +378,10 @@ mod tests {
         let data = dataset();
         let (ivf, pqp) = params();
         let serial = SpecializedOptions::default();
-        let parallel = SpecializedOptions { threads: 4, ..serial };
+        let parallel = SpecializedOptions {
+            threads: 4,
+            ..serial
+        };
         let (a, _) = IvfPqIndex::build(serial, ivf, pqp, &data);
         let (b, _) = IvfPqIndex::build(parallel, ivf, pqp, &data);
         for qi in [9usize, 99, 999] {
@@ -382,6 +397,11 @@ mod tests {
         let (idx, _) = IvfPqIndex::build(SpecializedOptions::default(), ivf, pqp, &data);
         let raw_bytes = data.len() * data.dim() * 4;
         // Codes are 4 bytes/vector vs 64 raw, plus ids and codebooks.
-        assert!(idx.size_bytes() < raw_bytes / 2, "{} vs {}", idx.size_bytes(), raw_bytes);
+        assert!(
+            idx.size_bytes() < raw_bytes / 2,
+            "{} vs {}",
+            idx.size_bytes(),
+            raw_bytes
+        );
     }
 }

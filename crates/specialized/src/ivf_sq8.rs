@@ -59,8 +59,12 @@ impl IvfSq8Index {
         let train = t0.elapsed();
 
         let t1 = Instant::now();
-        let buckets =
-            (0..quantizer.k()).map(|_| Sq8Bucket { ids: Vec::new(), codes: Vec::new() }).collect();
+        let buckets = (0..quantizer.k())
+            .map(|_| Sq8Bucket {
+                ids: Vec::new(),
+                codes: Vec::new(),
+            })
+            .collect();
         let mut index = IvfSq8Index {
             opts,
             params,
@@ -119,7 +123,10 @@ impl IvfSq8Index {
     pub fn search_batch(&self, queries: &VectorSet, k: usize, nprobe: usize) -> Vec<Vec<Neighbor>> {
         let threads = self.opts.threads.max(1);
         if threads == 1 {
-            return queries.iter().map(|q| self.search_with_nprobe(q, k, nprobe)).collect();
+            return queries
+                .iter()
+                .map(|q| self.search_with_nprobe(q, k, nprobe))
+                .collect();
         }
         let probes: Vec<Vec<usize>> = queries
             .iter()
@@ -226,7 +233,11 @@ mod tests {
     use vdb_datagen::gaussian::generate;
 
     fn params() -> IvfParams {
-        IvfParams { clusters: 16, sample_ratio: 0.5, nprobe: 16 }
+        IvfParams {
+            clusters: 16,
+            sample_ratio: 0.5,
+            nprobe: 16,
+        }
     }
 
     fn dataset() -> VectorSet {
@@ -266,16 +277,23 @@ mod tests {
         let data = dataset();
         let opts = SpecializedOptions::default();
         let (sq8, _) = IvfSq8Index::build(opts, params(), &data);
-        let (pq, _) =
-            IvfPqIndex::build(opts, params(), PqParams { m: 8, cpq: 64 }, &data);
+        let (pq, _) = IvfPqIndex::build(opts, params(), PqParams { m: 8, cpq: 64 }, &data);
         let flat = FlatIndex::new(opts, data.clone());
         let mut sq_hits = 0;
         let mut pq_hits = 0;
         for qi in 0..20 {
             let q = data.row(qi * 17);
             let truth: Vec<u64> = flat.search(q, 10).iter().map(|n| n.id).collect();
-            sq_hits += sq8.search(q, 10).iter().filter(|n| truth.contains(&n.id)).count();
-            pq_hits += pq.search(q, 10).iter().filter(|n| truth.contains(&n.id)).count();
+            sq_hits += sq8
+                .search(q, 10)
+                .iter()
+                .filter(|n| truth.contains(&n.id))
+                .count();
+            pq_hits += pq
+                .search(q, 10)
+                .iter()
+                .filter(|n| truth.contains(&n.id))
+                .count();
         }
         assert!(
             sq_hits >= pq_hits,
@@ -296,11 +314,17 @@ mod tests {
     fn parallel_batch_matches_serial() {
         let data = dataset();
         let serial = SpecializedOptions::default();
-        let parallel = SpecializedOptions { threads: 4, ..serial };
+        let parallel = SpecializedOptions {
+            threads: 4,
+            ..serial
+        };
         let (a, _) = IvfSq8Index::build(serial, params(), &data);
         let (b, _) = IvfSq8Index::build(parallel, params(), &data);
         let queries = generate(16, 8, 16, 62);
-        let ra: Vec<_> = queries.iter().map(|q| a.search_with_nprobe(q, 5, 8)).collect();
+        let ra: Vec<_> = queries
+            .iter()
+            .map(|q| a.search_with_nprobe(q, 5, 8))
+            .collect();
         let rb = b.search_batch(&queries, 5, 8);
         assert_eq!(ra, rb);
     }

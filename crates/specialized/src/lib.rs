@@ -38,6 +38,7 @@ pub use ivf_flat::IvfFlatIndex;
 pub use ivf_pq::IvfPqIndex;
 pub use ivf_sq8::IvfSq8Index;
 pub use options::{BuildTiming, HnswParams, IvfParams, PqParams, SpecializedOptions};
+pub use vdb_filter::{FilterStrategy, SelectionBitmap};
 pub use vdb_vecmath::Neighbor;
 
 /// Common interface over the specialized indexes.
@@ -52,4 +53,29 @@ pub trait VectorIndex {
     }
     /// In-memory footprint in bytes (for the Figure 11–13 comparisons).
     fn size_bytes(&self) -> usize;
+    /// Hybrid (filtered) top-k: only ids set in `filter` may appear in
+    /// the result.
+    ///
+    /// The default implementation handles both strategies with the
+    /// shared adaptive k-expansion loop over [`search`](Self::search) —
+    /// approximate for approximate indexes. Indexes with a native exact
+    /// pre-filter path ([`FlatIndex`], [`IvfFlatIndex`]) override the
+    /// [`FilterStrategy::PreFilter`] arm with a bitmap-qualified
+    /// brute-force scan.
+    fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &SelectionBitmap,
+        strategy: FilterStrategy,
+    ) -> Vec<Neighbor> {
+        let _ = strategy;
+        vdb_filter::post_filter_search(
+            k,
+            self.len(),
+            vdb_filter::PostFilterParams::default(),
+            |id| filter.contains(id),
+            |k_prime| self.search(query, k_prime),
+        )
+    }
 }

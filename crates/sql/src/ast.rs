@@ -1,5 +1,6 @@
 //! Abstract syntax for the supported SQL dialect.
 
+use vdb_filter::Predicate;
 use vdb_vecmath::Metric;
 
 /// Which vector access method an index uses.
@@ -30,6 +31,9 @@ impl IndexKind {
 pub enum ColumnDef {
     /// `id int`
     Id(String),
+    /// A scalar attribute column (`price float`, `category int`) usable
+    /// in `WHERE` predicates; stored as f64 either way.
+    Attr(String),
     /// `vec float[dim]`; `dim = None` for `float[]` (fixed by the first
     /// insert).
     Vector(String, Option<usize>),
@@ -92,21 +96,23 @@ pub enum Statement {
         /// `WITH` options.
         options: Vec<IndexOption>,
     },
-    /// `INSERT INTO t VALUES (id, '{v1, v2, ...}')`, possibly multi-row.
+    /// `INSERT INTO t VALUES (id, attr..., '{v1, v2, ...}')`, possibly
+    /// multi-row.
     Insert {
         /// Target table.
         table: String,
-        /// `(id, vector)` rows.
-        rows: Vec<(i64, Vec<f32>)>,
+        /// `(id, attrs, vector)` rows; `attrs` in table declaration
+        /// order.
+        rows: Vec<(i64, Vec<f64>, Vec<f32>)>,
     },
-    /// `SELECT cols FROM t [WHERE id = n] [ORDER BY vec <op> lit] [LIMIT k]`
+    /// `SELECT cols FROM t [WHERE pred] [ORDER BY vec <op> lit] [LIMIT k]`
     Select {
-        /// Projected columns (`id`, `vec`, `distance`, or `*`).
+        /// Projected columns (`id`, `vec`, `distance`, attr names, or `*`).
         columns: Vec<String>,
         /// Source table.
         table: String,
-        /// Optional `id = n` filter.
-        where_id: Option<i64>,
+        /// Optional scalar predicate over `id` and attribute columns.
+        where_clause: Option<Predicate>,
         /// Optional vector ordering.
         order_by: Option<VectorOrderBy>,
         /// Optional row limit.

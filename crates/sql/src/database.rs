@@ -4,17 +4,21 @@
 use crate::ast::{ColumnDef, IndexKind, IndexOption, Statement};
 use crate::executor;
 use crate::parser::parse;
-use crate::planner::{plan_select, IndexCandidate};
+use crate::planner::{plan_select, IndexCandidate, TableStats};
 use crate::{Result, SqlError};
 use std::collections::HashMap;
 use std::sync::Arc;
+use vdb_filter::{estimate_selectivity, Predicate};
 use vdb_generalized::{
     GeneralizedOptions, PaseHnswIndex, PaseIndex, PaseIvfFlatIndex, PaseIvfPqIndex,
 };
 use vdb_profile::{self as profile, Category};
-use vdb_storage::heap::{as_bytes_f32, bytemuck_f32};
+use vdb_storage::tuple::{decode_attr, decode_id, encode_tuple, vector_slice};
 use vdb_storage::{BufferManager, DiskManager, HeapTable, PageSize};
 use vdb_vecmath::{HnswParams, IvfParams, Metric, PqParams, VectorSet};
+
+/// Planner sample size for predicate selectivity estimation.
+const SELECTIVITY_SAMPLE_ROWS: usize = 256;
 
 /// A scalar or vector value in a result row.
 #[derive(Clone, Debug, PartialEq)]
@@ -41,7 +45,11 @@ pub struct QueryResult {
 impl QueryResult {
     /// Convenience: the `id` column of every row (errors if absent).
     pub fn ids(&self) -> Vec<i64> {
-        let idx = self.columns.iter().position(|c| c == "id").expect("no id column");
+        let idx = self
+            .columns
+            .iter()
+            .position(|c| c == "id")
+            .expect("no id column");
         self.rows
             .iter()
             .map(|r| match &r[idx] {
@@ -55,6 +63,10 @@ impl QueryResult {
 pub(crate) struct TableState {
     pub heap: HeapTable,
     pub dim: Option<usize>,
+    /// Scalar attribute column names, in declaration (= tuple) order.
+    pub attrs: Vec<String>,
+    /// Live row count (inserts minus deletes) — the planner's `nrows`.
+    pub nrows: usize,
     /// Ids deleted since any index was built. Index scans filter
     /// against this set — the moral equivalent of PostgreSQL's heap
     /// visibility check on every TID an index returns (the index
@@ -126,9 +138,13 @@ impl Database {
     pub fn run(&mut self, stmt: Statement) -> Result<QueryResult> {
         match stmt {
             Statement::CreateTable { name, columns } => self.create_table(name, columns),
-            Statement::CreateIndex { name, table, kind, column, options } => {
-                self.create_index(name, table, kind, column, options)
-            }
+            Statement::CreateIndex {
+                name,
+                table,
+                kind,
+                column,
+                options,
+            } => self.create_index(name, table, kind, column, options),
             Statement::Insert { table, rows } => self.insert(table, rows),
             select @ Statement::Select { .. } => self.select(select),
             Statement::Delete { table, id } => self.delete(table, id),
@@ -142,6 +158,19 @@ impl Database {
     /// the table — create indexes after loading, as the paper's
     /// experiments do.
     pub fn bulk_load(&mut self, table: &str, ids: &[i64], vectors: &VectorSet) -> Result<()> {
+        self.bulk_load_with_attrs(table, ids, &[], vectors)
+    }
+
+    /// Bulk-load rows with scalar attribute values. `attr_rows` must be
+    /// empty (for attribute-less tables) or one row per id, each with
+    /// one value per declared attribute column.
+    pub fn bulk_load_with_attrs(
+        &mut self,
+        table: &str,
+        ids: &[i64],
+        attr_rows: &[Vec<f64>],
+        vectors: &VectorSet,
+    ) -> Result<()> {
         assert_eq!(ids.len(), vectors.len(), "ids/vectors length mismatch");
         if self.indexes.values().any(|ix| ix.table == table) {
             return Err(SqlError::Semantic(format!(
@@ -152,12 +181,29 @@ impl Database {
             .tables
             .get_mut(table)
             .ok_or_else(|| SqlError::Semantic(format!("unknown table {table:?}")))?;
+        let nattrs = state.attrs.len();
+        if attr_rows.is_empty() && nattrs > 0 {
+            return Err(SqlError::Semantic(format!(
+                "table {table:?} has {nattrs} attribute column(s); use bulk_load_with_attrs"
+            )));
+        }
+        if !attr_rows.is_empty() && attr_rows.len() != ids.len() {
+            return Err(SqlError::Semantic("ids/attr_rows length mismatch".into()));
+        }
         check_dim(&mut state.dim, vectors.dim())?;
+        static NO_ATTRS: Vec<f64> = Vec::new();
         for (i, &id) in ids.iter().enumerate() {
-            let mut tuple = Vec::with_capacity(8 + vectors.dim() * 4);
-            tuple.extend_from_slice(&id.to_le_bytes());
-            tuple.extend_from_slice(as_bytes_f32(vectors.row(i)));
-            state.heap.insert(&self.bm, &tuple)?;
+            let attrs = attr_rows.get(i).unwrap_or(&NO_ATTRS);
+            if attrs.len() != nattrs {
+                return Err(SqlError::Semantic(format!(
+                    "expected {nattrs} attribute value(s), got {}",
+                    attrs.len()
+                )));
+            }
+            state
+                .heap
+                .insert(&self.bm, &encode_tuple(id, attrs, vectors.row(i)))?;
+            state.nrows += 1;
         }
         Ok(())
     }
@@ -169,6 +215,7 @@ impl Database {
         let mut dim = None;
         let mut saw_id = false;
         let mut saw_vec = false;
+        let mut attrs: Vec<String> = Vec::new();
         for col in &columns {
             match col {
                 ColumnDef::Id(c) => {
@@ -178,6 +225,14 @@ impl Database {
                         ));
                     }
                     saw_id = true;
+                }
+                ColumnDef::Attr(c) => {
+                    if c == "vec" || c == "distance" || attrs.contains(c) {
+                        return Err(SqlError::Semantic(format!(
+                            "bad attribute column name {c:?} (reserved or duplicate)"
+                        )));
+                    }
+                    attrs.push(c.clone());
                 }
                 ColumnDef::Vector(c, d) => {
                     if c != "vec" || saw_vec {
@@ -198,7 +253,13 @@ impl Database {
         let heap = HeapTable::create(&self.bm);
         self.tables.insert(
             name,
-            TableState { heap, dim, deleted: std::collections::HashSet::new() },
+            TableState {
+                heap,
+                dim,
+                attrs,
+                nrows: 0,
+                deleted: std::collections::HashSet::new(),
+            },
         );
         Ok(QueryResult::default())
     }
@@ -215,7 +276,9 @@ impl Database {
             return Err(SqlError::Semantic(format!("index {name:?} already exists")));
         }
         if column != "vec" {
-            return Err(SqlError::Semantic("only the 'vec' column can be indexed".into()));
+            return Err(SqlError::Semantic(
+                "only the 'vec' column can be indexed".into(),
+            ));
         }
         let state = self
             .tables
@@ -223,21 +286,27 @@ impl Database {
             .ok_or_else(|| SqlError::Semantic(format!("unknown table {table:?}")))?;
 
         // Collect the table's contents.
-        let dim = state
-            .dim
-            .ok_or_else(|| SqlError::Semantic("cannot index an empty table of unknown dimension".into()))?;
+        let dim = state.dim.ok_or_else(|| {
+            SqlError::Semantic("cannot index an empty table of unknown dimension".into())
+        })?;
+        let nattrs = state.attrs.len();
         let mut ids: Vec<i64> = Vec::new();
         let mut data = VectorSet::empty(dim);
         state.heap.scan(&self.bm, |_, bytes| {
-            ids.push(i64::from_le_bytes(bytes[..8].try_into().unwrap()));
-            data.push(bytemuck_f32(&bytes[8..]));
+            ids.push(decode_id(bytes));
+            data.push(vector_slice(bytes, nattrs));
         })?;
         if data.is_empty() {
-            return Err(SqlError::Semantic("cannot build an index over an empty table".into()));
+            return Err(SqlError::Semantic(
+                "cannot build an index over an empty table".into(),
+            ));
         }
 
         let opt = IndexBuildOptions::from_sql(&options, data.len())?;
-        let opts = GeneralizedOptions { metric: opt.metric, ..self.options };
+        let opts = GeneralizedOptions {
+            metric: opt.metric,
+            ..self.options
+        };
         let app_ids: Vec<u64> = ids.iter().map(|&i| i as u64).collect();
         let index: Box<dyn PaseIndex> = match kind {
             IndexKind::IvfFlat => {
@@ -268,27 +337,41 @@ impl Database {
         };
         self.indexes.insert(
             name,
-            IndexState { table, column, metric: opt.metric, index },
+            IndexState {
+                table,
+                column,
+                metric: opt.metric,
+                index,
+            },
         );
         Ok(QueryResult::default())
     }
 
-    fn insert(&mut self, table: String, rows: Vec<(i64, Vec<f32>)>) -> Result<QueryResult> {
+    fn insert(
+        &mut self,
+        table: String,
+        rows: Vec<(i64, Vec<f64>, Vec<f32>)>,
+    ) -> Result<QueryResult> {
         let state = self
             .tables
             .get_mut(&table)
             .ok_or_else(|| SqlError::Semantic(format!("unknown table {table:?}")))?;
-        for (id, v) in &rows {
+        let nattrs = state.attrs.len();
+        for (id, attrs, v) in &rows {
+            if attrs.len() != nattrs {
+                return Err(SqlError::Semantic(format!(
+                    "expected {nattrs} attribute value(s) before the vector, got {}",
+                    attrs.len()
+                )));
+            }
             check_dim(&mut state.dim, v.len())?;
             state.deleted.remove(id);
-            let mut tuple = Vec::with_capacity(8 + v.len() * 4);
-            tuple.extend_from_slice(&id.to_le_bytes());
-            tuple.extend_from_slice(as_bytes_f32(v));
-            state.heap.insert(&self.bm, &tuple)?;
+            state.heap.insert(&self.bm, &encode_tuple(*id, attrs, v))?;
+            state.nrows += 1;
         }
         // Maintain all indexes on this table.
         for ix in self.indexes.values_mut().filter(|ix| ix.table == table) {
-            for (id, v) in &rows {
+            for (id, _, v) in &rows {
                 ix.index.insert(&self.bm, *id as u64, v)?;
             }
         }
@@ -296,7 +379,13 @@ impl Database {
     }
 
     fn select(&mut self, stmt: Statement) -> Result<QueryResult> {
-        let Statement::Select { ref table, ref columns, .. } = stmt else {
+        let Statement::Select {
+            ref table,
+            ref columns,
+            ref where_clause,
+            ..
+        } = stmt
+        else {
             unreachable!("select() called with non-select");
         };
         let table_name = table.clone();
@@ -304,18 +393,53 @@ impl Database {
         if !self.tables.contains_key(&table_name) {
             return Err(SqlError::Semantic(format!("unknown table {table_name:?}")));
         }
-        let candidates: Vec<IndexCandidate> = self
-            .indexes
+        let candidates = self.candidates_for(&table_name);
+        let stats = self.stats_for(&table_name, where_clause.as_ref())?;
+        let plan = plan_select(&stmt, &candidates, &stats)?;
+        executor::execute_select(self, &table_name, &projection, plan)
+    }
+
+    fn candidates_for(&self, table: &str) -> Vec<IndexCandidate> {
+        self.indexes
             .iter()
-            .filter(|(_, ix)| ix.table == table_name)
+            .filter(|(_, ix)| ix.table == table)
             .map(|(name, ix)| IndexCandidate {
                 name: name.clone(),
                 column: ix.column.clone(),
                 metric: ix.metric,
             })
-            .collect();
-        let plan = plan_select(&stmt, &candidates)?;
-        executor::execute_select(self, &table_name, &projection, plan)
+            .collect()
+    }
+
+    /// Planner statistics: live row count, plus (when a predicate is
+    /// present) its selectivity estimated over a bounded row sample —
+    /// this repo's stand-in for `ANALYZE` statistics. Binding the
+    /// predicate here also rejects unknown columns before planning.
+    fn stats_for(&self, table: &str, pred: Option<&Predicate>) -> Result<TableStats> {
+        let state = self.table(table)?;
+        let mut stats = TableStats {
+            nrows: state.nrows,
+            selectivity: None,
+        };
+        let Some(pred) = pred else {
+            return Ok(stats);
+        };
+        let bound = executor::bind_for_table(self, table, pred)?;
+        let nattrs = state.attrs.len();
+        let mut sample: Vec<Vec<f64>> = Vec::with_capacity(SELECTIVITY_SAMPLE_ROWS);
+        state.heap.scan(&self.bm, |_, bytes| {
+            if sample.len() >= SELECTIVITY_SAMPLE_ROWS {
+                return;
+            }
+            let mut row = Vec::with_capacity(nattrs + 1);
+            row.push(decode_id(bytes) as f64);
+            for i in 0..nattrs {
+                row.push(decode_attr(bytes, i));
+            }
+            sample.push(row);
+        })?;
+        stats.selectivity = Some(estimate_selectivity(&bound, sample.iter().map(|r| &r[..])));
+        Ok(stats)
     }
 
     /// Delete a row by id: dead in the heap immediately, filtered out
@@ -327,7 +451,7 @@ impl Database {
             .ok_or_else(|| SqlError::Semantic(format!("unknown table {table:?}")))?;
         let mut victim = None;
         state.heap.scan(&self.bm, |tid, bytes| {
-            if i64::from_le_bytes(bytes[..8].try_into().unwrap()) == id {
+            if decode_id(bytes) == id {
                 victim = Some(tid);
             }
         })?;
@@ -335,32 +459,32 @@ impl Database {
             Some(tid) => {
                 state.heap.delete(&self.bm, tid)?;
                 state.deleted.insert(id);
+                state.nrows = state.nrows.saturating_sub(1);
                 Ok(QueryResult::default())
             }
-            None => Err(SqlError::Semantic(format!("no row with id {id} in {table:?}"))),
+            None => Err(SqlError::Semantic(format!(
+                "no row with id {id} in {table:?}"
+            ))),
         }
     }
 
     /// Produce the plan a SELECT would run, without executing it.
     fn explain(&mut self, stmt: Statement) -> Result<QueryResult> {
-        let Statement::Select { ref table, .. } = stmt else {
+        let Statement::Select {
+            ref table,
+            ref where_clause,
+            ..
+        } = stmt
+        else {
             return Err(SqlError::Semantic("EXPLAIN supports only SELECT".into()));
         };
         let table_name = table.clone();
         if !self.tables.contains_key(&table_name) {
             return Err(SqlError::Semantic(format!("unknown table {table_name:?}")));
         }
-        let candidates: Vec<IndexCandidate> = self
-            .indexes
-            .iter()
-            .filter(|(_, ix)| ix.table == table_name)
-            .map(|(name, ix)| IndexCandidate {
-                name: name.clone(),
-                column: ix.column.clone(),
-                metric: ix.metric,
-            })
-            .collect();
-        let plan = plan_select(&stmt, &candidates)?;
+        let candidates = self.candidates_for(&table_name);
+        let stats = self.stats_for(&table_name, where_clause.as_ref())?;
+        let plan = plan_select(&stmt, &candidates, &stats)?;
         let line = match &plan {
             crate::planner::Plan::IndexScan { index, k, .. } => {
                 let am = self.index(index)?.index.am_name();
@@ -369,9 +493,30 @@ impl Database {
             crate::planner::Plan::SeqScanTopK { k, .. } => {
                 format!("Seq Scan on {table_name} -> Sort -> Limit (k={k})")
             }
+            crate::planner::Plan::FilteredIndexScan {
+                index,
+                pred,
+                k,
+                strategy,
+                ..
+            } => {
+                let am = self.index(index)?.index.am_name();
+                format!(
+                    "Filtered Index Scan using {index} ({am}) on {table_name} \
+                     (k={k}, filter: {pred}, strategy: {})",
+                    strategy.label()
+                )
+            }
+            crate::planner::Plan::FilteredSeqScanTopK { pred, k, .. } => {
+                format!("Seq Scan on {table_name} (filter: {pred}) -> Sort -> Limit (k={k})")
+            }
             crate::planner::Plan::PointLookup { id } => {
                 format!("Seq Scan on {table_name} (filter: id = {id})")
             }
+            crate::planner::Plan::FilteredScan { pred, limit } => match limit {
+                Some(l) => format!("Seq Scan on {table_name} (filter: {pred}, limit {l})"),
+                None => format!("Seq Scan on {table_name} (filter: {pred})"),
+            },
             crate::planner::Plan::FullScan { limit } => match limit {
                 Some(l) => format!("Seq Scan on {table_name} (limit {l})"),
                 None => format!("Seq Scan on {table_name}"),
@@ -449,7 +594,13 @@ fn build_hnsw_with_ids(
         index.insert_vector(bm, ids[i] as u64, v)?;
     }
     let add = t0.elapsed();
-    Ok((index, vdb_vecmath::BuildTiming { train: Default::default(), add }))
+    Ok((
+        index,
+        vdb_vecmath::BuildTiming {
+            train: Default::default(),
+            add,
+        },
+    ))
 }
 
 /// Options extracted from `WITH (...)`.
@@ -470,9 +621,8 @@ impl IndexBuildOptions {
             let v = opt.value;
             match opt.key.as_str() {
                 "distance_type" => {
-                    metric = Metric::from_pase_code(v as u32).ok_or_else(|| {
-                        SqlError::Semantic(format!("unknown distance_type {v}"))
-                    })?;
+                    metric = Metric::from_pase_code(v as u32)
+                        .ok_or_else(|| SqlError::Semantic(format!("unknown distance_type {v}")))?;
                 }
                 "clusters" | "clustering_params_clusters" => ivf.clusters = positive(v)?,
                 // PASE expresses the ratio in thousandths (paper §II-E:
@@ -491,11 +641,18 @@ impl IndexBuildOptions {
                 "efb" | "ef_build" => hnsw.efb = positive(v)?,
                 "efs" | "ef_search" => hnsw.efs = positive(v)?,
                 other => {
-                    return Err(SqlError::Semantic(format!("unknown index option {other:?}")))
+                    return Err(SqlError::Semantic(format!(
+                        "unknown index option {other:?}"
+                    )))
                 }
             }
         }
-        Ok(IndexBuildOptions { metric, ivf, pq, hnsw })
+        Ok(IndexBuildOptions {
+            metric,
+            ivf,
+            pq,
+            hnsw,
+        })
     }
 }
 
@@ -503,7 +660,9 @@ fn positive(v: f64) -> Result<usize> {
     if v >= 1.0 && v.fract() == 0.0 {
         Ok(v as usize)
     } else {
-        Err(SqlError::Semantic(format!("expected positive integer, got {v}")))
+        Err(SqlError::Semantic(format!(
+            "expected positive integer, got {v}"
+        )))
     }
 }
 
@@ -514,7 +673,8 @@ mod tests {
 
     fn db_with_data(n: usize, dim: usize) -> Database {
         let mut db = Database::in_memory();
-        db.execute(&format!("CREATE TABLE items (id int, vec float[{dim}])")).unwrap();
+        db.execute(&format!("CREATE TABLE items (id int, vec float[{dim}])"))
+            .unwrap();
         let data = generate(dim, n, 8, 11);
         let ids: Vec<i64> = (0..n as i64).collect();
         db.bulk_load("items", &ids, &data).unwrap();
@@ -525,7 +685,8 @@ mod tests {
     fn create_insert_select_round_trip() {
         let mut db = Database::in_memory();
         db.execute("CREATE TABLE t (id int, vec float[2])").unwrap();
-        db.execute("INSERT INTO t VALUES (10, '{1, 0}'), (20, '{0, 1}')").unwrap();
+        db.execute("INSERT INTO t VALUES (10, '{1, 0}'), (20, '{0, 1}')")
+            .unwrap();
         let res = db.execute("SELECT id, vec FROM t WHERE id = 20").unwrap();
         assert_eq!(res.rows.len(), 1);
         assert_eq!(res.rows[0][0], Value::Int(20));
@@ -536,8 +697,11 @@ mod tests {
     fn vector_search_without_index_uses_seq_scan() {
         let mut db = Database::in_memory();
         db.execute("CREATE TABLE t (id int, vec float[2])").unwrap();
-        db.execute("INSERT INTO t VALUES (1, '{0,0}'), (2, '{5,5}'), (3, '{1,1}')").unwrap();
-        let res = db.execute("SELECT id FROM t ORDER BY vec <-> '0.9,0.9' LIMIT 2").unwrap();
+        db.execute("INSERT INTO t VALUES (1, '{0,0}'), (2, '{5,5}'), (3, '{1,1}')")
+            .unwrap();
+        let res = db
+            .execute("SELECT id FROM t ORDER BY vec <-> '0.9,0.9' LIMIT 2")
+            .unwrap();
         assert_eq!(res.ids(), vec![3, 1]);
     }
 
@@ -576,7 +740,10 @@ mod tests {
             .unwrap();
         // Query with an exact base vector: its (offset) id must come back.
         let q: Vec<String> = data.row(7).iter().map(|x| x.to_string()).collect();
-        let sql = format!("SELECT id FROM t ORDER BY vec <-> '{}' LIMIT 1", q.join(","));
+        let sql = format!(
+            "SELECT id FROM t ORDER BY vec <-> '{}' LIMIT 1",
+            q.join(",")
+        );
         let res = db.execute(&sql).unwrap();
         assert_eq!(res.ids(), vec![107]);
     }
@@ -620,7 +787,8 @@ mod tests {
             "CREATE INDEX idx ON items USING ivfflat(vec) WITH (clusters = 4, sample_ratio = 500)",
         )
         .unwrap();
-        db.execute("INSERT INTO items VALUES (99999, '{50, 50, 50, 50}')").unwrap();
+        db.execute("INSERT INTO items VALUES (99999, '{50, 50, 50, 50}')")
+            .unwrap();
         let res = db
             .execute("SELECT id FROM items ORDER BY vec <-> '50,50,50,50:4' LIMIT 1")
             .unwrap();
@@ -645,9 +813,13 @@ mod tests {
     #[test]
     fn duplicate_table_and_index_rejected() {
         let mut db = db_with_data(100, 4);
-        assert!(db.execute("CREATE TABLE items (id int, vec float[4])").is_err());
-        db.execute("CREATE INDEX i ON items USING ivfflat(vec) WITH (clusters=4, sample_ratio=500)")
-            .unwrap();
+        assert!(db
+            .execute("CREATE TABLE items (id int, vec float[4])")
+            .is_err());
+        db.execute(
+            "CREATE INDEX i ON items USING ivfflat(vec) WITH (clusters=4, sample_ratio=500)",
+        )
+        .unwrap();
         assert!(db
             .execute("CREATE INDEX i ON items USING ivfflat(vec) WITH (clusters=4)")
             .is_err());
@@ -656,8 +828,10 @@ mod tests {
     #[test]
     fn drop_table_cascades_indexes() {
         let mut db = db_with_data(100, 4);
-        db.execute("CREATE INDEX i ON items USING ivfflat(vec) WITH (clusters=4, sample_ratio=500)")
-            .unwrap();
+        db.execute(
+            "CREATE INDEX i ON items USING ivfflat(vec) WITH (clusters=4, sample_ratio=500)",
+        )
+        .unwrap();
         db.execute("DROP TABLE items").unwrap();
         assert!(db.execute("DROP INDEX i").is_err());
     }
@@ -665,8 +839,10 @@ mod tests {
     #[test]
     fn index_size_is_queryable() {
         let mut db = db_with_data(300, 8);
-        db.execute("CREATE INDEX i ON items USING ivfflat(vec) WITH (clusters=8, sample_ratio=500)")
-            .unwrap();
+        db.execute(
+            "CREATE INDEX i ON items USING ivfflat(vec) WITH (clusters=8, sample_ratio=500)",
+        )
+        .unwrap();
         let size = db.index_size_bytes("i").unwrap();
         assert!(size >= 300 * 8 * 4, "index size {size} implausibly small");
     }
@@ -680,17 +856,197 @@ mod tests {
         .unwrap();
         // The cosine operator has no matching index; both must still
         // return k rows (seq-scan fallback for cosine).
-        let cos = db.execute("SELECT id FROM items ORDER BY vec <=> '1,1,1,1' LIMIT 3").unwrap();
+        let cos = db
+            .execute("SELECT id FROM items ORDER BY vec <=> '1,1,1,1' LIMIT 3")
+            .unwrap();
         assert_eq!(cos.rows.len(), 3);
-        let l2 = db.execute("SELECT id FROM items ORDER BY vec <-> '1,1,1,1' LIMIT 3").unwrap();
+        let l2 = db
+            .execute("SELECT id FROM items ORDER BY vec <-> '1,1,1,1' LIMIT 3")
+            .unwrap();
         assert_eq!(l2.rows.len(), 3);
+    }
+
+    /// A table with attribute columns plus a helper that loads
+    /// deterministic data: `price = id % 100`, `category = id % 10`.
+    fn db_with_attrs(n: usize, dim: usize) -> Database {
+        let mut db = Database::in_memory();
+        db.execute(&format!(
+            "CREATE TABLE items (id int, price float, category int, vec float[{dim}])"
+        ))
+        .unwrap();
+        let data = generate(dim, n, 8, 11);
+        let ids: Vec<i64> = (0..n as i64).collect();
+        let attrs: Vec<Vec<f64>> = ids
+            .iter()
+            .map(|&i| vec![(i % 100) as f64, (i % 10) as f64])
+            .collect();
+        db.bulk_load_with_attrs("items", &ids, &attrs, &data)
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn attr_columns_round_trip_through_sql() {
+        let mut db = Database::in_memory();
+        db.execute("CREATE TABLE t (id int, price float, vec float[2])")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 9.5, '{1,0}'), (2, 20, '{0,1}')")
+            .unwrap();
+        let res = db
+            .execute("SELECT id, price FROM t WHERE price < 10")
+            .unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int(1), Value::Float(9.5)]]);
+        // `*` expands to id, attrs, vec.
+        let all = db.execute("SELECT * FROM t WHERE id = 2").unwrap();
+        assert_eq!(all.columns, vec!["id", "price", "vec"]);
+        assert_eq!(all.rows[0][1], Value::Float(20.0));
+    }
+
+    #[test]
+    fn wrong_attr_count_in_insert_rejected() {
+        let mut db = Database::in_memory();
+        db.execute("CREATE TABLE t (id int, price float, vec float[2])")
+            .unwrap();
+        assert!(matches!(
+            db.execute("INSERT INTO t VALUES (1, '{1,0}')").unwrap_err(),
+            SqlError::Semantic(_)
+        ));
+        assert!(matches!(
+            db.execute("INSERT INTO t VALUES (1, 2, 3, '{1,0}')")
+                .unwrap_err(),
+            SqlError::Semantic(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_predicate_column_is_semantic_error() {
+        let mut db = Database::in_memory();
+        db.execute("CREATE TABLE t (id int, vec float[2])").unwrap();
+        db.execute("INSERT INTO t VALUES (1, '{1,0}')").unwrap();
+        // Parses fine — rejection happens at bind time against the
+        // table's schema.
+        let err = db.execute("SELECT id FROM t WHERE nope = 3").unwrap_err();
+        assert!(matches!(err, SqlError::Semantic(_)), "got {err:?}");
+    }
+
+    /// Regression for the old planner error: WHERE combined with vector
+    /// ORDER BY now executes (and respects both clauses).
+    #[test]
+    fn where_with_vector_order_by_works_end_to_end() {
+        let mut db = db_with_attrs(500, 8);
+        let res = db
+            .execute(
+                "SELECT id FROM items WHERE price < 30 \
+                 ORDER BY vec <-> '0,0,0,0,0,0,0,0' LIMIT 10",
+            )
+            .unwrap();
+        assert_eq!(res.rows.len(), 10);
+        assert!(res.ids().iter().all(|id| id % 100 < 30));
+    }
+
+    /// Acceptance criterion: a filtered SQL query through a generalized
+    /// index returns exactly the brute-force-under-filter answer.
+    #[test]
+    fn filtered_index_scan_matches_brute_force() {
+        for sql_filter in [
+            "price < 20",
+            "category IN (2, 7)",
+            "price BETWEEN 10 AND 35 AND category <> 4",
+        ] {
+            let mut db = db_with_attrs(600, 8);
+            let q = "0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5";
+            // Full-probe knob so the IVF search is exhaustive and the
+            // only variable is the filtering strategy.
+            let sql = format!(
+                "SELECT id FROM items WHERE {sql_filter} ORDER BY vec <-> '{q}:16' LIMIT 10"
+            );
+            let brute = db.execute(&sql).unwrap(); // no index yet: seq scan
+            db.execute(
+                "CREATE INDEX idx ON items USING ivfflat(vec) \
+                 WITH (clusters = 16, sample_ratio = 500)",
+            )
+            .unwrap();
+            let indexed = db.execute(&sql).unwrap();
+            assert_eq!(indexed.ids(), brute.ids(), "filter {sql_filter:?}");
+        }
+    }
+
+    #[test]
+    fn filtered_query_with_zero_matches_returns_empty() {
+        let mut db = db_with_attrs(300, 4);
+        db.execute(
+            "CREATE INDEX idx ON items USING ivfflat(vec) WITH (clusters = 8, sample_ratio = 500)",
+        )
+        .unwrap();
+        let res = db
+            .execute("SELECT id FROM items WHERE price < 0 ORDER BY vec <-> '0,0,0,0' LIMIT 5")
+            .unwrap();
+        assert!(res.rows.is_empty());
+    }
+
+    #[test]
+    fn deleted_rows_invisible_to_filtered_index_scan() {
+        let mut db = db_with_attrs(200, 4);
+        db.execute(
+            "CREATE INDEX idx ON items USING ivfflat(vec) WITH (clusters = 4, sample_ratio = 500)",
+        )
+        .unwrap();
+        let q = "SELECT id FROM items WHERE category = 3 ORDER BY vec <-> '0,0,0,0:4' LIMIT 3";
+        let before = db.execute(q).unwrap().ids();
+        db.execute(&format!("DELETE FROM items WHERE id = {}", before[0]))
+            .unwrap();
+        let after = db.execute(q).unwrap().ids();
+        assert!(!after.contains(&before[0]));
+    }
+
+    #[test]
+    fn explain_shows_filter_and_strategy() {
+        let mut db = db_with_attrs(400, 4);
+        db.execute(
+            "CREATE INDEX idx ON items USING ivfflat(vec) WITH (clusters = 8, sample_ratio = 500)",
+        )
+        .unwrap();
+        let tight = db
+            .execute(
+                "EXPLAIN SELECT id FROM items WHERE price < 1 ORDER BY vec <-> '0,0,0,0' LIMIT 5",
+            )
+            .unwrap();
+        let Value::Text(line) = &tight.rows[0][0] else {
+            panic!("not text")
+        };
+        assert!(line.contains("Filtered Index Scan"), "{line}");
+        assert!(line.contains("strategy: pre-filter"), "{line}");
+        let loose = db
+            .execute(
+                "EXPLAIN SELECT id FROM items WHERE price < 99 ORDER BY vec <-> '0,0,0,0' LIMIT 5",
+            )
+            .unwrap();
+        let Value::Text(line) = &loose.rows[0][0] else {
+            panic!("not text")
+        };
+        assert!(line.contains("strategy: post-filter"), "{line}");
+    }
+
+    #[test]
+    fn negative_ids_fall_back_to_exact_filtered_scan() {
+        let mut db = Database::in_memory();
+        db.execute("CREATE TABLE t (id int, price float, vec float[2])")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (-5, 1, '{0,0}'), (3, 1, '{1,1}'), (4, 50, '{0.1,0.1}')")
+            .unwrap();
+        let res = db
+            .execute("SELECT id FROM t WHERE price < 10 ORDER BY vec <-> '0,0' LIMIT 2")
+            .unwrap();
+        assert_eq!(res.ids(), vec![-5, 3]);
     }
 
     #[test]
     fn bulk_load_after_index_rejected() {
         let mut db = db_with_data(100, 4);
-        db.execute("CREATE INDEX i ON items USING ivfflat(vec) WITH (clusters=4, sample_ratio=500)")
-            .unwrap();
+        db.execute(
+            "CREATE INDEX i ON items USING ivfflat(vec) WITH (clusters=4, sample_ratio=500)",
+        )
+        .unwrap();
         let more = generate(4, 10, 2, 9);
         let ids: Vec<i64> = (1000..1010).collect();
         assert!(db.bulk_load("items", &ids, &more).is_err());

@@ -3,8 +3,14 @@
 use crate::database::{Database, QueryResult, Value};
 use crate::planner::Plan;
 use crate::{Result, SqlError};
-use vdb_storage::heap::bytemuck_f32;
+use vdb_filter::{AttrSchema, BoundPredicate, Predicate, SelectionBitmap};
+use vdb_profile::{self as profile, Category};
+use vdb_storage::tuple::{decode_attrs, decode_id, vector_slice};
 use vdb_vecmath::{Metric, NHeap, Neighbor};
+
+/// A materialized result row before projection: id, scalar attribute
+/// values (table declaration order), vector, optional distance.
+type Row = (i64, Vec<f64>, Vec<f32>, Option<f32>);
 
 /// Execute a planned `SELECT` against `db`.
 pub fn execute_select(
@@ -14,7 +20,9 @@ pub fn execute_select(
     plan: Plan,
 ) -> Result<QueryResult> {
     match plan {
-        Plan::IndexScan { index, query, k, .. } => {
+        Plan::IndexScan {
+            index, query, k, ..
+        } => {
             let ix = db.index(&index)?;
             if query.vector.len() != ix.index.dim() {
                 return Err(SqlError::Semantic(format!(
@@ -23,8 +31,9 @@ pub fn execute_select(
                     ix.index.dim()
                 )));
             }
-            let mut found =
-                ix.index.scan_with_knob(db.bm(), &query.vector, k, query.knob)?;
+            let mut found = ix
+                .index
+                .scan_with_knob(db.bm(), &query.vector, k, query.knob)?;
             // Visibility check: indexes keep entries for deleted rows
             // until rebuilt (as PostgreSQL does until VACUUM); filter
             // them against the table's dead set.
@@ -35,48 +44,172 @@ pub fn execute_select(
             project_neighbors(db, table, projection, &found)
         }
         Plan::SeqScanTopK { query, k, metric } => {
-            let found = seq_scan_topk(db, table, &query.vector, k, metric)?;
+            let found = seq_scan_topk(db, table, None, &query.vector, k, metric)?;
+            project_neighbors(db, table, projection, &found)
+        }
+        Plan::FilteredIndexScan {
+            index,
+            pred,
+            query,
+            k,
+            metric,
+            strategy,
+        } => {
+            let ix = db.index(&index)?;
+            if query.vector.len() != ix.index.dim() {
+                return Err(SqlError::Semantic(format!(
+                    "query dimension {} does not match index dimension {}",
+                    query.vector.len(),
+                    ix.index.dim()
+                )));
+            }
+            let bound = bind_for_table(db, table, &pred)?;
+            // One heap pass evaluating the predicate into a selection
+            // bitmap. Deleted rows are gone from the heap, so the
+            // bitmap doubles as the visibility check.
+            let state = db.table(table)?;
+            let nattrs = state.attrs.len();
+            let mut bitmap = SelectionBitmap::new();
+            let mut eval_row: Vec<f64> = Vec::with_capacity(nattrs + 1);
+            let mut negative_id_passed = false;
+            state.heap.scan(db.bm(), |_, bytes| {
+                let id = decode_id(bytes);
+                eval_row.clear();
+                eval_row.push(id as f64);
+                for i in 0..nattrs {
+                    eval_row.push(vdb_storage::tuple::decode_attr(bytes, i));
+                }
+                let passes = {
+                    let _t = profile::scoped(Category::FilterEval);
+                    bound.eval(&eval_row)
+                };
+                if passes {
+                    if id < 0 {
+                        negative_id_passed = true;
+                    } else {
+                        bitmap.insert(id as u64);
+                    }
+                }
+            })?;
+            if negative_id_passed {
+                // The bitmap is keyed by unsigned row id; a negative id
+                // would wrap to an astronomical key. Fall back to the
+                // exact scan, which is correct at any selectivity.
+                let found = seq_scan_topk(db, table, Some(&bound), &query.vector, k, metric)?;
+                return project_neighbors(db, table, projection, &found);
+            }
+            let found =
+                ix.index
+                    .scan_filtered(db.bm(), &query.vector, k, &bitmap, strategy, query.knob)?;
+            project_neighbors(db, table, projection, &found)
+        }
+        Plan::FilteredSeqScanTopK {
+            pred,
+            query,
+            k,
+            metric,
+        } => {
+            let bound = bind_for_table(db, table, &pred)?;
+            let found = seq_scan_topk(db, table, Some(&bound), &query.vector, k, metric)?;
             project_neighbors(db, table, projection, &found)
         }
         Plan::PointLookup { id } => {
             let state = db.table(table)?;
-            let mut rows = Vec::new();
+            let nattrs = state.attrs.len();
+            let mut rows: Vec<Row> = Vec::new();
             state.heap.scan(db.bm(), |_, bytes| {
-                let row_id = i64::from_le_bytes(bytes[..8].try_into().unwrap());
+                let row_id = decode_id(bytes);
                 if row_id == id {
-                    rows.push((row_id, bytemuck_f32(&bytes[8..]).to_vec()));
+                    rows.push((
+                        row_id,
+                        decode_attrs(bytes, nattrs),
+                        vector_slice(bytes, nattrs).to_vec(),
+                        None,
+                    ));
                 }
             })?;
-            let out: Vec<(i64, Vec<f32>, Option<f32>)> =
-                rows.into_iter().map(|(id, v)| (id, v, None)).collect();
-            project_rows(projection, &out)
+            project_rows(db, table, projection, &rows)
         }
-        Plan::FullScan { limit } => {
+        Plan::FilteredScan { pred, limit } => {
+            let bound = bind_for_table(db, table, &pred)?;
             let state = db.table(table)?;
-            let mut rows = Vec::new();
+            let nattrs = state.attrs.len();
+            let mut rows: Vec<Row> = Vec::new();
+            let mut eval_row: Vec<f64> = Vec::with_capacity(nattrs + 1);
             state.heap.scan(db.bm(), |_, bytes| {
                 if limit.is_some_and(|l| rows.len() >= l) {
                     return;
                 }
-                let row_id = i64::from_le_bytes(bytes[..8].try_into().unwrap());
-                rows.push((row_id, bytemuck_f32(&bytes[8..]).to_vec(), None));
+                let id = decode_id(bytes);
+                let attrs = decode_attrs(bytes, nattrs);
+                eval_row.clear();
+                eval_row.push(id as f64);
+                eval_row.extend_from_slice(&attrs);
+                let passes = {
+                    let _t = profile::scoped(Category::FilterEval);
+                    bound.eval(&eval_row)
+                };
+                if passes {
+                    rows.push((id, attrs, vector_slice(bytes, nattrs).to_vec(), None));
+                }
             })?;
-            project_rows(projection, &rows)
+            project_rows(db, table, projection, &rows)
+        }
+        Plan::FullScan { limit } => {
+            let state = db.table(table)?;
+            let nattrs = state.attrs.len();
+            let mut rows: Vec<Row> = Vec::new();
+            state.heap.scan(db.bm(), |_, bytes| {
+                if limit.is_some_and(|l| rows.len() >= l) {
+                    return;
+                }
+                rows.push((
+                    decode_id(bytes),
+                    decode_attrs(bytes, nattrs),
+                    vector_slice(bytes, nattrs).to_vec(),
+                    None,
+                ));
+            })?;
+            project_rows(db, table, projection, &rows)
         }
     }
 }
 
-/// No usable index: scan every tuple and keep the top k. This mirrors
-/// the PostgreSQL fallback — and uses the size-n heap, since that *is*
-/// the executor behaviour RC#6 describes.
+/// Bind a predicate against a table's scalar columns (`id` + attrs).
+pub(crate) fn bind_for_table(
+    db: &Database,
+    table: &str,
+    pred: &Predicate,
+) -> Result<BoundPredicate> {
+    let state = db.table(table)?;
+    pred.bind(&table_schema(&state.attrs))
+        .map_err(SqlError::Semantic)
+}
+
+/// The predicate-visible schema of a table: `id` then the attribute
+/// columns in declaration order (matching the evaluation-row layout).
+pub(crate) fn table_schema(attrs: &[String]) -> AttrSchema {
+    let mut names = Vec::with_capacity(attrs.len() + 1);
+    names.push("id".to_string());
+    names.extend(attrs.iter().cloned());
+    AttrSchema::new(names)
+}
+
+/// No usable index: scan every tuple (optionally those passing `pred`)
+/// and keep the top k. This mirrors the PostgreSQL fallback — and uses
+/// the size-n heap, since that *is* the executor behaviour RC#6
+/// describes. With a predicate this is brute-force-under-filter: the
+/// exact answer every filtered strategy must agree with.
 fn seq_scan_topk(
     db: &Database,
     table: &str,
+    pred: Option<&BoundPredicate>,
     query: &[f32],
     k: usize,
     metric: Metric,
 ) -> Result<Vec<Neighbor>> {
     let state = db.table(table)?;
+    let nattrs = state.attrs.len();
     let dim = state
         .dim
         .ok_or_else(|| SqlError::Semantic("table has no rows to search".into()))?;
@@ -87,60 +220,93 @@ fn seq_scan_topk(
         )));
     }
     let mut heap = NHeap::new(k);
+    let mut eval_row: Vec<f64> = Vec::with_capacity(nattrs + 1);
     state.heap.scan(db.bm(), |_, bytes| {
-        let id = i64::from_le_bytes(bytes[..8].try_into().unwrap());
-        let v = bytemuck_f32(&bytes[8..]);
+        let id = decode_id(bytes);
+        if let Some(p) = pred {
+            eval_row.clear();
+            eval_row.push(id as f64);
+            for i in 0..nattrs {
+                eval_row.push(vdb_storage::tuple::decode_attr(bytes, i));
+            }
+            let passes = {
+                let _t = profile::scoped(Category::FilterEval);
+                p.eval(&eval_row)
+            };
+            if !passes {
+                return;
+            }
+        }
+        let v = vector_slice(bytes, nattrs);
         heap.push(id as u64, metric.distance(query, v));
     })?;
     Ok(heap.into_sorted())
 }
 
-/// Resolve neighbors into projected rows (fetching vectors from the
-/// table when `vec` is projected).
+/// Resolve neighbors into projected rows (fetching vectors and
+/// attribute values from the table when the projection needs them).
 fn project_neighbors(
     db: &Database,
     table: &str,
     projection: &[String],
     found: &[Neighbor],
 ) -> Result<QueryResult> {
-    let needs_vec = projection.iter().any(|c| c == "vec" || c == "*");
-    let mut rows: Vec<(i64, Vec<f32>, Option<f32>)> = Vec::with_capacity(found.len());
-    if needs_vec {
+    let state = db.table(table)?;
+    let nattrs = state.attrs.len();
+    // id and distance come straight from the neighbor list; anything
+    // else (vec, attrs, *) needs a heap lookup.
+    let needs_fetch = projection.iter().any(|c| c != "id" && c != "distance");
+    let mut rows: Vec<Row> = Vec::with_capacity(found.len());
+    if needs_fetch {
         // One table pass resolving every requested id.
-        let state = db.table(table)?;
-        let mut vec_of = std::collections::HashMap::new();
+        let mut row_of = std::collections::HashMap::new();
         state.heap.scan(db.bm(), |_, bytes| {
-            let id = i64::from_le_bytes(bytes[..8].try_into().unwrap());
-            vec_of.insert(id, bytemuck_f32(&bytes[8..]).to_vec());
+            let id = decode_id(bytes);
+            row_of.insert(
+                id,
+                (
+                    decode_attrs(bytes, nattrs),
+                    vector_slice(bytes, nattrs).to_vec(),
+                ),
+            );
         })?;
         for n in found {
             let id = n.id as i64;
-            let v = vec_of
+            let (attrs, v) = row_of
                 .get(&id)
                 .cloned()
                 .ok_or_else(|| SqlError::Semantic(format!("index returned unknown id {id}")))?;
-            rows.push((id, v, Some(n.distance)));
+            rows.push((id, attrs, v, Some(n.distance)));
         }
     } else {
         for n in found {
-            rows.push((n.id as i64, Vec::new(), Some(n.distance)));
+            rows.push((n.id as i64, Vec::new(), Vec::new(), Some(n.distance)));
         }
     }
-    project_rows(projection, &rows)
+    project_rows(db, table, projection, &rows)
 }
 
-/// Apply the projection list to `(id, vec, distance)` triples.
+/// Apply the projection list to materialized rows.
 fn project_rows(
+    db: &Database,
+    table: &str,
     projection: &[String],
-    rows: &[(i64, Vec<f32>, Option<f32>)],
+    rows: &[Row],
 ) -> Result<QueryResult> {
+    let attr_names = &db.table(table)?.attrs;
     let cols: Vec<String> = if projection.iter().any(|c| c == "*") {
-        vec!["id".into(), "vec".into()]
+        let mut all = vec!["id".to_string()];
+        all.extend(attr_names.iter().cloned());
+        all.push("vec".into());
+        all
     } else {
         projection.to_vec()
     };
-    let mut out = QueryResult { columns: cols.clone(), rows: Vec::with_capacity(rows.len()) };
-    for (id, vec, dist) in rows {
+    let mut out = QueryResult {
+        columns: cols.clone(),
+        rows: Vec::with_capacity(rows.len()),
+    };
+    for (id, attrs, vec, dist) in rows {
         let mut row = Vec::with_capacity(cols.len());
         for c in &cols {
             match c.as_str() {
@@ -152,9 +318,10 @@ fn project_rows(
                     })?;
                     row.push(Value::Float(d as f64));
                 }
-                other => {
-                    return Err(SqlError::Semantic(format!("unknown column {other:?}")))
-                }
+                other => match attr_names.iter().position(|a| a == other) {
+                    Some(i) => row.push(Value::Float(attrs[i])),
+                    None => return Err(SqlError::Semantic(format!("unknown column {other:?}"))),
+                },
             }
         }
         out.rows.push(row);

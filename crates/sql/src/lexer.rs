@@ -1,4 +1,7 @@
 //! Hand-written SQL tokenizer.
+//!
+//! Every token carries the byte offset where it starts, so parser
+//! errors can point at the offending position ([`SqlError::ParseAt`]).
 
 use crate::{Result, SqlError};
 
@@ -33,68 +36,131 @@ pub enum Token {
     DoubleColon,
     /// A vector similarity operator: `<->`, `<#>`, or `<=>`.
     VectorOp(String),
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<>` or `!=`
+    Ne,
 }
 
-/// Tokenize a SQL string.
-pub fn tokenize(input: &str) -> Result<Vec<Token>> {
-    let mut tokens = Vec::new();
+/// A token plus the byte offset where it starts in the input.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+fn err_at(message: impl Into<String>, offset: usize) -> SqlError {
+    SqlError::ParseAt {
+        message: message.into(),
+        offset,
+    }
+}
+
+/// Tokenize a SQL string, keeping each token's byte offset.
+pub fn tokenize_spanned(input: &str) -> Result<Vec<SpannedToken>> {
+    let mut tokens: Vec<SpannedToken> = Vec::new();
     let bytes = input.as_bytes();
     let mut i = 0;
+    let push = |token: Token, offset: usize, tokens: &mut Vec<SpannedToken>| {
+        tokens.push(SpannedToken { token, offset });
+    };
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let start = i;
         match c {
             c if c.is_whitespace() => i += 1,
             '(' => {
-                tokens.push(Token::LParen);
+                push(Token::LParen, start, &mut tokens);
                 i += 1;
             }
             ')' => {
-                tokens.push(Token::RParen);
+                push(Token::RParen, start, &mut tokens);
                 i += 1;
             }
             ',' => {
-                tokens.push(Token::Comma);
+                push(Token::Comma, start, &mut tokens);
                 i += 1;
             }
             ';' => {
-                tokens.push(Token::Semicolon);
+                push(Token::Semicolon, start, &mut tokens);
                 i += 1;
             }
             '=' => {
-                tokens.push(Token::Equals);
+                push(Token::Equals, start, &mut tokens);
                 i += 1;
             }
             '*' => {
-                tokens.push(Token::Star);
+                push(Token::Star, start, &mut tokens);
                 i += 1;
             }
             '[' => {
-                tokens.push(Token::LBracket);
+                push(Token::LBracket, start, &mut tokens);
                 i += 1;
             }
             ']' => {
-                tokens.push(Token::RBracket);
+                push(Token::RBracket, start, &mut tokens);
                 i += 1;
             }
             ':' => {
                 if bytes.get(i + 1) == Some(&b':') {
-                    tokens.push(Token::DoubleColon);
+                    push(Token::DoubleColon, start, &mut tokens);
                     i += 2;
                 } else {
-                    return Err(SqlError::Parse(format!("stray ':' at byte {i}")));
+                    return Err(err_at("stray ':'", i));
                 }
             }
             '<' => {
-                // <->, <#>, <=>
-                let op: &[u8] = bytes.get(i..i + 3).unwrap_or_default();
-                match op {
+                // Vector operators first (longest match): <->, <#>, <=>;
+                // then the scalar comparisons <=, <>, <.
+                let three: &[u8] = bytes.get(i..i + 3).unwrap_or_default();
+                match three {
                     b"<->" | b"<#>" | b"<=>" => {
-                        tokens.push(Token::VectorOp(
-                            std::str::from_utf8(op).unwrap().to_string(),
-                        ));
+                        push(
+                            Token::VectorOp(std::str::from_utf8(three).unwrap().to_string()),
+                            start,
+                            &mut tokens,
+                        );
                         i += 3;
                     }
-                    _ => return Err(SqlError::Parse(format!("unknown operator at byte {i}"))),
+                    _ => match bytes.get(i + 1) {
+                        Some(&b'=') => {
+                            push(Token::Le, start, &mut tokens);
+                            i += 2;
+                        }
+                        Some(&b'>') => {
+                            push(Token::Ne, start, &mut tokens);
+                            i += 2;
+                        }
+                        _ => {
+                            push(Token::Lt, start, &mut tokens);
+                            i += 1;
+                        }
+                    },
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(Token::Ge, start, &mut tokens);
+                    i += 2;
+                } else {
+                    push(Token::Gt, start, &mut tokens);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(Token::Ne, start, &mut tokens);
+                    i += 2;
+                } else {
+                    return Err(err_at("stray '!'", i));
                 }
             }
             '\'' => {
@@ -102,7 +168,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 i += 1;
                 loop {
                     match bytes.get(i) {
-                        None => return Err(SqlError::Parse("unterminated string".into())),
+                        None => return Err(err_at("unterminated string", start)),
                         Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
                             lit.push('\'');
                             i += 2;
@@ -117,12 +183,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                tokens.push(Token::StringLit(lit));
+                push(Token::StringLit(lit), start, &mut tokens);
             }
             c if c.is_ascii_digit()
                 || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
             {
-                let start = i;
                 i += 1; // consume digit or '-'
                 while i < bytes.len()
                     && ((bytes[i] as char).is_ascii_digit()
@@ -133,23 +198,36 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 {
                     i += 1;
                 }
-                tokens.push(Token::Number(input[start..i].to_string()));
+                push(
+                    Token::Number(input[start..i].to_string()),
+                    start,
+                    &mut tokens,
+                );
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
-                let start = i;
                 while i < bytes.len()
                     && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }
-                tokens.push(Token::Ident(input[start..i].to_ascii_lowercase()));
+                push(
+                    Token::Ident(input[start..i].to_ascii_lowercase()),
+                    start,
+                    &mut tokens,
+                );
             }
-            other => {
-                return Err(SqlError::Parse(format!("unexpected character {other:?} at byte {i}")))
-            }
+            other => return Err(err_at(format!("unexpected character {other:?}"), i)),
         }
     }
     Ok(tokens)
+}
+
+/// Tokenize a SQL string (positions dropped; see [`tokenize_spanned`]).
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    Ok(tokenize_spanned(input)?
+        .into_iter()
+        .map(|st| st.token)
+        .collect())
 }
 
 #[cfg(test)]
@@ -171,6 +249,17 @@ mod tests {
             let toks = tokenize(&format!("vec {op} 'x'")).unwrap();
             assert_eq!(toks[1], Token::VectorOp(op.to_string()));
         }
+    }
+
+    #[test]
+    fn tokenizes_comparison_operators() {
+        let toks = tokenize("a < 1 b <= 2 c > 3 d >= 4 e <> 5 f != 6").unwrap();
+        assert_eq!(toks[1], Token::Lt);
+        assert_eq!(toks[4], Token::Le);
+        assert_eq!(toks[7], Token::Gt);
+        assert_eq!(toks[10], Token::Ge);
+        assert_eq!(toks[13], Token::Ne);
+        assert_eq!(toks[16], Token::Ne);
     }
 
     #[test]
@@ -214,12 +303,27 @@ mod tests {
     }
 
     #[test]
-    fn unterminated_string_errors() {
-        assert!(matches!(tokenize("'oops"), Err(SqlError::Parse(_))));
+    fn spans_report_byte_offsets() {
+        let toks = tokenize_spanned("SELECT id FROM t").unwrap();
+        let offsets: Vec<usize> = toks.iter().map(|t| t.offset).collect();
+        assert_eq!(offsets, vec![0, 7, 10, 15]);
     }
 
     #[test]
-    fn unknown_operator_errors() {
-        assert!(matches!(tokenize("a <> b"), Err(SqlError::Parse(_))));
+    fn unterminated_string_error_points_at_quote() {
+        let err = tokenize("SELECT 'oops").unwrap_err();
+        assert_eq!(err.offset(), Some(7));
+    }
+
+    #[test]
+    fn stray_bang_error_points_at_it() {
+        let err = tokenize("a ! b").unwrap_err();
+        assert_eq!(err.offset(), Some(2));
+    }
+
+    #[test]
+    fn unexpected_character_error_points_at_it() {
+        let err = tokenize("select @").unwrap_err();
+        assert_eq!(err.offset(), Some(7));
     }
 }

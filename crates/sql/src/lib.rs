@@ -39,6 +39,15 @@ use std::fmt;
 pub enum SqlError {
     /// Tokenizer or parser rejection, with a human-readable reason.
     Parse(String),
+    /// Tokenizer or parser rejection with the byte offset into the SQL
+    /// text where it happened, so malformed input fails with a
+    /// pointable location.
+    ParseAt {
+        /// What went wrong.
+        message: String,
+        /// Byte offset into the statement text.
+        offset: usize,
+    },
     /// Valid syntax, invalid semantics (unknown table, dimension
     /// mismatch, duplicate index, ...).
     Semantic(String),
@@ -46,10 +55,23 @@ pub enum SqlError {
     Storage(vdb_storage::StorageError),
 }
 
+impl SqlError {
+    /// The byte offset of a positioned parse error, if this is one.
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            SqlError::ParseAt { offset, .. } => Some(*offset),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for SqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SqlError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SqlError::ParseAt { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
             SqlError::Semantic(msg) => write!(f, "semantic error: {msg}"),
             SqlError::Storage(e) => write!(f, "storage error: {e}"),
         }

@@ -1,25 +1,37 @@
 //! Recursive-descent parser over [`crate::lexer`] tokens.
+//!
+//! Errors carry the byte offset of the offending token
+//! ([`SqlError::ParseAt`]), so malformed statements fail with a
+//! pointable location.
 
 use crate::ast::{ColumnDef, IndexKind, IndexOption, Statement, VectorOrderBy};
-use crate::lexer::{tokenize, Token};
+use crate::lexer::{tokenize_spanned, SpannedToken, Token};
 use crate::pase_literal::parse_vector_text;
 use crate::{Result, SqlError};
+use vdb_filter::{CmpOp, Predicate};
 
 /// Parse a single SQL statement (a trailing semicolon is allowed).
 pub fn parse(sql: &str) -> Result<Statement> {
-    let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let tokens = tokenize_spanned(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end: sql.len(),
+    };
     let stmt = p.statement()?;
     p.eat_optional_semicolon();
     if !p.at_end() {
-        return Err(SqlError::Parse(format!("trailing tokens after statement: {:?}", p.peek())));
+        return Err(p.error_here(format!("trailing tokens after statement: {:?}", p.peek())));
     }
     Ok(stmt)
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<SpannedToken>,
     pos: usize,
+    /// Byte length of the input — the offset reported for "unexpected
+    /// end of input".
+    end: usize,
 }
 
 impl Parser {
@@ -28,7 +40,20 @@ impl Parser {
     }
 
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|st| &st.token)
+    }
+
+    /// Byte offset of the current token (input length at end).
+    fn offset_here(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.end, |st| st.offset)
+    }
+
+    /// A parse error pointing at the current token.
+    fn error_here(&self, message: impl Into<String>) -> SqlError {
+        SqlError::ParseAt {
+            message: message.into(),
+            offset: self.offset_here(),
+        }
     }
 
     fn next(&mut self) -> Result<Token> {
@@ -36,40 +61,57 @@ impl Parser {
             .tokens
             .get(self.pos)
             .cloned()
-            .ok_or_else(|| SqlError::Parse("unexpected end of input".into()))?;
+            .ok_or_else(|| self.error_here("unexpected end of input"))?;
         self.pos += 1;
-        Ok(t)
+        Ok(t.token)
     }
 
     fn expect_ident(&mut self, word: &str) -> Result<()> {
+        let at = self.offset_here();
         match self.next()? {
             Token::Ident(w) if w == word => Ok(()),
-            other => Err(SqlError::Parse(format!("expected {word:?}, found {other:?}"))),
+            other => Err(SqlError::ParseAt {
+                message: format!("expected {word:?}, found {other:?}"),
+                offset: at,
+            }),
         }
     }
 
     fn ident(&mut self) -> Result<String> {
+        let at = self.offset_here();
         match self.next()? {
             Token::Ident(w) => Ok(w),
-            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::ParseAt {
+                message: format!("expected identifier, found {other:?}"),
+                offset: at,
+            }),
         }
     }
 
     fn expect(&mut self, tok: Token) -> Result<()> {
+        let at = self.offset_here();
         let got = self.next()?;
         if got == tok {
             Ok(())
         } else {
-            Err(SqlError::Parse(format!("expected {tok:?}, found {got:?}")))
+            Err(SqlError::ParseAt {
+                message: format!("expected {tok:?}, found {got:?}"),
+                offset: at,
+            })
         }
     }
 
     fn number(&mut self) -> Result<f64> {
+        let at = self.offset_here();
         match self.next()? {
-            Token::Number(n) => n
-                .parse::<f64>()
-                .map_err(|_| SqlError::Parse(format!("bad number {n:?}"))),
-            other => Err(SqlError::Parse(format!("expected number, found {other:?}"))),
+            Token::Number(n) => n.parse::<f64>().map_err(|_| SqlError::ParseAt {
+                message: format!("bad number {n:?}"),
+                offset: at,
+            }),
+            other => Err(SqlError::ParseAt {
+                message: format!("expected number, found {other:?}"),
+                offset: at,
+            }),
         }
     }
 
@@ -101,9 +143,9 @@ impl Parser {
                 "delete" => self.delete(),
                 "explain" => self.explain(),
                 "drop" => self.drop(),
-                other => Err(SqlError::Parse(format!("unsupported statement {other:?}"))),
+                other => Err(self.error_here(format!("unsupported statement {other:?}"))),
             },
-            other => Err(SqlError::Parse(format!("expected statement, found {other:?}"))),
+            other => Err(self.error_here(format!("expected statement, found {other:?}"))),
         }
     }
 
@@ -115,7 +157,7 @@ impl Parser {
         if self.eat_ident("index") {
             return self.create_index();
         }
-        Err(SqlError::Parse("expected TABLE or INDEX after CREATE".into()))
+        Err(self.error_here("expected TABLE or INDEX after CREATE"))
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -124,34 +166,55 @@ impl Parser {
         let mut columns = Vec::new();
         loop {
             let col = self.ident()?;
+            let ty_at = self.offset_here();
             let ty = self.ident()?;
             match ty.as_str() {
-                "int" | "integer" | "bigint" => columns.push(ColumnDef::Id(col)),
-                "float" => {
-                    // float[] or float[d]
-                    self.expect(Token::LBracket)?;
-                    let dim = match self.peek() {
-                        Some(Token::Number(_)) => {
-                            let d = self.number()? as usize;
-                            if d == 0 {
-                                return Err(SqlError::Parse("vector dimension must be > 0".into()));
+                // The integer column named "id" is the primary key;
+                // other scalar columns are filterable attributes.
+                "int" | "integer" | "bigint" => {
+                    if col == "id" {
+                        columns.push(ColumnDef::Id(col));
+                    } else {
+                        columns.push(ColumnDef::Attr(col));
+                    }
+                }
+                "float" | "real" | "double" => {
+                    // float[] / float[d] is the vector column; a bare
+                    // float is a scalar attribute.
+                    if matches!(self.peek(), Some(Token::LBracket)) {
+                        self.expect(Token::LBracket)?;
+                        let dim = match self.peek() {
+                            Some(Token::Number(_)) => {
+                                let at = self.offset_here();
+                                let d = self.number()? as usize;
+                                if d == 0 {
+                                    return Err(SqlError::ParseAt {
+                                        message: "vector dimension must be > 0".into(),
+                                        offset: at,
+                                    });
+                                }
+                                Some(d)
                             }
-                            Some(d)
-                        }
-                        _ => None,
-                    };
-                    self.expect(Token::RBracket)?;
-                    columns.push(ColumnDef::Vector(col, dim));
+                            _ => None,
+                        };
+                        self.expect(Token::RBracket)?;
+                        columns.push(ColumnDef::Vector(col, dim));
+                    } else {
+                        columns.push(ColumnDef::Attr(col));
+                    }
                 }
                 other => {
-                    return Err(SqlError::Parse(format!("unsupported column type {other:?}")))
+                    return Err(SqlError::ParseAt {
+                        message: format!("unsupported column type {other:?}"),
+                        offset: ty_at,
+                    })
                 }
             }
             match self.next()? {
                 Token::Comma => continue,
                 Token::RParen => break,
                 other => {
-                    return Err(SqlError::Parse(format!("expected ',' or ')', found {other:?}")))
+                    return Err(self.error_here(format!("expected ',' or ')', found {other:?}")))
                 }
             }
         }
@@ -163,9 +226,12 @@ impl Parser {
         self.expect_ident("on")?;
         let table = self.ident()?;
         self.expect_ident("using")?;
+        let am_at = self.offset_here();
         let am = self.ident()?;
-        let kind = IndexKind::from_name(&am)
-            .ok_or_else(|| SqlError::Parse(format!("unknown access method {am:?}")))?;
+        let kind = IndexKind::from_name(&am).ok_or_else(|| SqlError::ParseAt {
+            message: format!("unknown access method {am:?}"),
+            offset: am_at,
+        })?;
         self.expect(Token::LParen)?;
         let column = self.ident()?;
         self.expect(Token::RParen)?;
@@ -182,14 +248,20 @@ impl Parser {
                     Token::Comma => continue,
                     Token::RParen => break,
                     other => {
-                        return Err(SqlError::Parse(format!(
+                        return Err(self.error_here(format!(
                             "expected ',' or ')' in WITH options, found {other:?}"
                         )))
                     }
                 }
             }
         }
-        Ok(Statement::CreateIndex { name, table, kind, column, options })
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            kind,
+            column,
+            options,
+        })
     }
 
     fn insert(&mut self) -> Result<Statement> {
@@ -202,20 +274,38 @@ impl Parser {
             self.expect(Token::LParen)?;
             let id = self.number()? as i64;
             self.expect(Token::Comma)?;
-            let vec_text = match self.next()? {
-                Token::StringLit(s) => s,
-                other => {
-                    return Err(SqlError::Parse(format!(
-                        "expected vector string literal, found {other:?}"
-                    )))
+            // Zero or more scalar attribute values, then the vector
+            // string literal.
+            let mut attrs = Vec::new();
+            let vector = loop {
+                match self.peek() {
+                    Some(Token::Number(_)) => {
+                        attrs.push(self.number()?);
+                        self.expect(Token::Comma)?;
+                    }
+                    Some(Token::StringLit(_)) => {
+                        let at = self.offset_here();
+                        let Token::StringLit(s) = self.next()? else {
+                            unreachable!()
+                        };
+                        let vector = parse_vector_text(&s)?;
+                        if vector.is_empty() {
+                            return Err(SqlError::ParseAt {
+                                message: "empty vector in INSERT".into(),
+                                offset: at,
+                            });
+                        }
+                        break vector;
+                    }
+                    other => {
+                        return Err(self.error_here(format!(
+                            "expected attribute value or vector string literal, found {other:?}"
+                        )))
+                    }
                 }
             };
-            let vector = parse_vector_text(&vec_text)?;
-            if vector.is_empty() {
-                return Err(SqlError::Parse("empty vector in INSERT".into()));
-            }
             self.expect(Token::RParen)?;
-            rows.push((id, vector));
+            rows.push((id, attrs, vector));
             if matches!(self.peek(), Some(Token::Comma)) {
                 self.pos += 1;
                 continue;
@@ -232,9 +322,7 @@ impl Parser {
             match self.next()? {
                 Token::Star => columns.push("*".to_string()),
                 Token::Ident(w) => columns.push(w),
-                other => {
-                    return Err(SqlError::Parse(format!("expected column, found {other:?}")))
-                }
+                other => return Err(self.error_here(format!("expected column, found {other:?}"))),
             }
             if matches!(self.peek(), Some(Token::Comma)) {
                 self.pos += 1;
@@ -245,60 +333,148 @@ impl Parser {
         self.expect_ident("from")?;
         let table = self.ident()?;
 
-        let mut where_id = None;
+        let mut where_clause = None;
         if self.eat_ident("where") {
-            let col = self.ident()?;
-            if col != "id" {
-                return Err(SqlError::Parse("only WHERE id = <n> is supported".into()));
-            }
-            self.expect(Token::Equals)?;
-            where_id = Some(self.number()? as i64);
+            where_clause = Some(self.predicate()?);
         }
 
         let mut order_by = None;
         if self.eat_ident("order") {
             self.expect_ident("by")?;
             let column = self.ident()?;
+            let op_at = self.offset_here();
             let operator = match self.next()? {
                 Token::VectorOp(op) => op,
                 other => {
-                    return Err(SqlError::Parse(format!(
-                        "expected vector operator, found {other:?}"
-                    )))
+                    return Err(SqlError::ParseAt {
+                        message: format!("expected vector operator, found {other:?}"),
+                        offset: op_at,
+                    })
                 }
             };
             let literal = match self.next()? {
                 Token::StringLit(s) => s,
                 other => {
-                    return Err(SqlError::Parse(format!(
-                        "expected query literal, found {other:?}"
-                    )))
+                    return Err(self.error_here(format!("expected query literal, found {other:?}")))
                 }
             };
             let mut pase_cast = false;
             if matches!(self.peek(), Some(Token::DoubleColon)) {
                 self.pos += 1;
+                let ty_at = self.offset_here();
                 let ty = self.ident()?;
                 if ty != "pase" {
-                    return Err(SqlError::Parse(format!("unknown cast target {ty:?}")));
+                    return Err(SqlError::ParseAt {
+                        message: format!("unknown cast target {ty:?}"),
+                        offset: ty_at,
+                    });
                 }
                 pase_cast = true;
             }
             // Optional ASC (descending vector search is not meaningful).
             self.eat_ident("asc");
-            order_by = Some(VectorOrderBy { column, operator, literal, pase_cast });
+            order_by = Some(VectorOrderBy {
+                column,
+                operator,
+                literal,
+                pase_cast,
+            });
         }
 
         let mut limit = None;
         if self.eat_ident("limit") {
+            let at = self.offset_here();
             let n = self.number()?;
             if n < 1.0 {
-                return Err(SqlError::Parse("LIMIT must be at least 1".into()));
+                return Err(SqlError::ParseAt {
+                    message: "LIMIT must be at least 1".into(),
+                    offset: at,
+                });
             }
             limit = Some(n as usize);
         }
 
-        Ok(Statement::Select { columns, table, where_id, order_by, limit })
+        Ok(Statement::Select {
+            columns,
+            table,
+            where_clause,
+            order_by,
+            limit,
+        })
+    }
+
+    /// `pred := and_term (OR and_term)*`
+    fn predicate(&mut self) -> Result<Predicate> {
+        let mut left = self.and_term()?;
+        while self.eat_ident("or") {
+            let right = self.and_term()?;
+            left = Predicate::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// `and_term := not_term (AND not_term)*`
+    fn and_term(&mut self) -> Result<Predicate> {
+        let mut left = self.not_term()?;
+        while self.eat_ident("and") {
+            let right = self.not_term()?;
+            left = Predicate::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// `not_term := NOT not_term | primary`
+    fn not_term(&mut self) -> Result<Predicate> {
+        if self.eat_ident("not") {
+            return Ok(Predicate::Not(Box::new(self.not_term()?)));
+        }
+        self.primary_predicate()
+    }
+
+    /// `primary := '(' pred ')' | col <cmp> number
+    ///           | col IN '(' number (',' number)* ')'
+    ///           | col BETWEEN number AND number`
+    fn primary_predicate(&mut self) -> Result<Predicate> {
+        if matches!(self.peek(), Some(Token::LParen)) {
+            self.pos += 1;
+            let inner = self.predicate()?;
+            self.expect(Token::RParen)?;
+            return Ok(inner);
+        }
+        let column = self.ident()?;
+        if self.eat_ident("in") {
+            self.expect(Token::LParen)?;
+            let mut values = vec![self.number()?];
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                values.push(self.number()?);
+            }
+            self.expect(Token::RParen)?;
+            return Ok(Predicate::In { column, values });
+        }
+        if self.eat_ident("between") {
+            let lo = self.number()?;
+            self.expect_ident("and")?;
+            let hi = self.number()?;
+            return Ok(Predicate::Between { column, lo, hi });
+        }
+        let op_at = self.offset_here();
+        let op = match self.next()? {
+            Token::Equals => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            other => {
+                return Err(SqlError::ParseAt {
+                    message: format!("expected comparison operator, found {other:?}"),
+                    offset: op_at,
+                })
+            }
+        };
+        let value = self.number()?;
+        Ok(Predicate::Cmp { column, op, value })
     }
 
     fn delete(&mut self) -> Result<Statement> {
@@ -306,9 +482,13 @@ impl Parser {
         self.expect_ident("from")?;
         let table = self.ident()?;
         self.expect_ident("where")?;
+        let col_at = self.offset_here();
         let col = self.ident()?;
         if col != "id" {
-            return Err(SqlError::Parse("only DELETE ... WHERE id = <n> is supported".into()));
+            return Err(SqlError::ParseAt {
+                message: "only DELETE ... WHERE id = <n> is supported".into(),
+                offset: col_at,
+            });
         }
         self.expect(Token::Equals)?;
         let id = self.number()? as i64;
@@ -323,9 +503,13 @@ impl Parser {
 
     fn drop(&mut self) -> Result<Statement> {
         self.expect_ident("drop")?;
+        let what_at = self.offset_here();
         let what = self.ident()?;
         if what != "table" && what != "index" {
-            return Err(SqlError::Parse("expected DROP TABLE or DROP INDEX".into()));
+            return Err(SqlError::ParseAt {
+                message: "expected DROP TABLE or DROP INDEX".into(),
+                offset: what_at,
+            });
         }
         let name = self.ident()?;
         Ok(Statement::Drop { what, name })
@@ -352,6 +536,24 @@ mod tests {
     }
 
     #[test]
+    fn parses_create_table_with_attrs() {
+        let stmt =
+            parse("CREATE TABLE t (id int, price float, category int, vec float[4])").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CreateTable {
+                name: "t".into(),
+                columns: vec![
+                    ColumnDef::Id("id".into()),
+                    ColumnDef::Attr("price".into()),
+                    ColumnDef::Attr("category".into()),
+                    ColumnDef::Vector("vec".into(), Some(4)),
+                ],
+            }
+        );
+    }
+
+    #[test]
     fn parses_unsized_vector_column() {
         let stmt = parse("CREATE TABLE t (id int, vec float[])").unwrap();
         match stmt {
@@ -370,7 +572,13 @@ mod tests {
         )
         .unwrap();
         match stmt {
-            Statement::CreateIndex { name, table, kind, column, options } => {
+            Statement::CreateIndex {
+                name,
+                table,
+                kind,
+                column,
+                options,
+            } => {
                 assert_eq!(name, "ivfflat_idx");
                 assert_eq!(table, "t");
                 assert_eq!(kind, IndexKind::IvfFlat);
@@ -385,13 +593,24 @@ mod tests {
 
     #[test]
     fn parses_insert_multi_row() {
-        let stmt =
-            parse("INSERT INTO t VALUES (1, '{1,2}'), (2, '3,4')").unwrap();
+        let stmt = parse("INSERT INTO t VALUES (1, '{1,2}'), (2, '3,4')").unwrap();
         assert_eq!(
             stmt,
             Statement::Insert {
                 table: "t".into(),
-                rows: vec![(1, vec![1.0, 2.0]), (2, vec![3.0, 4.0])],
+                rows: vec![(1, vec![], vec![1.0, 2.0]), (2, vec![], vec![3.0, 4.0]),],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_insert_with_attrs() {
+        let stmt = parse("INSERT INTO t VALUES (7, 9.5, 2, '{1,2}')").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Insert {
+                table: "t".into(),
+                rows: vec![(7, vec![9.5, 2.0], vec![1.0, 2.0])],
             }
         );
     }
@@ -399,12 +618,16 @@ mod tests {
     #[test]
     fn parses_paper_select() {
         // Exactly the paper's §II-E example query shape.
-        let stmt = parse(
-            "SELECT id FROM T ORDER BY vec <#> '0.1,0.2,0.3'::PASE ASC LIMIT 10;",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT id FROM T ORDER BY vec <#> '0.1,0.2,0.3'::PASE ASC LIMIT 10;").unwrap();
         match stmt {
-            Statement::Select { columns, table, order_by, limit, .. } => {
+            Statement::Select {
+                columns,
+                table,
+                order_by,
+                limit,
+                ..
+            } => {
                 assert_eq!(columns, vec!["id"]);
                 assert_eq!(table, "t");
                 let ob = order_by.unwrap();
@@ -420,8 +643,12 @@ mod tests {
     fn parses_point_lookup() {
         let stmt = parse("SELECT id, vec FROM t WHERE id = 7").unwrap();
         match stmt {
-            Statement::Select { where_id, order_by, .. } => {
-                assert_eq!(where_id, Some(7));
+            Statement::Select {
+                where_clause,
+                order_by,
+                ..
+            } => {
+                assert_eq!(where_clause.unwrap().as_id_equality(), Some(7));
                 assert!(order_by.is_none());
             }
             other => panic!("wrong statement {other:?}"),
@@ -429,10 +656,83 @@ mod tests {
     }
 
     #[test]
+    fn parses_hybrid_select_predicate() {
+        let stmt = parse(
+            "SELECT id FROM t WHERE price < 100 AND category IN (2, 7) \
+             ORDER BY vec <-> '1,2' LIMIT 5",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select {
+                where_clause,
+                order_by,
+                limit,
+                ..
+            } => {
+                let pred = where_clause.unwrap();
+                assert_eq!(pred.columns(), vec!["price", "category"]);
+                assert!(matches!(pred, Predicate::And(_, _)));
+                assert!(order_by.is_some());
+                assert_eq!(limit, Some(5));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predicate_precedence_and_parens() {
+        // a < 1 OR b > 2 AND c = 3  parses as  a < 1 OR (b > 2 AND c = 3)
+        let stmt = parse("SELECT id FROM t WHERE a < 1 OR b > 2 AND c = 3").unwrap();
+        let Statement::Select {
+            where_clause: Some(Predicate::Or(l, r)),
+            ..
+        } = stmt
+        else {
+            panic!("expected top-level OR");
+        };
+        assert!(matches!(*l, Predicate::Cmp { .. }));
+        assert!(matches!(*r, Predicate::And(_, _)));
+
+        // Parens override: (a < 1 OR b > 2) AND c = 3
+        let stmt = parse("SELECT id FROM t WHERE (a < 1 OR b > 2) AND c = 3").unwrap();
+        let Statement::Select {
+            where_clause: Some(Predicate::And(l, _)),
+            ..
+        } = stmt
+        else {
+            panic!("expected top-level AND");
+        };
+        assert!(matches!(*l, Predicate::Or(_, _)));
+    }
+
+    #[test]
+    fn parses_not_and_between() {
+        let stmt = parse("SELECT id FROM t WHERE NOT price BETWEEN 5 AND 10").unwrap();
+        let Statement::Select {
+            where_clause: Some(Predicate::Not(inner)),
+            ..
+        } = stmt
+        else {
+            panic!("expected NOT");
+        };
+        assert_eq!(
+            *inner,
+            Predicate::Between {
+                column: "price".into(),
+                lo: 5.0,
+                hi: 10.0
+            }
+        );
+    }
+
+    #[test]
     fn parses_drop() {
         assert_eq!(
             parse("DROP INDEX foo").unwrap(),
-            Statement::Drop { what: "index".into(), name: "foo".into() }
+            Statement::Drop {
+                what: "index".into(),
+                name: "foo".into()
+            }
         );
     }
 
@@ -440,7 +740,10 @@ mod tests {
     fn parses_delete() {
         assert_eq!(
             parse("DELETE FROM t WHERE id = 9").unwrap(),
-            Statement::Delete { table: "t".into(), id: 9 }
+            Statement::Delete {
+                table: "t".into(),
+                id: 9
+            }
         );
     }
 
@@ -476,7 +779,26 @@ mod tests {
     }
 
     #[test]
-    fn rejects_where_on_other_columns() {
-        assert!(parse("SELECT id FROM t WHERE vec = 3").is_err());
+    fn parse_errors_carry_byte_offsets() {
+        // The bad LIMIT value sits at byte 22.
+        let err = parse("SELECT id FROM t LIMIT 0").unwrap_err();
+        assert_eq!(err.offset(), Some(23));
+
+        // Missing comparison operator: error points at the dangling end.
+        let sql = "SELECT id FROM t WHERE price";
+        let err = parse(sql).unwrap_err();
+        assert_eq!(err.offset(), Some(sql.len()));
+
+        // Unknown access method points at its name.
+        let err = parse("CREATE INDEX i ON t USING btree(vec)").unwrap_err();
+        assert_eq!(err.offset(), Some(26));
+    }
+
+    #[test]
+    fn malformed_predicate_points_at_operator() {
+        let sql = "SELECT id FROM t WHERE price ** 3";
+        //                                  byte 29 ^
+        let err = parse(sql).unwrap_err();
+        assert_eq!(err.offset(), Some(29));
     }
 }

@@ -34,11 +34,33 @@ proptest! {
                 Just("ivfflat"), Just("( "), Just(")"), Just(","), Just("="),
                 Just("<->"), Just("'1,2'"), Just("42"), Just("float"),
                 Just("["), Just("]"), Just("::"), Just("pase"), Just(";"),
+                Just("and"), Just("or"), Just("not"), Just("in"),
+                Just("between"), Just("<"), Just("<="), Just(">"),
+                Just(">="), Just("<>"), Just("!="), Just("price"),
             ],
             0..25,
         )
     ) {
         let sql = words.join(" ");
+        let _ = parse(&sql);
+    }
+
+    /// Predicate grammar soup: WHERE-clause shaped fragments never
+    /// panic the parser.
+    #[test]
+    fn predicate_soup_never_panics(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("a"), Just("b"), Just("id"), Just("price"),
+                Just("and"), Just("or"), Just("not"), Just("in"),
+                Just("between"), Just("("), Just(")"), Just(","),
+                Just("="), Just("<"), Just("<="), Just(">"), Just(">="),
+                Just("<>"), Just("!="), Just("1"), Just("2.5"), Just("-3"),
+            ],
+            0..20,
+        )
+    ) {
+        let sql = format!("SELECT id FROM t WHERE {}", words.join(" "));
         let _ = parse(&sql);
     }
 
@@ -70,7 +92,8 @@ proptest! {
         match stmt {
             vdb_sql::Statement::Insert { rows, .. } => {
                 prop_assert_eq!(rows[0].0, id);
-                prop_assert_eq!(&rows[0].1, &v);
+                prop_assert!(rows[0].1.is_empty());
+                prop_assert_eq!(&rows[0].2, &v);
             }
             other => prop_assert!(false, "wrong statement {other:?}"),
         }

@@ -68,14 +68,25 @@ impl BufferManager {
     pub fn new(disk: Arc<DiskManager>, capacity_pages: usize) -> BufferManager {
         assert!(capacity_pages > 0, "buffer pool needs at least one frame");
         let page_size = disk.page_size();
-        let frames = (0..capacity_pages).map(|_| RwLock::new(Page::new(page_size))).collect();
+        let frames = (0..capacity_pages)
+            .map(|_| RwLock::new(Page::new(page_size)))
+            .collect();
         let meta = (0..capacity_pages)
-            .map(|_| FrameMeta { tag: None, pin_count: 0, usage_count: 0, dirty: false })
+            .map(|_| FrameMeta {
+                tag: None,
+                pin_count: 0,
+                usage_count: 0,
+                dirty: false,
+            })
             .collect();
         BufferManager {
             disk,
             frames,
-            inner: Mutex::new(PoolInner { map: HashMap::new(), meta, hand: 0 }),
+            inner: Mutex::new(PoolInner {
+                map: HashMap::new(),
+                meta,
+                hand: 0,
+            }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -211,8 +222,12 @@ impl BufferManager {
         let bytes = self.disk.read_block(rel, block)?;
         *self.frames[idx].write() = Page::from_bytes(bytes);
         inner.map.insert((rel, block), idx);
-        inner.meta[idx] =
-            FrameMeta { tag: Some((rel, block)), pin_count: 1, usage_count: 1, dirty: false };
+        inner.meta[idx] = FrameMeta {
+            tag: Some((rel, block)),
+            pin_count: 1,
+            usage_count: 1,
+            dirty: false,
+        };
         Ok(idx)
     }
 
@@ -265,7 +280,9 @@ mod tests {
             .unwrap();
         assert_eq!(blk, 0);
         assert_eq!(off, 1);
-        let data = bm.with_page(rel, 0, |p| p.item(1).unwrap().to_vec()).unwrap();
+        let data = bm
+            .with_page(rel, 0, |p| p.item(1).unwrap().to_vec())
+            .unwrap();
         assert_eq!(data, b"tuple-zero");
     }
 
@@ -293,8 +310,9 @@ mod tests {
         }
         // All five pages must read back correctly despite evictions.
         for i in 0u8..5 {
-            let val =
-                bm.with_page(rel, i as u32, |p| p.item(1).unwrap()[0]).unwrap();
+            let val = bm
+                .with_page(rel, i as u32, |p| p.item(1).unwrap()[0])
+                .unwrap();
             assert_eq!(val, i);
         }
         assert!(bm.stats().evictions > 0);

@@ -14,8 +14,18 @@ pub struct RelationInfo {
     pub rel: RelId,
     /// For vector tables/indexes: the vector column's dimensionality.
     pub dim: usize,
+    /// Scalar attribute column names, in tuple-layout order (between the
+    /// id and the vector payload; see [`crate::tuple`]).
+    pub attrs: Vec<String>,
     /// Index relations remember which table they index.
     pub indexed_table: Option<String>,
+}
+
+impl RelationInfo {
+    /// Number of scalar attribute columns.
+    pub fn nattrs(&self) -> usize {
+        self.attrs.len()
+    }
 }
 
 /// Name → relation mapping shared by the SQL layer and the engines.
@@ -84,6 +94,7 @@ mod tests {
             name: name.to_string(),
             rel: RelId(rel),
             dim: 4,
+            attrs: vec!["price".to_string()],
             indexed_table: table.map(String::from),
         }
     }
@@ -99,7 +110,10 @@ mod tests {
     #[test]
     fn unknown_relation_errors() {
         let c = Catalog::new();
-        assert!(matches!(c.get("nope"), Err(StorageError::UnknownRelation(_))));
+        assert!(matches!(
+            c.get("nope"),
+            Err(StorageError::UnknownRelation(_))
+        ));
     }
 
     #[test]
@@ -120,6 +134,15 @@ mod tests {
         let idx = c.indexes_of("t");
         assert_eq!(idx.len(), 2);
         assert_eq!(idx[0].name, "idx_a");
+    }
+
+    #[test]
+    fn attr_schema_is_remembered() {
+        let c = Catalog::new();
+        c.register(info("t", 1, None));
+        let got = c.get("t").unwrap();
+        assert_eq!(got.nattrs(), 1);
+        assert_eq!(got.attrs, vec!["price".to_string()]);
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub struct DiskManager {
 impl DiskManager {
     /// A fresh disk with the given page size.
     pub fn new(page_size: PageSize) -> DiskManager {
-        DiskManager { page_size, inner: RwLock::new(DiskInner::default()) }
+        DiskManager {
+            page_size,
+            inner: RwLock::new(DiskInner::default()),
+        }
     }
 
     /// The page size every relation uses.
@@ -48,7 +51,11 @@ impl DiskManager {
 
     /// Number of blocks in a relation.
     pub fn nblocks(&self, rel: RelId) -> usize {
-        self.inner.read().relations.get(rel.0 as usize).map_or(0, |r| r.len())
+        self.inner
+            .read()
+            .relations
+            .get(rel.0 as usize)
+            .map_or(0, |r| r.len())
     }
 
     /// Append a zeroed block; returns its block number.

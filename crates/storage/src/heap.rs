@@ -25,12 +25,18 @@ pub struct HeapTable {
 impl HeapTable {
     /// Create a new empty heap relation on the buffer manager's disk.
     pub fn create(bm: &BufferManager) -> HeapTable {
-        HeapTable { rel: bm.disk().create_relation(), last_block: Mutex::new(None) }
+        HeapTable {
+            rel: bm.disk().create_relation(),
+            last_block: Mutex::new(None),
+        }
     }
 
     /// Wrap an existing relation.
     pub fn open(rel: RelId) -> HeapTable {
-        HeapTable { rel, last_block: Mutex::new(None) }
+        HeapTable {
+            rel,
+            last_block: Mutex::new(None),
+        }
     }
 
     /// The underlying relation id.
@@ -45,7 +51,10 @@ impl HeapTable {
     pub fn insert(&self, bm: &BufferManager, tuple: &[u8]) -> Result<Tid> {
         let max = Page::max_item_size(bm.page_size(), 0);
         if tuple.len() > max {
-            return Err(StorageError::TupleTooLarge { need: tuple.len(), available: max });
+            return Err(StorageError::TupleTooLarge {
+                need: tuple.len(),
+                available: max,
+            });
         }
 
         // Fast path: try the last block we inserted into.
@@ -58,7 +67,8 @@ impl HeapTable {
 
         // Slow path: fresh page.
         let (blk, off) = bm.new_page(self.rel, 0, |p| {
-            p.add_item(tuple).expect("fresh page must fit a checked tuple")
+            p.add_item(tuple)
+                .expect("fresh page must fit a checked tuple")
         })?;
         *self.last_block.lock() = Some(blk);
         Ok(Tid::new(blk, off))
@@ -70,12 +80,7 @@ impl HeapTable {
     /// timed under [`Category::TupleAccess`] by the buffer manager; the
     /// closure's own work is not, so distance computation done on the
     /// tuple stays separately attributable.
-    pub fn fetch<R>(
-        &self,
-        bm: &BufferManager,
-        tid: Tid,
-        f: impl FnOnce(&[f32]) -> R,
-    ) -> Result<R>
+    pub fn fetch<R>(&self, bm: &BufferManager, tid: Tid, f: impl FnOnce(&[f32]) -> R) -> Result<R>
     where
         R: Sized,
     {
@@ -96,7 +101,9 @@ impl HeapTable {
     ) -> Result<R> {
         profile::count(Category::TupleAccess, 1);
         bm.with_page(self.rel, tid.block, |p| {
-            p.item(tid.offset).map(f).ok_or(StorageError::InvalidTid(tid))
+            p.item(tid.offset)
+                .map(f)
+                .ok_or(StorageError::InvalidTid(tid))
         })?
     }
 
@@ -140,7 +147,11 @@ pub fn bytemuck_f32(bytes: &[u8]) -> &[f32] {
     // Tuples are written from &[f32] via `as_bytes_f32`, and page item
     // space has no alignment guarantee, so check before casting.
     let ptr = bytes.as_ptr();
-    assert_eq!(ptr.align_offset(std::mem::align_of::<f32>()), 0, "unaligned f32 tuple");
+    assert_eq!(
+        ptr.align_offset(std::mem::align_of::<f32>()),
+        0,
+        "unaligned f32 tuple"
+    );
     unsafe { std::slice::from_raw_parts(ptr.cast::<f32>(), bytes.len() / 4) }
 }
 
@@ -214,7 +225,8 @@ mod tests {
         t.delete(&bm, expected[5].0).unwrap();
         expected.remove(5);
         let mut seen = Vec::new();
-        t.scan(&bm, |tid, bytes| seen.push((tid, bytemuck_f32(bytes)[0]))).unwrap();
+        t.scan(&bm, |tid, bytes| seen.push((tid, bytemuck_f32(bytes)[0])))
+            .unwrap();
         assert_eq!(seen, expected);
     }
 

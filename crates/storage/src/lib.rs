@@ -31,6 +31,7 @@ pub mod disk;
 pub mod heap;
 pub mod page;
 pub mod tid;
+pub mod tuple;
 
 pub use buffer::{BufferManager, BufferStats};
 pub use catalog::{Catalog, RelationInfo};
@@ -68,7 +69,10 @@ impl fmt::Display for StorageError {
                 write!(f, "buffer pool exhausted: all pages pinned")
             }
             StorageError::TupleTooLarge { need, available } => {
-                write!(f, "tuple of {need} bytes exceeds empty-page capacity {available}")
+                write!(
+                    f,
+                    "tuple of {need} bytes exceeds empty-page capacity {available}"
+                )
             }
             StorageError::InvalidTid(tid) => write!(f, "invalid tuple id {tid:?}"),
             StorageError::InvalidBlock(b) => write!(f, "invalid block number {b}"),

@@ -188,7 +188,8 @@ impl Page {
 
     /// Mutably borrow tuple `offno`.
     pub fn item_mut(&mut self, offno: u16) -> Option<&mut [u8]> {
-        self.lp(offno).map(|(off, len)| &mut self.buf[off..off + len])
+        self.lp(offno)
+            .map(|(off, len)| &mut self.buf[off..off + len])
     }
 
     /// Mark tuple `offno` dead. Its space is reclaimed by [`compact`]
@@ -314,12 +315,17 @@ mod tests {
         p.special_mut().copy_from_slice(&[7u8; 32]);
         p.add_item(&[1u8; 100]).unwrap();
         assert_eq!(p.special(), &[7u8; 32]);
-        assert_eq!(Page::max_item_size(PageSize::Size8K, 32), 8192 - 16 - 4 - 32 - 4);
+        assert_eq!(
+            Page::max_item_size(PageSize::Size8K, 32),
+            8192 - 16 - 4 - 32 - 4
+        );
         // A max-size tuple actually fits a fresh page.
         let mut q = Page::new(PageSize::Size4K);
         let max = Page::max_item_size(PageSize::Size4K, 0);
         assert!(q.add_item(&vec![0u8; max]).is_some());
-        assert!(Page::new(PageSize::Size4K).add_item(&vec![0u8; max + 1]).is_none());
+        assert!(Page::new(PageSize::Size4K)
+            .add_item(&vec![0u8; max + 1])
+            .is_none());
     }
 
     #[test]

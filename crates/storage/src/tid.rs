@@ -20,7 +20,10 @@ pub struct Tid {
 
 impl Tid {
     /// An invalid sentinel TID.
-    pub const INVALID: Tid = Tid { block: u32::MAX, offset: 0 };
+    pub const INVALID: Tid = Tid {
+        block: u32::MAX,
+        offset: 0,
+    };
 
     /// Create a TID.
     pub fn new(block: u32, offset: u16) -> Self {
@@ -39,7 +42,10 @@ impl Tid {
 
     /// Reverse of [`pack`](Tid::pack).
     pub fn unpack(raw: u64) -> Tid {
-        Tid { block: (raw >> 16) as u32, offset: (raw & 0xFFFF) as u16 }
+        Tid {
+            block: (raw >> 16) as u32,
+            offset: (raw & 0xFFFF) as u16,
+        }
     }
 }
 
@@ -57,7 +63,11 @@ mod tests {
 
     #[test]
     fn pack_round_trip_examples() {
-        for tid in [Tid::new(0, 1), Tid::new(42, 7), Tid::new(u32::MAX - 1, u16::MAX)] {
+        for tid in [
+            Tid::new(0, 1),
+            Tid::new(42, 7),
+            Tid::new(u32::MAX - 1, u16::MAX),
+        ] {
             assert_eq!(Tid::unpack(tid.pack()), tid);
         }
     }

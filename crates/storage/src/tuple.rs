@@ -1,0 +1,126 @@
+//! Typed heap-tuple codec for vector tables with scalar attributes.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! [ id: i64 ][ attr 0: f64 ] … [ attr n-1: f64 ][ vec: f32 × dim ]
+//! ```
+//!
+//! The fixed-width scalar prefix is `8 + 8·nattrs` bytes, so the vector
+//! payload stays 4-byte aligned whenever the tuple start is (page item
+//! space is 4-aligned), and [`vector_slice`] can hand out a borrowed
+//! `&[f32]` without copying. Attribute values are read with
+//! `f64::from_le_bytes` copies instead of casts because 8-alignment is
+//! *not* guaranteed.
+//!
+//! Scalar attributes are uniformly `f64`: SQL `int` attribute columns
+//! are stored as f64 too (exact up to 2^53), which keeps the predicate
+//! evaluation path in `vdb-filter` monomorphic.
+
+use crate::heap::{as_bytes_f32, bytemuck_f32};
+
+/// Byte length of the scalar prefix (`id` + `nattrs` attributes).
+#[inline]
+pub fn scalar_prefix_len(nattrs: usize) -> usize {
+    8 + 8 * nattrs
+}
+
+/// Encode a tuple: `id`, `attrs` scalar columns, then the vector.
+pub fn encode_tuple(id: i64, attrs: &[f64], vec: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(scalar_prefix_len(attrs.len()) + vec.len() * 4);
+    out.extend_from_slice(&id.to_le_bytes());
+    for a in attrs {
+        out.extend_from_slice(&a.to_le_bytes());
+    }
+    out.extend_from_slice(as_bytes_f32(vec));
+    out
+}
+
+/// Read the tuple's row id.
+///
+/// # Panics
+/// Panics if `bytes` is shorter than 8 bytes.
+#[inline]
+pub fn decode_id(bytes: &[u8]) -> i64 {
+    i64::from_le_bytes(bytes[..8].try_into().expect("tuple shorter than id"))
+}
+
+/// Read attribute `i` (0-based).
+///
+/// # Panics
+/// Panics if the tuple has no attribute `i`.
+#[inline]
+pub fn decode_attr(bytes: &[u8], i: usize) -> f64 {
+    let off = 8 + 8 * i;
+    f64::from_le_bytes(
+        bytes[off..off + 8]
+            .try_into()
+            .expect("tuple shorter than attr"),
+    )
+}
+
+/// Read all `nattrs` attributes into `out` (cleared first).
+pub fn decode_attrs_into(bytes: &[u8], nattrs: usize, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend((0..nattrs).map(|i| decode_attr(bytes, i)));
+}
+
+/// Read all `nattrs` attributes.
+pub fn decode_attrs(bytes: &[u8], nattrs: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(nattrs);
+    decode_attrs_into(bytes, nattrs, &mut out);
+    out
+}
+
+/// Borrow the vector payload of a tuple with `nattrs` attributes.
+///
+/// # Panics
+/// Panics if the remaining payload is not a 4-aligned f32 array (it
+/// always is for tuples produced by [`encode_tuple`] stored in page
+/// item space).
+#[inline]
+pub fn vector_slice(bytes: &[u8], nattrs: usize) -> &[f32] {
+    bytemuck_f32(&bytes[scalar_prefix_len(nattrs)..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_with_attrs() {
+        let vec = [1.5f32, -2.0, 0.25];
+        let t = encode_tuple(42, &[3.0, -7.5], &vec);
+        assert_eq!(t.len(), scalar_prefix_len(2) + 12);
+        assert_eq!(decode_id(&t), 42);
+        assert_eq!(decode_attr(&t, 0), 3.0);
+        assert_eq!(decode_attr(&t, 1), -7.5);
+        assert_eq!(decode_attrs(&t, 2), vec![3.0, -7.5]);
+        assert_eq!(vector_slice(&t, 2), &vec);
+    }
+
+    #[test]
+    fn zero_attrs_matches_legacy_layout() {
+        // [id i64][vec f32…] — the pre-attribute tuple format.
+        let t = encode_tuple(-9, &[], &[4.0, 5.0]);
+        assert_eq!(scalar_prefix_len(0), 8);
+        assert_eq!(decode_id(&t), -9);
+        assert!(decode_attrs(&t, 0).is_empty());
+        assert_eq!(vector_slice(&t, 0), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn integer_attrs_survive_f64_storage() {
+        let t = encode_tuple(1, &[1234567.0, -1.0], &[]);
+        assert_eq!(decode_attr(&t, 0) as i64, 1234567);
+        assert_eq!(decode_attr(&t, 1) as i64, -1);
+    }
+
+    #[test]
+    fn decode_attrs_into_reuses_buffer() {
+        let t = encode_tuple(1, &[2.0], &[0.0]);
+        let mut buf = vec![9.9; 8];
+        decode_attrs_into(&t, 1, &mut buf);
+        assert_eq!(buf, vec![2.0]);
+    }
+}

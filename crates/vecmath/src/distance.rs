@@ -174,7 +174,10 @@ mod tests {
             let y: Vec<f32> = (0..len).map(|i| (i as f32 * 0.2).cos()).collect();
             let fast = l2_sqr_unrolled(&x, &y);
             let slow = l2_sqr_ref(&x, &y);
-            assert!((fast - slow).abs() < 1e-3 * (1.0 + slow), "len={len}: {fast} vs {slow}");
+            assert!(
+                (fast - slow).abs() < 1e-3 * (1.0 + slow),
+                "len={len}: {fast} vs {slow}"
+            );
         }
     }
 

@@ -132,7 +132,10 @@ impl KHeap {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        KHeap { k, heap: BinaryHeap::with_capacity(k + 1) }
+        KHeap {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Current worst distance among the kept entries, or `f32::INFINITY`
@@ -212,13 +215,17 @@ impl NHeap {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        NHeap { k, heap: BinaryHeap::new() }
+        NHeap {
+            k,
+            heap: BinaryHeap::new(),
+        }
     }
 
     /// Insert a candidate (never rejected — that is the point).
     #[inline]
     pub fn push(&mut self, id: u64, distance: f32) {
-        self.heap.push(std::cmp::Reverse(Neighbor::new(id, distance)));
+        self.heap
+            .push(std::cmp::Reverse(Neighbor::new(id, distance)));
     }
 
     /// Number of entries currently held (grows with n, not k).
@@ -356,8 +363,9 @@ mod tests {
 
     #[test]
     fn strategies_agree_on_results() {
-        let pairs: Vec<(u64, f32)> =
-            (0..500).map(|i| (i as u64, ((i * 7919) % 503) as f32)).collect();
+        let pairs: Vec<(u64, f32)> = (0..500)
+            .map(|i| (i as u64, ((i * 7919) % 503) as f32))
+            .collect();
         for k in [1usize, 10, 100] {
             let mut a = TopKStrategy::SizeK.collector(k);
             let mut b = TopKStrategy::SizeN.collector(k);

@@ -51,7 +51,12 @@ pub struct KmeansParams {
 
 impl Default for KmeansParams {
     fn default() -> Self {
-        KmeansParams { k: 16, iters: 10, seed: 0, gemm: GemmKernel::Blas }
+        KmeansParams {
+            k: 16,
+            iters: 10,
+            seed: 0,
+            gemm: GemmKernel::Blas,
+        }
     }
 }
 
@@ -351,7 +356,12 @@ mod tests {
             let km = Kmeans::train(
                 flavor,
                 &data,
-                &KmeansParams { k: 3, iters: 15, seed: 7, gemm: GemmKernel::Blas },
+                &KmeansParams {
+                    k: 3,
+                    iters: 15,
+                    seed: 7,
+                    gemm: GemmKernel::Blas,
+                },
             );
             assert_eq!(km.k(), 3);
             // Mean squared error should be tiny compared to blob spacing.
@@ -362,7 +372,12 @@ mod tests {
     #[test]
     fn flavors_produce_different_centroids() {
         let data = blobs();
-        let p = KmeansParams { k: 5, iters: 5, seed: 3, gemm: GemmKernel::Blas };
+        let p = KmeansParams {
+            k: 5,
+            iters: 5,
+            seed: 3,
+            gemm: GemmKernel::Blas,
+        };
         let a = Kmeans::train(KmeansFlavor::FaissStyle, &data, &p);
         let b = Kmeans::train(KmeansFlavor::PaseStyle, &data, &p);
         assert_ne!(a.centroids().as_flat(), b.centroids().as_flat());
@@ -371,7 +386,12 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let data = blobs();
-        let p = KmeansParams { k: 4, iters: 8, seed: 11, gemm: GemmKernel::Blas };
+        let p = KmeansParams {
+            k: 4,
+            iters: 8,
+            seed: 11,
+            gemm: GemmKernel::Blas,
+        };
         let a = Kmeans::train(KmeansFlavor::FaissStyle, &data, &p);
         let b = Kmeans::train(KmeansFlavor::FaissStyle, &data, &p);
         assert_eq!(a.centroids(), b.centroids());
@@ -383,7 +403,12 @@ mod tests {
         let km = Kmeans::train(
             KmeansFlavor::FaissStyle,
             &data,
-            &KmeansParams { k: 3, iters: 10, seed: 1, gemm: GemmKernel::Blas },
+            &KmeansParams {
+                k: 3,
+                iters: 10,
+                seed: 1,
+                gemm: GemmKernel::Blas,
+            },
         );
         let fast = km.assign_batch(GemmKernel::Blas, &data);
         let slow = km.assign_batch(GemmKernel::Naive, &data);
@@ -400,7 +425,12 @@ mod tests {
         let km = Kmeans::train(
             KmeansFlavor::FaissStyle,
             &data,
-            &KmeansParams { k: 10, iters: 3, seed: 0, gemm: GemmKernel::Blas },
+            &KmeansParams {
+                k: 10,
+                iters: 3,
+                seed: 0,
+                gemm: GemmKernel::Blas,
+            },
         );
         assert_eq!(km.k(), 2);
     }
@@ -411,7 +441,12 @@ mod tests {
         let km = Kmeans::train(
             KmeansFlavor::FaissStyle,
             &data,
-            &KmeansParams { k: 3, iters: 10, seed: 5, gemm: GemmKernel::Blas },
+            &KmeansParams {
+                k: 3,
+                iters: 10,
+                seed: 5,
+                gemm: GemmKernel::Blas,
+            },
         );
         let probes = km.nearest_n(DistanceKernel::Optimized, &[0.0, 0.0], 3);
         assert_eq!(probes.len(), 3);
@@ -430,16 +465,28 @@ mod tests {
             let km = Kmeans::train(
                 flavor,
                 &data,
-                &KmeansParams { k: 4, iters: 5, seed: 0, gemm: GemmKernel::Blas },
+                &KmeansParams {
+                    k: 4,
+                    iters: 5,
+                    seed: 0,
+                    gemm: GemmKernel::Blas,
+                },
             );
             assert_eq!(km.k(), 4);
-            assert!(km.centroids().iter().all(|c| c.iter().all(|x| x.is_finite())));
+            assert!(km
+                .centroids()
+                .iter()
+                .all(|c| c.iter().all(|x| x.is_finite())));
         }
     }
 
     #[test]
     #[should_panic(expected = "empty set")]
     fn empty_training_panics() {
-        Kmeans::train(KmeansFlavor::FaissStyle, &VectorSet::empty(4), &KmeansParams::default());
+        Kmeans::train(
+            KmeansFlavor::FaissStyle,
+            &VectorSet::empty(4),
+            &KmeansParams::default(),
+        );
     }
 }

@@ -117,7 +117,9 @@ mod tests {
         let q = [1.0, 0.0];
         let close = [10.0, 0.0];
         let far = [0.1, 0.0];
-        assert!(Metric::InnerProduct.distance(&q, &close) < Metric::InnerProduct.distance(&q, &far));
+        assert!(
+            Metric::InnerProduct.distance(&q, &close) < Metric::InnerProduct.distance(&q, &far)
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ where
                 s.spawn(move |_| work(lo..hi))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("thread scope failed")
 }
@@ -70,7 +73,10 @@ where
                 s.spawn(move |_| work(slice))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("thread scope failed")
 }
@@ -164,8 +170,9 @@ where
 
     use std::sync::Barrier;
     let barrier = Barrier::new(threads + 1);
-    let slots: Vec<parking_lot::Mutex<Option<R>>> =
-        (0..threads).map(|_| parking_lot::Mutex::new(None)).collect();
+    let slots: Vec<parking_lot::Mutex<Option<R>>> = (0..threads)
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
 
     thread::scope(|s| {
         for t in 0..threads {
@@ -184,8 +191,10 @@ where
         for q in 0..n_rounds {
             barrier.wait();
             barrier.wait();
-            let results: Vec<R> =
-                slots.iter().map(|m| m.lock().take().expect("worker wrote")).collect();
+            let results: Vec<R> = slots
+                .iter()
+                .map(|m| m.lock().take().expect("worker wrote"))
+                .collect();
             reduce(q, results);
         }
     })
@@ -199,13 +208,18 @@ mod round_tests {
     #[test]
     fn rounds_runs_every_pair_once() {
         let mut seen = Vec::new();
-        rounds(5, 3, |q, t| (q, t), |q, results| {
-            assert_eq!(results.len(), 3);
-            for (rq, _) in &results {
-                assert_eq!(*rq, q);
-            }
-            seen.push(q);
-        });
+        rounds(
+            5,
+            3,
+            |q, t| (q, t),
+            |q, results| {
+                assert_eq!(results.len(), 3);
+                for (rq, _) in &results {
+                    assert_eq!(*rq, q);
+                }
+                seen.push(q);
+            },
+        );
         assert_eq!(seen, vec![0, 1, 2, 3, 4]);
     }
 

@@ -21,7 +21,11 @@ pub struct IvfParams {
 
 impl Default for IvfParams {
     fn default() -> Self {
-        IvfParams { clusters: 1000, sample_ratio: 0.01, nprobe: 20 }
+        IvfParams {
+            clusters: 1000,
+            sample_ratio: 0.01,
+            nprobe: 20,
+        }
     }
 }
 
@@ -29,7 +33,10 @@ impl IvfParams {
     /// Scale cluster count to a dataset size: √n, the paper's rule
     /// (1000 for 1M, 3162 for 10M).
     pub fn scaled_to(n: usize) -> IvfParams {
-        IvfParams { clusters: ((n as f64).sqrt().round() as usize).max(1), ..Default::default() }
+        IvfParams {
+            clusters: ((n as f64).sqrt().round() as usize).max(1),
+            ..Default::default()
+        }
     }
 }
 
@@ -61,7 +68,11 @@ pub struct HnswParams {
 
 impl Default for HnswParams {
     fn default() -> Self {
-        HnswParams { bnn: 16, efb: 40, efs: 200 }
+        HnswParams {
+            bnn: 16,
+            efb: 40,
+            efs: 200,
+        }
     }
 }
 
@@ -106,7 +117,10 @@ mod tests {
 
     #[test]
     fn timing_total_adds_up() {
-        let t = BuildTiming { train: Duration::from_millis(10), add: Duration::from_millis(25) };
+        let t = BuildTiming {
+            train: Duration::from_millis(10),
+            add: Duration::from_millis(25),
+        };
         assert_eq!(t.total(), Duration::from_millis(35));
     }
 }

@@ -59,7 +59,10 @@ impl ProductQuantizer {
         params: &KmeansParams,
     ) -> ProductQuantizer {
         let d = training.dim();
-        assert!(m > 0 && d.is_multiple_of(m), "d ({d}) must be divisible by m ({m})");
+        assert!(
+            m > 0 && d.is_multiple_of(m),
+            "d ({d}) must be divisible by m ({m})"
+        );
         assert!(cpq > 0 && cpq <= 256, "cpq must be in 1..=256");
         assert!(!training.is_empty(), "cannot train PQ on an empty set");
         let sub_d = d / m;
@@ -96,7 +99,14 @@ impl ProductQuantizer {
             .map(|c| c.iter().map(|x| x * x).sum())
             .collect();
 
-        ProductQuantizer { d, m, sub_d, cpq, codebooks, codeword_norms }
+        ProductQuantizer {
+            d,
+            m,
+            sub_d,
+            cpq,
+            codebooks,
+            codeword_norms,
+        }
     }
 
     /// Full vector dimensionality.
@@ -218,7 +228,11 @@ impl ProductQuantizer {
     /// Panics if `codes.len() != out.len() * code_len()`.
     pub fn adc_distance_batch(&self, table: &[f32], codes: &[u8], out: &mut [f32]) {
         debug_assert_eq!(table.len(), self.m * self.cpq);
-        assert_eq!(codes.len(), out.len() * self.m, "packed codes / output length mismatch");
+        assert_eq!(
+            codes.len(),
+            out.len() * self.m,
+            "packed codes / output length mismatch"
+        );
         for (o, code) in out.iter_mut().zip(codes.chunks_exact(self.m)) {
             *o = self.adc_distance_unrolled(table, code);
         }
@@ -266,7 +280,12 @@ pub fn train_default(
         m,
         cpq,
         flavor,
-        &KmeansParams { k: cpq, iters: 8, seed, gemm },
+        &KmeansParams {
+            k: cpq,
+            iters: 8,
+            seed,
+            gemm,
+        },
     )
 }
 
@@ -334,7 +353,10 @@ mod tests {
         let table = pq.adc_table(PqTableMode::Optimized, q);
         let adc = pq.adc_distance(&table, &code);
         let direct = l2_sqr_ref(q, &pq.decode(&code));
-        assert!((adc - direct).abs() < 1e-3 * (1.0 + direct), "{adc} vs {direct}");
+        assert!(
+            (adc - direct).abs() < 1e-3 * (1.0 + direct),
+            "{adc} vs {direct}"
+        );
     }
 
     #[test]

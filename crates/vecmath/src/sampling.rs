@@ -14,7 +14,10 @@ use rand::SeedableRng;
 /// # Panics
 /// Panics if `ratio` is not within `(0, 1]`.
 pub fn sample_indices(n: usize, ratio: f64, min_count: usize, seed: u64) -> Vec<usize> {
-    assert!(ratio > 0.0 && ratio <= 1.0, "sampling ratio must be in (0, 1]");
+    assert!(
+        ratio > 0.0 && ratio <= 1.0,
+        "sampling ratio must be in (0, 1]"
+    );
     let want = ((n as f64 * ratio).ceil() as usize).max(min_count).min(n);
     let mut all: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);

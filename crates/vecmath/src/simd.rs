@@ -58,8 +58,11 @@ fn kernels() -> &'static Kernels {
     KERNELS.get_or_init(select_kernels)
 }
 
-const SCALAR_KERNELS: Kernels =
-    Kernels { l2: l2_sqr_unrolled, dot: dot_unrolled, which: ActiveKernel::Scalar };
+const SCALAR_KERNELS: Kernels = Kernels {
+    l2: l2_sqr_unrolled,
+    dot: dot_unrolled,
+    which: ActiveKernel::Scalar,
+};
 
 fn select_kernels() -> Kernels {
     if force_scalar() {
@@ -128,7 +131,11 @@ pub fn inner_product_auto(x: &[f32], y: &[f32]) -> f32 {
 /// Panics if `flat.len() != out.len() * query.len()`.
 pub fn l2_sqr_batch_flat(query: &[f32], flat: &[f32], out: &mut [f32]) {
     let d = query.len();
-    assert_eq!(flat.len(), out.len() * d, "flat buffer / output length mismatch");
+    assert_eq!(
+        flat.len(),
+        out.len() * d,
+        "flat buffer / output length mismatch"
+    );
     if profile::enabled() {
         profile::count(Category::DistanceCalc, out.len() as u64);
     }
@@ -243,7 +250,8 @@ pub fn distance_gather(
             out.extend(ids.iter().map(|&i| -dot(query, data.row(i as usize))));
         }
         _ => out.extend(
-            ids.iter().map(|&i| metric.distance_with(kernel, query, data.row(i as usize))),
+            ids.iter()
+                .map(|&i| metric.distance_with(kernel, query, data.row(i as usize))),
         ),
     }
 }
@@ -288,12 +296,18 @@ mod x86 {
         let mut i = 0usize;
         while i + 32 <= n {
             let d0 = _mm256_sub_ps(_mm256_loadu_ps(px.add(i)), _mm256_loadu_ps(py.add(i)));
-            let d1 =
-                _mm256_sub_ps(_mm256_loadu_ps(px.add(i + 8)), _mm256_loadu_ps(py.add(i + 8)));
-            let d2 =
-                _mm256_sub_ps(_mm256_loadu_ps(px.add(i + 16)), _mm256_loadu_ps(py.add(i + 16)));
-            let d3 =
-                _mm256_sub_ps(_mm256_loadu_ps(px.add(i + 24)), _mm256_loadu_ps(py.add(i + 24)));
+            let d1 = _mm256_sub_ps(
+                _mm256_loadu_ps(px.add(i + 8)),
+                _mm256_loadu_ps(py.add(i + 8)),
+            );
+            let d2 = _mm256_sub_ps(
+                _mm256_loadu_ps(px.add(i + 16)),
+                _mm256_loadu_ps(py.add(i + 16)),
+            );
+            let d3 = _mm256_sub_ps(
+                _mm256_loadu_ps(px.add(i + 24)),
+                _mm256_loadu_ps(py.add(i + 24)),
+            );
             acc0 = _mm256_fmadd_ps(d0, d0, acc0);
             acc1 = _mm256_fmadd_ps(d1, d1, acc1);
             acc2 = _mm256_fmadd_ps(d2, d2, acc2);
@@ -308,10 +322,16 @@ mod x86 {
         let rem = n - i;
         if rem > 0 {
             let m = tail_mask(rem);
-            let d = _mm256_sub_ps(_mm256_maskload_ps(px.add(i), m), _mm256_maskload_ps(py.add(i), m));
+            let d = _mm256_sub_ps(
+                _mm256_maskload_ps(px.add(i), m),
+                _mm256_maskload_ps(py.add(i), m),
+            );
             acc1 = _mm256_fmadd_ps(d, d, acc1);
         }
-        hsum256(_mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)))
+        hsum256(_mm256_add_ps(
+            _mm256_add_ps(acc0, acc1),
+            _mm256_add_ps(acc2, acc3),
+        ))
     }
 
     /// 8-lane inner product, same accumulator structure as
@@ -358,7 +378,10 @@ mod x86 {
                 acc1,
             );
         }
-        hsum256(_mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)))
+        hsum256(_mm256_add_ps(
+            _mm256_add_ps(acc0, acc1),
+            _mm256_add_ps(acc2, acc3),
+        ))
     }
 
     /// Safe wrapper: only installed in the dispatch table after
@@ -475,8 +498,9 @@ mod tests {
     fn auto_matches_reference_across_lengths() {
         // Every main-loop/tail boundary: multiples of 32 and 8, plus
         // every tail length 1..=7.
-        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 24, 31, 32, 33, 63, 64, 65, 100, 128, 960]
-        {
+        for len in [
+            0usize, 1, 3, 7, 8, 9, 15, 16, 17, 24, 31, 32, 33, 63, 64, 65, 100, 128, 960,
+        ] {
             let (x, y) = vecs(len);
             assert!(
                 close(l2_sqr_auto(&x, &y), l2_sqr_ref(&x, &y)),
@@ -587,7 +611,8 @@ mod tests {
             distance_gather(metric, DistanceKernel::Optimized, &q, &data, &ids, &mut out);
             assert_eq!(out.len(), ids.len());
             for (&i, &got) in ids.iter().zip(&out) {
-                let want = metric.distance_with(DistanceKernel::Optimized, &q, data.row(i as usize));
+                let want =
+                    metric.distance_with(DistanceKernel::Optimized, &q, data.row(i as usize));
                 assert_eq!(got, want, "metric {metric:?} id {i}");
             }
         }

@@ -100,7 +100,11 @@ impl ScalarQuantizer {
     pub fn asym_l2_sqr_batch(&self, query: &[f32], codes: &[u8], out: &mut [f32]) {
         let d = self.dim();
         debug_assert_eq!(query.len(), d);
-        assert_eq!(codes.len(), out.len() * d, "packed codes / output length mismatch");
+        assert_eq!(
+            codes.len(),
+            out.len() * d,
+            "packed codes / output length mismatch"
+        );
         for (o, code) in out.iter_mut().zip(codes.chunks_exact(d)) {
             *o = self.asym_l2_sqr_unrolled(query, code);
         }
@@ -208,7 +212,10 @@ mod tests {
         for (i, &got) in out.iter().enumerate() {
             let code = &packed[i * sq.dim()..(i + 1) * sq.dim()];
             let want = sq.asym_l2_sqr(q, code);
-            assert!((got - want).abs() <= 1e-3 * (1.0 + want), "code {i}: {got} vs {want}");
+            assert!(
+                (got - want).abs() <= 1e-3 * (1.0 + want),
+                "code {i}: {got} vs {want}"
+            );
         }
     }
 

@@ -10,16 +10,16 @@
 //! `VDB_FORCE_SCALAR=1` (CI's second test job) the portable fallback.
 
 use proptest::prelude::*;
-use vdb_vecmath::distance::{
-    inner_product, l2_sqr_ref, l2_sqr_unrolled, DistanceKernel,
-};
+use vdb_vecmath::distance::{inner_product, l2_sqr_ref, l2_sqr_unrolled, DistanceKernel};
 use vdb_vecmath::simd;
 
 fn pseudo_random(len: usize, seed: u64) -> Vec<f32> {
     let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     (0..len)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f32 / (1u64 << 31) as f32) * 4.0 - 1.0
         })
         .collect()
@@ -55,11 +55,20 @@ fn all_dims_agree_l2_and_dot() {
         let auto = simd::l2_sqr_auto(&x, &y);
         let unrolled = l2_sqr_unrolled(&x, &y);
         let reference = l2_sqr_ref(&x, &y);
-        assert!(close(auto, reference), "l2 d={d}: {auto} vs ref {reference}");
-        assert!(close(auto, unrolled), "l2 d={d}: {auto} vs unrolled {unrolled}");
+        assert!(
+            close(auto, reference),
+            "l2 d={d}: {auto} vs ref {reference}"
+        );
+        assert!(
+            close(auto, unrolled),
+            "l2 d={d}: {auto} vs unrolled {unrolled}"
+        );
         let dauto = simd::inner_product_auto(&x, &y);
         let dref = dot_ref(&x, &y);
-        assert!(dot_close(dauto, dref, &x, &y), "dot d={d}: {dauto} vs ref {dref}");
+        assert!(
+            dot_close(dauto, dref, &x, &y),
+            "dot d={d}: {dauto} vs ref {dref}"
+        );
     }
 }
 
@@ -75,7 +84,10 @@ fn unaligned_subslices_agree() {
             let (xs, ys) = (&x[off..off + d], &y[off..off + d]);
             let auto = simd::l2_sqr_auto(xs, ys);
             let reference = l2_sqr_ref(xs, ys);
-            assert!(close(auto, reference), "off={off} d={d}: {auto} vs {reference}");
+            assert!(
+                close(auto, reference),
+                "off={off} d={d}: {auto} vs {reference}"
+            );
         }
     }
 }
@@ -92,7 +104,11 @@ fn batch_agrees_with_per_row_and_reference() {
         simd::l2_sqr_batch_flat(&q, &flat, &mut out);
         for (i, &got) in out.iter().enumerate() {
             let row = &flat[i * d..(i + 1) * d];
-            assert_eq!(got.to_bits(), simd::l2_sqr_auto(&q, row).to_bits(), "d={d} row={i}");
+            assert_eq!(
+                got.to_bits(),
+                simd::l2_sqr_auto(&q, row).to_bits(),
+                "d={d} row={i}"
+            );
             assert!(close(got, l2_sqr_ref(&q, row)), "d={d} row={i}");
         }
     }

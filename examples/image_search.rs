@@ -25,11 +25,14 @@ const K: usize = 10;
 
 fn main() {
     println!("generating {N_IMAGES} simulated image embeddings ({DIM}-d)...");
-    let (library, queries) =
-        gaussian::generate_with_queries(DIM, N_IMAGES, N_QUERIES, 64, 2024);
+    let (library, queries) = gaussian::generate_with_queries(DIM, N_IMAGES, N_QUERIES, 64, 2024);
     let truth = brute_force_topk(&library, &queries, Metric::L2, K, 4);
 
-    let params = HnswParams { bnn: 16, efb: 40, efs: 64 };
+    let params = HnswParams {
+        bnn: 16,
+        efb: 40,
+        efs: 64,
+    };
 
     // Specialized engine (the Faiss stand-in).
     let t0 = Instant::now();
@@ -43,20 +46,31 @@ fn main() {
     let t1 = Instant::now();
     let (pase_idx, _) = PaseHnswIndex::build(GeneralizedOptions::default(), params, &bm, &library)
         .expect("generalized build");
-    println!("generalized HNSW built in {:.2?} (same parameters)", t1.elapsed());
+    println!(
+        "generalized HNSW built in {:.2?} (same parameters)",
+        t1.elapsed()
+    );
 
     // Query both, measure recall and latency.
     let mut fast_results = Vec::new();
     let t2 = Instant::now();
     for q in queries.iter() {
-        fast_results.push(fast_idx.search(q, K).iter().map(|n| n.id).collect::<Vec<_>>());
+        fast_results.push(
+            fast_idx
+                .search(q, K)
+                .iter()
+                .map(|n| n.id)
+                .collect::<Vec<_>>(),
+        );
     }
     let fast_lat = t2.elapsed() / N_QUERIES as u32;
 
     let mut pase_results = Vec::new();
     let t3 = Instant::now();
     for q in queries.iter() {
-        let found = pase_idx.search_with_ef(&bm, q, K, params.efs).expect("search");
+        let found = pase_idx
+            .search_with_ef(&bm, q, K, params.efs)
+            .expect("search");
         pase_results.push(found.iter().map(|n| n.id).collect::<Vec<_>>());
     }
     let pase_lat = t3.elapsed() / N_QUERIES as u32;
@@ -75,6 +89,12 @@ fn main() {
         pase_lat.as_secs_f64() / fast_lat.as_secs_f64()
     );
 
-    assert!(fast_recall > 0.8, "specialized recall {fast_recall} too low");
-    assert!(pase_recall > 0.8, "generalized recall {pase_recall} too low");
+    assert!(
+        fast_recall > 0.8,
+        "specialized recall {fast_recall} too low"
+    );
+    assert!(
+        pase_recall > 0.8,
+        "generalized recall {pase_recall} too low"
+    );
 }

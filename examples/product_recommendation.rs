@@ -19,7 +19,8 @@ const N_PRODUCTS: usize = 5_000;
 
 fn main() {
     let mut db = Database::in_memory();
-    db.execute(&format!("CREATE TABLE products (id int, vec float[{DIM}])")).unwrap();
+    db.execute(&format!("CREATE TABLE products (id int, vec float[{DIM}])"))
+        .unwrap();
 
     // Load the catalog: product ids 1000.. with item2vec-style
     // embeddings (clustered: similar products embed nearby).
@@ -38,8 +39,11 @@ fn main() {
 
     // A customer just viewed product 1042; recommend similar items.
     let viewed = 1042usize;
-    let viewed_vec: Vec<String> =
-        embeddings.row(viewed - 1000).iter().map(|x| format!("{x}")).collect();
+    let viewed_vec: Vec<String> = embeddings
+        .row(viewed - 1000)
+        .iter()
+        .map(|x| format!("{x}"))
+        .collect();
 
     // Fast query: default nprobe via the index.
     let quick = db
@@ -52,7 +56,11 @@ fn main() {
     for row in &quick.rows {
         println!("  {:?}", row);
     }
-    assert_eq!(quick.ids()[0] as usize, viewed, "the viewed product itself ranks first");
+    assert_eq!(
+        quick.ids()[0] as usize,
+        viewed,
+        "the viewed product itself ranks first"
+    );
 
     // Accuracy-critical query: crank nprobe per query via ::PASE.
     let thorough = db
@@ -61,7 +69,10 @@ fn main() {
             viewed_vec.join(",")
         ))
         .unwrap();
-    println!("\nwith nprobe=70 (exhaustive probing): {:?}", thorough.ids());
+    println!(
+        "\nwith nprobe=70 (exhaustive probing): {:?}",
+        thorough.ids()
+    );
 
     // The thorough result is exact: verify against a sequential scan.
     db.execute("DROP INDEX product_idx").unwrap();
@@ -71,6 +82,10 @@ fn main() {
             viewed_vec.join(",")
         ))
         .unwrap();
-    assert_eq!(thorough.ids(), exact.ids(), "full probing must equal exact scan");
+    assert_eq!(
+        thorough.ids(),
+        exact.ids(),
+        "full probing must equal exact scan"
+    );
     println!("\nok: index answers match the exact scan under full probing.");
 }

@@ -11,7 +11,9 @@
 
 use std::time::Instant;
 use vdb_core::datagen::gaussian;
-use vdb_core::generalized::{GeneralizedOptions, PaseHnswIndex, PaseIndex, PaseIvfFlatIndex, PaseIvfPqIndex};
+use vdb_core::generalized::{
+    GeneralizedOptions, PaseHnswIndex, PaseIndex, PaseIvfFlatIndex, PaseIvfPqIndex,
+};
 use vdb_core::storage::{BufferManager, DiskManager, PageSize};
 use vdb_core::vecmath::{HnswParams, IvfParams, PqParams, VectorSet};
 use vdb_core::RootCause;
@@ -21,10 +23,18 @@ const N: usize = 6_000;
 const K: usize = 50;
 
 fn bm_for(n_pages: usize) -> BufferManager {
-    BufferManager::new(std::sync::Arc::new(DiskManager::new(PageSize::Size8K)), n_pages)
+    BufferManager::new(
+        std::sync::Arc::new(DiskManager::new(PageSize::Size8K)),
+        n_pages,
+    )
 }
 
-fn flat_query_ms(opts: GeneralizedOptions, params: IvfParams, data: &VectorSet, queries: &VectorSet) -> f64 {
+fn flat_query_ms(
+    opts: GeneralizedOptions,
+    params: IvfParams,
+    data: &VectorSet,
+    queries: &VectorSet,
+) -> f64 {
     let bm = bm_for(4096);
     let (idx, _) = PaseIvfFlatIndex::build(opts, params, &bm, data).unwrap();
     let t0 = Instant::now();
@@ -37,7 +47,11 @@ fn flat_query_ms(opts: GeneralizedOptions, params: IvfParams, data: &VectorSet, 
 fn main() {
     let data = gaussian::generate(DIM, N, 32, 99);
     let queries = gaussian::generate(DIM, 30, 32, 100);
-    let params = IvfParams { clusters: 77, sample_ratio: 0.2, nprobe: 20 };
+    let params = IvfParams {
+        clusters: 77,
+        sample_ratio: 0.2,
+        nprobe: 20,
+    };
     let base = GeneralizedOptions::default();
 
     println!("The seven root causes (paper §IX-B), measured:\n");
@@ -58,7 +72,11 @@ fn main() {
     }
 
     // RC#2 / RC#5 / RC#6 — search-path fixes on IVF_FLAT.
-    for rc in [RootCause::Rc2MemoryManagement, RootCause::Rc5Kmeans, RootCause::Rc6HeapSize] {
+    for rc in [
+        RootCause::Rc2MemoryManagement,
+        RootCause::Rc5Kmeans,
+        RootCause::Rc6HeapSize,
+    ] {
         let before = flat_query_ms(base, params, &data, &queries);
         let after = flat_query_ms(rc.apply_fix(base), params, &data, &queries);
         println!("{} {}", rc.tag(), rc.description());
@@ -68,9 +86,17 @@ fn main() {
     // RC#3 — parallel search with 4 threads.
     {
         let rc = RootCause::Rc3Parallelism;
-        let before = flat_query_ms(GeneralizedOptions { threads: 4, ..base }, params, &data, &queries);
+        let before = flat_query_ms(
+            GeneralizedOptions { threads: 4, ..base },
+            params,
+            &data,
+            &queries,
+        );
         let after = flat_query_ms(
-            GeneralizedOptions { threads: 4, ..rc.apply_fix(base) },
+            GeneralizedOptions {
+                threads: 4,
+                ..rc.apply_fix(base)
+            },
             params,
             &data,
             &queries,
@@ -82,7 +108,11 @@ fn main() {
     // RC#4 — HNSW page layout.
     {
         let rc = RootCause::Rc4PageLayout;
-        let hparams = HnswParams { bnn: 8, efb: 24, efs: 40 };
+        let hparams = HnswParams {
+            bnn: 8,
+            efb: 24,
+            efs: 40,
+        };
         let small = gaussian::generate(DIM, 2_000, 16, 5);
         let bm = bm_for(8192);
         let (wide, _) = PaseHnswIndex::build(base, hparams, &bm, &small).unwrap();

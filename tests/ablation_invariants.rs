@@ -21,7 +21,11 @@ fn bm(pages: usize) -> BufferManager {
 #[test]
 fn result_preserving_fixes_preserve_results() {
     let data = gaussian::generate(16, 1_000, 8, 55);
-    let params = IvfParams { clusters: 10, sample_ratio: 0.5, nprobe: 5 };
+    let params = IvfParams {
+        clusters: 10,
+        sample_ratio: 0.5,
+        nprobe: 5,
+    };
     let base = GeneralizedOptions::default();
     let pool = bm(4096);
     let (reference, _) = PaseIvfFlatIndex::build(base, params, &pool, &data).unwrap();
@@ -53,13 +57,16 @@ fn result_preserving_fixes_preserve_results() {
 #[test]
 fn rc1_assignment_is_equivalent() {
     let data = gaussian::generate(24, 1_200, 10, 66);
-    let params = IvfParams { clusters: 12, sample_ratio: 0.4, nprobe: 6 };
+    let params = IvfParams {
+        clusters: 12,
+        sample_ratio: 0.4,
+        nprobe: 6,
+    };
     let base = GeneralizedOptions::default();
     let pool = bm(4096);
     let (scalar, _) = PaseIvfFlatIndex::build(base, params, &pool, &data).unwrap();
     let (gemm, _) =
-        PaseIvfFlatIndex::build(RootCause::Rc1Sgemm.apply_fix(base), params, &pool, &data)
-            .unwrap();
+        PaseIvfFlatIndex::build(RootCause::Rc1Sgemm.apply_fix(base), params, &pool, &data).unwrap();
     assert_eq!(scalar.bucket_sizes(), gemm.bucket_sizes());
 }
 
@@ -68,13 +75,21 @@ fn rc1_assignment_is_equivalent() {
 #[test]
 fn rc4_shrinks_hnsw_without_changing_answers() {
     let data = gaussian::generate(16, 800, 8, 77);
-    let params = HnswParams { bnn: 8, efb: 24, efs: 48 };
+    let params = HnswParams {
+        bnn: 8,
+        efb: 24,
+        efs: 48,
+    };
     let base = GeneralizedOptions::default();
     let pool = bm(8192);
     let (wide, _) = PaseHnswIndex::build(base, params, &pool, &data).unwrap();
-    let (packed, _) =
-        PaseHnswIndex::build(RootCause::Rc4PageLayout.apply_fix(base), params, &pool, &data)
-            .unwrap();
+    let (packed, _) = PaseHnswIndex::build(
+        RootCause::Rc4PageLayout.apply_fix(base),
+        params,
+        &pool,
+        &data,
+    )
+    .unwrap();
 
     let wide_bytes = wide.size_bytes(&pool);
     let packed_bytes = packed.size_bytes(&pool);
@@ -97,20 +112,37 @@ fn rc4_shrinks_hnsw_without_changing_answers() {
 #[test]
 fn rc7_table_mode_preserves_rankings() {
     let data = gaussian::generate(32, 1_000, 8, 88);
-    let params = IvfParams { clusters: 8, sample_ratio: 0.5, nprobe: 8 };
+    let params = IvfParams {
+        clusters: 8,
+        sample_ratio: 0.5,
+        nprobe: 8,
+    };
     let pq = PqParams { m: 8, cpq: 64 };
     let base = GeneralizedOptions::default();
     let pool = bm(4096);
     let (slow, _) = PaseIvfPqIndex::build(base, params, pq, &pool, &data).unwrap();
-    let (fast, _) =
-        PaseIvfPqIndex::build(RootCause::Rc7PqTable.apply_fix(base), params, pq, &pool, &data)
-            .unwrap();
+    let (fast, _) = PaseIvfPqIndex::build(
+        RootCause::Rc7PqTable.apply_fix(base),
+        params,
+        pq,
+        &pool,
+        &data,
+    )
+    .unwrap();
     for qi in [0usize, 77, 999] {
         let q = data.row(qi);
-        let a: Vec<u64> =
-            slow.search_with_nprobe(&pool, q, 10, 8).unwrap().iter().map(|n| n.id).collect();
-        let b: Vec<u64> =
-            fast.search_with_nprobe(&pool, q, 10, 8).unwrap().iter().map(|n| n.id).collect();
+        let a: Vec<u64> = slow
+            .search_with_nprobe(&pool, q, 10, 8)
+            .unwrap()
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        let b: Vec<u64> = fast
+            .search_with_nprobe(&pool, q, 10, 8)
+            .unwrap()
+            .iter()
+            .map(|n| n.id)
+            .collect();
         assert_eq!(a, b, "query {qi}");
     }
 }
@@ -120,10 +152,13 @@ fn rc7_table_mode_preserves_rankings() {
 #[test]
 fn fully_fixed_engine_is_still_exact() {
     let data = gaussian::generate(16, 900, 8, 99);
-    let params = IvfParams { clusters: 9, sample_ratio: 0.5, nprobe: 9 };
+    let params = IvfParams {
+        clusters: 9,
+        sample_ratio: 0.5,
+        nprobe: 9,
+    };
     let pool = bm(4096);
-    let (fixed, _) =
-        PaseIvfFlatIndex::build(RootCause::all_fixed(), params, &pool, &data).unwrap();
+    let (fixed, _) = PaseIvfFlatIndex::build(RootCause::all_fixed(), params, &pool, &data).unwrap();
     for qi in [10usize, 450, 899] {
         let q = data.row(qi);
         let res = fixed.search_with_nprobe(&pool, q, 1, 9).unwrap();

@@ -11,14 +11,18 @@ fn load(db: &mut Database, table: &str, data: &VectorSet) {
 }
 
 fn vec_literal(v: &[f32]) -> String {
-    v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",")
+    v.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 #[test]
 fn paper_workflow_ivfflat() {
     // The full §II-E workflow at integration scale.
     let mut db = Database::in_memory();
-    db.execute("CREATE TABLE t (id int, vec float[32])").unwrap();
+    db.execute("CREATE TABLE t (id int, vec float[32])")
+        .unwrap();
     let (data, _) = gaussian::generate_with_queries(32, 2_000, 0, 16, 42);
     load(&mut db, "t", &data);
     db.execute(
@@ -50,7 +54,8 @@ fn paper_workflow_ivfflat() {
 #[test]
 fn hnsw_through_sql_has_high_recall() {
     let mut db = Database::in_memory();
-    db.execute("CREATE TABLE t (id int, vec float[16])").unwrap();
+    db.execute("CREATE TABLE t (id int, vec float[16])")
+        .unwrap();
     let (data, queries) = gaussian::generate_with_queries(16, 1_500, 25, 8, 7);
     load(&mut db, "t", &data);
     db.execute("CREATE INDEX h ON t USING hnsw(vec) WITH (bnn = 12, efb = 40, efs = 80)")
@@ -74,7 +79,8 @@ fn hnsw_through_sql_has_high_recall() {
 #[test]
 fn ivfpq_through_sql_beats_random() {
     let mut db = Database::in_memory();
-    db.execute("CREATE TABLE t (id int, vec float[32])").unwrap();
+    db.execute("CREATE TABLE t (id int, vec float[32])")
+        .unwrap();
     let (data, queries) = gaussian::generate_with_queries(32, 2_000, 15, 16, 17);
     load(&mut db, "t", &data);
     db.execute(
@@ -113,7 +119,8 @@ fn inserts_update_table_and_index_consistently() {
         .unwrap();
 
     // Insert a distinctive new row through SQL; both paths must see it.
-    db.execute("INSERT INTO t VALUES (7777, '{9,9,9,9,9,9,9,9}')").unwrap();
+    db.execute("INSERT INTO t VALUES (7777, '{9,9,9,9,9,9,9,9}')")
+        .unwrap();
     let by_index = db
         .execute("SELECT id FROM t ORDER BY vec <-> '9,9,9,9,9,9,9,9:8' LIMIT 1")
         .unwrap();
@@ -137,7 +144,9 @@ fn seq_scan_and_index_scan_agree_on_exact_search() {
     db.execute("CREATE INDEX i ON t USING ivfflat(vec) WITH (clusters = 10, sample_ratio = 500)")
         .unwrap();
     let indexed = db
-        .execute(&format!("SELECT id FROM t ORDER BY vec <-> '{q}:10'::PASE LIMIT 5"))
+        .execute(&format!(
+            "SELECT id FROM t ORDER BY vec <-> '{q}:10'::PASE LIMIT 5"
+        ))
         .unwrap();
     assert_eq!(seq.ids(), indexed.ids());
 }
@@ -149,12 +158,16 @@ fn semantic_errors_are_reported_not_panicked() {
     db.execute("INSERT INTO t VALUES (1, '{1,2,3,4}')").unwrap();
 
     // Query dimension mismatch against a table scan.
-    let err = db.execute("SELECT id FROM t ORDER BY vec <-> '1,2' LIMIT 1").unwrap_err();
+    let err = db
+        .execute("SELECT id FROM t ORDER BY vec <-> '1,2' LIMIT 1")
+        .unwrap_err();
     assert!(matches!(err, SqlError::Semantic(_)), "got {err:?}");
 
     // Query dimension mismatch against an index scan.
     db.execute("CREATE INDEX i ON t USING ivfflat(vec) WITH (clusters = 1, sample_ratio = 1000)")
         .unwrap();
-    let err = db.execute("SELECT id FROM t ORDER BY vec <-> '1,2,3' LIMIT 1").unwrap_err();
+    let err = db
+        .execute("SELECT id FROM t ORDER BY vec <-> '1,2,3' LIMIT 1")
+        .unwrap_err();
     assert!(matches!(err, SqlError::Semantic(_)), "got {err:?}");
 }

@@ -8,7 +8,9 @@ use vdb_core::datagen::{brute_force_topk, gaussian, recall_at_k};
 use vdb_core::generalized::{GeneralizedOptions, PaseHnswIndex, PaseIvfFlatIndex};
 use vdb_core::specialized::{HnswIndex, IvfFlatIndex, SpecializedOptions, VectorIndex};
 use vdb_core::storage::{BufferManager, DiskManager, PageSize};
-use vdb_core::vecmath::{DistanceKernel, HnswParams, IvfParams, KmeansFlavor, Metric, TopKStrategy};
+use vdb_core::vecmath::{
+    DistanceKernel, HnswParams, IvfParams, KmeansFlavor, Metric, TopKStrategy,
+};
 
 fn bm(pages: usize) -> BufferManager {
     BufferManager::new(Arc::new(DiskManager::new(PageSize::Size8K)), pages)
@@ -19,7 +21,11 @@ fn bm(pages: usize) -> BufferManager {
 #[test]
 fn ivfflat_same_centroids_same_results() {
     let data = gaussian::generate(24, 1_500, 12, 3);
-    let params = IvfParams { clusters: 12, sample_ratio: 0.3, nprobe: 12 };
+    let params = IvfParams {
+        clusters: 12,
+        sample_ratio: 0.3,
+        nprobe: 12,
+    };
 
     // Build the generalized index first, then transplant its centroids
     // into the specialized engine (the paper's Faiss* trick in reverse).
@@ -33,12 +39,8 @@ fn ivfflat_same_centroids_same_results() {
     };
     let (pase, _) = PaseIvfFlatIndex::build(gen_opts, params, &bm, &data).unwrap();
     let spec_opts = SpecializedOptions::default();
-    let (faiss_star, _) = IvfFlatIndex::with_centroids(
-        spec_opts,
-        params,
-        pase.centroids().clone(),
-        &data,
-    );
+    let (faiss_star, _) =
+        IvfFlatIndex::with_centroids(spec_opts, params, pase.centroids().clone(), &data);
 
     for qi in [0usize, 100, 700, 1499] {
         let q = data.row(qi);
@@ -52,7 +54,11 @@ fn ivfflat_same_centroids_same_results() {
 #[test]
 fn training_is_engine_independent() {
     let data = gaussian::generate(16, 1_000, 8, 9);
-    let params = IvfParams { clusters: 8, sample_ratio: 0.5, nprobe: 8 };
+    let params = IvfParams {
+        clusters: 8,
+        sample_ratio: 0.5,
+        nprobe: 8,
+    };
     let bm = bm(2048);
     let gen_opts = GeneralizedOptions {
         kmeans: KmeansFlavor::FaissStyle,
@@ -76,7 +82,11 @@ fn training_is_engine_independent() {
 fn hnsw_recall_parity() {
     let (data, queries) = gaussian::generate_with_queries(16, 1_200, 30, 8, 21);
     let truth = brute_force_topk(&data, &queries, Metric::L2, 10, 2);
-    let params = HnswParams { bnn: 12, efb: 40, efs: 80 };
+    let params = HnswParams {
+        bnn: 12,
+        efb: 40,
+        efs: 80,
+    };
 
     let (spec, _) = HnswIndex::build(SpecializedOptions::default(), params, &data);
     let spec_results: Vec<Vec<u64>> = queries
@@ -114,10 +124,17 @@ fn hnsw_recall_parity() {
 #[test]
 fn heap_strategy_does_not_change_answers() {
     let data = gaussian::generate(16, 800, 8, 31);
-    let params = IvfParams { clusters: 8, sample_ratio: 0.5, nprobe: 4 };
+    let params = IvfParams {
+        clusters: 8,
+        sample_ratio: 0.5,
+        nprobe: 4,
+    };
     let bm = bm(2048);
     let size_n = GeneralizedOptions::default();
-    let size_k = GeneralizedOptions { topk: TopKStrategy::SizeK, ..size_n };
+    let size_k = GeneralizedOptions {
+        topk: TopKStrategy::SizeK,
+        ..size_n
+    };
     let (a, _) = PaseIvfFlatIndex::build(size_n, params, &bm, &data).unwrap();
     let (b, _) = PaseIvfFlatIndex::build(size_k, params, &bm, &data).unwrap();
     for qi in [5usize, 250, 799] {
@@ -135,7 +152,11 @@ fn heap_strategy_does_not_change_answers() {
 #[test]
 fn full_probe_equals_flat_everywhere() {
     let data = gaussian::generate(12, 600, 6, 41);
-    let params = IvfParams { clusters: 6, sample_ratio: 0.5, nprobe: 6 };
+    let params = IvfParams {
+        clusters: 6,
+        sample_ratio: 0.5,
+        nprobe: 6,
+    };
     let flat = vdb_core::specialized::FlatIndex::new(SpecializedOptions::default(), data.clone());
     let (ivf, _) = IvfFlatIndex::build(SpecializedOptions::default(), params, &data);
     let bm = bm(2048);
@@ -148,7 +169,11 @@ fn full_probe_equals_flat_everywhere() {
     for qi in [0usize, 300, 599] {
         let q = data.row(qi);
         let oracle = flat.search(q, 10);
-        assert_eq!(ivf.search_with_nprobe(q, 10, 6), oracle, "specialized, query {qi}");
+        assert_eq!(
+            ivf.search_with_nprobe(q, 10, 6),
+            oracle,
+            "specialized, query {qi}"
+        );
         assert_eq!(
             pase.search_with_nprobe(&bm, q, 10, 6).unwrap(),
             oracle,

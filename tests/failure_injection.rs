@@ -14,7 +14,11 @@ fn tiny_buffer_pool_still_computes_correct_answers() {
     // A 16-frame pool against a dataset needing ~70 pages: constant
     // eviction, same results.
     let data = gaussian::generate(64, 2_000, 8, 5);
-    let params = IvfParams { clusters: 8, sample_ratio: 0.5, nprobe: 8 };
+    let params = IvfParams {
+        clusters: 8,
+        sample_ratio: 0.5,
+        nprobe: 8,
+    };
     let big = BufferManager::new(Arc::new(DiskManager::new(PageSize::Size8K)), 4096);
     let (reference, _) =
         PaseIvfFlatIndex::build(GeneralizedOptions::default(), params, &big, &data).unwrap();
@@ -48,10 +52,16 @@ fn oversized_tuple_is_rejected_cleanly() {
 fn vector_wider_than_page_is_an_error_not_a_panic() {
     // A 4KB page cannot hold a 2000-dim vector tuple (8 + 8000 bytes).
     let mut db = Database::new(PageSize::Size4K, 256);
-    db.execute("CREATE TABLE t (id int, vec float[2000])").unwrap();
+    db.execute("CREATE TABLE t (id int, vec float[2000])")
+        .unwrap();
     let huge = vec!["0.5"; 2000].join(",");
-    let err = db.execute(&format!("INSERT INTO t VALUES (1, '{{{huge}}}')")).unwrap_err();
-    assert!(matches!(err, SqlError::Storage(StorageError::TupleTooLarge { .. })), "{err:?}");
+    let err = db
+        .execute(&format!("INSERT INTO t VALUES (1, '{{{huge}}}')"))
+        .unwrap_err();
+    assert!(
+        matches!(err, SqlError::Storage(StorageError::TupleTooLarge { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -67,7 +77,12 @@ fn malformed_sql_reports_parse_errors() {
         "'unterminated",
     ] {
         let err = db.execute(bad).unwrap_err();
-        assert!(matches!(err, SqlError::Parse(_)), "{bad:?} gave {err:?}");
+        // Statement-level syntax errors are positioned (`ParseAt`);
+        // PASE-literal rejections keep the unpositioned `Parse`.
+        assert!(
+            matches!(err, SqlError::Parse(_) | SqlError::ParseAt { .. }),
+            "{bad:?} gave {err:?}"
+        );
     }
 }
 
@@ -105,7 +120,9 @@ fn mixed_dimension_inserts_rejected() {
     let err = db.execute("INSERT INTO t VALUES (2, '{1,2}')").unwrap_err();
     assert!(matches!(err, SqlError::Semantic(_)));
     // The good row is still there and searchable.
-    let res = db.execute("SELECT id FROM t ORDER BY vec <-> '1,2,3' LIMIT 1").unwrap();
+    let res = db
+        .execute("SELECT id FROM t ORDER BY vec <-> '1,2,3' LIMIT 1")
+        .unwrap();
     assert_eq!(res.ids(), vec![1]);
 }
 

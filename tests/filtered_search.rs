@@ -1,0 +1,187 @@
+//! Strategy-equivalence tests for hybrid (filtered) vector search.
+//!
+//! With exhaustive probing (`nprobe = clusters`) the IVF search is
+//! exact, so *every* execution strategy — pre-filter, post-filter, and
+//! brute force under the filter — must return the identical top-k on
+//! both engines, at every selectivity including the 0% and 100% edges.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vdb_core::datagen::{
+    brute_force_topk_filtered, gaussian, threshold_for_selectivity, uniform_attrs,
+};
+use vdb_core::filter::{FilterStrategy, SelectionBitmap};
+use vdb_core::generalized::{GeneralizedOptions, PaseIndex, PaseIvfFlatIndex};
+use vdb_core::specialized::{FlatIndex, IvfFlatIndex, SpecializedOptions, VectorIndex};
+use vdb_core::storage::{BufferManager, DiskManager, PageSize};
+use vdb_core::vecmath::{DistanceKernel, IvfParams, Metric, VectorSet};
+
+fn bm(pages: usize) -> BufferManager {
+    BufferManager::new(Arc::new(DiskManager::new(PageSize::Size8K)), pages)
+}
+
+/// A selection bitmap passing rows with `attrs[id] < t` for the cutoff
+/// matching `selectivity`, plus the pass closure for the oracle.
+fn bitmap_for(attrs: &[f64], selectivity: f64) -> (SelectionBitmap, f64) {
+    let t = threshold_for_selectivity(attrs, selectivity);
+    let bitmap: SelectionBitmap = attrs
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a < t)
+        .map(|(i, _)| i as u64)
+        .collect();
+    (bitmap, t)
+}
+
+const SELECTIVITIES: [f64; 6] = [0.0, 0.001, 0.01, 0.1, 0.5, 1.0];
+
+#[test]
+fn specialized_strategies_agree_across_selectivities() {
+    let (data, queries) = gaussian::generate_with_queries(12, 2_000, 8, 8, 41);
+    let attrs = uniform_attrs(2_000, 42);
+    // Full probe: the ANN layer is exact, isolating the filter logic.
+    let params = IvfParams {
+        clusters: 8,
+        sample_ratio: 0.3,
+        nprobe: 8,
+    };
+    let (ivf, _) = IvfFlatIndex::build(SpecializedOptions::default(), params, &data);
+    let flat = FlatIndex::new(SpecializedOptions::default(), data.clone());
+
+    for sel in SELECTIVITIES {
+        let (bitmap, t) = bitmap_for(&attrs, sel);
+        let truth = brute_force_topk_filtered(&data, &queries, Metric::L2, 10, 2, &|id| {
+            attrs[id as usize] < t
+        });
+        for (qi, q) in queries.iter().enumerate() {
+            let expect = &truth.neighbors[qi];
+            for index in [&ivf as &dyn VectorIndex, &flat] {
+                for strategy in [FilterStrategy::PreFilter, FilterStrategy::PostFilter] {
+                    let got: Vec<u64> = index
+                        .search_filtered(q, 10, &bitmap, strategy)
+                        .into_iter()
+                        .map(|n| n.id)
+                        .collect();
+                    assert_eq!(&got, expect, "sel {sel}, query {qi}, strategy {strategy:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn generalized_strategies_agree_across_selectivities() {
+    let (data, queries) = gaussian::generate_with_queries(12, 1_200, 6, 8, 43);
+    let attrs = uniform_attrs(1_200, 44);
+    let params = IvfParams {
+        clusters: 8,
+        sample_ratio: 0.3,
+        nprobe: 8,
+    };
+    let bm = bm(8_192);
+    let opts = GeneralizedOptions {
+        distance: DistanceKernel::Optimized,
+        ..Default::default()
+    };
+    let (pase, _) = PaseIvfFlatIndex::build_with_ids(opts, params, &bm, None, &data).unwrap();
+
+    for sel in SELECTIVITIES {
+        let (bitmap, t) = bitmap_for(&attrs, sel);
+        let truth = brute_force_topk_filtered(&data, &queries, Metric::L2, 10, 2, &|id| {
+            attrs[id as usize] < t
+        });
+        for (qi, q) in queries.iter().enumerate() {
+            let expect = &truth.neighbors[qi];
+            for strategy in [FilterStrategy::PreFilter, FilterStrategy::PostFilter] {
+                let got: Vec<u64> = pase
+                    .scan_filtered(&bm, q, 10, &bitmap, strategy, None)
+                    .unwrap()
+                    .into_iter()
+                    .map(|n| n.id)
+                    .collect();
+                assert_eq!(&got, expect, "sel {sel}, query {qi}, strategy {strategy:?}");
+            }
+        }
+    }
+}
+
+/// The memory-optimized (bucket-cache) read path must filter
+/// identically to the paged path.
+#[test]
+fn generalized_cache_path_matches_paged_path() {
+    let data = gaussian::generate(8, 600, 4, 45);
+    let attrs = uniform_attrs(600, 46);
+    let params = IvfParams {
+        clusters: 4,
+        sample_ratio: 0.5,
+        nprobe: 4,
+    };
+    let (bitmap, _) = bitmap_for(&attrs, 0.1);
+
+    let mut results = Vec::new();
+    for memory_optimized in [false, true] {
+        let bm = bm(4_096);
+        let opts = GeneralizedOptions {
+            memory_optimized,
+            ..Default::default()
+        };
+        let (pase, _) = PaseIvfFlatIndex::build_with_ids(opts, params, &bm, None, &data).unwrap();
+        let q = data.row(11);
+        results.push(
+            pase.scan_filtered(&bm, q, 5, &bitmap, FilterStrategy::PreFilter, None)
+                .unwrap(),
+        );
+    }
+    assert_eq!(results[0], results[1]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized instances: pre-filter, post-filter, and the exact
+    /// oracle agree on both engines for arbitrary k and selectivity.
+    #[test]
+    fn strategies_equivalent_on_random_instances(
+        seed in 0u64..1_000,
+        k in 1usize..12,
+        sel in 0.0f64..1.0,
+    ) {
+        let n = 400;
+        let (data, queries) = gaussian::generate_with_queries(6, n, 3, 4, seed);
+        let attrs = uniform_attrs(n, seed ^ 0xA5A5);
+        let (bitmap, t) = bitmap_for(&attrs, sel);
+        let params = IvfParams { clusters: 4, sample_ratio: 0.5, nprobe: 4 };
+        let (ivf, _) = IvfFlatIndex::build(SpecializedOptions::default(), params, &data);
+        let bufs = bm(4_096);
+        let (pase, _) = PaseIvfFlatIndex::build_with_ids(
+            GeneralizedOptions { distance: DistanceKernel::Optimized, ..Default::default() },
+            params,
+            &bufs,
+            None,
+            &data,
+        ).unwrap();
+
+        let queries: &VectorSet = &queries;
+        let truth = brute_force_topk_filtered(&data, queries, Metric::L2, k, 2, &|id| {
+            attrs[id as usize] < t
+        });
+        for (qi, q) in queries.iter().enumerate() {
+            let expect = &truth.neighbors[qi];
+            for strategy in [FilterStrategy::PreFilter, FilterStrategy::PostFilter] {
+                let spec: Vec<u64> = ivf
+                    .search_filtered(q, k, &bitmap, strategy)
+                    .into_iter()
+                    .map(|n| n.id)
+                    .collect();
+                prop_assert_eq!(&spec, expect, "specialized {:?} q{}", strategy, qi);
+                let genr: Vec<u64> = pase
+                    .scan_filtered(&bufs, q, k, &bitmap, strategy, None)
+                    .unwrap()
+                    .into_iter()
+                    .map(|n| n.id)
+                    .collect();
+                prop_assert_eq!(&genr, expect, "generalized {:?} q{}", strategy, qi);
+            }
+        }
+    }
+}

@@ -16,9 +16,13 @@ fn loaded_db() -> Database {
 #[test]
 fn explain_shows_seq_scan_without_index() {
     let mut db = loaded_db();
-    let res = db.execute("EXPLAIN SELECT id FROM t ORDER BY vec <-> '1,1,1,1,1,1,1,1' LIMIT 5").unwrap();
+    let res = db
+        .execute("EXPLAIN SELECT id FROM t ORDER BY vec <-> '1,1,1,1,1,1,1,1' LIMIT 5")
+        .unwrap();
     assert_eq!(res.columns, vec!["plan"]);
-    let Value::Text(plan) = &res.rows[0][0] else { panic!("plan not text") };
+    let Value::Text(plan) = &res.rows[0][0] else {
+        panic!("plan not text")
+    };
     assert!(plan.contains("Seq Scan"), "{plan}");
 }
 
@@ -27,12 +31,20 @@ fn explain_switches_to_index_scan_after_create_index() {
     let mut db = loaded_db();
     db.execute("CREATE INDEX i ON t USING ivfflat(vec) WITH (clusters = 8, sample_ratio = 500)")
         .unwrap();
-    let res = db.execute("EXPLAIN SELECT id FROM t ORDER BY vec <-> '1,1,1,1,1,1,1,1' LIMIT 5").unwrap();
-    let Value::Text(plan) = &res.rows[0][0] else { panic!("plan not text") };
+    let res = db
+        .execute("EXPLAIN SELECT id FROM t ORDER BY vec <-> '1,1,1,1,1,1,1,1' LIMIT 5")
+        .unwrap();
+    let Value::Text(plan) = &res.rows[0][0] else {
+        panic!("plan not text")
+    };
     assert!(plan.contains("Index Scan using i (ivfflat)"), "{plan}");
     // A mismatched operator still plans a seq scan.
-    let res = db.execute("EXPLAIN SELECT id FROM t ORDER BY vec <=> '1,1,1,1,1,1,1,1' LIMIT 5").unwrap();
-    let Value::Text(plan) = &res.rows[0][0] else { panic!("plan not text") };
+    let res = db
+        .execute("EXPLAIN SELECT id FROM t ORDER BY vec <=> '1,1,1,1,1,1,1,1' LIMIT 5")
+        .unwrap();
+    let Value::Text(plan) = &res.rows[0][0] else {
+        panic!("plan not text")
+    };
     assert!(plan.contains("Seq Scan"), "{plan}");
 }
 
@@ -40,7 +52,9 @@ fn explain_switches_to_index_scan_after_create_index() {
 fn explain_point_lookup() {
     let mut db = loaded_db();
     let res = db.execute("EXPLAIN SELECT id FROM t WHERE id = 7").unwrap();
-    let Value::Text(plan) = &res.rows[0][0] else { panic!("plan not text") };
+    let Value::Text(plan) = &res.rows[0][0] else {
+        panic!("plan not text")
+    };
     assert!(plan.contains("filter: id = 7"), "{plan}");
 }
 
@@ -65,13 +79,18 @@ fn delete_is_invisible_through_index_scans() {
         .execute("SELECT id FROM t ORDER BY vec <-> '0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5:8' LIMIT 1")
         .unwrap();
     let nearest = res.ids()[0];
-    db.execute(&format!("DELETE FROM t WHERE id = {nearest}")).unwrap();
+    db.execute(&format!("DELETE FROM t WHERE id = {nearest}"))
+        .unwrap();
     // The visibility check must keep the dead row out of results even
     // though the index still holds its entry.
     let res = db
         .execute("SELECT id FROM t ORDER BY vec <-> '0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5:8' LIMIT 5")
         .unwrap();
-    assert!(!res.ids().contains(&nearest), "deleted id {nearest} leaked: {:?}", res.ids());
+    assert!(
+        !res.ids().contains(&nearest),
+        "deleted id {nearest} leaked: {:?}",
+        res.ids()
+    );
 }
 
 #[test]
@@ -80,8 +99,11 @@ fn delete_then_reinsert_same_id_is_visible_again() {
     db.execute("CREATE INDEX i ON t USING ivfflat(vec) WITH (clusters = 8, sample_ratio = 500)")
         .unwrap();
     db.execute("DELETE FROM t WHERE id = 10").unwrap();
-    db.execute("INSERT INTO t VALUES (10, '{9,9,9,9,9,9,9,9}')").unwrap();
-    let res = db.execute("SELECT id FROM t ORDER BY vec <-> '9,9,9,9,9,9,9,9:8' LIMIT 1").unwrap();
+    db.execute("INSERT INTO t VALUES (10, '{9,9,9,9,9,9,9,9}')")
+        .unwrap();
+    let res = db
+        .execute("SELECT id FROM t ORDER BY vec <-> '9,9,9,9,9,9,9,9:8' LIMIT 1")
+        .unwrap();
     assert_eq!(res.ids(), vec![10]);
 }
 
