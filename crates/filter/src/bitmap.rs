@@ -42,7 +42,26 @@ impl SelectionBitmap {
             self.words[word] |= mask;
             self.count += 1;
         }
+        self.audit();
     }
+
+    /// Cardinality audit, active only under `strict-invariants`: the
+    /// maintained `count` must equal the popcount of the backing words
+    /// — the engines prune scans by `count`, so drift here silently
+    /// corrupts selectivity decisions. O(words) per insert.
+    #[cfg(feature = "strict-invariants")]
+    fn audit(&self) {
+        let popcount: usize = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        assert_eq!(
+            self.count, popcount,
+            "SelectionBitmap audit: cached count {} != popcount {}",
+            self.count, popcount
+        );
+    }
+
+    #[cfg(not(feature = "strict-invariants"))]
+    #[inline(always)]
+    fn audit(&self) {}
 
     /// Whether the bit for `id` is set.
     #[inline]

@@ -51,6 +51,9 @@ fn axpy_scalar(av: f32, brow: &[f32], acc: &mut [f32]) {
 }
 
 #[cfg(target_arch = "x86_64")]
+// SAFETY: caller must verify AVX2+FMA at runtime and pass
+// `acc.len() >= brow.len()`; loads/stores are bounded by brow.len()
+// inside the two borrowed slices.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn axpy_avx2(av: f32, brow: &[f32], acc: &mut [f32]) {
     use std::arch::x86_64::*;
@@ -72,10 +75,15 @@ unsafe fn axpy_avx2(av: f32, brow: &[f32], acc: &mut [f32]) {
 
 #[cfg(target_arch = "x86_64")]
 fn axpy_avx2_safe(av: f32, brow: &[f32], acc: &mut [f32]) {
+    // SAFETY: installed by `pick_axpy` only after
+    // is_x86_feature_detected!("avx2"/"fma"); the blocked kernel slices
+    // acc and brow to equal panel widths.
     unsafe { axpy_avx2(av, brow, acc) }
 }
 
 #[cfg(target_arch = "aarch64")]
+// SAFETY: caller must verify NEON at runtime and pass
+// `acc.len() >= brow.len()`; accesses are bounded by brow.len().
 #[target_feature(enable = "neon")]
 unsafe fn axpy_neon(av: f32, brow: &[f32], acc: &mut [f32]) {
     use std::arch::aarch64::*;
@@ -97,6 +105,8 @@ unsafe fn axpy_neon(av: f32, brow: &[f32], acc: &mut [f32]) {
 
 #[cfg(target_arch = "aarch64")]
 fn axpy_neon_safe(av: f32, brow: &[f32], acc: &mut [f32]) {
+    // SAFETY: installed by `pick_axpy` only after NEON detection; panel
+    // widths are equalized by the caller.
     unsafe { axpy_neon(av, brow, acc) }
 }
 

@@ -29,6 +29,7 @@ use std::collections::{BinaryHeap, HashSet};
 use std::time::Instant;
 use vdb_profile::{self as profile, Category};
 use vdb_storage::heap::{as_bytes_f32, bytemuck_f32};
+use vdb_storage::tuple::{decode_u32_at, decode_u64_at};
 use vdb_storage::{BufferManager, Page, RelId, Result, Tid};
 use vdb_vecmath::{BuildTiming, HnswParams, KHeap, Neighbor, VectorSet};
 
@@ -172,6 +173,7 @@ impl PaseHnswIndex {
                 None => {
                     let (blk, off) = bm.new_page(self.adj_rel, 0, |p| {
                         p.add_item(&tuple)
+                            // PANIC-OK: the tuple is sized from self.capacity(), far below page capacity.
                             .expect("fresh page fits an adjacency tuple")
                     })?;
                     current = Some(blk);
@@ -199,6 +201,7 @@ impl PaseHnswIndex {
         }
         let tid = self.nodes[node as usize].vec_tid;
         bm.with_page(self.vec_rel, tid.block, |p| {
+            // PANIC-OK: the TID was recorded by this index at insert; absence is index corruption.
             let bytes = p.item(tid.offset).expect("vector tuple must exist");
             let v = bytemuck_f32(&bytes[8..]);
             let _t = profile::scoped(Category::DistanceCalc);
@@ -216,14 +219,13 @@ impl PaseHnswIndex {
         let esize = self.entry_size();
         bm.with_page(self.adj_rel, blk, |p| {
             let _t = profile::scoped(Category::NeighborIter);
+            // PANIC-OK: adjacency TIDs are index-owned and never deleted; absence is corruption.
             let bytes = p.item(off).expect("adjacency tuple must exist");
-            let count = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+            let count = decode_u32_at(bytes, 0) as usize;
             let mut out = Vec::with_capacity(count);
             for i in 0..count {
                 let base = ADJ_HEADER + i * esize;
-                out.push(u32::from_le_bytes(
-                    bytes[base..base + 4].try_into().unwrap(),
-                ));
+                out.push(decode_u32_at(bytes, base));
             }
             out
         })
@@ -244,6 +246,7 @@ impl PaseHnswIndex {
             })
             .collect();
         bm.with_page_mut(self.adj_rel, blk, |p| {
+            // PANIC-OK: adjacency TIDs are index-owned and never deleted; absence is corruption.
             let bytes = p.item_mut(off).expect("adjacency tuple must exist");
             bytes[0..4].copy_from_slice(&(entries.len() as u32).to_le_bytes());
             for (i, &(nb, vec_tid, nblk)) in entries.iter().enumerate() {
@@ -271,8 +274,9 @@ impl PaseHnswIndex {
         let meta = &self.nodes[nb as usize];
         let (vec_tid, nblk) = (meta.vec_tid, meta.adj.first().map_or(0, |&(b, _)| b));
         bm.with_page_mut(self.adj_rel, blk, |p| {
+            // PANIC-OK: adjacency TIDs are index-owned and never deleted; absence is corruption.
             let bytes = p.item_mut(off).expect("adjacency tuple must exist");
-            let count = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+            let count = decode_u32_at(bytes, 0) as usize;
             if count >= cap {
                 return false;
             }
@@ -406,6 +410,7 @@ impl PaseHnswIndex {
         }
         let tid = self.nodes[node as usize].vec_tid;
         bm.with_page(self.vec_rel, tid.block, |p| {
+            // PANIC-OK: the TID was recorded by this index at insert; absence is index corruption.
             let bytes = p.item(tid.offset).expect("vector tuple must exist");
             bytemuck_f32(&bytes[8..]).to_vec()
         })
@@ -519,8 +524,9 @@ impl PaseHnswIndex {
         for n in found {
             let tid = self.nodes[n.id as usize].vec_tid;
             let app_id = bm.with_page(self.vec_rel, tid.block, |p| {
+                // PANIC-OK: the TID was recorded by this index at insert; absence is index corruption.
                 let bytes = p.item(tid.offset).expect("vector tuple must exist");
-                u64::from_le_bytes(bytes[..8].try_into().unwrap())
+                decode_u64_at(bytes, 0)
             })?;
             out.push(Neighbor::new(app_id, n.distance));
         }
@@ -622,6 +628,7 @@ fn append_tuple(bm: &BufferManager, rel: RelId, tuple: &[u8]) -> Result<Tid> {
         }
     }
     let (blk, off) = bm.new_page(rel, 0, |p| {
+        // PANIC-OK: callers size tuples below max_item_size; an empty page always fits one.
         p.add_item(tuple).expect("fresh page must fit tuple")
     })?;
     Ok(Tid::new(blk, off))

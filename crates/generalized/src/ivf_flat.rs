@@ -11,11 +11,12 @@
 
 use crate::index_am::PaseIndex;
 use crate::options::{GeneralizedOptions, ParallelMode};
-use parking_lot::Mutex;
 use std::time::Instant;
 use vdb_filter::{FilterStrategy, SelectionBitmap};
 use vdb_profile::{self as profile, Category};
 use vdb_storage::heap::{as_bytes_f32, bytemuck_f32};
+use vdb_storage::sync::OrderedMutex;
+use vdb_storage::tuple::{decode_u32_at, decode_u64_at};
 use vdb_storage::{BufferManager, Page, RelId, Result, Tid};
 use vdb_vecmath::sampling::sample_indices;
 use vdb_vecmath::{BuildTiming, IvfParams, KHeap, Kmeans, KmeansParams, Neighbor, VectorSet};
@@ -179,6 +180,7 @@ impl PaseIvfFlatIndex {
         // Need a fresh page at the end of the chain.
         let (blk, off) = bm.new_page(self.data_rel, SPECIAL_LEN, |p| {
             write_special(p, NO_NEXT, b as u32);
+            // PANIC-OK: build checked the tuple against empty-page capacity up front.
             p.add_item(&tuple).expect("fresh page fits one tuple")
         })?;
         match self.chains[b] {
@@ -235,7 +237,7 @@ impl PaseIvfFlatIndex {
         loop {
             let next = bm.with_page(self.data_rel, blk, |p| {
                 for (_, bytes) in p.items() {
-                    let id = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+                    let id = decode_u64_at(bytes, 0);
                     f(id, bytemuck_f32(&bytes[8..]));
                 }
                 read_special(p).0
@@ -345,12 +347,12 @@ impl PaseIvfFlatIndex {
             .map(|q| self.select_probes(bm, q, nprobe))
             .collect::<Result<_>>()?;
         let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
-        let errors: Mutex<Option<vdb_storage::StorageError>> = Mutex::new(None);
+        let errors: OrderedMutex<Option<vdb_storage::StorageError>> = OrderedMutex::engine(None);
         match self.opts.parallel {
             ParallelMode::GlobalLockedHeap => {
                 // One shared, mutex-guarded collector per query (RC#3).
-                let shared: Vec<Mutex<vdb_vecmath::TopKCollector>> = (0..queries.len())
-                    .map(|_| Mutex::new(self.opts.topk.collector(k)))
+                let shared: Vec<OrderedMutex<vdb_vecmath::TopKCollector>> = (0..queries.len())
+                    .map(|_| OrderedMutex::engine(self.opts.topk.collector(k)))
                     .collect();
                 vdb_vecmath::parallel::rounds(
                     queries.len(),
@@ -459,12 +461,7 @@ impl PaseIvfFlatIndex {
                 let tuples: Vec<(u64, &[f32])> = {
                     let _t = profile::scoped(Category::TupleAccess);
                     p.items()
-                        .map(|(_, bytes)| {
-                            (
-                                u64::from_le_bytes(bytes[..8].try_into().unwrap()),
-                                bytemuck_f32(&bytes[8..]),
-                            )
-                        })
+                        .map(|(_, bytes)| (decode_u64_at(bytes, 0), bytemuck_f32(&bytes[8..])))
                         .collect()
                 };
                 {
@@ -534,7 +531,7 @@ impl PaseIvfFlatIndex {
                 for (_, bytes) in p.items() {
                     let id = {
                         let _t = profile::scoped(Category::TupleAccess);
-                        u64::from_le_bytes(bytes[..8].try_into().unwrap())
+                        decode_u64_at(bytes, 0)
                     };
                     let passes = {
                         let _t = profile::scoped(Category::FilterEval);
@@ -582,8 +579,9 @@ impl PaseIvfFlatIndex {
         let chunk = probes.len().div_ceil(threads);
         match self.opts.parallel {
             ParallelMode::GlobalLockedHeap => {
-                let shared = Mutex::new(self.opts.topk.collector(k));
-                let errors: Mutex<Option<vdb_storage::StorageError>> = Mutex::new(None);
+                let shared = OrderedMutex::engine(self.opts.topk.collector(k));
+                let errors: OrderedMutex<Option<vdb_storage::StorageError>> =
+                    OrderedMutex::engine(None);
                 crossbeam::thread::scope(|s| {
                     let shared = &shared;
                     let errors = &errors;
@@ -602,6 +600,7 @@ impl PaseIvfFlatIndex {
                         });
                     }
                 })
+                // PANIC-OK: join() only fails if the worker panicked — propagate, don't swallow.
                 .expect("search worker panicked");
                 if let Some(e) = errors.into_inner() {
                     return Err(e);
@@ -609,8 +608,9 @@ impl PaseIvfFlatIndex {
                 Ok(shared.into_inner().into_sorted())
             }
             ParallelMode::LocalHeapMerge => {
-                let locals: Mutex<Vec<KHeap>> = Mutex::new(Vec::new());
-                let errors: Mutex<Option<vdb_storage::StorageError>> = Mutex::new(None);
+                let locals: OrderedMutex<Vec<KHeap>> = OrderedMutex::engine(Vec::new());
+                let errors: OrderedMutex<Option<vdb_storage::StorageError>> =
+                    OrderedMutex::engine(None);
                 crossbeam::thread::scope(|s| {
                     let locals = &locals;
                     let errors = &errors;
@@ -629,6 +629,7 @@ impl PaseIvfFlatIndex {
                         });
                     }
                 })
+                // PANIC-OK: join() only fails if the worker panicked — propagate, don't swallow.
                 .expect("search worker panicked");
                 if let Some(e) = errors.into_inner() {
                     return Err(e);
@@ -755,6 +756,7 @@ fn write_vector_pages(bm: &BufferManager, rel: RelId, vectors: &VectorSet) -> Re
         };
         if !placed {
             let (blk, _) = bm.new_page(rel, 0, |p| {
+                // PANIC-OK: one centroid vector is checked to fit a page at build time.
                 p.add_item(bytes).expect("fresh page fits a centroid")
             })?;
             current = Some(blk);
@@ -771,10 +773,7 @@ fn write_special(p: &mut Page, next: u32, bucket: u32) {
 
 fn read_special(p: &Page) -> (u32, u32) {
     let sp = p.special();
-    (
-        u32::from_le_bytes(sp[0..4].try_into().unwrap()),
-        u32::from_le_bytes(sp[4..8].try_into().unwrap()),
-    )
+    (decode_u32_at(sp, 0), decode_u32_at(sp, 4))
 }
 
 #[cfg(test)]

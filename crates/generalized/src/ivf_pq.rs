@@ -9,10 +9,11 @@
 
 use crate::index_am::PaseIndex;
 use crate::options::{GeneralizedOptions, ParallelMode};
-use parking_lot::Mutex;
 use std::time::Instant;
 use vdb_profile::{self as profile, Category};
 use vdb_storage::heap::{as_bytes_f32, bytemuck_f32};
+use vdb_storage::sync::OrderedMutex;
+use vdb_storage::tuple::{decode_u32_at, decode_u64_at};
 use vdb_storage::{BufferManager, Page, RelId, Result, Tid};
 use vdb_vecmath::sampling::sample_indices;
 use vdb_vecmath::{
@@ -179,6 +180,7 @@ impl PaseIvfPqIndex {
         }
         let (blk, off) = bm.new_page(self.data_rel, SPECIAL_LEN, |p| {
             write_special(p, NO_NEXT, b as u32);
+            // PANIC-OK: a PQ code tuple (8 + m bytes) is far below page capacity.
             p.add_item(&tuple).expect("fresh page fits one code tuple")
         })?;
         match self.chains[b] {
@@ -232,7 +234,7 @@ impl PaseIvfPqIndex {
         loop {
             let next = bm.with_page(self.data_rel, blk, |p| {
                 for (_, bytes) in p.items() {
-                    let id = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+                    let id = decode_u64_at(bytes, 0);
                     f(id, &bytes[8..]);
                 }
                 read_special(p).0
@@ -348,11 +350,11 @@ impl PaseIvfPqIndex {
             })
             .collect::<Result<_>>()?;
         let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
-        let errors: Mutex<Option<vdb_storage::StorageError>> = Mutex::new(None);
+        let errors: OrderedMutex<Option<vdb_storage::StorageError>> = OrderedMutex::engine(None);
         match self.opts.parallel {
             ParallelMode::GlobalLockedHeap => {
-                let shared: Vec<Mutex<vdb_vecmath::TopKCollector>> = (0..queries.len())
-                    .map(|_| Mutex::new(self.opts.topk.collector(k)))
+                let shared: Vec<OrderedMutex<vdb_vecmath::TopKCollector>> = (0..queries.len())
+                    .map(|_| OrderedMutex::engine(self.opts.topk.collector(k)))
                     .collect();
                 vdb_vecmath::parallel::rounds(
                     queries.len(),
@@ -455,12 +457,7 @@ impl PaseIvfPqIndex {
                 let tuples: Vec<(u64, &[u8])> = {
                     let _t = profile::scoped(Category::TupleAccess);
                     p.items()
-                        .map(|(_, bytes)| {
-                            (
-                                u64::from_le_bytes(bytes[..8].try_into().unwrap()),
-                                &bytes[8..],
-                            )
-                        })
+                        .map(|(_, bytes)| (decode_u64_at(bytes, 0), &bytes[8..]))
                         .collect()
                 };
                 {
@@ -495,10 +492,10 @@ impl PaseIvfPqIndex {
     ) -> Result<Vec<Neighbor>> {
         let threads = self.opts.threads.min(probes.len()).max(1);
         let chunk = probes.len().div_ceil(threads);
-        let errors: Mutex<Option<vdb_storage::StorageError>> = Mutex::new(None);
+        let errors: OrderedMutex<Option<vdb_storage::StorageError>> = OrderedMutex::engine(None);
         match self.opts.parallel {
             ParallelMode::GlobalLockedHeap => {
-                let shared = Mutex::new(self.opts.topk.collector(k));
+                let shared = OrderedMutex::engine(self.opts.topk.collector(k));
                 crossbeam::thread::scope(|s| {
                     let shared = &shared;
                     let errors = &errors;
@@ -515,6 +512,7 @@ impl PaseIvfPqIndex {
                         });
                     }
                 })
+                // PANIC-OK: join() only fails if the worker panicked — propagate, don't swallow.
                 .expect("search worker panicked");
                 if let Some(e) = errors.into_inner() {
                     return Err(e);
@@ -522,7 +520,7 @@ impl PaseIvfPqIndex {
                 Ok(shared.into_inner().into_sorted())
             }
             ParallelMode::LocalHeapMerge => {
-                let locals: Mutex<Vec<KHeap>> = Mutex::new(Vec::new());
+                let locals: OrderedMutex<Vec<KHeap>> = OrderedMutex::engine(Vec::new());
                 crossbeam::thread::scope(|s| {
                     let locals = &locals;
                     let errors = &errors;
@@ -541,6 +539,7 @@ impl PaseIvfPqIndex {
                         });
                     }
                 })
+                // PANIC-OK: join() only fails if the worker panicked — propagate, don't swallow.
                 .expect("search worker panicked");
                 if let Some(e) = errors.into_inner() {
                     return Err(e);
@@ -612,6 +611,7 @@ fn write_vector_pages(bm: &BufferManager, rel: RelId, vectors: &VectorSet) -> Re
         };
         if !placed {
             let (blk, _) = bm.new_page(rel, 0, |p| {
+                // PANIC-OK: one centroid vector is checked to fit a page at build time.
                 p.add_item(bytes).expect("fresh page fits a centroid")
             })?;
             current = Some(blk);
@@ -633,6 +633,7 @@ fn write_codebook_pages(bm: &BufferManager, rel: RelId, pq: &ProductQuantizer) -
             };
             if !placed {
                 let (blk, _) = bm.new_page(rel, 0, |p| {
+                    // PANIC-OK: one PQ codeword row is far below page capacity.
                     p.add_item(bytes).expect("fresh page fits a codeword")
                 })?;
                 current = Some(blk);
@@ -650,10 +651,7 @@ fn write_special(p: &mut Page, next: u32, bucket: u32) {
 
 fn read_special(p: &Page) -> (u32, u32) {
     let sp = p.special();
-    (
-        u32::from_le_bytes(sp[0..4].try_into().unwrap()),
-        u32::from_le_bytes(sp[4..8].try_into().unwrap()),
-    )
+    (decode_u32_at(sp, 0), decode_u32_at(sp, 4))
 }
 
 #[cfg(test)]

@@ -43,17 +43,23 @@ pub struct QueryResult {
 }
 
 impl QueryResult {
-    /// Convenience: the `id` column of every row (errors if absent).
+    /// Convenience: the `id` column of every row.
+    ///
+    /// # Panics
+    /// Panics if the result has no integer `id` column. This is a
+    /// test/assertion helper — production callers read `rows` directly.
     pub fn ids(&self) -> Vec<i64> {
         let idx = self
             .columns
             .iter()
             .position(|c| c == "id")
+            // PANIC-OK: documented panic of an assertion helper (see # Panics).
             .expect("no id column");
         self.rows
             .iter()
             .map(|r| match &r[idx] {
                 Value::Int(i) => *i,
+                // PANIC-OK: documented panic of an assertion helper.
                 other => panic!("id column holds {other:?}"),
             })
             .collect()
@@ -386,7 +392,9 @@ impl Database {
             ..
         } = stmt
         else {
-            unreachable!("select() called with non-select");
+            return Err(SqlError::Semantic(
+                "select() requires a SELECT statement".into(),
+            ));
         };
         let table_name = table.clone();
         let projection = columns.clone();
@@ -537,7 +545,11 @@ impl Database {
                 existed
             }
             "index" => self.indexes.remove(&name).is_some(),
-            _ => unreachable!("parser guarantees table|index"),
+            other => {
+                return Err(SqlError::Semantic(format!(
+                    "DROP target must be table or index, not {other:?}"
+                )))
+            }
         };
         if removed {
             Ok(QueryResult::default())

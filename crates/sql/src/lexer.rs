@@ -123,11 +123,12 @@ pub fn tokenize_spanned(input: &str) -> Result<Vec<SpannedToken>> {
                 let three: &[u8] = bytes.get(i..i + 3).unwrap_or_default();
                 match three {
                     b"<->" | b"<#>" | b"<=>" => {
-                        push(
-                            Token::VectorOp(std::str::from_utf8(three).unwrap().to_string()),
-                            start,
-                            &mut tokens,
-                        );
+                        let op = match three {
+                            b"<->" => "<->",
+                            b"<#>" => "<#>",
+                            _ => "<=>",
+                        };
+                        push(Token::VectorOp(op.to_string()), start, &mut tokens);
                         i += 3;
                     }
                     _ => match bytes.get(i + 1) {

@@ -88,7 +88,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, tok: Token) -> Result<()> {
+    fn expect_token(&mut self, tok: Token) -> Result<()> {
         let at = self.offset_here();
         let got = self.next()?;
         if got == tok {
@@ -162,7 +162,7 @@ impl Parser {
 
     fn create_table(&mut self) -> Result<Statement> {
         let name = self.ident()?;
-        self.expect(Token::LParen)?;
+        self.expect_token(Token::LParen)?;
         let mut columns = Vec::new();
         loop {
             let col = self.ident()?;
@@ -182,7 +182,7 @@ impl Parser {
                     // float[] / float[d] is the vector column; a bare
                     // float is a scalar attribute.
                     if matches!(self.peek(), Some(Token::LBracket)) {
-                        self.expect(Token::LBracket)?;
+                        self.expect_token(Token::LBracket)?;
                         let dim = match self.peek() {
                             Some(Token::Number(_)) => {
                                 let at = self.offset_here();
@@ -197,7 +197,7 @@ impl Parser {
                             }
                             _ => None,
                         };
-                        self.expect(Token::RBracket)?;
+                        self.expect_token(Token::RBracket)?;
                         columns.push(ColumnDef::Vector(col, dim));
                     } else {
                         columns.push(ColumnDef::Attr(col));
@@ -232,16 +232,16 @@ impl Parser {
             message: format!("unknown access method {am:?}"),
             offset: am_at,
         })?;
-        self.expect(Token::LParen)?;
+        self.expect_token(Token::LParen)?;
         let column = self.ident()?;
-        self.expect(Token::RParen)?;
+        self.expect_token(Token::RParen)?;
 
         let mut options = Vec::new();
         if self.eat_ident("with") {
-            self.expect(Token::LParen)?;
+            self.expect_token(Token::LParen)?;
             loop {
                 let key = self.ident()?;
-                self.expect(Token::Equals)?;
+                self.expect_token(Token::Equals)?;
                 let value = self.number()?;
                 options.push(IndexOption { key, value });
                 match self.next()? {
@@ -271,9 +271,9 @@ impl Parser {
         self.expect_ident("values")?;
         let mut rows = Vec::new();
         loop {
-            self.expect(Token::LParen)?;
+            self.expect_token(Token::LParen)?;
             let id = self.number()? as i64;
-            self.expect(Token::Comma)?;
+            self.expect_token(Token::Comma)?;
             // Zero or more scalar attribute values, then the vector
             // string literal.
             let mut attrs = Vec::new();
@@ -281,11 +281,13 @@ impl Parser {
                 match self.peek() {
                     Some(Token::Number(_)) => {
                         attrs.push(self.number()?);
-                        self.expect(Token::Comma)?;
+                        self.expect_token(Token::Comma)?;
                     }
                     Some(Token::StringLit(_)) => {
                         let at = self.offset_here();
                         let Token::StringLit(s) = self.next()? else {
+                            // PANIC-OK: peek() matched StringLit above;
+                            // next() returns that same token.
                             unreachable!()
                         };
                         let vector = parse_vector_text(&s)?;
@@ -304,7 +306,7 @@ impl Parser {
                     }
                 }
             };
-            self.expect(Token::RParen)?;
+            self.expect_token(Token::RParen)?;
             rows.push((id, attrs, vector));
             if matches!(self.peek(), Some(Token::Comma)) {
                 self.pos += 1;
@@ -438,18 +440,18 @@ impl Parser {
         if matches!(self.peek(), Some(Token::LParen)) {
             self.pos += 1;
             let inner = self.predicate()?;
-            self.expect(Token::RParen)?;
+            self.expect_token(Token::RParen)?;
             return Ok(inner);
         }
         let column = self.ident()?;
         if self.eat_ident("in") {
-            self.expect(Token::LParen)?;
+            self.expect_token(Token::LParen)?;
             let mut values = vec![self.number()?];
             while matches!(self.peek(), Some(Token::Comma)) {
                 self.pos += 1;
                 values.push(self.number()?);
             }
-            self.expect(Token::RParen)?;
+            self.expect_token(Token::RParen)?;
             return Ok(Predicate::In { column, values });
         }
         if self.eat_ident("between") {
@@ -490,7 +492,7 @@ impl Parser {
                 offset: col_at,
             });
         }
-        self.expect(Token::Equals)?;
+        self.expect_token(Token::Equals)?;
         let id = self.number()? as i64;
         Ok(Statement::Delete { table, id })
     }

@@ -132,12 +132,12 @@ pub fn plan_select(
     let Some(ob) = order_by else {
         return Ok(match where_clause {
             // The classic point lookup keeps its dedicated plan.
-            Some(pred) if pred.as_id_equality().is_some() => Plan::PointLookup {
-                id: pred.as_id_equality().unwrap(),
-            },
-            Some(pred) => Plan::FilteredScan {
-                pred: pred.clone(),
-                limit: *limit,
+            Some(pred) => match pred.as_id_equality() {
+                Some(id) => Plan::PointLookup { id },
+                None => Plan::FilteredScan {
+                    pred: pred.clone(),
+                    limit: *limit,
+                },
             },
             None => Plan::FullScan { limit: *limit },
         });

@@ -15,9 +15,10 @@
 //! the steady-state cost is pure indirection — which is the point.
 
 use crate::disk::{DiskManager, RelId};
+use crate::lockorder::LockClass;
 use crate::page::{Page, PageSize};
+use crate::sync::{OrderedMutex, OrderedRwLock};
 use crate::{Result, StorageError};
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -50,8 +51,8 @@ struct PoolInner {
 /// The buffer pool.
 pub struct BufferManager {
     disk: Arc<DiskManager>,
-    frames: Vec<RwLock<Page>>,
-    inner: Mutex<PoolInner>,
+    frames: Vec<OrderedRwLock<Page>>,
+    inner: OrderedMutex<PoolInner>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -69,7 +70,7 @@ impl BufferManager {
         assert!(capacity_pages > 0, "buffer pool needs at least one frame");
         let page_size = disk.page_size();
         let frames = (0..capacity_pages)
-            .map(|_| RwLock::new(Page::new(page_size)))
+            .map(|_| OrderedRwLock::new(LockClass::Frame, Page::new(page_size)))
             .collect();
         let meta = (0..capacity_pages)
             .map(|_| FrameMeta {
@@ -82,11 +83,14 @@ impl BufferManager {
         BufferManager {
             disk,
             frames,
-            inner: Mutex::new(PoolInner {
-                map: HashMap::new(),
-                meta,
-                hand: 0,
-            }),
+            inner: OrderedMutex::new(
+                LockClass::PoolInner,
+                PoolInner {
+                    map: HashMap::new(),
+                    meta,
+                    hand: 0,
+                },
+            ),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),

@@ -68,18 +68,32 @@ impl DiskManager {
     }
 
     /// Copy a block's bytes out.
+    ///
+    /// Under `strict-invariants` the stored checksum (stamped by
+    /// [`DiskManager::write_block`]) is verified before the bytes are
+    /// handed to the buffer pool, so a page image corrupted at rest is
+    /// caught at the read, not when a garbled line pointer misbehaves.
     pub fn read_block(&self, rel: RelId, block: u32) -> Result<Box<[u8]>> {
         let mut inner = self.inner.write();
         inner.reads += 1;
-        inner
+        let bytes = inner
             .relations
             .get(rel.0 as usize)
             .and_then(|r| r.get(block as usize))
             .cloned()
-            .ok_or(StorageError::InvalidBlock(block))
+            .ok_or(StorageError::InvalidBlock(block))?;
+        #[cfg(feature = "strict-invariants")]
+        assert!(
+            crate::page::verify_checksum(&bytes),
+            "page checksum mismatch reading rel {} block {block}",
+            rel.0
+        );
+        Ok(bytes)
     }
 
-    /// Copy a block's bytes in.
+    /// Copy a block's bytes in. Under `strict-invariants` the stored
+    /// image is stamped with its checksum (the in-memory LSN slot of
+    /// `data` is left untouched).
     pub fn write_block(&self, rel: RelId, block: u32, data: &[u8]) -> Result<()> {
         assert_eq!(data.len(), self.page_size.bytes(), "page size mismatch");
         let mut inner = self.inner.write();
@@ -90,6 +104,8 @@ impl DiskManager {
             .and_then(|r| r.get_mut(block as usize))
             .ok_or(StorageError::InvalidBlock(block))?;
         slot.copy_from_slice(data);
+        #[cfg(feature = "strict-invariants")]
+        crate::page::stamp_checksum(slot);
         Ok(())
     }
 

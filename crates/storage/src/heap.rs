@@ -61,17 +61,52 @@ impl HeapTable {
         let hint = *self.last_block.lock();
         if let Some(blk) = hint {
             if let Some(off) = bm.with_page_mut(self.rel, blk, |p| p.add_item(tuple))? {
-                return Ok(Tid::new(blk, off));
+                let tid = Tid::new(blk, off);
+                self.audit_insert(bm, tid, tuple)?;
+                return Ok(tid);
             }
         }
 
         // Slow path: fresh page.
+        // PANIC-OK: tuple.len() was checked against max_item_size above,
+        // so an empty page always has room; failure is a code bug.
         let (blk, off) = bm.new_page(self.rel, 0, |p| {
             p.add_item(tuple)
                 .expect("fresh page must fit a checked tuple")
         })?;
         *self.last_block.lock() = Some(blk);
-        Ok(Tid::new(blk, off))
+        let tid = Tid::new(blk, off);
+        self.audit_insert(bm, tid, tuple)?;
+        Ok(tid)
+    }
+
+    /// Post-insert invariant (strict-invariants only): the TID handed
+    /// back must be structurally valid — block within the relation's
+    /// extent, 1-based offset — and resolving it through the buffer
+    /// pool must read back exactly the bytes just written. Catches
+    /// insertion-path bugs (wrong hint block, misrecorded offset) at
+    /// the boundary instead of as silent wrong answers later.
+    #[cfg(feature = "strict-invariants")]
+    fn audit_insert(&self, bm: &BufferManager, tid: Tid, tuple: &[u8]) -> Result<()> {
+        assert!(tid.offset >= 1, "heap audit: TID offsets are 1-based");
+        assert!(
+            (tid.block as usize) < bm.disk().nblocks(self.rel),
+            "heap audit: insert returned block {} beyond extent {}",
+            tid.block,
+            bm.disk().nblocks(self.rel)
+        );
+        let matches = self.fetch_bytes(bm, tid, |bytes| bytes == tuple)?;
+        assert!(
+            matches,
+            "heap audit: tuple at {tid:?} does not round-trip the inserted bytes"
+        );
+        Ok(())
+    }
+
+    #[cfg(not(feature = "strict-invariants"))]
+    #[inline(always)]
+    fn audit_insert(&self, _bm: &BufferManager, _tid: Tid, _tuple: &[u8]) -> Result<()> {
+        Ok(())
     }
 
     /// Fetch the tuple at `tid` and run `f` on its bytes.
@@ -152,11 +187,18 @@ pub fn bytemuck_f32(bytes: &[u8]) -> &[f32] {
         0,
         "unaligned f32 tuple"
     );
+    // SAFETY: `ptr` is valid for `bytes.len()` bytes borrowed from
+    // `bytes` (lifetime carried to the output), the length is a
+    // multiple of 4 and alignment is 4 (both asserted above), and any
+    // bit pattern is a valid f32.
     unsafe { std::slice::from_raw_parts(ptr.cast::<f32>(), bytes.len() / 4) }
 }
 
 /// View an f32 slice as bytes for insertion.
 pub fn as_bytes_f32(values: &[f32]) -> &[u8] {
+    // SAFETY: `values` is a valid borrow of `4 * len` bytes, u8 has
+    // alignment 1, every byte of an f32 slice is initialized, and the
+    // output shares `values`' lifetime.
     unsafe { std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 4) }
 }
 

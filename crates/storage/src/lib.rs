@@ -29,7 +29,9 @@ pub mod buffer;
 pub mod catalog;
 pub mod disk;
 pub mod heap;
+pub mod lockorder;
 pub mod page;
+pub mod sync;
 pub mod tid;
 pub mod tuple;
 

@@ -1,0 +1,187 @@
+//! Debug lock-order tracker for the buffer pool's lock hierarchy (RC#3's
+//! natural habitat).
+//!
+//! The storage layer has a strict acquisition order:
+//!
+//! ```text
+//! PoolInner (buffer-pool metadata mutex)
+//!   → Frame (per-frame page RwLock)
+//!       → EngineShared (engine-side collector/error mutexes)
+//! ```
+//!
+//! `pin()` takes the pool mutex and then latches a frame (miss path);
+//! bucket scans latch a frame and push into a shared collector. The one
+//! order that must *never* occur is the reverse: acquiring the pool
+//! mutex while a frame latch (or an engine lock) is held — two threads
+//! doing that against each other's frames deadlock, which is exactly
+//! the hazard the paper's globally-locked-heap discussion circles.
+//!
+//! Under the `strict-invariants` feature every acquisition through
+//! [`crate::sync`] (and the `BufferManager` internals) is recorded in a
+//! thread-local stack; acquiring a class whose rank is not strictly
+//! greater than everything already held panics with the full held-lock
+//! trace. Without the feature the tracker compiles to nothing.
+
+/// The lock classes of the storage hierarchy, in acquisition order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockClass {
+    /// The buffer pool's metadata mutex (`PoolInner`). Root of the
+    /// order: nothing may be held when acquiring it.
+    PoolInner,
+    /// A buffer frame's page `RwLock` (PostgreSQL's buffer latch).
+    Frame,
+    /// Engine-side shared state (parallel-search collectors, error
+    /// slots). Leaf of the order: may be taken under a frame latch,
+    /// must never be held across a buffer-pool entry point.
+    EngineShared,
+}
+
+impl LockClass {
+    /// Position in the acquisition order (lower acquires first).
+    pub fn rank(self) -> u8 {
+        match self {
+            LockClass::PoolInner => 0,
+            LockClass::Frame => 1,
+            LockClass::EngineShared => 2,
+        }
+    }
+
+    /// Human-readable name for traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockClass::PoolInner => "PoolInner",
+            LockClass::Frame => "Frame",
+            LockClass::EngineShared => "EngineShared",
+        }
+    }
+}
+
+/// RAII record of one tracked acquisition; releases its stack entry on
+/// drop. Zero-sized when `strict-invariants` is off.
+#[must_use]
+pub struct Held {
+    #[cfg(feature = "strict-invariants")]
+    class: LockClass,
+}
+
+/// Record an acquisition of `class`.
+///
+/// # Panics
+/// With `strict-invariants` enabled, panics if the calling thread
+/// already holds a lock of equal or higher rank — the inversion that
+/// can deadlock — printing the held-lock trace.
+#[inline]
+pub fn acquire(class: LockClass) -> Held {
+    #[cfg(feature = "strict-invariants")]
+    imp::push(class);
+    #[cfg(not(feature = "strict-invariants"))]
+    let _ = class;
+    Held {
+        #[cfg(feature = "strict-invariants")]
+        class,
+    }
+}
+
+#[cfg(feature = "strict-invariants")]
+impl Drop for Held {
+    fn drop(&mut self) {
+        imp::pop(self.class);
+    }
+}
+
+/// The held-lock trace of the current thread (class names, oldest
+/// first). Empty when `strict-invariants` is off.
+pub fn held_trace() -> Vec<&'static str> {
+    #[cfg(feature = "strict-invariants")]
+    {
+        imp::trace()
+    }
+    #[cfg(not(feature = "strict-invariants"))]
+    {
+        Vec::new()
+    }
+}
+
+#[cfg(feature = "strict-invariants")]
+mod imp {
+    use super::LockClass;
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<LockClass>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn push(class: LockClass) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&blocking) = held.iter().find(|h| h.rank() >= class.rank()) {
+                let trace: Vec<&str> = held.iter().map(|h| h.name()).collect();
+                // Drop the borrow before panicking so the unwind (and
+                // any #[should_panic] harness) can reuse the cell.
+                drop(held);
+                // PANIC-OK: the whole point of the tracker — surface a
+                // would-be deadlock as a loud panic with its cycle trace.
+                panic!(
+                    "lock-order inversion: acquiring {} (rank {}) while holding {} \
+                     (rank {}); cycle trace, oldest first: [{}] -> {}",
+                    class.name(),
+                    class.rank(),
+                    blocking.name(),
+                    blocking.rank(),
+                    trace.join(" -> "),
+                    class.name(),
+                );
+            }
+            held.push(class);
+        });
+    }
+
+    pub(super) fn pop(class: LockClass) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&h| h == class) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    pub(super) fn trace() -> Vec<&'static str> {
+        HELD.with(|held| held.borrow().iter().map(|h| h.name()).collect())
+    }
+}
+
+#[cfg(all(test, feature = "strict-invariants"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increasing_rank_is_fine() {
+        let _a = acquire(LockClass::PoolInner);
+        let _b = acquire(LockClass::Frame);
+        let _c = acquire(LockClass::EngineShared);
+        assert_eq!(held_trace(), vec!["PoolInner", "Frame", "EngineShared"]);
+    }
+
+    #[test]
+    fn release_unwinds_the_stack() {
+        {
+            let _a = acquire(LockClass::Frame);
+        }
+        let _b = acquire(LockClass::PoolInner); // fine: frame released
+        assert_eq!(held_trace(), vec!["PoolInner"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn pool_under_frame_panics() {
+        let _frame = acquire(LockClass::Frame);
+        let _pool = acquire(LockClass::PoolInner);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn same_rank_reentry_panics() {
+        let _a = acquire(LockClass::EngineShared);
+        let _b = acquire(LockClass::EngineShared);
+    }
+}

@@ -43,8 +43,48 @@ const OFF_LOWER: usize = 0;
 const OFF_UPPER: usize = 2;
 const OFF_SPECIAL: usize = 4; // start of the special space
 const OFF_FLAGS: usize = 6;
-#[allow(dead_code)]
+/// Bytes 8..16 of the header. The LSN is unused by this engine (no
+/// WAL), so under `strict-invariants` the slot doubles as a page
+/// checksum stamped at the disk boundary; 0 means "unstamped".
 const OFF_LSN: usize = 8;
+
+/// FNV-1a 64 over a page image, with the checksum slot itself (bytes
+/// 8..16) hashed as zero so the stamp does not perturb its own input.
+pub fn page_checksum(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for (i, &b) in bytes.iter().enumerate() {
+        let b = if (OFF_LSN..OFF_LSN + 8).contains(&i) {
+            0
+        } else {
+            b
+        };
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // A real checksum of 0 would read as "unstamped"; remap it.
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// Stamp a page image's checksum slot in place.
+pub fn stamp_checksum(bytes: &mut [u8]) {
+    let sum = page_checksum(bytes);
+    bytes[OFF_LSN..OFF_LSN + 8].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Whether a page image's stamp matches its contents. Unstamped pages
+/// (slot == 0, e.g. fresh zeroed blocks) pass.
+pub fn verify_checksum(bytes: &[u8]) -> bool {
+    let mut slot = [0u8; 8];
+    slot.copy_from_slice(&bytes[OFF_LSN..OFF_LSN + 8]);
+    let stored = u64::from_le_bytes(slot);
+    stored == 0 || stored == page_checksum(bytes)
+}
 
 /// A slotted page.
 ///
@@ -94,7 +134,9 @@ impl Page {
             "corrupt page header (lower={lower} upper={upper} special={special} len={})",
             buf.len()
         );
-        Page { buf }
+        let page = Page { buf };
+        page.audit();
+        page
     }
 
     /// The raw bytes (for writing to disk).
@@ -164,6 +206,7 @@ impl Page {
         write_u16(&mut self.buf, lower + 2, data.len() as u16);
         write_u16(&mut self.buf, OFF_LOWER, (lower + LP_SIZE) as u16);
         write_u16(&mut self.buf, OFF_UPPER, new_upper as u16);
+        self.audit();
         Some(self.item_count())
     }
 
@@ -205,6 +248,7 @@ impl Page {
         }
         let base = HEADER_SIZE + (offno as usize - 1) * LP_SIZE;
         write_u16(&mut self.buf, base + 2, 0);
+        self.audit();
         true
     }
 
@@ -229,7 +273,61 @@ impl Page {
             write_u16(&mut self.buf, base + 2, data.len() as u16);
         }
         write_u16(&mut self.buf, OFF_UPPER, upper as u16);
+        self.audit();
     }
+
+    /// Structural audit of the slotted layout, active only under
+    /// `strict-invariants` (zero-cost otherwise). Checks the header
+    /// bounds, line-pointer-array alignment, and — for every live line
+    /// pointer — MAXALIGNed start, containment in the tuple space, and
+    /// pairwise disjointness. Runs after every mutation and on
+    /// [`Page::from_bytes`], so a corrupting write is caught at the
+    /// operation that made it, not pages later.
+    #[cfg(feature = "strict-invariants")]
+    fn audit(&self) {
+        let lower = self.lower();
+        let upper = self.upper();
+        let special = self.special_start();
+        assert!(
+            lower >= HEADER_SIZE && lower <= upper && upper <= special && special <= self.buf.len(),
+            "page audit: header out of order (lower={lower} upper={upper} special={special})"
+        );
+        assert!(
+            (lower - HEADER_SIZE).is_multiple_of(LP_SIZE),
+            "page audit: ragged line-pointer array (lower={lower})"
+        );
+        let mut extents: Vec<(usize, usize)> = Vec::new();
+        for offno in 1..=self.item_count() {
+            if let Some((off, len)) = self.lp(offno) {
+                assert!(
+                    off.is_multiple_of(8),
+                    "page audit: tuple {offno} start {off} not MAXALIGNed"
+                );
+                assert!(
+                    off >= upper && off + len <= special,
+                    "page audit: tuple {offno} [{off}, {}) outside tuple space \
+                     [{upper}, {special})",
+                    off + len
+                );
+                extents.push((off, off + len));
+            }
+        }
+        extents.sort_unstable();
+        for pair in extents.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].0,
+                "page audit: overlapping tuples at [{}, {}) and [{}, {})",
+                pair[0].0,
+                pair[0].1,
+                pair[1].0,
+                pair[1].1
+            );
+        }
+    }
+
+    #[cfg(not(feature = "strict-invariants"))]
+    #[inline(always)]
+    fn audit(&self) {}
 
     /// Iterate live tuples as `(offno, bytes)`.
     pub fn items(&self) -> impl Iterator<Item = (u16, &[u8])> {
@@ -345,6 +443,30 @@ mod tests {
         raw[0] = 0xFF; // lower > upper
         raw[1] = 0xFF;
         Page::from_bytes(raw);
+    }
+
+    #[test]
+    fn checksum_stamp_and_verify() {
+        let mut p = Page::new(PageSize::Size4K);
+        p.add_item(b"payload").unwrap();
+        let mut raw = p.bytes().to_vec();
+        assert!(verify_checksum(&raw), "unstamped page must pass");
+        stamp_checksum(&mut raw);
+        assert!(verify_checksum(&raw));
+        raw[100] ^= 0xFF;
+        assert!(!verify_checksum(&raw), "bit flip must be detected");
+    }
+
+    #[test]
+    fn checksum_ignores_its_own_slot() {
+        let p = Page::new(PageSize::Size8K);
+        let mut a = p.bytes().to_vec();
+        let mut b = p.bytes().to_vec();
+        stamp_checksum(&mut a);
+        stamp_checksum(&mut b);
+        stamp_checksum(&mut b); // double stamp is a fixed point
+        assert_eq!(a, b);
+        assert!(verify_checksum(&b));
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Lock-class-aware wrappers over `parking_lot` — the only sanctioned
+//! way for engine crates to hold shared state.
+//!
+//! `cargo xtask lint` forbids direct `parking_lot` use in the engine
+//! crates (`lock-discipline` rule): raw locks there have no recorded
+//! position in the storage hierarchy, so an engine mutex held across a
+//! buffer-pool call is invisible until it deadlocks. [`OrderedMutex`]
+//! and [`OrderedRwLock`] close that hole: every acquisition registers
+//! its [`LockClass`] with [`crate::lockorder`], which (under
+//! `strict-invariants`) panics with a cycle trace on rank inversion
+//! and compiles to the bare `parking_lot` call otherwise.
+//!
+//! Engine code should use [`OrderedMutex::engine`] /
+//! [`OrderedRwLock::engine`]: `EngineShared` ranks below nothing, so
+//! it may be taken inside `BufferManager::with_page` closures but
+//! never held across a pool entry point.
+
+use crate::lockorder::{self, Held, LockClass};
+use std::ops::{Deref, DerefMut};
+
+/// A `parking_lot::Mutex` with a fixed position in the storage lock
+/// hierarchy.
+pub struct OrderedMutex<T> {
+    class: LockClass,
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// A mutex at the given lock class.
+    pub fn new(class: LockClass, value: T) -> OrderedMutex<T> {
+        OrderedMutex {
+            class,
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// An engine-side mutex (rank [`LockClass::EngineShared`]) — the
+    /// constructor engine crates should use for collectors, error
+    /// slots, and other per-query shared state.
+    pub fn engine(value: T) -> OrderedMutex<T> {
+        OrderedMutex::new(LockClass::EngineShared, value)
+    }
+
+    /// Lock, recording the acquisition with the lock-order tracker
+    /// *before* blocking so inversions surface as panics rather than
+    /// deadlocks.
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        let held = lockorder::acquire(self.class);
+        OrderedMutexGuard {
+            guard: self.inner.lock(),
+            _held: held,
+        }
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    /// Exclusive access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+/// Guard for [`OrderedMutex::lock`]; releases the lock, then its
+/// tracker entry, on drop.
+pub struct OrderedMutexGuard<'a, T> {
+    guard: parking_lot::MutexGuard<'a, T>,
+    _held: Held,
+}
+
+impl<T> Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// A `parking_lot::RwLock` with a fixed position in the storage lock
+/// hierarchy.
+pub struct OrderedRwLock<T> {
+    class: LockClass,
+    inner: parking_lot::RwLock<T>,
+}
+
+impl<T> OrderedRwLock<T> {
+    /// An rwlock at the given lock class.
+    pub fn new(class: LockClass, value: T) -> OrderedRwLock<T> {
+        OrderedRwLock {
+            class,
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// An engine-side rwlock (rank [`LockClass::EngineShared`]).
+    pub fn engine(value: T) -> OrderedRwLock<T> {
+        OrderedRwLock::new(LockClass::EngineShared, value)
+    }
+
+    /// Shared lock; tracked like [`OrderedMutex::lock`]. Read and
+    /// write acquisitions rank identically — the deadlock cycle does
+    /// not care which flavour closes it.
+    pub fn read(&self) -> OrderedReadGuard<'_, T> {
+        let held = lockorder::acquire(self.class);
+        OrderedReadGuard {
+            guard: self.inner.read(),
+            _held: held,
+        }
+    }
+
+    /// Exclusive lock; tracked.
+    pub fn write(&self) -> OrderedWriteGuard<'_, T> {
+        let held = lockorder::acquire(self.class);
+        OrderedWriteGuard {
+            guard: self.inner.write(),
+            _held: held,
+        }
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    /// Exclusive access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+/// Guard for [`OrderedRwLock::read`].
+pub struct OrderedReadGuard<'a, T> {
+    guard: parking_lot::RwLockReadGuard<'a, T>,
+    _held: Held,
+}
+
+impl<T> Deref for OrderedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// Guard for [`OrderedRwLock::write`].
+pub struct OrderedWriteGuard<'a, T> {
+    guard: parking_lot::RwLockWriteGuard<'a, T>,
+    _held: Held,
+}
+
+impl<T> Deref for OrderedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for OrderedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = OrderedMutex::engine(vec![1u32]);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rwlock_readers_then_writer() {
+        let l = OrderedRwLock::engine(7u32);
+        {
+            let a = l.read();
+            assert_eq!(*a, 7);
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 8);
+    }
+
+    #[cfg(feature = "strict-invariants")]
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn engine_lock_under_engine_lock_panics() {
+        let a = OrderedMutex::engine(());
+        let b = OrderedMutex::engine(());
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+}

@@ -42,6 +42,8 @@ pub fn encode_tuple(id: i64, attrs: &[f64], vec: &[f32]) -> Vec<u8> {
 /// Panics if `bytes` is shorter than 8 bytes.
 #[inline]
 pub fn decode_id(bytes: &[u8]) -> i64 {
+    // PANIC-OK: documented panic on malformed tuples (see # Panics);
+    // callers hold tuples produced by encode_tuple.
     i64::from_le_bytes(bytes[..8].try_into().expect("tuple shorter than id"))
 }
 
@@ -52,10 +54,42 @@ pub fn decode_id(bytes: &[u8]) -> i64 {
 #[inline]
 pub fn decode_attr(bytes: &[u8], i: usize) -> f64 {
     let off = 8 + 8 * i;
+    // PANIC-OK: documented panic on malformed tuples (see # Panics).
     f64::from_le_bytes(
         bytes[off..off + 8]
             .try_into()
             .expect("tuple shorter than attr"),
+    )
+}
+
+/// Read a little-endian `u64` at byte offset `off` — the codec helper
+/// index pages use for entry headers (neighbor counts, child block
+/// ids) instead of open-coding `try_into().unwrap()` chains.
+///
+/// # Panics
+/// Panics if `bytes[off..off + 8]` is out of range.
+#[inline]
+pub fn decode_u64_at(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(
+        bytes[off..off + 8]
+            .try_into()
+            // PANIC-OK: documented panic on malformed entries (see
+            // # Panics); index pages are written by the same codec.
+            .expect("entry shorter than u64 field"),
+    )
+}
+
+/// Read a little-endian `u32` at byte offset `off`.
+///
+/// # Panics
+/// Panics if `bytes[off..off + 4]` is out of range.
+#[inline]
+pub fn decode_u32_at(bytes: &[u8], off: usize) -> u32 {
+    // PANIC-OK: documented panic on malformed entries (see # Panics).
+    u32::from_le_bytes(
+        bytes[off..off + 4]
+            .try_into()
+            .expect("entry shorter than u32 field"),
     )
 }
 
@@ -114,6 +148,15 @@ mod tests {
         let t = encode_tuple(1, &[1234567.0, -1.0], &[]);
         assert_eq!(decode_attr(&t, 0) as i64, 1234567);
         assert_eq!(decode_attr(&t, 1) as i64, -1);
+    }
+
+    #[test]
+    fn u64_u32_helpers_read_le_fields() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0xDEAD_BEEF_u64.to_le_bytes());
+        buf.extend_from_slice(&77u32.to_le_bytes());
+        assert_eq!(decode_u64_at(&buf, 0), 0xDEAD_BEEF);
+        assert_eq!(decode_u32_at(&buf, 8), 77);
     }
 
     #[test]

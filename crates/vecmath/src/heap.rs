@@ -166,7 +166,40 @@ impl KHeap {
             self.heap.pop();
             self.heap.push(cand);
         }
+        self.audit();
     }
+
+    /// Ordering audit, active only under `strict-invariants`: the heap
+    /// never exceeds `k` entries, the root is the worst kept entry
+    /// (so [`KHeap::threshold`] is an upper bound on everything held),
+    /// and the threshold is infinite exactly while the heap is
+    /// under-full. O(len) per push, debug builds only.
+    #[cfg(feature = "strict-invariants")]
+    fn audit(&self) {
+        assert!(
+            self.heap.len() <= self.k,
+            "KHeap audit: {} entries exceed k={}",
+            self.heap.len(),
+            self.k
+        );
+        if self.heap.len() < self.k {
+            assert_eq!(
+                self.threshold(),
+                f32::INFINITY,
+                "KHeap audit: under-full heap must not prune"
+            );
+        }
+        if let Some(root) = self.heap.peek() {
+            assert!(
+                self.heap.iter().all(|n| n <= root),
+                "KHeap audit: root {root:?} is not the maximum"
+            );
+        }
+    }
+
+    #[cfg(not(feature = "strict-invariants"))]
+    #[inline(always)]
+    fn audit(&self) {}
 
     /// Number of entries currently held.
     pub fn len(&self) -> usize {
@@ -182,6 +215,13 @@ impl KHeap {
     pub fn into_sorted(self) -> Vec<Neighbor> {
         let mut v = self.heap.into_vec();
         v.sort_unstable();
+        #[cfg(feature = "strict-invariants")]
+        assert!(
+            v.len() <= self.k && v.windows(2).all(|w| w[0] <= w[1]),
+            "KHeap audit: extraction produced {} unsorted/excess entries (k={})",
+            v.len(),
+            self.k
+        );
         v
     }
 

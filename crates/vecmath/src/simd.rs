@@ -264,12 +264,17 @@ mod x86 {
     /// yields a mask whose first `rem` lanes are set.
     static TAIL_MASK: [i32; 16] = [-1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0];
 
+    // SAFETY: caller must ensure `rem < 8` (debug-asserted)
+    // and that AVX2 is available; the load then stays inside
+    // TAIL_MASK: start index 8-rem plus 8 lanes ends at 16-rem <= 16.
     #[inline]
     unsafe fn tail_mask(rem: usize) -> __m256i {
         debug_assert!(rem < 8);
         _mm256_loadu_si256(TAIL_MASK.as_ptr().add(8 - rem) as *const __m256i)
     }
 
+    // SAFETY: register-only AVX shuffles/adds, no memory
+    // access; caller must ensure AVX is available.
     #[inline]
     unsafe fn hsum256(v: __m256) -> f32 {
         let lo = _mm256_castps256_ps128(v);
@@ -284,6 +289,9 @@ mod x86 {
     /// 8-lane squared L2 with four independent FMA accumulators (32
     /// floats per main-loop iteration) and a masked tail, the Rust
     /// analogue of Faiss's AVX `fvec_L2sqr`.
+    // SAFETY: caller must verify AVX2+FMA at runtime and pass
+    // `y.len() >= x.len()`; all unaligned loads stay inside the two
+    // borrowed slices (indices bounded by x.len()).
     #[target_feature(enable = "avx2,fma")]
     unsafe fn l2_sqr_avx2(x: &[f32], y: &[f32]) -> f32 {
         let n = x.len();
@@ -336,6 +344,8 @@ mod x86 {
 
     /// 8-lane inner product, same accumulator structure as
     /// [`l2_sqr_avx2`].
+    // SAFETY: same as `l2_sqr_avx2` — AVX2+FMA verified by the
+    // caller, loads bounded by x.len() within both slices.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn dot_avx2(x: &[f32], y: &[f32]) -> f32 {
         let n = x.len();
@@ -386,12 +396,15 @@ mod x86 {
 
     /// Safe wrapper: only installed in the dispatch table after
     /// `is_x86_feature_detected!` confirms AVX2+FMA.
-    pub fn l2_sqr_avx2_safe(x: &[f32], y: &[f32]) -> f32 {
+    pub(super) fn l2_sqr_avx2_safe(x: &[f32], y: &[f32]) -> f32 {
+        // SAFETY: dispatch installed this only after
+        // is_x86_feature_detected!("avx2"/"fma"); kernels validate lengths.
         unsafe { l2_sqr_avx2(x, y) }
     }
 
     /// Safe wrapper: see [`l2_sqr_avx2_safe`].
-    pub fn dot_avx2_safe(x: &[f32], y: &[f32]) -> f32 {
+    pub(super) fn dot_avx2_safe(x: &[f32], y: &[f32]) -> f32 {
+        // SAFETY: as in `l2_sqr_avx2_safe` — features runtime-verified.
         unsafe { dot_avx2(x, y) }
     }
 }
@@ -402,6 +415,8 @@ mod arm {
 
     /// 4-lane squared L2 with four independent FMA accumulators (16
     /// floats per main-loop iteration) and a scalar tail.
+    // SAFETY: caller must verify NEON at runtime and pass
+    // `y.len() >= x.len()`; loads are bounded by x.len() in both slices.
     #[target_feature(enable = "neon")]
     unsafe fn l2_sqr_neon(x: &[f32], y: &[f32]) -> f32 {
         let n = x.len();
@@ -438,6 +453,7 @@ mod arm {
     }
 
     /// 4-lane inner product, same structure as [`l2_sqr_neon`].
+    // SAFETY: same as `l2_sqr_neon`.
     #[target_feature(enable = "neon")]
     unsafe fn dot_neon(x: &[f32], y: &[f32]) -> f32 {
         let n = x.len();
@@ -468,12 +484,14 @@ mod arm {
     }
 
     /// Safe wrapper: only installed after NEON detection.
-    pub fn l2_sqr_neon_safe(x: &[f32], y: &[f32]) -> f32 {
+    pub(super) fn l2_sqr_neon_safe(x: &[f32], y: &[f32]) -> f32 {
+        // SAFETY: dispatch installed this only after NEON detection.
         unsafe { l2_sqr_neon(x, y) }
     }
 
     /// Safe wrapper: see [`l2_sqr_neon_safe`].
-    pub fn dot_neon_safe(x: &[f32], y: &[f32]) -> f32 {
+    pub(super) fn dot_neon_safe(x: &[f32], y: &[f32]) -> f32 {
+        // SAFETY: as in `l2_sqr_neon_safe` — NEON runtime-verified.
         unsafe { dot_neon(x, y) }
     }
 }

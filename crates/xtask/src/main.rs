@@ -1,0 +1,174 @@
+//! `cargo xtask` — workspace automation. The only subcommand today is
+//! `lint`, the static-analysis pass described in DESIGN.md §11.
+//!
+//! ```text
+//! cargo xtask lint                 # run every rule over the workspace
+//! cargo xtask lint --rule no-panic # run a subset
+//! cargo xtask lint --list          # list rules
+//! ```
+//!
+//! Exits 0 on a clean tree, 1 on usage errors, 2 when findings exist.
+
+mod rules;
+mod scan;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const RULES: &[(&str, &str)] = &[
+    (
+        "unsafe-confinement",
+        "`unsafe` only in whitelisted kernel/codec files",
+    ),
+    (
+        "safety-comment",
+        "every whitelisted `unsafe` site carries `// SAFETY:`",
+    ),
+    (
+        "no-panic",
+        "no unwrap/expect/panic! in non-test hot-path code (or `// PANIC-OK:`)",
+    ),
+    (
+        "lock-discipline",
+        "no direct parking_lot locks in engine crates; use vdb_storage::sync",
+    ),
+];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(args.collect()),
+        Some(other) => {
+            eprintln!("unknown xtask subcommand `{other}` (expected `lint`)");
+            ExitCode::from(1)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [--rule <name>]… [--list] [--root <dir>]");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn lint(args: Vec<String>) -> ExitCode {
+    let mut only: Vec<String> = Vec::new();
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => {
+                for (name, desc) in RULES {
+                    println!("{name:20} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--rule" => match it.next() {
+                Some(name) if RULES.iter().any(|(n, _)| *n == name) => only.push(name),
+                Some(name) => {
+                    eprintln!("unknown rule `{name}`; try `cargo xtask lint --list`");
+                    return ExitCode::from(1);
+                }
+                None => {
+                    eprintln!("--rule needs a rule name");
+                    return ExitCode::from(1);
+                }
+            },
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(1);
+                }
+            },
+            other => {
+                eprintln!("unknown lint option `{other}`");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(workspace_root);
+    let files = match rules::collect_workspace(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("cannot read workspace at {}: {e}", root.display());
+            return ExitCode::from(1);
+        }
+    };
+    let violations = rules::run_selected(&files, &only);
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!(
+            "xtask lint: clean ({} files, {} rules)",
+            files.len(),
+            if only.is_empty() {
+                RULES.len()
+            } else {
+                only.len()
+            }
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask lint: {} finding(s)", violations.len());
+        ExitCode::from(2)
+    }
+}
+
+/// The workspace root: `$CARGO_MANIFEST_DIR/../..` when run via cargo,
+/// else the nearest ancestor of the current directory with a
+/// `[workspace]` manifest.
+fn workspace_root() -> PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            return root.to_path_buf();
+        }
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+#[cfg(test)]
+mod repo_tests {
+    use super::*;
+
+    /// The acceptance gate, enforced in `cargo test` as well as CI: the
+    /// real tree must be clean under every rule.
+    #[test]
+    fn repo_tree_is_clean() {
+        let root = workspace_root();
+        assert!(
+            root.join("crates").is_dir(),
+            "workspace root not found from {root:?}"
+        );
+        let files = rules::collect_workspace(&root).expect("workspace readable");
+        assert!(
+            files.len() > 50,
+            "expected a populated workspace, got {} files",
+            files.len()
+        );
+        let violations = rules::run_all(&files);
+        assert!(
+            violations.is_empty(),
+            "xtask lint findings:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

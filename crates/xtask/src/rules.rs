@@ -1,0 +1,401 @@
+//! The repo rules `cargo xtask lint` enforces.
+//!
+//! | Rule | Scope | Requirement |
+//! |---|---|---|
+//! | `unsafe-confinement` | every `.rs` file | `unsafe` only in the whitelisted kernel/codec files |
+//! | `safety-comment` | whitelisted files | every `unsafe` site carries a `// SAFETY:` comment |
+//! | `no-panic` | hot-path crate sources | no `unwrap`/`expect`/`panic!`-family outside tests, unless annotated `// PANIC-OK:` |
+//! | `lock-discipline` | `generalized`, `sql` | no direct `parking_lot` use — shared state goes through `vdb_storage::sync` / the `BufferManager` API |
+//!
+//! Annotations are comments, deliberately: a `// SAFETY:` or
+//! `// PANIC-OK:` line must say *why* the invariant holds, which is the
+//! part a reviewer can check. A bare marker with no reason is still a
+//! finding for humans even though the tool accepts it.
+
+use crate::scan::{has_token, scan, Scanned};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Files allowed to contain `unsafe` (workspace-relative, `/`-separated).
+pub(crate) const UNSAFE_WHITELIST: &[&str] = &[
+    "crates/vecmath/src/simd.rs",
+    "crates/gemm/src/simd.rs",
+    "crates/storage/src/heap.rs",
+];
+
+/// Crates whose non-test source must be panic-free (or annotated).
+pub(crate) const NO_PANIC_CRATES: &[&str] =
+    &["storage", "generalized", "specialized", "filter", "sql"];
+
+/// Crates forbidden from acquiring `parking_lot` locks directly.
+pub(crate) const LOCK_DISCIPLINE_CRATES: &[&str] = &["generalized", "sql"];
+
+/// Panicking constructs the `no-panic` rule rejects.
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "todo!(",
+    "unimplemented!(",
+    "unreachable!(",
+];
+
+/// How many lines above a finding an annotation comment may sit.
+const ANNOTATION_WINDOW: usize = 4;
+
+/// A single rule finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Violation {
+    /// Workspace-relative path.
+    pub(crate) path: PathBuf,
+    /// 1-based line number.
+    pub(crate) line: usize,
+    /// Rule identifier.
+    pub(crate) rule: &'static str,
+    /// Human-readable description.
+    pub(crate) message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// An in-memory source file handed to the rules (workspace-relative
+/// path + content), so tests can lint synthetic trees.
+pub(crate) struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub(crate) rel_path: String,
+    /// File content.
+    pub(crate) content: String,
+}
+
+/// Which crate (directory under `crates/`) a path belongs to, if any.
+fn crate_of(rel_path: &str) -> Option<&str> {
+    let rest = rel_path.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+/// Whether the path is non-test *library/binary* source of its crate
+/// (under `src/`, as opposed to `tests/`, `benches/`, `examples/`).
+fn is_crate_src(rel_path: &str) -> bool {
+    let Some(rest) = rel_path.strip_prefix("crates/") else {
+        return false;
+    };
+    let mut parts = rest.split('/');
+    let _crate = parts.next();
+    parts.next() == Some("src")
+}
+
+/// Run every rule over `files`, returning all findings sorted by path
+/// and line.
+#[cfg(test)]
+pub(crate) fn run_all(files: &[SourceFile]) -> Vec<Violation> {
+    run_selected(files, &[])
+}
+
+/// Run the rules whose names appear in `only` (all rules when empty).
+pub(crate) fn run_selected(files: &[SourceFile], only: &[String]) -> Vec<Violation> {
+    let enabled = |name: &str| only.is_empty() || only.iter().any(|o| o == name);
+    let mut out = Vec::new();
+    for file in files {
+        if file.rel_path.ends_with(".rs") {
+            let scanned = scan(&file.content);
+            if enabled("unsafe-confinement") {
+                unsafe_confinement(file, &scanned, &mut out);
+            }
+            if enabled("safety-comment") {
+                safety_comment(file, &scanned, &mut out);
+            }
+            if enabled("no-panic") {
+                no_panic(file, &scanned, &mut out);
+            }
+            if enabled("lock-discipline") {
+                lock_discipline(file, &scanned, &mut out);
+            }
+        } else if file.rel_path.ends_with("Cargo.toml") && enabled("lock-discipline") {
+            lock_discipline_manifest(file, &mut out);
+        }
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    out
+}
+
+/// `unsafe` anywhere outside the whitelist is a finding.
+fn unsafe_confinement(file: &SourceFile, scanned: &Scanned, out: &mut Vec<Violation>) {
+    if UNSAFE_WHITELIST.contains(&file.rel_path.as_str()) {
+        return;
+    }
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if has_token(&line.code, "unsafe") {
+            out.push(Violation {
+                path: PathBuf::from(&file.rel_path),
+                line: idx + 1,
+                rule: "unsafe-confinement",
+                message: format!(
+                    "`unsafe` outside the whitelist ({}); move the code into a \
+                     whitelisted kernel module or find a safe formulation",
+                    UNSAFE_WHITELIST.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// Every `unsafe` site in a whitelisted file needs `// SAFETY:` nearby.
+fn safety_comment(file: &SourceFile, scanned: &Scanned, out: &mut Vec<Violation>) {
+    if !UNSAFE_WHITELIST.contains(&file.rel_path.as_str()) {
+        return;
+    }
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if has_token(&line.code, "unsafe") && !annotated(scanned, idx, "SAFETY:") {
+            out.push(Violation {
+                path: PathBuf::from(&file.rel_path),
+                line: idx + 1,
+                rule: "safety-comment",
+                message: format!(
+                    "`unsafe` without a `// SAFETY:` comment within {ANNOTATION_WINDOW} \
+                     lines; state the invariant that makes this sound"
+                ),
+            });
+        }
+    }
+}
+
+/// Panicking constructs in hot-path crate sources, outside tests,
+/// without a `// PANIC-OK:` justification.
+fn no_panic(file: &SourceFile, scanned: &Scanned, out: &mut Vec<Violation>) {
+    let Some(krate) = crate_of(&file.rel_path) else {
+        return;
+    };
+    if !NO_PANIC_CRATES.contains(&krate) || !is_crate_src(&file.rel_path) {
+        return;
+    }
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in PANIC_PATTERNS {
+            if line.code.contains(pat) && !annotated(scanned, idx, "PANIC-OK:") {
+                out.push(Violation {
+                    path: PathBuf::from(&file.rel_path),
+                    line: idx + 1,
+                    rule: "no-panic",
+                    message: format!(
+                        "`{pat}` in non-test hot-path code; return an error, or \
+                         justify the invariant with a `// PANIC-OK:` comment"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Direct `parking_lot` usage in lock-disciplined crates.
+fn lock_discipline(file: &SourceFile, scanned: &Scanned, out: &mut Vec<Violation>) {
+    let Some(krate) = crate_of(&file.rel_path) else {
+        return;
+    };
+    if !LOCK_DISCIPLINE_CRATES.contains(&krate) {
+        return;
+    }
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if has_token(&line.code, "parking_lot") {
+            out.push(Violation {
+                path: PathBuf::from(&file.rel_path),
+                line: idx + 1,
+                rule: "lock-discipline",
+                message: "direct `parking_lot` lock in an engine crate bypasses the \
+                          buffer-pool lock-order tracker; use `vdb_storage::sync` \
+                          (OrderedMutex/OrderedRwLock) or the BufferManager API"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// A `parking_lot` dependency declared by a lock-disciplined crate.
+fn lock_discipline_manifest(file: &SourceFile, out: &mut Vec<Violation>) {
+    let Some(krate) = crate_of(&file.rel_path) else {
+        return;
+    };
+    if !LOCK_DISCIPLINE_CRATES.contains(&krate) {
+        return;
+    }
+    for (idx, raw) in file.content.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or_default();
+        if line.trim_start().starts_with("parking_lot") {
+            out.push(Violation {
+                path: PathBuf::from(&file.rel_path),
+                line: idx + 1,
+                rule: "lock-discipline",
+                message: "crate declares a `parking_lot` dependency; engine crates \
+                          must take locks through `vdb_storage::sync`"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Whether line `idx` (or a comment within the window above it) carries
+/// the given annotation marker.
+fn annotated(scanned: &Scanned, idx: usize, marker: &str) -> bool {
+    let lo = idx.saturating_sub(ANNOTATION_WINDOW);
+    scanned.lines[lo..=idx]
+        .iter()
+        .any(|l| l.comment.contains(marker))
+}
+
+/// Collect the workspace files the rules run over: every `.rs` under
+/// `crates/`, `tests/`, `examples/`, plus each crate's `Cargo.toml`.
+pub(crate) fn collect_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(root, &dir, &mut files)?;
+        }
+    }
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<std::io::Result<_>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                rel_path: rel,
+                content: std::fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, content: &str) -> SourceFile {
+        SourceFile {
+            rel_path: path.into(),
+            content: content.into(),
+        }
+    }
+
+    fn rules_of(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn stray_unsafe_is_flagged_with_location() {
+        let v = run_all(&[file(
+            "crates/filter/src/bitmap.rs",
+            "fn f() {\n    unsafe { std::hint::unreachable_unchecked() }\n}\n",
+        )]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unsafe-confinement");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn whitelisted_unsafe_needs_safety_comment() {
+        let bad = run_all(&[file(
+            "crates/gemm/src/simd.rs",
+            "pub fn f() {\n    unsafe { core::arch::x86_64::_mm256_setzero_ps() };\n}\n",
+        )]);
+        assert_eq!(rules_of(&bad), vec!["safety-comment"]);
+
+        let good = run_all(&[file(
+            "crates/gemm/src/simd.rs",
+            "pub fn f() {\n    // SAFETY: caller verified AVX2 support.\n    unsafe { core::arch::x86_64::_mm256_setzero_ps() };\n}\n",
+        )]);
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn unwrap_in_hot_path_is_flagged_but_tests_are_exempt() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n#[cfg(test)]\nmod tests {\n    fn t(x: Option<u8>) { x.unwrap(); }\n}\n";
+        let v = run_all(&[file("crates/sql/src/executor.rs", src)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].rule, "no-panic");
+    }
+
+    #[test]
+    fn panic_ok_annotation_is_accepted() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // PANIC-OK: x was checked non-empty by the caller's loop bound.\n    x.unwrap()\n}\n";
+        assert!(run_all(&[file("crates/storage/src/page.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn expect_and_panic_family_flagged() {
+        let src = "fn f(x: Option<u8>) {\n    x.expect(\"boom\");\n    panic!(\"no\");\n    unreachable!();\n}\n";
+        let v = run_all(&[file("crates/generalized/src/hnsw.rs", src)]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn cold_crates_may_unwrap() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(run_all(&[file("crates/datagen/src/spec.rs", src)]).is_empty());
+        // …and so may hot crates' integration tests and benches.
+        assert!(run_all(&[file("crates/sql/tests/t.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn parking_lot_banned_in_engine_crates_only() {
+        let src = "use parking_lot::Mutex;\n";
+        let v = run_all(&[file("crates/generalized/src/ivf_flat.rs", src)]);
+        assert_eq!(rules_of(&v), vec!["lock-discipline"]);
+        assert!(run_all(&[file("crates/storage/src/buffer.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn parking_lot_dependency_declaration_flagged() {
+        let v = run_all(&[file(
+            "crates/sql/Cargo.toml",
+            "[dependencies]\nparking_lot = { workspace = true }\n",
+        )]);
+        assert_eq!(rules_of(&v), vec!["lock-discipline"]);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_not_a_finding() {
+        let src = "// this mentions unsafe code\nconst MSG: &str = \"unsafe\";\n";
+        assert!(run_all(&[file("crates/filter/src/expr.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn selected_rules_filter() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); unsafe {} }\n";
+        let f = [file("crates/sql/src/planner.rs", src)];
+        let only_panic = run_selected(&f, &["no-panic".to_string()]);
+        assert_eq!(rules_of(&only_panic), vec!["no-panic"]);
+    }
+}

@@ -1,0 +1,395 @@
+//! A minimal lexical model of a Rust source file.
+//!
+//! The lint rules need three things per line: the *code* text with
+//! string/char contents and comments blanked out (so `unsafe` inside a
+//! string literal is not a finding), the *comment* text (so `// SAFETY:`
+//! and `// PANIC-OK:` annotations can be recognized), and whether the
+//! line sits inside a `#[cfg(test)]`-gated region. A full parser is not
+//! required for any rule this tool enforces, and avoiding `syn` keeps
+//! the binary dependency-free and buildable offline.
+
+/// One source line, split into its code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Line {
+    /// Source text with comments removed and string/char literal
+    /// *contents* replaced by spaces (delimiting quotes are kept, so
+    /// `.expect("` is still recognizable as a call with a literal).
+    pub(crate) code: String,
+    /// Concatenated comment text on this line (line and block comments,
+    /// including doc comments).
+    pub(crate) comment: String,
+    /// Whether the line is inside a `#[cfg(test)]`-gated item.
+    pub(crate) in_test: bool,
+}
+
+/// A scanned source file: 0-based vector of [`Line`]s (line `i` is
+/// source line `i + 1`).
+#[derive(Debug, Default)]
+pub(crate) struct Scanned {
+    /// The file's lines.
+    pub(crate) lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    /// String literal; `raw_hashes` is `Some(n)` for `r#*"` raw strings.
+    Str {
+        raw_hashes: Option<u32>,
+    },
+    CharLit,
+}
+
+/// Scan `content` into per-line code/comment channels and mark
+/// `#[cfg(test)]` regions.
+pub(crate) fn scan(content: &str) -> Scanned {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Normal;
+    let chars: Vec<char> = content.chars().collect();
+    let mut i = 0usize;
+
+    macro_rules! flush_line {
+        () => {{
+            lines.push(std::mem::take(&mut cur));
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        cur.code.push('"');
+                        state = State::Str { raw_hashes: None };
+                        i += 1;
+                    }
+                    'r' | 'b' if is_raw_string_start(&chars, i) => {
+                        let (hashes, consumed) = raw_string_open(&chars, i);
+                        cur.code.push('"');
+                        state = State::Str {
+                            raw_hashes: Some(hashes),
+                        };
+                        i += consumed;
+                    }
+                    'b' if next == Some('\'') => {
+                        cur.code.push('\'');
+                        state = State::CharLit;
+                        i += 2;
+                    }
+                    '\'' => {
+                        if is_char_literal_start(&chars, i) {
+                            cur.code.push('\'');
+                            state = State::CharLit;
+                        } else {
+                            // A lifetime (`'a`) or loop label: plain code.
+                            cur.code.push('\'');
+                        }
+                        i += 1;
+                    }
+                    _ => {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes: None } => match c {
+                '\\' => {
+                    cur.code.push(' ');
+                    if chars.get(i + 1).copied() == Some('\n') {
+                        i += 1; // leave the newline for line accounting
+                    } else {
+                        cur.code.push(' ');
+                        i += 2;
+                    }
+                }
+                '"' => {
+                    cur.code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                }
+                _ => {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            },
+            State::Str {
+                raw_hashes: Some(h),
+            } => {
+                if c == '"' && closes_raw_string(&chars, i, h) {
+                    cur.code.push('"');
+                    state = State::Normal;
+                    i += 1 + h as usize;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => match c {
+                '\\' => {
+                    cur.code.push(' ');
+                    cur.code.push(' ');
+                    i += 2;
+                }
+                '\'' => {
+                    cur.code.push('\'');
+                    state = State::Normal;
+                    i += 1;
+                }
+                _ => {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    lines.push(cur);
+
+    mark_test_regions(&mut lines);
+    Scanned { lines }
+}
+
+/// `r"`, `r#"`, `br"`, `br#"`… — a raw (byte) string opener at `i`?
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Must not be the tail of an identifier (`attr"` is not raw).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j).copied() != Some('r') {
+            return false;
+        }
+    }
+    if chars.get(j).copied() != Some('r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j).copied() == Some('#') {
+        j += 1;
+    }
+    chars.get(j).copied() == Some('"')
+}
+
+/// Number of `#`s and total chars consumed by the raw-string opener.
+fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut hashes = 0u32;
+    while chars.get(j).copied() == Some('#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // '"'
+    (hashes, j - i)
+}
+
+/// Does the `"` at `i` close a raw string with `h` hashes?
+fn closes_raw_string(chars: &[char], i: usize, h: u32) -> bool {
+    (1..=h as usize).all(|k| chars.get(i + k).copied() == Some('#'))
+}
+
+/// Distinguish a char literal (`'x'`, `'\n'`) from a lifetime (`'a`).
+fn is_char_literal_start(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1).copied() {
+        Some('\\') => true,
+        Some(c) if c.is_alphanumeric() || c == '_' => {
+            // `'a'` is a char, `'a` / `'static` are lifetimes.
+            chars.get(i + 2).copied() == Some('\'')
+        }
+        Some('\'') => false, // `''` — malformed, treat as lifetime-ish
+        Some(_) => true,     // `'('`, `' '`, …
+        None => false,
+    }
+}
+
+/// Mark lines inside `#[cfg(test)]`-gated items (normally `mod tests`).
+///
+/// After a `#[cfg(test)]` attribute line, the gated item runs to the
+/// close of the first `{`-brace group that opens after it (or to the
+/// first `;` if the item has no body).
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0usize;
+    while i < lines.len() {
+        if lines[i].code.contains("#[cfg(test)]")
+            || lines[i].code.contains("#[cfg(all(test")
+            || lines[i].code.contains("#[cfg(any(test")
+        {
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                lines[j].in_test = true;
+                for c in lines[j].code.chars().skip(if j == i {
+                    // Only look after the attribute on its own line.
+                    lines[i]
+                        .code
+                        .find("#[cfg(")
+                        .map(|p| p + 1)
+                        .unwrap_or_default()
+                } else {
+                    0
+                }) {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        ';' if !opened => {
+                            // Attribute gates a braceless item.
+                            depth = 0;
+                            opened = true;
+                        }
+                        _ => {}
+                    }
+                    if opened && depth <= 0 {
+                        break;
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Whether `code` contains `word` as a standalone token (not as part of
+/// a longer identifier).
+pub(crate) fn has_token(code: &str, word: &str) -> bool {
+    let mut start = 0usize;
+    while let Some(pos) = code[start..].find(word) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + word.len();
+        let after_ok = after >= code.len()
+            || !code[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + word.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let s = scan("let x = \"unsafe\"; // unsafe in comment\nunsafe {}\n");
+        assert!(!has_token(&s.lines[0].code, "unsafe"));
+        assert!(s.lines[0].comment.contains("unsafe in comment"));
+        assert!(has_token(&s.lines[1].code, "unsafe"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = scan("let x = r#\"unsafe \" still\"#; let y = unsafe_marker;\n");
+        assert!(!has_token(&s.lines[0].code, "unsafe"));
+        assert!(s.lines[0].code.contains("unsafe_marker"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x } // SAFETY: none\nlet c = 'x'; let d = '\\n'; unsafe {}\n");
+        assert!(s.lines[0].comment.contains("SAFETY"));
+        assert!(has_token(&s.lines[1].code, "unsafe"));
+        assert!(!s.lines[1].code.contains('x'));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("/* outer /* inner */ still comment */ code_here\n");
+        assert!(s.lines[0].code.contains("code_here"));
+        assert!(s.lines[0].comment.contains("outer"));
+        assert!(!s.lines[0].code.contains("inner"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let s = scan(src);
+        assert!(!s.lines[0].in_test);
+        assert!(s.lines[1].in_test);
+        assert!(s.lines[2].in_test);
+        assert!(s.lines[3].in_test);
+        assert!(s.lines[4].in_test);
+        assert!(!s.lines[5].in_test);
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        assert!(has_token("unsafe {", "unsafe"));
+        assert!(!has_token("unsafe_fn()", "unsafe"));
+        assert!(!has_token("my_unsafe", "unsafe"));
+        assert!(has_token("(unsafe)", "unsafe"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_string() {
+        let s = scan("let x = \"a\\\"unsafe\"; unsafe {}\n");
+        let code = &s.lines[0].code;
+        // Only the trailing real `unsafe` survives as code.
+        assert!(has_token(code, "unsafe"));
+        assert_eq!(code.matches("unsafe").count(), 1);
+    }
+}
