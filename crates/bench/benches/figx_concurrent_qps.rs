@@ -1,0 +1,334 @@
+//! Concurrent query serving: QPS and latency percentiles versus client
+//! count, IVF_FLAT on both engines, PASE on both buffer-pool modes.
+//!
+//! Not a figure from the paper — it extends the PASE-vs-Faiss
+//! methodology to multi-client serving, the workload the sharded
+//! buffer manager targets. Expected shape: the global-lock pool
+//! saturates (every page access funnels through one mutex, PostgreSQL's
+//! pre-partitioning BufMgrLock), the sharded pool keeps scaling with
+//! clients, and the in-memory specialized engine gives the no-pool
+//! ceiling.
+//!
+//! On ≥8-core machines this drives real client threads and measures
+//! wall clock. On core-starved containers it records the contention
+//! model's inputs from a profiled serial run and names the mode — the
+//! same substitution [`vdb_bench::parallel_model`] applies to
+//! Figures 9/18. Besides the experiment record it writes
+//! `BENCH_concurrent_qps.json` at the repository root with shard and
+//! core counts in the metadata.
+
+use std::io::Write;
+use std::path::PathBuf;
+use vdb_bench::*;
+use vdb_core::datagen::DatasetId;
+use vdb_core::generalized::GeneralizedOptions;
+use vdb_core::specialized::SpecializedOptions;
+use vdb_core::storage::{BufferPoolMode, PageSize};
+use vdb_core::{ExperimentRecord, Series};
+
+const CLIENTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Cell {
+    engine: &'static str,
+    pool: &'static str,
+    run: ConcurrentRun,
+}
+
+/// Model inputs recorded per PASE pool mode in modeled runs.
+struct ModelInputs {
+    pool: &'static str,
+    profile: PoolProfile,
+    contended: u64,
+    hits: u64,
+    misses: u64,
+}
+
+fn main() {
+    let ds = dataset(DatasetId::Sift1M);
+    let params = ivf_params_for(&ds);
+    let nprobe = (params.clusters / 2).max(params.nprobe);
+    let nq = ds.queries.len();
+    // Quick mode shrinks the per-client stream, not the client sweep:
+    // in modeled mode extra client counts are pure arithmetic, and in
+    // measured mode the stream length dominates.
+    let clients_list: &[usize] = &CLIENTS;
+    let per_client = if bench_quick() { 4 } else { 30 };
+    let mode = parallelism_mode();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Pin the partition geometry to at least the client sweep's width
+    // so the sharded paths are exercised (and modeled) even on
+    // core-starved hosts; the JSON metadata records the actual counts.
+    let shards = cores.next_power_of_two().max(*CLIENTS.last().unwrap());
+    println!("parallelism mode: {mode:?} ({cores} cores, {shards} shards)");
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut inputs: Vec<ModelInputs> = Vec::new();
+    let mut shard_count = 1;
+    let lock_ms = lock_cost_ms();
+
+    // PASE IVF_FLAT, both pool modes.
+    for (pool_name, pool_mode) in [
+        ("global_lock", BufferPoolMode::GlobalLock),
+        ("sharded", BufferPoolMode::Sharded),
+    ] {
+        let bm = match pool_mode {
+            BufferPoolMode::GlobalLock => {
+                buffer_manager_for(PageSize::Size8K, ds.base.len(), ds.base.dim(), 0)
+            }
+            BufferPoolMode::Sharded => {
+                buffer_manager_sharded(PageSize::Size8K, ds.base.len(), ds.base.dim(), 0, shards)
+            }
+        };
+        let built = pase_ivfflat_on_bm(GeneralizedOptions::default(), params, &ds, bm);
+        if pool_mode == BufferPoolMode::Sharded {
+            shard_count = built.bm.shard_count();
+        }
+        let search = |i: usize| {
+            built
+                .index
+                .search_with_nprobe(&built.bm, ds.queries.row(i % nq), mixed_k(i), nprobe)
+                .expect("PASE search");
+        };
+        match mode {
+            ParallelismMode::Measured => {
+                for &t in clients_list {
+                    let run = drive(t, per_client, search);
+                    cells.push(Cell {
+                        engine: "generalized",
+                        pool: pool_name,
+                        run,
+                    });
+                }
+            }
+            ParallelismMode::Modeled => {
+                let batch = clients_list.last().unwrap() * per_client;
+                built.bm.reset_stats();
+                let prof = pool_profile(|| {
+                    for i in 0..batch {
+                        search(i);
+                    }
+                });
+                let stats = built.bm.stats();
+                inputs.push(ModelInputs {
+                    pool: pool_name,
+                    profile: prof,
+                    contended: built.bm.contention(),
+                    hits: stats.hits,
+                    misses: stats.misses,
+                });
+                for &t in clients_list {
+                    let batch_ms = match pool_mode {
+                        BufferPoolMode::GlobalLock => model_pool_global(&prof, t, lock_ms),
+                        BufferPoolMode::Sharded => {
+                            model_pool_sharded(&prof, t, built.bm.shard_count())
+                        }
+                    };
+                    cells.push(Cell {
+                        engine: "generalized",
+                        pool: pool_name,
+                        run: modeled_run(t, batch, batch_ms),
+                    });
+                }
+            }
+        }
+    }
+
+    // Specialized (Faiss) baseline: no buffer pool, read-only shared
+    // structure — the scaling ceiling.
+    let (faiss_idx, _) = faiss_ivfflat(SpecializedOptions::default(), params, &ds);
+    let fsearch = |i: usize| {
+        std::hint::black_box(faiss_idx.search_with_nprobe(
+            ds.queries.row(i % nq),
+            mixed_k(i),
+            nprobe,
+        ));
+    };
+    match mode {
+        ParallelismMode::Measured => {
+            for &t in clients_list {
+                let run = drive(t, per_client, fsearch);
+                cells.push(Cell {
+                    engine: "specialized",
+                    pool: "none",
+                    run,
+                });
+            }
+        }
+        ParallelismMode::Modeled => {
+            let batch = clients_list.last().unwrap() * per_client;
+            let prof = pool_profile(|| {
+                for i in 0..batch {
+                    fsearch(i);
+                }
+            });
+            for &t in clients_list {
+                // Read-only in-memory search divides across clients.
+                let batch_ms = prof.wall_ms / t as f64;
+                cells.push(Cell {
+                    engine: "specialized",
+                    pool: "none",
+                    run: modeled_run(t, batch, batch_ms),
+                });
+            }
+        }
+    }
+
+    for c in &cells {
+        println!(
+            "{:<11} {:<11} {} clients: {:>10.1} qps  p50 {:.3} ms  p99 {:.3} ms",
+            c.engine, c.pool, c.run.clients, c.run.qps, c.run.p50_ms, c.run.p99_ms
+        );
+    }
+
+    write_json(
+        ds.spec.id.name(),
+        &cells,
+        &inputs,
+        mode,
+        cores,
+        shard_count,
+        lock_ms,
+        nprobe,
+    );
+
+    // Shape: at the highest client count the sharded pool sustains ≥2×
+    // the global-lock QPS (the acceptance bar; on core-starved boxes
+    // this reads the contention model's output).
+    let max_clients = *clients_list.last().unwrap();
+    let qps_of = |pool: &str| {
+        cells
+            .iter()
+            .find(|c| c.engine == "generalized" && c.pool == pool && c.run.clients == max_clients)
+            .map(|c| c.run.qps)
+            .unwrap_or(0.0)
+    };
+    let global_qps = qps_of("global_lock");
+    let sharded_qps = qps_of("sharded");
+    let factor = sharded_qps / global_qps.max(1e-12);
+    let shape_holds = factor >= 2.0;
+
+    let mut series: Vec<Series> = [
+        ("PASE global_lock", "generalized", "global_lock"),
+        ("PASE sharded", "generalized", "sharded"),
+        ("Faiss in-memory", "specialized", "none"),
+    ]
+    .iter()
+    .map(|(label, engine, pool)| {
+        let mut s = Series::new(*label);
+        for (xi, c) in cells
+            .iter()
+            .filter(|c| c.engine == *engine && c.pool == *pool)
+            .enumerate()
+        {
+            s.push(xi as f64, c.run.qps);
+        }
+        s
+    })
+    .collect();
+    series.retain(|s| !s.points.is_empty());
+
+    let record = ExperimentRecord {
+        id: "figx_concurrent_qps".into(),
+        title: "Concurrent serving QPS vs client count (IVF_FLAT, mixed top-k)".into(),
+        paper_claim: "partitioned buffer-mapping locks scale concurrent serving; a global pool lock does not (PostgreSQL's own pre-partitioning bottleneck)".into(),
+        x_labels: clients_list.iter().map(|t| format!("{t} clients")).collect(),
+        unit: "qps".into(),
+        series,
+        measured_factor: Some(factor),
+        shape_holds,
+        notes: format!(
+            "scale {:?}, mode {mode:?}, {cores} cores, {shard_count} shards, k mix {K_MIX:?}; \
+             sharded/global QPS at {max_clients} clients: {factor:.2}x",
+            scale()
+        ),
+    };
+    emit(&record);
+}
+
+/// A [`ConcurrentRun`] derived from a modeled batch time: `t` clients
+/// finish a `batch`-query workload in `batch_ms`, so each client's
+/// per-query latency is `batch_ms / (batch / t)`.
+fn modeled_run(t: usize, batch: usize, batch_ms: f64) -> ConcurrentRun {
+    let latency = batch_ms * t as f64 / batch as f64;
+    ConcurrentRun {
+        clients: t,
+        qps: batch as f64 * 1e3 / batch_ms.max(1e-12),
+        p50_ms: latency,
+        p99_ms: latency,
+    }
+}
+
+/// Hand-formatted JSON (repo convention: no serde dependency on the
+/// bench output path). Shard and core counts ride in the metadata; in
+/// modeled mode the contention model's measured inputs do too.
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    dataset: &str,
+    cells: &[Cell],
+    inputs: &[ModelInputs],
+    mode: ParallelismMode,
+    cores: usize,
+    shard_count: usize,
+    lock_ms: f64,
+    nprobe: usize,
+) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_concurrent_qps.json");
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
+    body.push_str(&format!("  \"scale\": \"{:?}\",\n", scale()));
+    body.push_str(&format!("  \"mode\": \"{mode:?}\",\n"));
+    body.push_str(&format!("  \"cores\": {cores},\n"));
+    body.push_str(&format!("  \"shards\": {shard_count},\n"));
+    body.push_str(&format!("  \"nprobe\": {nprobe},\n"));
+    body.push_str(&format!(
+        "  \"k_mix\": [{}],\n",
+        K_MIX.map(|k| k.to_string()).join(", ")
+    ));
+    body.push_str(&format!("  \"lock_cost_ms\": {lock_ms:.9},\n"));
+    if !inputs.is_empty() {
+        body.push_str("  \"model_inputs\": [\n");
+        for (i, m) in inputs.iter().enumerate() {
+            body.push_str(&format!(
+                "    {{\"pool\": \"{}\", \"serial_wall_ms\": {:.3}, \"tuple_ms\": {:.3}, \
+                 \"pins\": {}, \"contended\": {}, \"hits\": {}, \"misses\": {}}}{}\n",
+                m.pool,
+                m.profile.wall_ms,
+                m.profile.tuple_ms,
+                m.profile.pins,
+                m.contended,
+                m.hits,
+                m.misses,
+                if i + 1 == inputs.len() { "" } else { "," }
+            ));
+        }
+        body.push_str("  ],\n");
+    }
+    body.push_str("  \"points\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"pool\": \"{}\", \"clients\": {}, \
+             \"qps\": {:.3}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}{}\n",
+            c.engine,
+            c.pool,
+            c.run.clients,
+            c.run.qps,
+            c.run.p50_ms,
+            c.run.p99_ms,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = f.write_all(body.as_bytes());
+            println!("(concurrent-QPS table written to {})", path.display());
+        }
+        Err(e) => eprintln!("cannot write {path:?}: {e}"),
+    }
+}

@@ -1,0 +1,228 @@
+//! Concurrent query-serving harness: M client threads of mixed top-k
+//! queries against one shared index, with QPS and latency percentiles.
+//!
+//! This is the workload the sharded buffer pool exists for. On ≥8-core
+//! machines [`drive`] measures real wall clock: each client thread
+//! issues its own query stream and records per-query latency. On
+//! core-starved containers the bench switches to an analytical model
+//! over measured serial components, exactly as
+//! [`parallel_model`](crate::parallel_model) does for Figures 9/18:
+//! the non-pool work of a query divides across clients, the buffer-pool
+//! critical sections either serialize behind the one global mutex (each
+//! pin paying a contended acquisition) or divide across shard
+//! partitions. The emitted record names which mode produced it and
+//! carries the model's inputs.
+
+use std::time::Instant;
+use vdb_core::profile::{self, Category};
+
+/// Throughput and latency of one (engine, pool-mode, client-count)
+/// cell.
+#[derive(Clone, Copy, Debug)]
+pub struct ConcurrentRun {
+    /// Client threads driving the workload.
+    pub clients: usize,
+    /// Completed queries per second across all clients.
+    pub qps: f64,
+    /// Median per-query latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-query latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// The mixed top-k schedule: interactive point lookups, the paper's
+/// default k, and a heavy analytical k, interleaved per query index.
+pub const K_MIX: [usize; 3] = [1, 10, 100];
+
+/// The k for the i-th query of the mixed stream.
+pub fn mixed_k(i: usize) -> usize {
+    K_MIX[i % K_MIX.len()]
+}
+
+/// Drive `clients` threads, each issuing `per_client` queries through
+/// `search` (called with a global query index; implementations pick
+/// query vector and k from it, e.g. via [`mixed_k`]). Returns wall-clock
+/// QPS over all completed queries plus latency percentiles.
+///
+/// # Panics
+/// Panics if `clients` or `per_client` is zero.
+pub fn drive(clients: usize, per_client: usize, search: impl Fn(usize) + Sync) -> ConcurrentRun {
+    assert!(clients > 0 && per_client > 0);
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let search = &search;
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let q0 = Instant::now();
+                        search(c * per_client + i);
+                        lat.push(q0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64().max(1e-12);
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    ConcurrentRun {
+        clients,
+        qps: latencies.len() as f64 / wall_s,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Serial components of a query batch that the pool-contention model
+/// needs: total wall time, the slice of it spent resolving tuples
+/// through the buffer pool, and how many pool accesses there were.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolProfile {
+    /// Total wall milliseconds of the serial batch.
+    pub wall_ms: f64,
+    /// Milliseconds inside buffer-pool tuple access.
+    pub tuple_ms: f64,
+    /// Number of page accesses (pin/unpin round trips).
+    pub pins: u64,
+}
+
+/// Run `work` once serially with profiling on and capture the
+/// components the concurrent models need.
+pub fn pool_profile(work: impl FnOnce()) -> PoolProfile {
+    profile::enable(true);
+    profile::reset_local();
+    let t0 = Instant::now();
+    work();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let bd = profile::take_local();
+    profile::enable(false);
+    PoolProfile {
+        wall_ms,
+        tuple_ms: bd.millis(Category::TupleAccess),
+        pins: bd.count(Category::TupleAccess),
+    }
+}
+
+/// Modeled batch time (ms) at `t` clients over the **global-lock**
+/// pool: non-pool work divides, but every page access funnels through
+/// the single pool mutex, so the tuple-access slice serializes and —
+/// past one client — each pin pays a contended acquisition whose cost
+/// grows with the contender count (cache-line transfer; the same model
+/// [`model_global_locked`](crate::model_global_locked) applies to
+/// RC#3's shared heap).
+pub fn model_pool_global(p: &PoolProfile, t: usize, lock_ms: f64) -> f64 {
+    let other = (p.wall_ms - p.tuple_ms).max(0.0);
+    let lock_overhead = if t > 1 {
+        p.pins as f64 * lock_ms * t as f64
+    } else {
+        0.0
+    };
+    other / t as f64 + p.tuple_ms + lock_overhead
+}
+
+/// Modeled batch time (ms) at `t` clients over the **sharded** pool:
+/// non-pool work divides across clients, and the pool path divides
+/// across `min(t, shards)` — pin hits take a shard lock in shared mode
+/// and re-pins touch only per-frame atomics, so clients on different
+/// shards (and readers of the same hot page) proceed in parallel.
+pub fn model_pool_sharded(p: &PoolProfile, t: usize, shards: usize) -> f64 {
+    let other = (p.wall_ms - p.tuple_ms).max(0.0);
+    other / t as f64 + p.tuple_ms / t.min(shards.max(1)) as f64
+}
+
+/// `VDB_BENCH_QUICK=1`: CI smoke configuration — fewest clients,
+/// shortest streams, still touching every code path.
+pub fn bench_quick() -> bool {
+    std::env::var("VDB_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn drive_counts_every_query() {
+        let issued = AtomicUsize::new(0);
+        let run = drive(4, 25, |_| {
+            issued.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(issued.into_inner(), 100);
+        assert_eq!(run.clients, 4);
+        assert!(run.qps > 0.0);
+        assert!(run.p50_ms <= run.p99_ms);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn mixed_k_cycles() {
+        assert_eq!(mixed_k(0), 1);
+        assert_eq!(mixed_k(1), 10);
+        assert_eq!(mixed_k(2), 100);
+        assert_eq!(mixed_k(3), 1);
+    }
+
+    fn prof() -> PoolProfile {
+        PoolProfile {
+            wall_ms: 100.0,
+            tuple_ms: 40.0,
+            pins: 100_000,
+        }
+    }
+
+    #[test]
+    fn global_model_saturates_sharded_model_scales() {
+        let p = prof();
+        let lock = 20e-6; // 20ns in ms
+        let g8 = model_pool_global(&p, 8, lock);
+        let s8 = model_pool_sharded(&p, 8, 8);
+        // Global floors at the serialized pool slice; sharded divides it.
+        assert!(g8 >= p.tuple_ms);
+        assert!(s8 < g8 / 2.0, "sharded {s8} vs global {g8}");
+        // One client: both degenerate to the serial batch.
+        assert!((model_pool_global(&p, 1, lock) - p.wall_ms).abs() < 1e-9);
+        assert!((model_pool_sharded(&p, 1, 8) - p.wall_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_model_caps_at_shard_count() {
+        let p = prof();
+        // With 2 shards, 8 clients can split the pool path only 2 ways.
+        let s2 = model_pool_sharded(&p, 8, 2);
+        let s8 = model_pool_sharded(&p, 8, 8);
+        assert!(s2 > s8);
+    }
+
+    #[test]
+    fn pool_profile_captures_components() {
+        let p = pool_profile(|| {
+            let _t = vdb_core::profile::scoped(Category::TupleAccess);
+            std::hint::black_box((0..100_000).sum::<u64>());
+        });
+        assert!(p.wall_ms > 0.0);
+        assert!(p.tuple_ms > 0.0);
+    }
+}

@@ -5,11 +5,11 @@
 //! pair for each index type and return both handles plus their build
 //! timings.
 
-use crate::buffer_manager_for;
+use crate::{buffer_manager_for, buffer_manager_for_mode};
 use vdb_core::datagen::Dataset;
 use vdb_core::generalized::{GeneralizedOptions, PaseHnswIndex, PaseIvfFlatIndex, PaseIvfPqIndex};
 use vdb_core::specialized::{HnswIndex, IvfFlatIndex, IvfPqIndex, SpecializedOptions};
-use vdb_core::storage::{BufferManager, PageSize};
+use vdb_core::storage::{BufferManager, BufferPoolMode, PageSize};
 use vdb_core::vecmath::{BuildTiming, HnswParams, IvfParams, PqParams};
 
 /// A built PASE-side index plus the buffer manager it lives in.
@@ -57,7 +57,29 @@ pub fn pase_ivfflat(
     params: IvfParams,
     ds: &Dataset,
 ) -> PaseBuilt<PaseIvfFlatIndex> {
-    let bm = buffer_manager_for(PageSize::Size8K, ds.base.len(), ds.base.dim(), 0);
+    pase_ivfflat_on_pool(opts, params, ds, BufferPoolMode::GlobalLock)
+}
+
+/// [`pase_ivfflat`] on a buffer pool in the given mode (the concurrent
+/// QPS bench sweeps both).
+pub fn pase_ivfflat_on_pool(
+    opts: GeneralizedOptions,
+    params: IvfParams,
+    ds: &Dataset,
+    mode: BufferPoolMode,
+) -> PaseBuilt<PaseIvfFlatIndex> {
+    let bm = buffer_manager_for_mode(PageSize::Size8K, ds.base.len(), ds.base.dim(), 0, mode);
+    pase_ivfflat_on_bm(opts, params, ds, bm)
+}
+
+/// [`pase_ivfflat`] on a caller-built buffer pool (pinned shard
+/// geometry, ablation pools, …).
+pub fn pase_ivfflat_on_bm(
+    opts: GeneralizedOptions,
+    params: IvfParams,
+    ds: &Dataset,
+    bm: BufferManager,
+) -> PaseBuilt<PaseIvfFlatIndex> {
     let (index, timing) =
         PaseIvfFlatIndex::build(opts, params, &bm, &ds.base).expect("PASE IVF_FLAT build");
     PaseBuilt { bm, index, timing }

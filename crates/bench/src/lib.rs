@@ -13,10 +13,12 @@
 //!
 //! [`ExperimentRecord`]: vdb_core::ExperimentRecord
 
+pub mod concurrent;
 pub mod engines;
 pub mod parallel_model;
 pub mod report;
 
+pub use concurrent::*;
 pub use engines::*;
 pub use parallel_model::*;
 pub use report::*;
@@ -24,7 +26,7 @@ pub use report::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vdb_core::datagen::{Dataset, DatasetId, Scale};
-use vdb_core::storage::{BufferManager, DiskManager, PageSize};
+use vdb_core::storage::{BufferManager, BufferPoolMode, DiskManager, PageSize};
 
 /// The experiment scale from `VDB_SCALE`.
 pub fn scale() -> Scale {
@@ -71,12 +73,41 @@ pub fn buffer_manager_for(
     dim: usize,
     hnsw_nodes: usize,
 ) -> BufferManager {
+    buffer_manager_for_mode(page_size, n, dim, hnsw_nodes, BufferPoolMode::GlobalLock)
+}
+
+/// [`buffer_manager_for`] with an explicit pool mode — the concurrent
+/// benches run the same workload against both implementations.
+pub fn buffer_manager_for_mode(
+    page_size: PageSize,
+    n: usize,
+    dim: usize,
+    hnsw_nodes: usize,
+    mode: BufferPoolMode,
+) -> BufferManager {
+    let disk = Arc::new(DiskManager::new(page_size));
+    BufferManager::with_mode(disk, pool_pages_for(page_size, n, dim, hnsw_nodes), mode)
+}
+
+/// [`buffer_manager_for`] in sharded mode with pinned partition
+/// geometry, for benches that must exercise the partitioned paths
+/// regardless of the host's core count.
+pub fn buffer_manager_sharded(
+    page_size: PageSize,
+    n: usize,
+    dim: usize,
+    hnsw_nodes: usize,
+    shards: usize,
+) -> BufferManager {
+    let disk = Arc::new(DiskManager::new(page_size));
+    BufferManager::sharded_with_shards(disk, pool_pages_for(page_size, n, dim, hnsw_nodes), shards)
+}
+
+fn pool_pages_for(page_size: PageSize, n: usize, dim: usize, hnsw_nodes: usize) -> usize {
     let data_bytes = n * (dim * 4 + 16) * 2; // tuples + slack, doubled for copies
     let data_pages = data_bytes / page_size.bytes() + 64;
     let hnsw_pages = hnsw_nodes * 2 + 64;
-    let pool = (data_pages + hnsw_pages).max(256);
-    let disk = Arc::new(DiskManager::new(page_size));
-    BufferManager::new(disk, pool)
+    (data_pages + hnsw_pages).max(256)
 }
 
 /// Duration in seconds as f64.

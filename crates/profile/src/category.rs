@@ -50,13 +50,21 @@ pub enum Category {
     /// Predicate evaluation and selection-bitmap work in hybrid
     /// (filtered) vector queries.
     FilterEval,
+    /// Buffer-pool eviction: a clock-sweep victim was written back /
+    /// replaced to make room (count-only, like [`Category::PageMiss`]).
+    PageEviction,
+    /// Contended acquisition of a buffer-mapping lock: a `try_lock`
+    /// failed and the thread had to block (count-only). The sharded
+    /// pool reports per-shard breakdowns through `BufferManager`; this
+    /// category aggregates across shards for profile tables.
+    ShardContention,
     /// Anything not covered above.
     Other,
 }
 
 impl Category {
     /// Number of categories; sizes the fixed accumulator arrays.
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 19;
 
     /// All categories in declaration order.
     pub const ALL: [Category; Category::COUNT] = [
@@ -76,6 +84,8 @@ impl Category {
         Category::PageMiss,
         Category::SqlFrontend,
         Category::FilterEval,
+        Category::PageEviction,
+        Category::ShardContention,
         Category::Other,
     ];
 
@@ -104,6 +114,8 @@ impl Category {
             Category::PageMiss => "PageMiss",
             Category::SqlFrontend => "SqlFrontend",
             Category::FilterEval => "FilterEval",
+            Category::PageEviction => "PageEviction",
+            Category::ShardContention => "ShardContention",
             Category::Other => "Others",
         }
     }

@@ -103,9 +103,12 @@ impl IvfFlatIndex {
         } else {
             let d = data.dim();
             let per_chunk = map_chunks(data.len(), self.opts.threads, |r| {
-                let chunk =
-                    VectorSet::from_flat(d, data.as_flat()[r.start * d..r.end * d].to_vec());
-                self.quantizer.assign_batch(self.opts.gemm, &chunk)
+                // Borrowed range of the flat matrix — no per-chunk copy.
+                self.quantizer.assign_batch_flat(
+                    self.opts.gemm,
+                    d,
+                    &data.as_flat()[r.start * d..r.end * d],
+                )
             });
             per_chunk.concat()
         };

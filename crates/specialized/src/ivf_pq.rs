@@ -115,9 +115,12 @@ impl IvfPqIndex {
             self.quantizer.assign_batch(self.opts.gemm, data)
         } else {
             map_chunks(data.len(), threads, |r| {
-                let chunk =
-                    VectorSet::from_flat(d, data.as_flat()[r.start * d..r.end * d].to_vec());
-                self.quantizer.assign_batch(self.opts.gemm, &chunk)
+                // Borrowed range of the flat matrix — no per-chunk copy.
+                self.quantizer.assign_batch_flat(
+                    self.opts.gemm,
+                    d,
+                    &data.as_flat()[r.start * d..r.end * d],
+                )
             })
             .concat()
         };

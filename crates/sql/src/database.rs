@@ -14,7 +14,7 @@ use vdb_generalized::{
 };
 use vdb_profile::{self as profile, Category};
 use vdb_storage::tuple::{decode_attr, decode_id, encode_tuple, vector_slice};
-use vdb_storage::{BufferManager, DiskManager, HeapTable, PageSize};
+use vdb_storage::{BufferManager, BufferPoolMode, DiskManager, HeapTable, PageSize};
 use vdb_vecmath::{HnswParams, IvfParams, Metric, PqParams, VectorSet};
 
 /// Planner sample size for predicate selectivity estimation.
@@ -110,9 +110,20 @@ pub struct Database {
 impl Database {
     /// A database with the given page size and buffer-pool capacity.
     pub fn new(page_size: PageSize, pool_pages: usize) -> Database {
+        Database::with_pool_mode(page_size, pool_pages, BufferPoolMode::GlobalLock)
+    }
+
+    /// A database whose buffer pool runs in the given mode — the SQL-level
+    /// entry point of the `BufferPoolMode` ablation. `Sharded` is the
+    /// concurrent-serving configuration; `GlobalLock` is the baseline.
+    pub fn with_pool_mode(
+        page_size: PageSize,
+        pool_pages: usize,
+        mode: BufferPoolMode,
+    ) -> Database {
         let disk = Arc::new(DiskManager::new(page_size));
         Database {
-            bm: BufferManager::new(disk, pool_pages),
+            bm: BufferManager::with_mode(disk, pool_pages, mode),
             tables: HashMap::new(),
             indexes: HashMap::new(),
             options: GeneralizedOptions::default(),
@@ -138,6 +149,28 @@ impl Database {
             parse(sql)?
         };
         self.run(stmt)
+    }
+
+    /// Parse and execute one read-only statement (SELECT or EXPLAIN)
+    /// through a shared reference — the concurrent serving path. Many
+    /// sessions can call this on one `Database` at once; the buffer
+    /// manager (sharded or global-lock) is the only shared mutable
+    /// state underneath, as in PostgreSQL's backend-per-connection
+    /// model with a shared buffer pool. DDL/DML still require `execute`
+    /// (`&mut self`), which serializes writers at the type level.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = {
+            let _t = profile::scoped(Category::SqlFrontend);
+            parse(sql)?
+        };
+        match stmt {
+            select @ Statement::Select { .. } => self.select(select),
+            Statement::Explain(inner) => self.explain(*inner),
+            other => Err(SqlError::Semantic(format!(
+                "query() is read-only; run {} through execute()",
+                statement_kind(&other)
+            ))),
+        }
     }
 
     /// Execute a parsed statement.
@@ -384,7 +417,7 @@ impl Database {
         Ok(QueryResult::default())
     }
 
-    fn select(&mut self, stmt: Statement) -> Result<QueryResult> {
+    fn select(&self, stmt: Statement) -> Result<QueryResult> {
         let Statement::Select {
             ref table,
             ref columns,
@@ -477,7 +510,7 @@ impl Database {
     }
 
     /// Produce the plan a SELECT would run, without executing it.
-    fn explain(&mut self, stmt: Statement) -> Result<QueryResult> {
+    fn explain(&self, stmt: Statement) -> Result<QueryResult> {
         let Statement::Select {
             ref table,
             ref where_clause,
@@ -577,6 +610,26 @@ impl Database {
     /// Size in bytes of a named index (Figures 11–13 through SQL).
     pub fn index_size_bytes(&self, name: &str) -> Result<usize> {
         Ok(self.index(name)?.index.size_bytes(&self.bm))
+    }
+}
+
+/// Concurrent sessions hold `&Database` across threads; this fails to
+/// compile if any field loses thread-safety.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<Database>()
+};
+
+/// Human name of a statement for the `query()` rejection message.
+fn statement_kind(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::CreateTable { .. } => "CREATE TABLE",
+        Statement::CreateIndex { .. } => "CREATE INDEX",
+        Statement::Insert { .. } => "INSERT",
+        Statement::Select { .. } => "SELECT",
+        Statement::Delete { .. } => "DELETE",
+        Statement::Explain(_) => "EXPLAIN",
+        Statement::Drop { .. } => "DROP",
     }
 }
 
@@ -1050,6 +1103,97 @@ mod tests {
             .execute("SELECT id FROM t WHERE price < 10 ORDER BY vec <-> '0,0' LIMIT 2")
             .unwrap();
         assert_eq!(res.ids(), vec![-5, 3]);
+    }
+
+    #[test]
+    fn query_handles_select_and_explain_only() {
+        let mut db = db_with_data(100, 4);
+        db.execute(
+            "CREATE INDEX i ON items USING ivfflat(vec) WITH (clusters=4, sample_ratio=500)",
+        )
+        .unwrap();
+        // Read-only statements work through the shared-reference path
+        // and agree with execute().
+        let sql = "SELECT id FROM items ORDER BY vec <-> '0,0,0,0:4' LIMIT 3";
+        let via_query = db.query(sql).unwrap();
+        let via_execute = db.execute(sql).unwrap();
+        assert_eq!(via_query, via_execute);
+        let plan = db.query(&format!("EXPLAIN {sql}")).unwrap();
+        assert_eq!(plan.columns, vec!["plan"]);
+        // Writes are rejected with the statement named.
+        let err = db.query("INSERT INTO items VALUES (7, '{1,2,3,4}')");
+        match err {
+            Err(SqlError::Semantic(msg)) => assert!(msg.contains("INSERT"), "{msg}"),
+            other => panic!("expected semantic error, got {other:?}"),
+        }
+        assert!(db.query("DROP TABLE items").is_err());
+        assert!(db.query("CREATE TABLE u (id int, vec float[2])").is_err());
+    }
+
+    #[test]
+    fn sharded_pool_mode_serves_sql() {
+        let mut db = Database::with_pool_mode(PageSize::Size8K, 4096, BufferPoolMode::Sharded);
+        assert_eq!(db.buffer_manager().mode(), BufferPoolMode::Sharded);
+        db.execute("CREATE TABLE t (id int, vec float[2])").unwrap();
+        db.execute("INSERT INTO t VALUES (1, '{1,0}'), (2, '{0,1}')")
+            .unwrap();
+        let res = db
+            .query("SELECT id FROM t ORDER BY vec <-> '1,0' LIMIT 1")
+            .unwrap();
+        assert_eq!(res.ids(), vec![1]);
+    }
+
+    /// Many sessions against one database: each thread runs its own
+    /// query stream through `query(&self)` while sharing the buffer
+    /// pool. Results must equal the single-session answers in both
+    /// pool modes.
+    #[test]
+    fn concurrent_sessions_share_one_database() {
+        for mode in [BufferPoolMode::GlobalLock, BufferPoolMode::Sharded] {
+            let mut db = Database::with_pool_mode(PageSize::Size8K, 4096, mode);
+            db.execute("CREATE TABLE items (id int, vec float[8])")
+                .unwrap();
+            let data = generate(8, 400, 8, 11);
+            let ids: Vec<i64> = (0..400).collect();
+            db.bulk_load("items", &ids, &data).unwrap();
+            db.execute(
+                "CREATE INDEX idx ON items USING ivfflat(vec) \
+                 WITH (clusters = 8, sample_ratio = 500)",
+            )
+            .unwrap();
+            let queries: Vec<String> = (0..8)
+                .map(|qi| {
+                    let q: Vec<String> = data.row(qi * 37).iter().map(|x| x.to_string()).collect();
+                    format!(
+                        "SELECT id FROM items ORDER BY vec <-> '{}:8' LIMIT 5",
+                        q.join(",")
+                    )
+                })
+                .collect();
+            let expected: Vec<Vec<i64>> =
+                queries.iter().map(|q| db.query(q).unwrap().ids()).collect();
+            let db = &db;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|t| {
+                        let queries = &queries;
+                        s.spawn(move || {
+                            let mut got = Vec::new();
+                            for round in 0..5 {
+                                let qi = (t + round) % queries.len();
+                                got.push((qi, db.query(&queries[qi]).unwrap().ids()));
+                            }
+                            got
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (qi, ids) in h.join().unwrap() {
+                        assert_eq!(ids, expected[qi], "mode {:?} query {qi}", mode);
+                    }
+                }
+            });
+        }
     }
 
     #[test]

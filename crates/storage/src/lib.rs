@@ -35,7 +35,7 @@ pub mod sync;
 pub mod tid;
 pub mod tuple;
 
-pub use buffer::{BufferManager, BufferStats};
+pub use buffer::{BufferManager, BufferPoolMode, BufferStats, ShardStats};
 pub use catalog::{Catalog, RelationInfo};
 pub use disk::{DiskManager, RelId};
 pub use heap::HeapTable;

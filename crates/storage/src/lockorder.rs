@@ -4,17 +4,22 @@
 //! The storage layer has a strict acquisition order:
 //!
 //! ```text
-//! PoolInner (buffer-pool metadata mutex)
+//! PoolInner | Shard (buffer-pool mapping locks — peers, one at a time)
 //!   → Frame (per-frame page RwLock)
 //!       → EngineShared (engine-side collector/error mutexes)
 //! ```
 //!
-//! `pin()` takes the pool mutex and then latches a frame (miss path);
-//! bucket scans latch a frame and push into a shared collector. The one
-//! order that must *never* occur is the reverse: acquiring the pool
-//! mutex while a frame latch (or an engine lock) is held — two threads
-//! doing that against each other's frames deadlock, which is exactly
-//! the hazard the paper's globally-locked-heap discussion circles.
+//! `pin()` takes a pool mapping lock and then latches a frame (miss
+//! path); bucket scans latch a frame and push into a shared collector.
+//! The one order that must *never* occur is the reverse: acquiring a
+//! mapping lock while a frame latch (or an engine lock) is held — two
+//! threads doing that against each other's frames deadlock, which is
+//! exactly the hazard the paper's globally-locked-heap discussion
+//! circles. [`LockClass::PoolInner`] and [`LockClass::Shard`] share
+//! rank 0 on purpose: the global pool holds one mapping mutex, the
+//! sharded pool holds one shard's mapping lock, and neither may ever
+//! nest inside the other (or inside a second shard) — equal rank makes
+//! the tracker reject any such nesting.
 //!
 //! Under the `strict-invariants` feature every acquisition through
 //! [`crate::sync`] (and the `BufferManager` internals) is recorded in a
@@ -25,9 +30,15 @@
 /// The lock classes of the storage hierarchy, in acquisition order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LockClass {
-    /// The buffer pool's metadata mutex (`PoolInner`). Root of the
-    /// order: nothing may be held when acquiring it.
+    /// The global buffer pool's metadata mutex (`PoolInner`). Root of
+    /// the order: nothing may be held when acquiring it.
     PoolInner,
+    /// One shard's mapping lock in the sharded buffer pool
+    /// (PostgreSQL's partitioned buffer-mapping lwlocks,
+    /// `NUM_BUFFER_PARTITIONS`). Same rank as [`LockClass::PoolInner`]:
+    /// a thread holds at most one mapping lock, and never acquires one
+    /// while any other storage lock is held.
+    Shard,
     /// A buffer frame's page `RwLock` (PostgreSQL's buffer latch).
     Frame,
     /// Engine-side shared state (parallel-search collectors, error
@@ -41,6 +52,7 @@ impl LockClass {
     pub fn rank(self) -> u8 {
         match self {
             LockClass::PoolInner => 0,
+            LockClass::Shard => 0,
             LockClass::Frame => 1,
             LockClass::EngineShared => 2,
         }
@@ -50,6 +62,7 @@ impl LockClass {
     pub fn name(self) -> &'static str {
         match self {
             LockClass::PoolInner => "PoolInner",
+            LockClass::Shard => "Shard",
             LockClass::Frame => "Frame",
             LockClass::EngineShared => "EngineShared",
         }
@@ -183,5 +196,33 @@ mod tests {
     fn same_rank_reentry_panics() {
         let _a = acquire(LockClass::EngineShared);
         let _b = acquire(LockClass::EngineShared);
+    }
+
+    #[test]
+    fn shard_then_frame_is_fine() {
+        let _s = acquire(LockClass::Shard);
+        let _f = acquire(LockClass::Frame);
+        assert_eq!(held_trace(), vec!["Shard", "Frame"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn second_shard_under_shard_panics() {
+        let _a = acquire(LockClass::Shard);
+        let _b = acquire(LockClass::Shard);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn shard_under_pool_inner_panics() {
+        let _pool = acquire(LockClass::PoolInner);
+        let _shard = acquire(LockClass::Shard);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn shard_under_frame_panics() {
+        let _frame = acquire(LockClass::Frame);
+        let _shard = acquire(LockClass::Shard);
     }
 }

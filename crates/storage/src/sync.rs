@@ -124,6 +124,28 @@ impl<T> OrderedRwLock<T> {
         }
     }
 
+    /// Non-blocking shared lock: `None` means another thread holds the
+    /// lock exclusively right now. The sharded buffer pool uses the
+    /// failure as its contention signal before falling back to the
+    /// blocking [`OrderedRwLock::read`]. The order check still runs —
+    /// an inversion is a bug whether or not this particular attempt
+    /// would have blocked.
+    pub fn try_read(&self) -> Option<OrderedReadGuard<'_, T>> {
+        let held = lockorder::acquire(self.class);
+        self.inner
+            .try_read()
+            .map(|guard| OrderedReadGuard { guard, _held: held })
+    }
+
+    /// Non-blocking exclusive lock; tracked like
+    /// [`OrderedRwLock::try_read`].
+    pub fn try_write(&self) -> Option<OrderedWriteGuard<'_, T>> {
+        let held = lockorder::acquire(self.class);
+        self.inner
+            .try_write()
+            .map(|guard| OrderedWriteGuard { guard, _held: held })
+    }
+
     /// Consume the lock, returning the value.
     pub fn into_inner(self) -> T {
         self.inner.into_inner()
@@ -187,6 +209,31 @@ mod tests {
         }
         *l.write() += 1;
         assert_eq!(*l.read(), 8);
+    }
+
+    #[test]
+    fn try_locks_succeed_when_uncontended() {
+        let l = OrderedRwLock::engine(1u32);
+        assert_eq!(l.try_read().map(|g| *g), Some(1));
+        *l.try_write().expect("uncontended try_write") = 2;
+        assert_eq!(*l.read(), 2);
+    }
+
+    #[test]
+    fn try_locks_fail_under_concurrent_writer() {
+        let l = OrderedRwLock::engine(0u32);
+        let g = l.write();
+        // Another thread (clean tracker stack) must see the contention
+        // as a `None`, not a block — and the failed try must pop its
+        // tracker entry so the thread's stack stays clean.
+        crossbeam::thread::scope(|s| {
+            s.spawn(|_| {
+                assert!(l.try_read().is_none());
+                assert!(l.try_write().is_none());
+            });
+        })
+        .unwrap();
+        drop(g);
     }
 
     #[cfg(feature = "strict-invariants")]

@@ -20,6 +20,13 @@ fn pool(frames: usize) -> (BufferManager, vdb_storage::RelId) {
     (bm, rel)
 }
 
+fn sharded_pool(frames: usize, shards: usize) -> (BufferManager, vdb_storage::RelId) {
+    let disk = Arc::new(DiskManager::new(PageSize::Size4K));
+    let rel = disk.create_relation();
+    let bm = BufferManager::sharded_with_shards(disk, frames, shards);
+    (bm, rel)
+}
+
 #[test]
 fn buffer_pool_nesting_is_order_clean() {
     // A 2-frame pool over 5 pages exercises every tracked path: pin
@@ -55,6 +62,58 @@ fn engine_lock_inside_page_closure_is_legal() {
     })
     .unwrap();
     assert_eq!(*collector.lock(), vec![7]);
+}
+
+#[test]
+fn sharded_pool_nesting_is_order_clean() {
+    // Shard (rank 0, peer of PoolInner) → Frame (rank 1) is the
+    // sharded pool's only nesting; hits, misses, dirty write-backs
+    // during the clock sweep, and flush must all stay inside it.
+    let (bm, rel) = sharded_pool(4, 2);
+    for i in 0u8..10 {
+        bm.new_page(rel, 0, |p| {
+            p.add_item(&[i; 32]).unwrap();
+        })
+        .unwrap();
+    }
+    for round in 0..3 {
+        for i in 0u8..10 {
+            let v = bm
+                .with_page(rel, i as u32, |p| p.item(1).unwrap()[0])
+                .unwrap();
+            assert_eq!(v, i, "round {round}");
+        }
+    }
+    bm.flush_all().unwrap();
+}
+
+#[test]
+fn engine_lock_inside_sharded_page_closure_is_legal() {
+    // Shard → Frame → EngineShared: the full sanctioned chain.
+    let (bm, rel) = sharded_pool(4, 2);
+    bm.new_page(rel, 0, |p| {
+        p.add_item(&[9u8; 8]).unwrap();
+    })
+    .unwrap();
+    let collector: OrderedMutex<Vec<u8>> = OrderedMutex::engine(Vec::new());
+    bm.with_page(rel, 0, |p| {
+        collector.lock().push(p.item(1).unwrap()[0]);
+    })
+    .unwrap();
+    assert_eq!(*collector.lock(), vec![9]);
+}
+
+#[test]
+#[should_panic(expected = "lock-order inversion")]
+fn sharded_pool_entry_under_engine_lock_panics() {
+    // Same inversion as the global-pool case, caught on the Shard
+    // class instead of PoolInner.
+    let (bm, rel) = sharded_pool(4, 2);
+    bm.new_page(rel, 0, |_| ()).unwrap();
+    let collector: OrderedMutex<Vec<u8>> = OrderedMutex::engine(Vec::new());
+    let guard = collector.lock();
+    let _ = bm.with_page(rel, 0, |_| ());
+    drop(guard);
 }
 
 #[test]

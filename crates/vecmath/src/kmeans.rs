@@ -94,7 +94,13 @@ impl Kmeans {
         for _iter in 0..params.iters {
             match flavor {
                 KmeansFlavor::FaissStyle => {
-                    assign_batched(training, &centroids, params.gemm, &mut assignment);
+                    assign_batched(
+                        training.dim(),
+                        training.as_flat(),
+                        &centroids,
+                        params.gemm,
+                        &mut assignment,
+                    );
                 }
                 KmeansFlavor::PaseStyle => {
                     assign_scalar(training, &centroids, &mut assignment);
@@ -189,8 +195,17 @@ impl Kmeans {
     /// Assign every row of `xs` to its nearest centroid using batched GEMM
     /// distance tables (the Faiss adding phase, RC#1).
     pub fn assign_batch(&self, gemm: GemmKernel, xs: &VectorSet) -> Vec<u32> {
-        let mut out = vec![0u32; xs.len()];
-        assign_batched(xs, &self.centroids, gemm, &mut out);
+        self.assign_batch_flat(gemm, xs.dim(), xs.as_flat())
+    }
+
+    /// [`Kmeans::assign_batch`] over a borrowed row-major slice
+    /// (`flat.len()` must be a multiple of `dim`). Lets callers that
+    /// shard a `VectorSet` across threads assign each range in place
+    /// instead of copying it into a fresh set per chunk.
+    pub fn assign_batch_flat(&self, gemm: GemmKernel, dim: usize, flat: &[f32]) -> Vec<u32> {
+        debug_assert_eq!(flat.len() % dim.max(1), 0, "ragged flat slice");
+        let mut out = vec![0u32; flat.len() / dim.max(1)];
+        assign_batched(dim, flat, &self.centroids, gemm, &mut out);
         out
     }
 
@@ -220,13 +235,19 @@ fn init_strided(training: &VectorSet, k: usize) -> VectorSet {
     training.gather(&idx)
 }
 
-fn assign_batched(xs: &VectorSet, centroids: &VectorSet, gemm: GemmKernel, out: &mut [u32]) {
-    let d = xs.dim();
+fn assign_batched(
+    d: usize,
+    flat: &[f32],
+    centroids: &VectorSet,
+    gemm: GemmKernel,
+    out: &mut [u32],
+) {
+    let n = out.len();
     let k = centroids.len();
     let mut row = 0usize;
-    while row < xs.len() {
-        let end = (row + ASSIGN_CHUNK).min(xs.len());
-        let chunk = &xs.as_flat()[row * d..end * d];
+    while row < n {
+        let end = (row + ASSIGN_CHUNK).min(n);
+        let chunk = &flat[row * d..end * d];
         let table = l2_distance_table(gemm, chunk, centroids.as_flat(), d);
         for (i, dists) in table.chunks_exact(k).enumerate() {
             let mut best = 0usize;

@@ -32,6 +32,10 @@ const RULES: &[(&str, &str)] = &[
         "lock-discipline",
         "no direct parking_lot locks in engine crates; use vdb_storage::sync",
     ),
+    (
+        "lock-hierarchy",
+        "no storage-rank LockClass (PoolInner/Shard/Frame) outside crates/storage",
+    ),
 ];
 
 fn main() -> ExitCode {

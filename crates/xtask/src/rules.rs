@@ -6,6 +6,7 @@
 //! | `safety-comment` | whitelisted files | every `unsafe` site carries a `// SAFETY:` comment |
 //! | `no-panic` | hot-path crate sources | no `unwrap`/`expect`/`panic!`-family outside tests, unless annotated `// PANIC-OK:` |
 //! | `lock-discipline` | `generalized`, `sql` | no direct `parking_lot` use — shared state goes through `vdb_storage::sync` / the `BufferManager` API |
+//! | `lock-hierarchy` | everything outside `crates/storage` | no storage-rank `LockClass` (`PoolInner`/`Shard`/`Frame`) construction — engine locks use `OrderedMutex::engine()` / `OrderedRwLock::engine()` |
 //!
 //! Annotations are comments, deliberately: a `// SAFETY:` or
 //! `// PANIC-OK:` line must say *why* the invariant holds, which is the
@@ -29,6 +30,17 @@ pub(crate) const NO_PANIC_CRATES: &[&str] =
 
 /// Crates forbidden from acquiring `parking_lot` locks directly.
 pub(crate) const LOCK_DISCIPLINE_CRATES: &[&str] = &["generalized", "sql"];
+
+/// Lock classes reserved for the buffer pool's own hierarchy. Code
+/// outside `crates/storage` must not mint locks at these ranks: a
+/// pool-rank lock owned by an engine would let engine code interleave
+/// with the shard/frame protocol the tracker assumes only the
+/// `BufferManager` drives.
+pub(crate) const STORAGE_LOCK_CLASSES: &[&str] = &[
+    "LockClass::PoolInner",
+    "LockClass::Shard",
+    "LockClass::Frame",
+];
 
 /// Panicking constructs the `no-panic` rule rejects.
 const PANIC_PATTERNS: &[&str] = &[
@@ -120,6 +132,9 @@ pub(crate) fn run_selected(files: &[SourceFile], only: &[String]) -> Vec<Violati
             }
             if enabled("lock-discipline") {
                 lock_discipline(file, &scanned, &mut out);
+            }
+            if enabled("lock-hierarchy") {
+                lock_hierarchy(file, &scanned, &mut out);
             }
         } else if file.rel_path.ends_with("Cargo.toml") && enabled("lock-discipline") {
             lock_discipline_manifest(file, &mut out);
@@ -218,6 +233,32 @@ fn lock_discipline(file: &SourceFile, scanned: &Scanned, out: &mut Vec<Violation
                           (OrderedMutex/OrderedRwLock) or the BufferManager API"
                     .into(),
             });
+        }
+    }
+}
+
+/// Storage-rank `LockClass` values referenced outside `crates/storage`
+/// (sources, tests, and benches alike — there is no legitimate reason
+/// for non-storage code to sit at pool rank).
+fn lock_hierarchy(file: &SourceFile, scanned: &Scanned, out: &mut Vec<Violation>) {
+    if crate_of(&file.rel_path) == Some("storage") {
+        return;
+    }
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        for class in STORAGE_LOCK_CLASSES {
+            if line.code.contains(class) {
+                out.push(Violation {
+                    path: PathBuf::from(&file.rel_path),
+                    line: idx + 1,
+                    rule: "lock-hierarchy",
+                    message: format!(
+                        "`{class}` outside `crates/storage`; pool-rank locks belong to \
+                         the BufferManager — engine shared state takes \
+                         `OrderedMutex::engine()` / `OrderedRwLock::engine()` \
+                         (rank EngineShared)"
+                    ),
+                });
+            }
         }
     }
 }
@@ -383,6 +424,39 @@ mod tests {
         )]);
         assert_eq!(rules_of(&v), vec!["lock-discipline"]);
         assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn storage_rank_lock_class_banned_outside_storage() {
+        let src = "use vdb_storage::sync::OrderedRwLock;\nuse vdb_storage::LockClass;\nfn f() { let _l = OrderedRwLock::new(LockClass::Shard, 0u32); }\n";
+        let v = run_all(&[file("crates/generalized/src/ivf_flat.rs", src)]);
+        assert_eq!(rules_of(&v), vec!["lock-hierarchy"]);
+        assert_eq!(v[0].line, 3);
+        // Workspace-level integration tests are in scope too.
+        let vt = run_all(&[file(
+            "tests/pool_mode_equivalence.rs",
+            "fn t() { acquire(LockClass::PoolInner); }\n",
+        )]);
+        assert_eq!(rules_of(&vt), vec!["lock-hierarchy"]);
+        // The storage crate itself mints pool-rank locks freely.
+        assert!(run_all(&[file(
+            "crates/storage/src/buffer.rs",
+            "fn f() { let _l = OrderedRwLock::new(LockClass::Frame, ());\n}\n",
+        )])
+        .is_empty());
+    }
+
+    #[test]
+    fn engine_rank_lock_class_is_fine_everywhere() {
+        let src = "fn f() { let _m = vdb_storage::sync::OrderedMutex::engine(0u32); }\n";
+        assert!(run_all(&[file("crates/sql/src/database.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn lock_class_in_string_or_comment_is_not_a_finding() {
+        let src =
+            "// mentions LockClass::Shard in prose\nconst MSG: &str = \"LockClass::Frame\";\n";
+        assert!(run_all(&[file("crates/bench/src/concurrent.rs", src)]).is_empty());
     }
 
     #[test]

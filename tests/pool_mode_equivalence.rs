@@ -1,0 +1,82 @@
+//! Property test: the buffer-pool mode is invisible to query answers.
+//!
+//! The sharded pool is a concurrency optimisation — it must never
+//! change what an index returns. For arbitrary seeded datasets, all
+//! four generalized index types built and searched over a global-lock
+//! pool and over a 4-shard sharded pool (with eviction pressure in
+//! both) produce bit-identical results. Run under `VDB_FORCE_SCALAR=1`
+//! as well: kernel dispatch and pool mode must stay orthogonal.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vdb_core::datagen::gaussian;
+use vdb_core::generalized::{
+    GeneralizedOptions, PaseHnswIndex, PaseIvfFlatIndex, PaseIvfPqIndex, PgVectorIvfFlatIndex,
+};
+use vdb_core::storage::{BufferManager, BufferPoolMode, DiskManager, PageSize};
+use vdb_core::vecmath::{HnswParams, IvfParams, Neighbor, PqParams, VectorSet};
+
+fn pool(mode: BufferPoolMode) -> BufferManager {
+    let disk = Arc::new(DiskManager::new(PageSize::Size8K));
+    match mode {
+        BufferPoolMode::GlobalLock => BufferManager::new(disk, 512),
+        // Explicit 4-shard geometry so the partitioned code paths run
+        // regardless of the host's core count.
+        BufferPoolMode::Sharded => BufferManager::sharded_with_shards(disk, 512, 4),
+    }
+}
+
+/// Build all four index types over `data` on one pool and answer the
+/// same queries with each.
+fn answers(mode: BufferPoolMode, data: &VectorSet, queries: &[usize]) -> Vec<Vec<Vec<Neighbor>>> {
+    let bm = pool(mode);
+    let opts = GeneralizedOptions::default();
+    let ivf = IvfParams {
+        clusters: 8,
+        sample_ratio: 0.5,
+        nprobe: 4,
+    };
+    let pq = PqParams { m: 4, cpq: 16 };
+    let hnsw = HnswParams::default();
+
+    let (flat, _) = PaseIvfFlatIndex::build(opts, ivf, &bm, data).unwrap();
+    let (ivfpq, _) = PaseIvfPqIndex::build(opts, ivf, pq, &bm, data).unwrap();
+    let (graph, _) = PaseHnswIndex::build(opts, hnsw, &bm, data).unwrap();
+    let (pgv, _) = PgVectorIvfFlatIndex::build(opts, ivf, &bm, data).unwrap();
+
+    queries
+        .iter()
+        .map(|&qi| {
+            let q = data.row(qi % data.len());
+            vec![
+                flat.search_with_nprobe(&bm, q, 10, 4).unwrap(),
+                ivfpq.search_with_nprobe(&bm, q, 10, 4).unwrap(),
+                graph.search_with_ef(&bm, q, 10, 64).unwrap(),
+                pgv.search_with_nprobe(&bm, q, 10, 4).unwrap(),
+            ]
+        })
+        .collect()
+}
+
+proptest! {
+    // Each case builds eight indexes; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn sharded_pool_answers_equal_global_lock(
+        seed in 0u64..1_000,
+        dim in prop_oneof![Just(8usize), Just(16usize)],
+        n in 300usize..600,
+        queries in proptest::collection::vec(0usize..600, 3),
+    ) {
+        let data = gaussian::generate(dim, n, 8, seed);
+        let global = answers(BufferPoolMode::GlobalLock, &data, &queries);
+        let sharded = answers(BufferPoolMode::Sharded, &data, &queries);
+        // Index-by-index so a mismatch names the engine.
+        for (qi, (g, s)) in global.iter().zip(&sharded).enumerate() {
+            for (t, name) in ["ivfflat", "ivfpq", "hnsw", "pgvector"].iter().enumerate() {
+                prop_assert_eq!(&g[t], &s[t], "query {} through {}", qi, name);
+            }
+        }
+    }
+}
