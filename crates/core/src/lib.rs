@@ -17,6 +17,10 @@
 //!   on [`storage`]'s PostgreSQL-shaped substrate (slotted pages,
 //!   buffer manager, TIDs), exhibiting all seven root causes by
 //!   default, each one toggleable.
+//! * [`decoupled`] — the paper's §IX-B design point: heap tuples stay
+//!   in [`storage`], ANN is served from [`specialized`]'s native
+//!   structures with TID back-links, and a change log keeps the two
+//!   consistent (`consistency = sync | bounded(n)`).
 //! * [`sql`] — PASE's SQL surface (`CREATE INDEX ... USING ivfflat`,
 //!   `ORDER BY vec <-> '...'::PASE LIMIT k`).
 //! * [`datagen`] — seeded stand-ins for the paper's six datasets.
@@ -42,6 +46,7 @@ pub use config::RootCause;
 pub use experiment::{ExperimentRecord, Series};
 
 pub use vdb_datagen as datagen;
+pub use vdb_decoupled as decoupled;
 pub use vdb_filter as filter;
 pub use vdb_gemm as gemm;
 pub use vdb_generalized as generalized;

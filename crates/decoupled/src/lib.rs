@@ -1,0 +1,82 @@
+//! The decoupled vector engine — the paper's §IX-B "decoupling the
+//! vector index from the database" design point, built as a third
+//! engine next to the generalized (PASE-like) and specialized
+//! (Faiss-like) ones.
+//!
+//! The architecture splits responsibilities instead of picking a side:
+//!
+//! * **Heap tuples stay in `vdb-storage`** — rows keep their slotted
+//!   pages, buffer-pool residency, TIDs, and the SQL layer's scan-based
+//!   predicate evaluation. Nothing about transactional row storage
+//!   changes.
+//! * **ANN is served from a native in-memory index** — the same flat
+//!   arrays the specialized engine uses ([`vdb_specialized`]), so a
+//!   vector search pays no page indirection (RC#2) and no tuple decode
+//!   (RC#4). Each native entry carries a *TID back-link* to its heap
+//!   tuple, restoring the row when the executor needs more than the id.
+//! * **A change log keeps the two sides consistent** — DML appends
+//!   versioned records ([`changelog::ChangeRecord`]) that are replayed
+//!   into the native index either synchronously at write time
+//!   ([`Consistency::Sync`]) or lazily at read time under a staleness
+//!   bound ([`Consistency::Bounded`]), the paper's freshness-vs-write-
+//!   amplification trade-off.
+//!
+//! Lock order is part of the storage hierarchy
+//! (`vdb_storage::lockorder`): `DecoupledIndex → ChangeLog` may be
+//! taken in that order (the drain path), both sit strictly above the
+//! buffer pool's own ranks, and holding the index lock across a pool
+//! entry point is the inversion the tracker panics on under
+//! `strict-invariants`.
+
+pub mod changelog;
+pub mod index;
+pub mod pase;
+
+pub use changelog::{ChangeLog, ChangeRecord};
+pub use index::{DecoupledIndex, NativeParams};
+pub use pase::DecoupledPaseIndex;
+
+/// How the native index is kept consistent with the heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Consistency {
+    /// Replay change-log records into the native index at commit time:
+    /// every write pays the index-maintenance cost before returning, and
+    /// reads never observe lag (PostgreSQL's index-AM contract).
+    Sync,
+    /// Allow up to `n` unapplied change-log records; a search first
+    /// drains the log if the lag exceeds the bound. Writes return after
+    /// the log append — the paper's decoupled design, where index
+    /// maintenance is off the write path.
+    Bounded(u64),
+}
+
+impl Consistency {
+    /// The staleness bound: 0 for [`Consistency::Sync`].
+    pub fn bound(self) -> u64 {
+        match self {
+            Consistency::Sync => 0,
+            Consistency::Bounded(n) => n,
+        }
+    }
+
+    /// Render as the SQL `WITH (consistency = ...)` surface syntax.
+    pub fn describe(self) -> String {
+        match self {
+            Consistency::Sync => "sync".to_string(),
+            Consistency::Bounded(n) => format!("bounded({n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistency_describe_round_trips_surface_syntax() {
+        assert_eq!(Consistency::Sync.describe(), "sync");
+        assert_eq!(Consistency::Bounded(8).describe(), "bounded(8)");
+        assert_eq!(Consistency::Sync.bound(), 0);
+        assert_eq!(Consistency::Bounded(8).bound(), 8);
+    }
+}

@@ -1,0 +1,183 @@
+//! [`PaseIndex`] adapter: plugs a [`DecoupledIndex`] into the SQL
+//! layer's access-method dispatch next to the page-based AMs.
+//!
+//! The adapter is thin by design — the decoupled engine is interior-
+//! mutable and never touches the buffer pool on the search path, so
+//! every `bm` parameter is ignored except in the strict-invariants
+//! audit, where the heap is re-opened from the stored [`RelId`] to
+//! verify TID back-links.
+
+use crate::index::DecoupledIndex;
+use vdb_filter::{FilterStrategy, SelectionBitmap};
+use vdb_generalized::index_am::PaseIndex;
+use vdb_storage::{BufferManager, RelId, Result, Tid};
+use vdb_vecmath::Neighbor;
+
+/// A [`DecoupledIndex`] behind the [`PaseIndex`] access-method trait.
+pub struct DecoupledPaseIndex {
+    index: DecoupledIndex,
+    /// Relation of the indexed heap (for the back-link audit).
+    rel: RelId,
+}
+
+impl DecoupledPaseIndex {
+    /// Wrap an index built over the heap relation `rel`.
+    pub fn new(index: DecoupledIndex, rel: RelId) -> DecoupledPaseIndex {
+        DecoupledPaseIndex { index, rel }
+    }
+
+    /// The wrapped engine index.
+    pub fn index(&self) -> &DecoupledIndex {
+        &self.index
+    }
+
+    /// Relation of the indexed heap.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// Verify engine invariants against the heap (strict builds only).
+    #[cfg(feature = "strict-invariants")]
+    fn audit(&self, bm: &BufferManager) {
+        let heap = vdb_storage::HeapTable::open(self.rel);
+        self.index.audit_against_heap(bm, &heap);
+    }
+}
+
+impl PaseIndex for DecoupledPaseIndex {
+    fn am_name(&self) -> &'static str {
+        self.index.params().am_name()
+    }
+
+    fn scan(&self, bm: &BufferManager, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        let _ = bm;
+        Ok(self.index.search(query, k))
+    }
+
+    fn scan_with_knob(
+        &self,
+        bm: &BufferManager,
+        query: &[f32],
+        k: usize,
+        knob: Option<usize>,
+    ) -> Result<Vec<Neighbor>> {
+        let _ = bm;
+        Ok(self.index.search_with_knob(query, k, knob))
+    }
+
+    fn insert(&mut self, _bm: &BufferManager, _id: u64, _vector: &[f32]) -> Result<()> {
+        // PANIC-OK: the SQL layer always routes decoupled inserts
+        // through insert_with_tid (the back-link is mandatory); landing
+        // here is a dispatch bug, not a runtime condition.
+        unreachable!("decoupled indexes require insert_with_tid")
+    }
+
+    fn insert_with_tid(
+        &mut self,
+        bm: &BufferManager,
+        id: u64,
+        vector: &[f32],
+        tid: Tid,
+    ) -> Result<()> {
+        self.index.insert(id, tid, vector);
+        #[cfg(feature = "strict-invariants")]
+        self.audit(bm);
+        let _ = bm;
+        Ok(())
+    }
+
+    fn delete(&mut self, bm: &BufferManager, id: u64) -> Result<()> {
+        self.index.delete(id);
+        // No audit here: under Sync the heap delete lands *after* index
+        // maintenance in the SQL layer, so the back-link still resolves;
+        // the next insert's audit covers the tombstoned entry.
+        let _ = bm;
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn size_bytes(&self, bm: &BufferManager) -> usize {
+        let _ = bm;
+        self.index.size_bytes()
+    }
+
+    fn dim(&self) -> usize {
+        self.index.dim()
+    }
+
+    fn describe(&self) -> String {
+        self.index.describe()
+    }
+
+    fn scan_filtered(
+        &self,
+        bm: &BufferManager,
+        query: &[f32],
+        k: usize,
+        filter: &SelectionBitmap,
+        strategy: FilterStrategy,
+        knob: Option<usize>,
+    ) -> Result<Vec<Neighbor>> {
+        let _ = bm;
+        Ok(self.index.search_filtered(query, k, filter, strategy, knob))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::NativeParams;
+    use crate::Consistency;
+    use std::sync::Arc;
+    use vdb_specialized::SpecializedOptions;
+    use vdb_storage::{BufferManager, DiskManager, HeapTable, PageSize};
+
+    fn fixture() -> (BufferManager, Box<dyn PaseIndex>) {
+        let bm = BufferManager::new(Arc::new(DiskManager::new(PageSize::default())), 64);
+        let heap = HeapTable::create(&bm);
+        let data = vdb_datagen::gaussian::generate(4, 30, 3, 11);
+        let mut ids = Vec::new();
+        let mut tids = Vec::new();
+        for i in 0..data.len() {
+            let mut bytes = (i as i64).to_le_bytes().to_vec();
+            for x in data.row(i) {
+                bytes.extend_from_slice(&x.to_le_bytes());
+            }
+            tids.push(heap.insert(&bm, &bytes).expect("heap insert"));
+            ids.push(i as u64);
+        }
+        let ix = DecoupledIndex::build(
+            SpecializedOptions::default(),
+            NativeParams::Flat,
+            Consistency::Sync,
+            &ids,
+            &tids,
+            &data,
+        );
+        (bm, Box::new(DecoupledPaseIndex::new(ix, heap.rel())))
+    }
+
+    #[test]
+    fn adapter_serves_scans_and_dml_through_the_trait() {
+        let (bm, mut ix) = fixture();
+        assert_eq!(ix.len(), 30);
+        assert_eq!(ix.dim(), 4);
+        assert!(ix.am_name().starts_with("decoupled_"));
+        let q = [0.5f32, 0.5, 0.5, 0.5];
+        let before = ix.scan(&bm, &q, 3).expect("scan");
+        assert_eq!(before.len(), 3);
+        ix.delete(&bm, before[0].id).expect("delete");
+        let after = ix.scan(&bm, &q, 3).expect("scan");
+        assert!(after.iter().all(|n| n.id != before[0].id));
+        assert_eq!(ix.len(), 29);
+    }
+
+    #[test]
+    fn describe_reports_consistency() {
+        let (_bm, ix) = fixture();
+        assert_eq!(ix.describe(), "decoupled_flat, consistency=sync, lag=0");
+    }
+}

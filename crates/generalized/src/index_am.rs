@@ -6,7 +6,7 @@
 //! dispatches through this trait without knowing the index type.
 
 use vdb_filter::{FilterStrategy, SelectionBitmap};
-use vdb_storage::{BufferManager, Result};
+use vdb_storage::{BufferManager, Result, Tid};
 use vdb_vecmath::Neighbor;
 
 /// What every generalized index exposes to the executor.
@@ -33,6 +33,37 @@ pub trait PaseIndex: Send + Sync {
 
     /// Insert one `(id, vector)` pair into the index.
     fn insert(&mut self, bm: &BufferManager, id: u64, vector: &[f32]) -> Result<()>;
+
+    /// Insert with the heap TID of the freshly written tuple. Page-based
+    /// AMs ignore the TID (their entries carry ids, and the executor
+    /// re-finds rows by id); the decoupled engine stores it as the
+    /// native entry's back-link.
+    fn insert_with_tid(
+        &mut self,
+        bm: &BufferManager,
+        id: u64,
+        vector: &[f32],
+        tid: Tid,
+    ) -> Result<()> {
+        let _ = tid;
+        self.insert(bm, id, vector)
+    }
+
+    /// The row with `id` was deleted from the heap. Page-based AMs keep
+    /// dead entries (PostgreSQL leaves them for VACUUM; the executor
+    /// filters by the table's deleted set), so the default is a no-op.
+    /// The decoupled engine tombstones the native entry.
+    fn delete(&mut self, bm: &BufferManager, id: u64) -> Result<()> {
+        let _ = (bm, id);
+        Ok(())
+    }
+
+    /// One-line description for EXPLAIN output. Defaults to the access
+    /// method name; engines with per-index configuration (the decoupled
+    /// engine's consistency mode) append it here.
+    fn describe(&self) -> String {
+        self.am_name().to_string()
+    }
 
     /// Indexed vector count.
     fn len(&self) -> usize;

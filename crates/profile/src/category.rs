@@ -58,13 +58,19 @@ pub enum Category {
     /// pool reports per-shard breakdowns through `BufferManager`; this
     /// category aggregates across shards for profile tables.
     ShardContention,
+    /// Decoupled engine: replaying change-log records (inserts/deletes)
+    /// into the native index to restore freshness.
+    ChangeLogReplay,
+    /// Decoupled engine: translating native slot ids back to heap TIDs /
+    /// application row ids after an ANN search.
+    TidLookup,
     /// Anything not covered above.
     Other,
 }
 
 impl Category {
     /// Number of categories; sizes the fixed accumulator arrays.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 21;
 
     /// All categories in declaration order.
     pub const ALL: [Category; Category::COUNT] = [
@@ -86,6 +92,8 @@ impl Category {
         Category::FilterEval,
         Category::PageEviction,
         Category::ShardContention,
+        Category::ChangeLogReplay,
+        Category::TidLookup,
         Category::Other,
     ];
 
@@ -116,6 +124,8 @@ impl Category {
             Category::FilterEval => "FilterEval",
             Category::PageEviction => "PageEviction",
             Category::ShardContention => "ShardContention",
+            Category::ChangeLogReplay => "ChangeLogReplay",
+            Category::TidLookup => "TidLookup",
             Category::Other => "Others",
         }
     }

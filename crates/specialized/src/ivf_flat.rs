@@ -120,6 +120,21 @@ impl IvfFlatIndex {
         self.len += data.len();
     }
 
+    /// Insert one vector; its id is its insertion order, matching
+    /// [`IvfFlatIndex::add_all`]'s numbering so batch-built and
+    /// streamed indexes agree. Assignment uses the scalar
+    /// nearest-centroid kernel (no batching for a single row).
+    pub fn insert(&mut self, v: &[f32]) -> u64 {
+        let _t = profile::scoped(Category::IvfAdd);
+        let id = self.len as u64;
+        let (a, _) = self.quantizer.nearest(self.opts.distance, v);
+        let bucket = &mut self.buckets[a];
+        bucket.ids.push(id);
+        bucket.vectors.push(v);
+        self.len += 1;
+        id
+    }
+
     /// The trained coarse quantizer (e.g. to transplant centroids into
     /// the other engine).
     pub fn quantizer(&self) -> &Kmeans {
@@ -376,6 +391,29 @@ mod tests {
             let approx = idx.search_with_nprobe(q, 10, idx.quantizer().k());
             let exact = flat.search(q, 10);
             assert_eq!(approx, exact, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn streamed_inserts_match_batch_build_under_full_probe() {
+        let data = dataset();
+        let opts = SpecializedOptions::default();
+        let (batch, _) = IvfFlatIndex::build(opts, small_params(), &data);
+        let mut streamed = IvfFlatIndex::empty(opts, small_params(), batch.quantizer().clone());
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(streamed.insert(v), i as u64);
+        }
+        assert_eq!(streamed.len(), batch.len());
+        // Ids are insertion order in both paths; under full probe both
+        // are exhaustive, so the top-k must agree exactly.
+        let k_full = batch.quantizer().k();
+        for qi in [0usize, 17, 512] {
+            let q = data.row(qi);
+            assert_eq!(
+                streamed.search_with_nprobe(q, 10, k_full),
+                batch.search_with_nprobe(q, 10, k_full),
+                "query {qi}"
+            );
         }
     }
 

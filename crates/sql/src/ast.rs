@@ -3,6 +3,19 @@
 use vdb_filter::Predicate;
 use vdb_vecmath::Metric;
 
+/// Which native structure a decoupled index serves ANN from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecoupledKind {
+    /// Brute-force flat scan (exact).
+    Flat,
+    /// Inverted file over raw vectors.
+    IvfFlat,
+    /// Inverted file over PQ codes.
+    IvfPq,
+    /// HNSW graph.
+    Hnsw,
+}
+
 /// Which vector access method an index uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IndexKind {
@@ -12,6 +25,8 @@ pub enum IndexKind {
     IvfPq,
     /// PASE `hnsw`.
     Hnsw,
+    /// Decoupled engine: heap-resident rows, native in-memory ANN.
+    Decoupled(DecoupledKind),
 }
 
 impl IndexKind {
@@ -21,6 +36,10 @@ impl IndexKind {
             "ivfflat" | "pase_ivfflat" => Some(IndexKind::IvfFlat),
             "ivfpq" | "pase_ivfpq" => Some(IndexKind::IvfPq),
             "hnsw" | "pase_hnsw" => Some(IndexKind::Hnsw),
+            "decoupled_flat" => Some(IndexKind::Decoupled(DecoupledKind::Flat)),
+            "decoupled_ivfflat" => Some(IndexKind::Decoupled(DecoupledKind::IvfFlat)),
+            "decoupled_ivfpq" => Some(IndexKind::Decoupled(DecoupledKind::IvfPq)),
+            "decoupled_hnsw" => Some(IndexKind::Decoupled(DecoupledKind::Hnsw)),
             _ => None,
         }
     }
@@ -39,13 +58,35 @@ pub enum ColumnDef {
     Vector(String, Option<usize>),
 }
 
+/// The value side of a `WITH (key = value)` index option.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OptionValue {
+    /// `clusters = 100` — PASE's options are all numeric.
+    Number(f64),
+    /// `consistency = sync` — a bare keyword.
+    Word(String),
+    /// `consistency = bounded(8)` — keyword with one numeric argument.
+    Call(String, f64),
+}
+
+impl OptionValue {
+    /// The numeric value, if this is a plain number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            OptionValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
 /// One `WITH (key = value)` index option.
 #[derive(Clone, Debug, PartialEq)]
 pub struct IndexOption {
     /// Option key, lower-cased.
     pub key: String,
-    /// Numeric value (PASE's options are all numeric).
-    pub value: f64,
+    /// Option value: numeric for PASE options, word/call forms for the
+    /// decoupled engine's `consistency` option.
+    pub value: OptionValue,
 }
 
 /// The ORDER BY clause of a vector search.

@@ -1,20 +1,22 @@
 //! The database façade: catalog, DDL/DML handling, and the `execute`
 //! entry point.
 
-use crate::ast::{ColumnDef, IndexKind, IndexOption, Statement};
+use crate::ast::{ColumnDef, DecoupledKind, IndexKind, IndexOption, OptionValue, Statement};
 use crate::executor;
 use crate::parser::parse;
 use crate::planner::{plan_select, IndexCandidate, TableStats};
 use crate::{Result, SqlError};
 use std::collections::HashMap;
 use std::sync::Arc;
+use vdb_decoupled::{Consistency, DecoupledIndex, DecoupledPaseIndex, NativeParams};
 use vdb_filter::{estimate_selectivity, Predicate};
 use vdb_generalized::{
     GeneralizedOptions, PaseHnswIndex, PaseIndex, PaseIvfFlatIndex, PaseIvfPqIndex,
 };
 use vdb_profile::{self as profile, Category};
+use vdb_specialized::SpecializedOptions;
 use vdb_storage::tuple::{decode_attr, decode_id, encode_tuple, vector_slice};
-use vdb_storage::{BufferManager, BufferPoolMode, DiskManager, HeapTable, PageSize};
+use vdb_storage::{BufferManager, BufferPoolMode, DiskManager, HeapTable, PageSize, Tid};
 use vdb_vecmath::{HnswParams, IvfParams, Metric, PqParams, VectorSet};
 
 /// Planner sample size for predicate selectivity estimation.
@@ -330,9 +332,11 @@ impl Database {
         })?;
         let nattrs = state.attrs.len();
         let mut ids: Vec<i64> = Vec::new();
+        let mut tids: Vec<Tid> = Vec::new();
         let mut data = VectorSet::empty(dim);
-        state.heap.scan(&self.bm, |_, bytes| {
+        state.heap.scan(&self.bm, |tid, bytes| {
             ids.push(decode_id(bytes));
+            tids.push(tid);
             data.push(vector_slice(bytes, nattrs));
         })?;
         if data.is_empty() {
@@ -373,6 +377,21 @@ impl Database {
                 let (idx, _) = build_hnsw_with_ids(opts, opt.hnsw, &self.bm, &ids, &data)?;
                 Box::new(idx)
             }
+            IndexKind::Decoupled(dk) => {
+                let sopts = SpecializedOptions {
+                    metric: opt.metric,
+                    ..SpecializedOptions::default()
+                };
+                let params = match dk {
+                    DecoupledKind::Flat => NativeParams::Flat,
+                    DecoupledKind::IvfFlat => NativeParams::IvfFlat(opt.ivf),
+                    DecoupledKind::IvfPq => NativeParams::IvfPq(opt.ivf, opt.pq),
+                    DecoupledKind::Hnsw => NativeParams::Hnsw(opt.hnsw),
+                };
+                let idx =
+                    DecoupledIndex::build(sopts, params, opt.consistency, &app_ids, &tids, &data);
+                Box::new(DecoupledPaseIndex::new(idx, state.heap.rel()))
+            }
         };
         self.indexes.insert(
             name,
@@ -396,6 +415,7 @@ impl Database {
             .get_mut(&table)
             .ok_or_else(|| SqlError::Semantic(format!("unknown table {table:?}")))?;
         let nattrs = state.attrs.len();
+        let mut row_tids: Vec<Tid> = Vec::with_capacity(rows.len());
         for (id, attrs, v) in &rows {
             if attrs.len() != nattrs {
                 return Err(SqlError::Semantic(format!(
@@ -405,13 +425,15 @@ impl Database {
             }
             check_dim(&mut state.dim, v.len())?;
             state.deleted.remove(id);
-            state.heap.insert(&self.bm, &encode_tuple(*id, attrs, v))?;
+            row_tids.push(state.heap.insert(&self.bm, &encode_tuple(*id, attrs, v))?);
             state.nrows += 1;
         }
-        // Maintain all indexes on this table.
+        // Maintain all indexes on this table. The heap TID rides along
+        // so the decoupled engine can record its back-link; page-based
+        // AMs ignore it.
         for ix in self.indexes.values_mut().filter(|ix| ix.table == table) {
-            for (id, _, v) in &rows {
-                ix.index.insert(&self.bm, *id as u64, v)?;
+            for ((id, _, v), tid) in rows.iter().zip(&row_tids) {
+                ix.index.insert_with_tid(&self.bm, *id as u64, v, *tid)?;
             }
         }
         Ok(QueryResult::default())
@@ -501,6 +523,12 @@ impl Database {
                 state.heap.delete(&self.bm, tid)?;
                 state.deleted.insert(id);
                 state.nrows = state.nrows.saturating_sub(1);
+                // Tell the indexes. Page-based AMs no-op (the executor's
+                // visibility check hides dead entries until a rebuild);
+                // the decoupled engine tombstones its native entry.
+                for ix in self.indexes.values_mut().filter(|ix| ix.table == table) {
+                    ix.index.delete(&self.bm, id as u64)?;
+                }
                 Ok(QueryResult::default())
             }
             None => Err(SqlError::Semantic(format!(
@@ -528,7 +556,7 @@ impl Database {
         let plan = plan_select(&stmt, &candidates, &stats)?;
         let line = match &plan {
             crate::planner::Plan::IndexScan { index, k, .. } => {
-                let am = self.index(index)?.index.am_name();
+                let am = self.index(index)?.index.describe();
                 format!("Index Scan using {index} ({am}) on {table_name} (k={k})")
             }
             crate::planner::Plan::SeqScanTopK { k, .. } => {
@@ -541,7 +569,7 @@ impl Database {
                 strategy,
                 ..
             } => {
-                let am = self.index(index)?.index.am_name();
+                let am = self.index(index)?.index.describe();
                 format!(
                     "Filtered Index Scan using {index} ({am}) on {table_name} \
                      (k={k}, filter: {pred}, strategy: {})",
@@ -674,6 +702,9 @@ struct IndexBuildOptions {
     ivf: IvfParams,
     pq: PqParams,
     hnsw: HnswParams,
+    /// Decoupled-engine freshness mode (`consistency = sync|bounded(n)`);
+    /// ignored by the page-based AMs.
+    consistency: Consistency,
 }
 
 impl IndexBuildOptions {
@@ -682,8 +713,33 @@ impl IndexBuildOptions {
         let mut ivf = IvfParams::scaled_to(n);
         let mut pq = PqParams::default();
         let mut hnsw = HnswParams::default();
+        let mut consistency = Consistency::Sync;
         for opt in options {
-            let v = opt.value;
+            if opt.key == "consistency" {
+                consistency = match &opt.value {
+                    OptionValue::Word(w) if w == "sync" => Consistency::Sync,
+                    OptionValue::Call(f, n) if f == "bounded" => {
+                        if *n < 0.0 || n.fract() != 0.0 {
+                            return Err(SqlError::Semantic(format!(
+                                "bounded() takes a non-negative integer, got {n}"
+                            )));
+                        }
+                        Consistency::Bounded(*n as u64)
+                    }
+                    other => {
+                        return Err(SqlError::Semantic(format!(
+                            "consistency must be sync or bounded(n), got {other:?}"
+                        )))
+                    }
+                };
+                continue;
+            }
+            let v = opt.value.as_number().ok_or_else(|| {
+                SqlError::Semantic(format!(
+                    "option {:?} takes a numeric value, got {:?}",
+                    opt.key, opt.value
+                ))
+            })?;
             match opt.key.as_str() {
                 "distance_type" => {
                     metric = Metric::from_pase_code(v as u32)
@@ -717,6 +773,7 @@ impl IndexBuildOptions {
             ivf,
             pq,
             hnsw,
+            consistency,
         })
     }
 }
@@ -1194,6 +1251,102 @@ mod tests {
                 }
             });
         }
+    }
+
+    #[test]
+    fn decoupled_index_matches_seq_scan_under_full_probe() {
+        for consistency in ["sync", "bounded(4)"] {
+            let mut db = db_with_data(400, 8);
+            let sql =
+                "SELECT id FROM items ORDER BY vec <-> '0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5:8' LIMIT 5";
+            let brute = db.execute(sql).unwrap();
+            db.execute(&format!(
+                "CREATE INDEX d ON items USING decoupled_ivfflat(vec) \
+                 WITH (clusters = 8, sample_ratio = 500, consistency = {consistency})"
+            ))
+            .unwrap();
+            let indexed = db.execute(sql).unwrap();
+            assert_eq!(indexed.ids(), brute.ids(), "consistency {consistency}");
+        }
+    }
+
+    #[test]
+    fn decoupled_explain_names_engine_and_consistency() {
+        let mut db = db_with_data(300, 4);
+        db.execute(
+            "CREATE INDEX d ON items USING decoupled_hnsw(vec) \
+             WITH (bnn = 8, efb = 32, efs = 64, consistency = bounded(8))",
+        )
+        .unwrap();
+        let res = db
+            .execute("EXPLAIN SELECT id FROM items ORDER BY vec <-> '0,0,0,0' LIMIT 3")
+            .unwrap();
+        let Value::Text(line) = &res.rows[0][0] else {
+            panic!("not text")
+        };
+        assert!(line.contains("decoupled_hnsw"), "{line}");
+        assert!(line.contains("consistency=bounded(8)"), "{line}");
+    }
+
+    #[test]
+    fn decoupled_dml_visibility_through_sql() {
+        let mut db = db_with_data(200, 4);
+        db.execute(
+            "CREATE INDEX d ON items USING decoupled_flat(vec) WITH (consistency = bounded(1))",
+        )
+        .unwrap();
+        // Insert two rows: lag 2 > bound 1, so the next search drains.
+        db.execute("INSERT INTO items VALUES (7001, '{60,60,60,60}'), (7002, '{61,61,61,61}')")
+            .unwrap();
+        let res = db
+            .execute("SELECT id FROM items ORDER BY vec <-> '60,60,60,60:4' LIMIT 2")
+            .unwrap();
+        assert_eq!(res.ids(), vec![7001, 7002]);
+        // Delete one: it must vanish from subsequent searches.
+        db.execute("DELETE FROM items WHERE id = 7001").unwrap();
+        let res = db
+            .execute("SELECT id FROM items ORDER BY vec <-> '60,60,60,60:4' LIMIT 1")
+            .unwrap();
+        assert_eq!(res.ids(), vec![7002]);
+    }
+
+    #[test]
+    fn decoupled_filtered_query_matches_brute_force() {
+        let mut db = db_with_attrs(500, 8);
+        let q = "0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5";
+        let sql =
+            format!("SELECT id FROM items WHERE price < 25 ORDER BY vec <-> '{q}:16' LIMIT 10");
+        let brute = db.execute(&sql).unwrap();
+        db.execute(
+            "CREATE INDEX d ON items USING decoupled_ivfflat(vec) \
+             WITH (clusters = 16, sample_ratio = 500)",
+        )
+        .unwrap();
+        let indexed = db.execute(&sql).unwrap();
+        assert_eq!(indexed.ids(), brute.ids());
+    }
+
+    #[test]
+    fn bad_consistency_option_is_rejected() {
+        let mut db = db_with_data(100, 4);
+        for bad in [
+            "consistency = 3",
+            "consistency = eventual",
+            "consistency = bounded(2.5)",
+        ] {
+            let err = db
+                .execute(&format!(
+                    "CREATE INDEX d ON items USING decoupled_flat(vec) WITH ({bad})"
+                ))
+                .unwrap_err();
+            assert!(matches!(err, SqlError::Semantic(_)), "{bad}: {err:?}");
+        }
+        // consistency is meaningless for page-based AMs but harmless to
+        // reject lazily — PASE AMs simply don't accept the key.
+        let err = db
+            .execute("CREATE INDEX p ON items USING ivfflat(vec) WITH (clusters = bounded(4))")
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Semantic(_)), "{err:?}");
     }
 
     #[test]

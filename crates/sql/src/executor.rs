@@ -31,16 +31,17 @@ pub fn execute_select(
                     ix.index.dim()
                 )));
             }
-            let mut found = ix
-                .index
-                .scan_with_knob(db.bm(), &query.vector, k, query.knob)?;
             // Visibility check: indexes keep entries for deleted rows
-            // until rebuilt (as PostgreSQL does until VACUUM); filter
-            // them against the table's dead set.
+            // until rebuilt (as PostgreSQL does until VACUUM); over-fetch
+            // by the dead-set size so k live rows survive the filter.
             let deleted = &db.table(table)?.deleted;
+            let mut found =
+                ix.index
+                    .scan_with_knob(db.bm(), &query.vector, k + deleted.len(), query.knob)?;
             if !deleted.is_empty() {
                 found.retain(|n| !deleted.contains(&(n.id as i64)));
             }
+            found.truncate(k);
             project_neighbors(db, table, projection, &found)
         }
         Plan::SeqScanTopK { query, k, metric } => {

@@ -4,7 +4,7 @@
 //! ([`SqlError::ParseAt`]), so malformed statements fail with a
 //! pointable location.
 
-use crate::ast::{ColumnDef, IndexKind, IndexOption, Statement, VectorOrderBy};
+use crate::ast::{ColumnDef, IndexKind, IndexOption, OptionValue, Statement, VectorOrderBy};
 use crate::lexer::{tokenize_spanned, SpannedToken, Token};
 use crate::pase_literal::parse_vector_text;
 use crate::{Result, SqlError};
@@ -242,7 +242,7 @@ impl Parser {
             loop {
                 let key = self.ident()?;
                 self.expect_token(Token::Equals)?;
-                let value = self.number()?;
+                let value = self.option_value()?;
                 options.push(IndexOption { key, value });
                 match self.next()? {
                     Token::Comma => continue,
@@ -262,6 +262,28 @@ impl Parser {
             column,
             options,
         })
+    }
+
+    /// `option_value := number | word | word '(' number ')'`
+    ///
+    /// PASE options are numeric; the decoupled engine's `consistency`
+    /// option takes `sync` or `bounded(n)`.
+    fn option_value(&mut self) -> Result<OptionValue> {
+        match self.peek() {
+            Some(Token::Number(_)) => Ok(OptionValue::Number(self.number()?)),
+            Some(Token::Ident(_)) => {
+                let word = self.ident()?;
+                if matches!(self.peek(), Some(Token::LParen)) {
+                    self.pos += 1;
+                    let arg = self.number()?;
+                    self.expect_token(Token::RParen)?;
+                    Ok(OptionValue::Call(word, arg))
+                } else {
+                    Ok(OptionValue::Word(word))
+                }
+            }
+            other => Err(self.error_here(format!("expected option value, found {other:?}"))),
+        }
     }
 
     fn insert(&mut self) -> Result<Statement> {
@@ -587,7 +609,39 @@ mod tests {
                 assert_eq!(column, "vec");
                 assert_eq!(options.len(), 3);
                 assert_eq!(options[0].key, "clusters");
-                assert_eq!(options[0].value, 256.0);
+                assert_eq!(options[0].value, OptionValue::Number(256.0));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_decoupled_index_with_consistency() {
+        let stmt = parse(
+            "CREATE INDEX dix ON t USING decoupled_ivfflat(vec) \
+             WITH (clusters = 64, consistency = bounded(8))",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateIndex { kind, options, .. } => {
+                assert_eq!(
+                    kind,
+                    IndexKind::Decoupled(crate::ast::DecoupledKind::IvfFlat)
+                );
+                assert_eq!(options[0].value, OptionValue::Number(64.0));
+                assert_eq!(options[1].key, "consistency");
+                assert_eq!(options[1].value, OptionValue::Call("bounded".into(), 8.0));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+
+        let stmt =
+            parse("CREATE INDEX dix ON t USING decoupled_hnsw(vec) WITH (consistency = sync)")
+                .unwrap();
+        match stmt {
+            Statement::CreateIndex { kind, options, .. } => {
+                assert_eq!(kind, IndexKind::Decoupled(crate::ast::DecoupledKind::Hnsw));
+                assert_eq!(options[0].value, OptionValue::Word("sync".into()));
             }
             other => panic!("wrong statement {other:?}"),
         }

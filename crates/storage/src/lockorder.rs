@@ -6,7 +6,9 @@
 //! ```text
 //! PoolInner | Shard (buffer-pool mapping locks — peers, one at a time)
 //!   → Frame (per-frame page RwLock)
-//!       → EngineShared (engine-side collector/error mutexes)
+//!       → DecoupledIndex (decoupled engine's native-index RwLock)
+//!           → ChangeLog (decoupled engine's change-log RwLock)
+//!               → EngineShared (engine-side collector/error mutexes)
 //! ```
 //!
 //! `pin()` takes a pool mapping lock and then latches a frame (miss
@@ -41,6 +43,17 @@ pub enum LockClass {
     Shard,
     /// A buffer frame's page `RwLock` (PostgreSQL's buffer latch).
     Frame,
+    /// The decoupled engine's native-index `RwLock` guarding its slot
+    /// map and ANN structure. Ranks *above* the buffer-pool classes:
+    /// holding it across a pool entry point (pin, heap fetch) is the
+    /// inversion that deadlocks the index/heap split, and the tracker
+    /// rejects it.
+    DecoupledIndex,
+    /// The decoupled engine's change-log `RwLock`. Below only
+    /// [`LockClass::EngineShared`]: the drain path legally takes the
+    /// index lock and then reads the log (DecoupledIndex → ChangeLog),
+    /// while appenders take the log alone.
+    ChangeLog,
     /// Engine-side shared state (parallel-search collectors, error
     /// slots). Leaf of the order: may be taken under a frame latch,
     /// must never be held across a buffer-pool entry point.
@@ -54,7 +67,9 @@ impl LockClass {
             LockClass::PoolInner => 0,
             LockClass::Shard => 0,
             LockClass::Frame => 1,
-            LockClass::EngineShared => 2,
+            LockClass::DecoupledIndex => 2,
+            LockClass::ChangeLog => 3,
+            LockClass::EngineShared => 4,
         }
     }
 
@@ -64,6 +79,8 @@ impl LockClass {
             LockClass::PoolInner => "PoolInner",
             LockClass::Shard => "Shard",
             LockClass::Frame => "Frame",
+            LockClass::DecoupledIndex => "DecoupledIndex",
+            LockClass::ChangeLog => "ChangeLog",
             LockClass::EngineShared => "EngineShared",
         }
     }
@@ -224,5 +241,43 @@ mod tests {
     fn shard_under_frame_panics() {
         let _frame = acquire(LockClass::Frame);
         let _shard = acquire(LockClass::Shard);
+    }
+
+    #[test]
+    fn decoupled_drain_order_is_fine() {
+        // Drain: index write lock, then change-log read lock, then an
+        // engine-side collector.
+        let _ix = acquire(LockClass::DecoupledIndex);
+        let _log = acquire(LockClass::ChangeLog);
+        let _eng = acquire(LockClass::EngineShared);
+        assert_eq!(
+            held_trace(),
+            vec!["DecoupledIndex", "ChangeLog", "EngineShared"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn pool_entry_under_decoupled_index_panics() {
+        // The index/heap-split deadlock: resolving a TID through the
+        // buffer pool while holding the native-index lock.
+        let _ix = acquire(LockClass::DecoupledIndex);
+        let _pool = acquire(LockClass::PoolInner);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn frame_under_changelog_panics() {
+        let _log = acquire(LockClass::ChangeLog);
+        let _frame = acquire(LockClass::Frame);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn index_lock_under_changelog_panics() {
+        // Appenders must not grab the index lock after the log lock;
+        // only the drain direction (index → log) is legal.
+        let _log = acquire(LockClass::ChangeLog);
+        let _ix = acquire(LockClass::DecoupledIndex);
     }
 }

@@ -5,8 +5,8 @@
 //! | `unsafe-confinement` | every `.rs` file | `unsafe` only in the whitelisted kernel/codec files |
 //! | `safety-comment` | whitelisted files | every `unsafe` site carries a `// SAFETY:` comment |
 //! | `no-panic` | hot-path crate sources | no `unwrap`/`expect`/`panic!`-family outside tests, unless annotated `// PANIC-OK:` |
-//! | `lock-discipline` | `generalized`, `sql` | no direct `parking_lot` use — shared state goes through `vdb_storage::sync` / the `BufferManager` API |
-//! | `lock-hierarchy` | everything outside `crates/storage` | no storage-rank `LockClass` (`PoolInner`/`Shard`/`Frame`) construction — engine locks use `OrderedMutex::engine()` / `OrderedRwLock::engine()` |
+//! | `lock-discipline` | `generalized`, `decoupled`, `sql` | no direct `parking_lot` use — shared state goes through `vdb_storage::sync` / the `BufferManager` API |
+//! | `lock-hierarchy` | everything outside `crates/storage` | no storage-rank `LockClass` (`PoolInner`/`Shard`/`Frame`) construction — engine locks use `OrderedMutex::engine()` / `OrderedRwLock::engine()`; the decoupled ranks (`DecoupledIndex`/`ChangeLog`) additionally stay inside `crates/decoupled` |
 //!
 //! Annotations are comments, deliberately: a `// SAFETY:` or
 //! `// PANIC-OK:` line must say *why* the invariant holds, which is the
@@ -25,11 +25,17 @@ pub(crate) const UNSAFE_WHITELIST: &[&str] = &[
 ];
 
 /// Crates whose non-test source must be panic-free (or annotated).
-pub(crate) const NO_PANIC_CRATES: &[&str] =
-    &["storage", "generalized", "specialized", "filter", "sql"];
+pub(crate) const NO_PANIC_CRATES: &[&str] = &[
+    "storage",
+    "generalized",
+    "specialized",
+    "decoupled",
+    "filter",
+    "sql",
+];
 
 /// Crates forbidden from acquiring `parking_lot` locks directly.
-pub(crate) const LOCK_DISCIPLINE_CRATES: &[&str] = &["generalized", "sql"];
+pub(crate) const LOCK_DISCIPLINE_CRATES: &[&str] = &["generalized", "decoupled", "sql"];
 
 /// Lock classes reserved for the buffer pool's own hierarchy. Code
 /// outside `crates/storage` must not mint locks at these ranks: a
@@ -41,6 +47,14 @@ pub(crate) const STORAGE_LOCK_CLASSES: &[&str] = &[
     "LockClass::Shard",
     "LockClass::Frame",
 ];
+
+/// Lock classes owned by the decoupled engine. They rank between the
+/// pool locks and `EngineShared`, so code minting them elsewhere could
+/// wedge itself between the index and its change log; everything
+/// outside `crates/decoupled` (and `crates/storage`, which defines the
+/// ranks) goes through the `DecoupledIndex` API instead.
+pub(crate) const DECOUPLED_LOCK_CLASSES: &[&str] =
+    &["LockClass::DecoupledIndex", "LockClass::ChangeLog"];
 
 /// Panicking constructs the `no-panic` rule rejects.
 const PANIC_PATTERNS: &[&str] = &[
@@ -241,7 +255,8 @@ fn lock_discipline(file: &SourceFile, scanned: &Scanned, out: &mut Vec<Violation
 /// (sources, tests, and benches alike — there is no legitimate reason
 /// for non-storage code to sit at pool rank).
 fn lock_hierarchy(file: &SourceFile, scanned: &Scanned, out: &mut Vec<Violation>) {
-    if crate_of(&file.rel_path) == Some("storage") {
+    let krate = crate_of(&file.rel_path);
+    if krate == Some("storage") {
         return;
     }
     for (idx, line) in scanned.lines.iter().enumerate() {
@@ -256,6 +271,23 @@ fn lock_hierarchy(file: &SourceFile, scanned: &Scanned, out: &mut Vec<Violation>
                          the BufferManager — engine shared state takes \
                          `OrderedMutex::engine()` / `OrderedRwLock::engine()` \
                          (rank EngineShared)"
+                    ),
+                });
+            }
+        }
+        if krate == Some("decoupled") {
+            continue;
+        }
+        for class in DECOUPLED_LOCK_CLASSES {
+            if line.code.contains(class) {
+                out.push(Violation {
+                    path: PathBuf::from(&file.rel_path),
+                    line: idx + 1,
+                    rule: "lock-hierarchy",
+                    message: format!(
+                        "`{class}` outside `crates/decoupled`; the decoupled engine's \
+                         index/change-log ranks are private to it — go through the \
+                         `DecoupledIndex` API, or use an `engine()` lock"
                     ),
                 });
             }
@@ -444,6 +476,31 @@ mod tests {
             "fn f() { let _l = OrderedRwLock::new(LockClass::Frame, ());\n}\n",
         )])
         .is_empty());
+    }
+
+    #[test]
+    fn decoupled_rank_lock_classes_banned_outside_their_crate() {
+        let src = "fn f() { let _l = OrderedRwLock::new(LockClass::DecoupledIndex, ()); }\n";
+        let v = run_all(&[file("crates/sql/src/database.rs", src)]);
+        assert_eq!(rules_of(&v), vec!["lock-hierarchy"]);
+        let v = run_all(&[file(
+            "tests/decoupled_stress.rs",
+            "fn f() { acquire(LockClass::ChangeLog); }\n",
+        )]);
+        assert_eq!(rules_of(&v), vec!["lock-hierarchy"]);
+        // The decoupled crate itself mints its ranks freely, and the
+        // storage crate defines them.
+        assert!(run_all(&[file("crates/decoupled/src/changelog.rs", src)]).is_empty());
+        assert!(run_all(&[file("crates/storage/src/lockorder.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn decoupled_crate_is_panic_and_lock_disciplined() {
+        let v = run_all(&[file(
+            "crates/decoupled/src/index.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }\nuse parking_lot::Mutex;\n",
+        )]);
+        assert_eq!(rules_of(&v), vec!["no-panic", "lock-discipline"]);
     }
 
     #[test]

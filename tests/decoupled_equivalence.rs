@@ -1,0 +1,282 @@
+//! Three-way engine equivalence: the decoupled engine must answer
+//! exactly like the specialized engine it borrows its structures from,
+//! and — wherever the algorithm is deterministic — like the
+//! generalized engine too. Runs under both consistency modes and under
+//! `VDB_FORCE_SCALAR=1` (CI exercises both kernel paths).
+//!
+//! Methodology (shared with `engine_equivalence.rs`): at full probe an
+//! IVF_FLAT index degenerates to an exact scan, so the specialized
+//! flat index is an *exact* oracle for all three engines; HNSW is
+//! approximate, so the decoupled engine (which reuses the specialized
+//! graph verbatim) must match it bit-for-bit while the generalized
+//! engine is held to recall parity.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vdb_core::datagen::{brute_force_topk, gaussian, recall_at_k};
+use vdb_core::decoupled::{Consistency, DecoupledIndex, NativeParams};
+use vdb_core::generalized::{GeneralizedOptions, PaseHnswIndex, PaseIndex, PaseIvfFlatIndex};
+use vdb_core::specialized::{
+    FlatIndex, HnswIndex, IvfFlatIndex, IvfPqIndex, SpecializedOptions, VectorIndex,
+};
+use vdb_core::storage::{BufferManager, DiskManager, PageSize, Tid};
+use vdb_core::vecmath::{
+    DistanceKernel, HnswParams, IvfParams, Metric, Neighbor, PqParams, TopKStrategy,
+};
+
+fn bm(pages: usize) -> BufferManager {
+    BufferManager::new(Arc::new(DiskManager::new(PageSize::Size8K)), pages)
+}
+
+/// Synthetic heap back-links (never dereferenced here — the heap-side
+/// audit lives in `vdb-decoupled`'s strict-invariants tests).
+fn tids(n: usize) -> Vec<Tid> {
+    (0..n)
+        .map(|i| Tid::new((i / 50) as u32, (i % 50) as u16))
+        .collect()
+}
+
+fn mode_of(bound: Option<u64>) -> Consistency {
+    match bound {
+        None => Consistency::Sync,
+        Some(b) => Consistency::Bounded(b),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// IVF_FLAT at full probe, with inserts and deletes applied to
+    /// both engines: decoupled == generalized == flat oracle, exactly,
+    /// in either consistency mode.
+    #[test]
+    fn ivfflat_three_way_topk_equivalence(
+        dim in 4usize..12,
+        n in 80usize..200,
+        k in 1usize..12,
+        seed in 0u64..1_000,
+        bound in prop_oneof![Just(None::<u64>), (0u64..6).prop_map(Some)],
+        n_inserts in 0usize..8,
+        n_deletes in 0usize..8,
+    ) {
+        let clusters = 5usize;
+        let params = IvfParams { clusters, sample_ratio: 0.5, nprobe: clusters };
+        let data = gaussian::generate(dim, n, 4, seed);
+        let extra = gaussian::generate(dim, 8, 2, seed ^ 0xABCD);
+        let mode = mode_of(bound);
+
+        // Generalized: optimized kernel + size-k heap so distances are
+        // bit-identical with the specialized engine (established by
+        // engine_equivalence.rs).
+        let bmgr = bm(4096);
+        let gen_opts = GeneralizedOptions {
+            distance: DistanceKernel::Optimized,
+            topk: TopKStrategy::SizeK,
+            ..Default::default()
+        };
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let (mut pase, _) =
+            PaseIvfFlatIndex::build_with_ids(gen_opts, params, &bmgr, Some(&ids), &data).unwrap();
+
+        let all_tids = tids(n + n_inserts);
+        let dec = DecoupledIndex::build(
+            SpecializedOptions::default(),
+            NativeParams::IvfFlat(params),
+            mode,
+            &ids,
+            &all_tids[..n],
+            &data,
+        );
+
+        // The model the oracle is built from: live (id, vector) pairs.
+        let mut live: Vec<(u64, Vec<f32>)> =
+            (0..n).map(|i| (i as u64, data.row(i).to_vec())).collect();
+
+        for j in 0..n_inserts {
+            let id = (n + j) as u64;
+            let v = extra.row(j);
+            pase.insert(&bmgr, id, v).unwrap();
+            dec.insert(id, all_tids[n + j], v);
+            live.push((id, v.to_vec()));
+        }
+        let mut deleted: Vec<u64> = Vec::new();
+        for j in 0..n_deletes {
+            let id = ((j * 31 + seed as usize) % n) as u64;
+            if deleted.contains(&id) {
+                continue;
+            }
+            // The generalized engine (like PASE) has no index delete:
+            // the SQL executor filters dead ids at scan time, and we
+            // model exactly that below.
+            dec.delete(id);
+            deleted.push(id);
+            live.retain(|(lid, _)| *lid != id);
+        }
+
+        // Bounded-mode read contract: any search leaves lag <= bound.
+        if let Consistency::Bounded(b) = mode {
+            dec.search(data.row(0), 1);
+            prop_assert!(dec.lag() <= b, "lag {} > bound {b}", dec.lag());
+        }
+        // Drain barrier, so both modes answer from identical state.
+        dec.refresh();
+        prop_assert_eq!(dec.lag(), 0);
+        prop_assert_eq!(dec.len(), live.len());
+
+        // Exact oracle: flat scan over the live rows only.
+        let mut oracle_set = vdb_core::vecmath::VectorSet::empty(dim);
+        for (_, v) in &live {
+            oracle_set.push(v);
+        }
+        let oracle = FlatIndex::new(SpecializedOptions::default(), oracle_set);
+
+        for qi in [0usize, n / 2, n - 1] {
+            let q = data.row(qi);
+            let expect: Vec<Neighbor> = oracle
+                .search(q, k)
+                .into_iter()
+                .map(|nb| Neighbor::new(live[nb.id as usize].0, nb.distance))
+                .collect();
+
+            let got_dec = dec.search(q, k);
+            prop_assert_eq!(&got_dec, &expect, "decoupled, query {}", qi);
+
+            let mut got_gen = pase
+                .search_with_nprobe(&bmgr, q, k + deleted.len(), clusters)
+                .unwrap();
+            got_gen.retain(|nb| !deleted.contains(&nb.id));
+            got_gen.truncate(k);
+            prop_assert_eq!(&got_gen, &expect, "generalized, query {}", qi);
+        }
+    }
+
+    /// Every native kind, same insertion order: the decoupled engine
+    /// must reproduce the specialized engine's answers bit-for-bit
+    /// (HNSW included — identical build + insert sequence means an
+    /// identical graph), in either consistency mode.
+    #[test]
+    fn decoupled_matches_specialized_for_every_native_kind(
+        seed in 0u64..500,
+        k in 1usize..10,
+        n_inserts in 0usize..6,
+        bound in prop_oneof![Just(None::<u64>), (0u64..4).prop_map(Some)],
+    ) {
+        let (dim, n) = (8usize, 150usize);
+        let data = gaussian::generate(dim, n, 5, seed);
+        let extra = gaussian::generate(dim, 6, 2, seed ^ 0x55);
+        let ivf = IvfParams { clusters: 6, sample_ratio: 0.5, nprobe: 3 };
+        let pq = PqParams { m: 4, cpq: 16 };
+        let hnsw = HnswParams { bnn: 8, efb: 32, efs: 48 };
+        let opts = SpecializedOptions::default();
+        let mode = mode_of(bound);
+
+        // App id i == native id i, so translation is the identity and
+        // result lists must be equal outright.
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let all_tids = tids(n + n_inserts);
+
+        for params in [
+            NativeParams::Flat,
+            NativeParams::IvfFlat(ivf),
+            NativeParams::IvfPq(ivf, pq),
+            NativeParams::Hnsw(hnsw),
+        ] {
+            let dec =
+                DecoupledIndex::build(opts, params, mode, &ids, &all_tids[..n], &data);
+            for j in 0..n_inserts {
+                dec.insert((n + j) as u64, all_tids[n + j], extra.row(j));
+            }
+            dec.refresh();
+
+            let q = data.row(seed as usize % n);
+            let expect: Vec<Neighbor> = match params {
+                NativeParams::Flat => {
+                    let mut twin = FlatIndex::new(opts, data.clone());
+                    for j in 0..n_inserts {
+                        twin.add(extra.row(j));
+                    }
+                    twin.search(q, k)
+                }
+                NativeParams::IvfFlat(p) => {
+                    let (mut twin, _) = IvfFlatIndex::build(opts, p, &data);
+                    for j in 0..n_inserts {
+                        twin.insert(extra.row(j));
+                    }
+                    twin.search(q, k)
+                }
+                NativeParams::IvfPq(p, pqp) => {
+                    let (mut twin, _) = IvfPqIndex::build(opts, p, pqp, &data);
+                    for j in 0..n_inserts {
+                        twin.insert(extra.row(j));
+                    }
+                    twin.search(q, k)
+                }
+                NativeParams::Hnsw(h) => {
+                    let (mut twin, _) = HnswIndex::build(opts, h, &data);
+                    for j in 0..n_inserts {
+                        twin.insert(extra.row(j));
+                    }
+                    twin.search(q, k)
+                }
+            };
+            let got = dec.search(q, k);
+            prop_assert_eq!(got, expect, "{}", params.am_name());
+        }
+    }
+}
+
+/// HNSW three ways: decoupled == specialized exactly (same graph), and
+/// all three engines sit at the same recall (the paper's "recall rate
+/// will be the same" premise, extended to §IX-B).
+#[test]
+fn hnsw_three_way_recall_parity() {
+    let (data, queries) = gaussian::generate_with_queries(16, 1_000, 25, 8, 33);
+    let truth = brute_force_topk(&data, &queries, Metric::L2, 10, 2);
+    let params = HnswParams {
+        bnn: 12,
+        efb: 40,
+        efs: 80,
+    };
+
+    let (spec, _) = HnswIndex::build(SpecializedOptions::default(), params, &data);
+    let ids: Vec<u64> = (0..data.len() as u64).collect();
+    let dec = DecoupledIndex::build(
+        SpecializedOptions::default(),
+        NativeParams::Hnsw(params),
+        Consistency::Sync,
+        &ids,
+        &tids(data.len()),
+        &data,
+    );
+    let bmgr = bm(4096);
+    let (gener, _) =
+        PaseHnswIndex::build(GeneralizedOptions::default(), params, &bmgr, &data).unwrap();
+
+    let mut dec_results: Vec<Vec<u64>> = Vec::new();
+    for q in queries.iter() {
+        let d = dec.search(q, 10);
+        let s = spec.search(q, 10);
+        assert_eq!(d, s, "decoupled must reuse the specialized graph verbatim");
+        dec_results.push(d.iter().map(|n| n.id).collect());
+    }
+    let gen_results: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|q| {
+            gener
+                .search_with_ef(&bmgr, q, 10, params.efs)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect()
+        })
+        .collect();
+
+    let dec_recall = recall_at_k(&truth, &dec_results);
+    let gen_recall = recall_at_k(&truth, &gen_results);
+    assert!(dec_recall > 0.85, "decoupled recall {dec_recall}");
+    assert!(gen_recall > 0.85, "generalized recall {gen_recall}");
+    assert!(
+        (dec_recall - gen_recall).abs() < 0.1,
+        "recall divergence: {dec_recall} vs {gen_recall}"
+    );
+}

@@ -1,0 +1,141 @@
+//! Concurrency stress for the decoupled engine: writers append to the
+//! change log while readers search, in both consistency modes. All
+//! mutation goes through `&self`, so the index is shared across
+//! threads directly; the lock-order tracker (strict-invariants builds)
+//! audits every acquisition underneath.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use vdb_core::datagen::gaussian;
+use vdb_core::decoupled::{Consistency, DecoupledIndex, NativeParams};
+use vdb_core::specialized::SpecializedOptions;
+use vdb_core::storage::Tid;
+use vdb_core::vecmath::Neighbor;
+
+const DIM: usize = 8;
+const BASE: usize = 200;
+const WRITERS: usize = 2;
+const PER_WRITER: usize = 120;
+
+fn tid_of(i: usize) -> Tid {
+    Tid::new((i / 50) as u32, (i % 50) as u16)
+}
+
+fn build(mode: Consistency) -> DecoupledIndex {
+    let data = gaussian::generate(DIM, BASE, 4, 7);
+    let ids: Vec<u64> = (0..BASE as u64).collect();
+    let tids: Vec<Tid> = (0..BASE).map(tid_of).collect();
+    DecoupledIndex::build(
+        SpecializedOptions::default(),
+        NativeParams::Flat,
+        mode,
+        &ids,
+        &tids,
+        &data,
+    )
+}
+
+/// The vector writer `w` inserts as its `j`-th row: far from the base
+/// gaussian blob and unique per (w, j), so the final nearest-neighbor
+/// probes have unambiguous answers.
+fn far_vector(w: usize, j: usize) -> [f32; DIM] {
+    let mut v = [1_000.0f32; DIM];
+    v[0] += (w * PER_WRITER + j) as f32;
+    v
+}
+
+fn writer_id(w: usize, j: usize) -> u64 {
+    (BASE + w * PER_WRITER + j) as u64
+}
+
+/// A result list must always be well-formed, no matter what races in:
+/// sorted by distance, no duplicates, ids from the known universe.
+fn check_well_formed(res: &[Neighbor], k: usize) {
+    assert!(res.len() <= k, "got {} results for k={k}", res.len());
+    assert!(
+        res.windows(2).all(|w| w[0].distance <= w[1].distance),
+        "results not sorted by distance"
+    );
+    let max_id = (BASE + WRITERS * PER_WRITER) as u64;
+    for (i, n) in res.iter().enumerate() {
+        assert!(n.id < max_id, "unknown id {}", n.id);
+        assert!(
+            res[..i].iter().all(|m| m.id != n.id),
+            "duplicate id {} in one result list",
+            n.id
+        );
+    }
+}
+
+fn run_stress(mode: Consistency) -> DecoupledIndex {
+    let ix = build(mode);
+    let query = gaussian::generate(DIM, 1, 1, 99);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let ix = &ix;
+                s.spawn(move || {
+                    for j in 0..PER_WRITER {
+                        ix.insert(
+                            writer_id(w, j),
+                            tid_of(BASE + w * PER_WRITER + j),
+                            &far_vector(w, j),
+                        );
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..2 {
+            let (ix, stop, q) = (&ix, &stop, query.row(0));
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let res = ix.search(q, 5);
+                    check_well_formed(&res, 5);
+                    assert!(!res.is_empty(), "base rows must always be visible");
+                }
+            });
+        }
+        for h in writers {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    ix
+}
+
+#[test]
+fn bounded_mode_concurrent_inserts_respect_the_staleness_bound() {
+    const BOUND: u64 = 16;
+    let ix = run_stress(Consistency::Bounded(BOUND));
+
+    // Quiescent now: one read-path drain must restore the bound…
+    let probe = [0.0f32; DIM];
+    ix.search(&probe, 1);
+    assert!(
+        ix.lag() <= BOUND,
+        "lag {} exceeds bound {BOUND} after a quiescent search",
+        ix.lag()
+    );
+    // …and the barrier makes every write visible.
+    ix.refresh();
+    assert_eq!(ix.lag(), 0);
+    assert_eq!(ix.len(), BASE + WRITERS * PER_WRITER);
+    for (w, j) in [(0, 0), (WRITERS - 1, PER_WRITER - 1)] {
+        let res = ix.search(&far_vector(w, j), 1);
+        assert_eq!(res[0].id, writer_id(w, j));
+        assert_eq!(res[0].distance, 0.0);
+    }
+}
+
+#[test]
+fn sync_mode_concurrent_inserts_are_all_visible_at_join() {
+    let ix = run_stress(Consistency::Sync);
+
+    // Sync mode replays at write time: once the writers have joined,
+    // the last insert's drain has applied everything that races could
+    // have left behind.
+    assert_eq!(ix.lag(), 0, "sync mode must never leave the log behind");
+    assert_eq!(ix.len(), BASE + WRITERS * PER_WRITER);
+    let res = ix.search(&far_vector(1, 7), 1);
+    assert_eq!(res[0].id, writer_id(1, 7));
+}
