@@ -11,8 +11,8 @@
 //! [`crate::Consistency::Bounded`] bounds. Both move monotonically —
 //! records are applied exactly once, in append order.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use vdb_storage::lockorder::LockClass;
+use vdb_storage::sync::atomic::{AtomicU64, Ordering};
 use vdb_storage::sync::OrderedMutex;
 use vdb_storage::Tid;
 

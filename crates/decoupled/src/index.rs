@@ -287,6 +287,9 @@ impl DecoupledIndex {
     pub fn refresh(&self) {
         let _t = profile::scoped(Category::ChangeLogReplay);
         let mut inner = self.inner.write();
+        // GUARD-OK: DecoupledIndex -> ChangeLog is the sanctioned drain
+        // descent (lockorder ranks 2 -> 3); replay applies in-memory
+        // records only and never enters the buffer pool.
         self.log.drain_with(|rec| inner.apply(rec));
     }
 

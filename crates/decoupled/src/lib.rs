@@ -30,6 +30,7 @@
 
 pub mod changelog;
 pub mod index;
+pub mod models;
 pub mod pase;
 
 pub use changelog::{ChangeLog, ChangeRecord};

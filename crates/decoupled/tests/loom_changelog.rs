@@ -1,0 +1,69 @@
+//! Model-checked change-log replay protocol (see
+//! `vdb_decoupled::models`).
+//!
+//! Positive scenarios drive the real `ChangeLog`: under `--cfg
+//! vdb_loom` its mutex and cursor atomics are instrumented and every
+//! preemption-bounded interleaving is explored; ordinary builds run
+//! the same scenarios over the spawn/join schedule space. The
+//! `mini_log_model` replica is always instrumented, and its seeded
+//! bug (publishing the applied cursor outside the records lock) must
+//! be caught in every build.
+//!
+//! Configs are explicit so an exported `LOOM_MAX_PREEMPTIONS` can't
+//! weaken the assertions.
+
+use vdb_decoupled::models;
+use vdb_storage::model::Config;
+
+fn model_cfg() -> Config {
+    Config {
+        max_preemptions: Some(2),
+        ..Config::default()
+    }
+}
+
+#[test]
+fn changelog_applies_exactly_once_on_all_schedules() {
+    let schedules = models::changelog_exactly_once(model_cfg());
+    assert!(schedules >= 1);
+    #[cfg(vdb_loom)]
+    assert!(
+        schedules > 10,
+        "instrumented run explored only {schedules} schedules"
+    );
+}
+
+#[test]
+fn changelog_drain_is_a_barrier_on_all_schedules() {
+    let schedules = models::changelog_refresh_barrier(model_cfg());
+    assert!(schedules >= 1);
+    #[cfg(vdb_loom)]
+    assert!(
+        schedules > 10,
+        "instrumented run explored only {schedules} schedules"
+    );
+}
+
+#[test]
+fn changelog_cursors_never_cross_on_all_schedules() {
+    let schedules = models::changelog_bounded_staleness(model_cfg());
+    assert!(schedules >= 1);
+}
+
+#[test]
+fn mini_log_atomic_cursor_holds_on_all_schedules() {
+    let schedules = models::mini_log_model(model_cfg(), true);
+    assert!(
+        schedules > 1,
+        "replica must explore a branching space, got {schedules}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "applied twice")]
+fn mini_log_nonatomic_cursor_is_caught() {
+    // The seeded bug: the drain snapshots under the lock but applies
+    // and publishes the cursor after releasing it, so two drainers can
+    // read the same cursor and double-apply a record.
+    models::mini_log_model(model_cfg(), false);
+}

@@ -42,10 +42,10 @@
 use crate::disk::{DiskManager, RelId};
 use crate::lockorder::LockClass;
 use crate::page::{Page, PageSize};
+use crate::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use crate::sync::{OrderedMutex, OrderedRwLock};
 use crate::{Result, StorageError};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use vdb_profile::{self as profile, Category};
 
@@ -283,10 +283,13 @@ impl BufferManager {
             Pool::Global(g) => vec![ShardStats {
                 shard: 0,
                 stats: BufferStats {
+                    // RELAXED-OK: report-only stats counters; a stale
+                    // snapshot is fine and nothing synchronizes on them.
                     hits: g.hits.load(Ordering::Relaxed),
                     misses: g.misses.load(Ordering::Relaxed),
                     evictions: g.evictions.load(Ordering::Relaxed),
                 },
+                // RELAXED-OK: contention hint counter, report-only.
                 contended: g.contended.load(Ordering::Relaxed),
             }],
             Pool::Sharded(s) => s
@@ -296,10 +299,13 @@ impl BufferManager {
                 .map(|(i, sh)| ShardStats {
                     shard: i,
                     stats: BufferStats {
+                        // RELAXED-OK: report-only stats counters, as in
+                        // the global arm above.
                         hits: sh.hits.load(Ordering::Relaxed),
                         misses: sh.misses.load(Ordering::Relaxed),
                         evictions: sh.evictions.load(Ordering::Relaxed),
                     },
+                    // RELAXED-OK: contention hint counter, report-only.
                     contended: sh.contended.load(Ordering::Relaxed),
                 })
                 .collect(),
@@ -315,6 +321,8 @@ impl BufferManager {
     pub fn reset_stats(&self) {
         match &self.pool {
             Pool::Global(g) => {
+                // Resets race in-flight increments by design.
+                // RELAXED-OK: best-effort stats counter zeroing.
                 g.hits.store(0, Ordering::Relaxed);
                 g.misses.store(0, Ordering::Relaxed);
                 g.evictions.store(0, Ordering::Relaxed);
@@ -322,6 +330,7 @@ impl BufferManager {
             }
             Pool::Sharded(s) => {
                 for sh in &s.shards {
+                    // RELAXED-OK: stats counters, best-effort zeroing.
                     sh.hits.store(0, Ordering::Relaxed);
                     sh.misses.store(0, Ordering::Relaxed);
                     sh.evictions.store(0, Ordering::Relaxed);
@@ -466,12 +475,13 @@ impl GlobalPool {
             let meta = &mut inner.meta[idx];
             meta.pin_count += 1;
             meta.usage_count = (meta.usage_count + 1).min(MAX_USAGE);
+            // RELAXED-OK: stats counter; frame state is mapping-locked.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(idx);
         }
 
         // Miss: find a victim, evict, load. Counted (not timed) so leaf
-        // time categories stay disjoint.
+        // time categories stay disjoint. RELAXED-OK: stats counter.
         self.misses.fetch_add(1, Ordering::Relaxed);
         profile::count(Category::PageMiss, 1);
         let idx = self.find_victim(&mut inner)?;
@@ -482,6 +492,8 @@ impl GlobalPool {
                 disk.write_block(old_tag.0, old_tag.1, guard.bytes())?;
             }
             inner.map.remove(&old_tag);
+            // RELAXED-OK: stats counter; eviction itself is under the
+            // pool lock.
             self.evictions.fetch_add(1, Ordering::Relaxed);
             profile::count(Category::PageEviction, 1);
         }
@@ -591,6 +603,7 @@ impl Shard {
         match self.state.try_read() {
             Some(g) => g,
             None => {
+                // RELAXED-OK: contention hint counter, report-only.
                 self.contended.fetch_add(1, Ordering::Relaxed);
                 profile::count(Category::ShardContention, 1);
                 self.state.read()
@@ -604,6 +617,7 @@ impl Shard {
         match self.state.try_write() {
             Some(g) => g,
             None => {
+                // RELAXED-OK: contention hint counter, report-only.
                 self.contended.fetch_add(1, Ordering::Relaxed);
                 profile::count(Category::ShardContention, 1);
                 self.state.write()
@@ -755,6 +769,7 @@ impl ShardedPool {
                     self.meta[idx].pin.fetch_add(1, Ordering::Acquire);
                     bump_usage(&self.meta[idx].usage);
                     drop(state);
+                    // RELAXED-OK: stats counter, report-only.
                     shard.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(idx);
                 }
@@ -801,6 +816,7 @@ impl ShardedPool {
 
             if !counted_miss {
                 counted_miss = true;
+                // RELAXED-OK: stats counter, report-only.
                 shard.misses.fetch_add(1, Ordering::Relaxed);
                 profile::count(Category::PageMiss, 1);
             }
@@ -844,10 +860,12 @@ impl ShardedPool {
             // the I/O-in-progress marker waiters validate against.
             if let Some(old) = state.tags[local].take() {
                 state.map.remove(&old);
+                // RELAXED-OK: stats counter, report-only.
                 shard.evictions.fetch_add(1, Ordering::Relaxed);
                 profile::count(Category::PageEviction, 1);
             }
             self.meta[idx].pin.store(1, Ordering::Release);
+            // RELAXED-OK: usage is a clock-sweep hint, not protocol.
             self.meta[idx].usage.store(1, Ordering::Relaxed);
             self.meta[idx].tag.store(TAG_NONE, Ordering::Release);
             state.map.insert((rel, block), idx);
@@ -881,6 +899,7 @@ impl ShardedPool {
                     let mut state = shard.write_state();
                     state.map.remove(&(rel, block));
                     state.tags[local] = None;
+                    // RELAXED-OK: usage is a clock-sweep hint only.
                     self.meta[idx].usage.store(0, Ordering::Relaxed);
                     self.meta[idx].pin.fetch_sub(1, Ordering::Release);
                     return Err(e);
@@ -906,6 +925,8 @@ impl ShardedPool {
             if m.pin.load(Ordering::Acquire) > 0 {
                 continue;
             }
+            // RELAXED-OK: clock-sweep decrement; usage is a hint and
+            // the eviction decision re-validates under the lock.
             if m.usage
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| u.checked_sub(1))
                 .is_ok()
@@ -941,8 +962,11 @@ impl ShardedPool {
                 }
                 disk.write_block(rel, blk, guard.bytes())?;
                 // Writers set dirty under the exclusive latch, so the
-                // shared latch makes write-then-clear atomic here.
-                self.meta[idx].dirty.store(false, Ordering::Relaxed);
+                // shared latch makes write-then-clear atomic here. The
+                // clear must be Release so an evictor that Acquire-loads
+                // dirty == false also observes the completed write-back
+                // (the flush-before-unmap invariant in the loom model).
+                self.meta[idx].dirty.store(false, Ordering::Release);
             }
         }
         Ok(())
@@ -951,6 +975,7 @@ impl ShardedPool {
 
 /// Saturating clock-usage bump, capped at [`MAX_USAGE`].
 fn bump_usage(usage: &AtomicU32) {
+    // RELAXED-OK: clock-sweep hint; no ordering needed.
     let _ = usage.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| {
         (u < MAX_USAGE as u32).then_some(u + 1)
     });

@@ -30,6 +30,7 @@ pub mod catalog;
 pub mod disk;
 pub mod heap;
 pub mod lockorder;
+pub mod model;
 pub mod page;
 pub mod sync;
 pub mod tid;

@@ -1,0 +1,514 @@
+//! The scheduler at the heart of the in-repo model checker.
+//!
+//! One OS thread backs each model thread, but a controller serializes
+//! them so exactly one runs at any instant. Instrumented operations
+//! (model lock acquires, non-`Relaxed` model atomics — see
+//! [`super::sync`]) call [`Controller::yield_point`], where the
+//! controller picks the next thread to run. Every pick is recorded on a
+//! DFS trail of [`Step`]s; [`super::explore`] replays the trail
+//! prefix-for-prefix and advances the deepest unexhausted decision
+//! until the whole (preemption-bounded) schedule space is covered.
+//!
+//! The handshake is a single `Mutex<CtlState>` + `Condvar`: a paused
+//! thread waits until `current == Some(my_tid)`. Panics anywhere in a
+//! model thread set the `abort` flag; every other thread unwinds with
+//! the private [`AbortToken`] at its next controller interaction, and
+//! the original payload is re-raised on the exploring thread so
+//! `#[should_panic(expected = …)]` observes it verbatim.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+
+/// Exploration limits for [`super::explore`].
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Context switches away from a still-runnable thread allowed per
+    /// schedule; `None` explores exhaustively. Small bounds (2–3) catch
+    /// most protocol bugs at a tiny fraction of the schedule count.
+    pub max_preemptions: Option<usize>,
+    /// Hard cap on explored schedules (coverage stops there).
+    pub max_schedules: usize,
+    /// Per-schedule yield-point budget — trips on livelocks.
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            max_preemptions: None,
+            max_schedules: 200_000,
+            max_steps: 20_000,
+        }
+    }
+}
+
+impl Config {
+    /// The CI smoke-gate configuration: `LOOM_MAX_PREEMPTIONS` in the
+    /// environment overrides `default_preemptions`.
+    pub fn from_env_or(default_preemptions: Option<usize>) -> Config {
+        let max_preemptions = std::env::var("LOOM_MAX_PREEMPTIONS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or(default_preemptions, Some);
+        Config {
+            max_preemptions,
+            ..Config::default()
+        }
+    }
+}
+
+/// Unwind payload used to tear down sibling threads after one panics.
+/// Filtered out of panic reporting so the *first* (real) payload wins.
+pub(crate) struct AbortToken;
+
+/// One recorded scheduling decision: the runnable set at that point and
+/// which member ran. `cursor` advances sibling-by-sibling across runs.
+struct Step {
+    options: Vec<usize>,
+    cursor: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Status {
+    Runnable,
+    /// Waiting for the model lock with this id.
+    BlockedLock(u64),
+    /// Waiting for this thread id to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Default)]
+struct LockState {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+}
+
+struct CtlState {
+    cfg: Config,
+    /// The one thread allowed to run right now.
+    current: Option<usize>,
+    /// The thread that ran last (preemption accounting).
+    last: Option<usize>,
+    statuses: Vec<Status>,
+    trail: Vec<Step>,
+    /// Decision index within the current schedule.
+    depth: usize,
+    preemptions: usize,
+    steps: usize,
+    abort: bool,
+    payload: Option<Box<dyn Any + Send>>,
+    locks: HashMap<u64, LockState>,
+}
+
+/// The shared scheduler. One per [`super::explore`] call.
+pub(crate) struct Controller {
+    state: StdMutex<CtlState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// A model thread's handle back to its controller.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) ctl: Arc<Controller>,
+    pub(crate) tid: usize,
+}
+
+/// The controller context of the calling thread, if it is a model
+/// thread inside an `explore` run.
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctl: Arc<Controller>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { ctl, tid }));
+}
+
+impl Controller {
+    pub(crate) fn new(cfg: Config) -> Controller {
+        Controller {
+            state: StdMutex::new(CtlState {
+                cfg,
+                current: None,
+                last: None,
+                statuses: Vec::new(),
+                trail: Vec::new(),
+                depth: 0,
+                preemptions: 0,
+                steps: 0,
+                abort: false,
+                payload: None,
+                locks: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn locked(&self) -> StdMutexGuard<'_, CtlState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record a model failure and unwind the calling thread. The
+    /// message becomes the run's panic payload unless a real panic got
+    /// there first.
+    fn fail(&self, mut st: StdMutexGuard<'_, CtlState>, msg: String) -> ! {
+        st.abort = true;
+        if st.payload.is_none() {
+            st.payload = Some(Box::new(msg));
+        }
+        st.current = None;
+        drop(st);
+        self.cv.notify_all();
+        panic::resume_unwind(Box::new(AbortToken));
+    }
+
+    fn unwind_abort(&self, st: StdMutexGuard<'_, CtlState>) -> ! {
+        drop(st);
+        panic::resume_unwind(Box::new(AbortToken));
+    }
+
+    /// Pick the next thread to run. Never panics: scheduling dead ends
+    /// (deadlock, replay divergence) set the abort flag so every
+    /// caller unwinds cleanly.
+    fn schedule(&self, st: &mut CtlState) {
+        let enabled: Vec<usize> = st
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(t, _)| t)
+            .collect();
+        if enabled.is_empty() {
+            if st.statuses.iter().all(|s| *s == Status::Finished) {
+                st.current = None;
+                return;
+            }
+            let trace: Vec<String> = st
+                .statuses
+                .iter()
+                .enumerate()
+                .map(|(t, s)| format!("t{t}:{s:?}"))
+                .collect();
+            st.abort = true;
+            if st.payload.is_none() {
+                st.payload = Some(Box::new(format!(
+                    "model deadlock: no runnable thread [{}]",
+                    trace.join(", ")
+                )));
+            }
+            st.current = None;
+            return;
+        }
+
+        // The non-preemptive continuation explores first; once the
+        // preemption budget is spent it is the only option.
+        let mut opts = enabled;
+        if let Some(l) = st.last {
+            if let Some(p) = opts.iter().position(|&t| t == l) {
+                opts.swap(0, p);
+                if st.cfg.max_preemptions.is_some_and(|m| st.preemptions >= m) {
+                    opts.truncate(1);
+                }
+            }
+        }
+
+        let choice = if st.depth < st.trail.len() {
+            let step = &st.trail[st.depth];
+            if step.options != opts {
+                let msg = format!(
+                    "nondeterministic model: decision {} replayed {:?} but now offers {:?}",
+                    st.depth, step.options, opts
+                );
+                st.abort = true;
+                if st.payload.is_none() {
+                    st.payload = Some(Box::new(msg));
+                }
+                st.current = None;
+                return;
+            }
+            step.options[step.cursor]
+        } else {
+            st.trail.push(Step {
+                options: opts.clone(),
+                cursor: 0,
+            });
+            opts[0]
+        };
+        st.depth += 1;
+        if st.last.is_some_and(|l| l != choice && opts.contains(&l)) {
+            st.preemptions += 1;
+        }
+        st.last = Some(choice);
+        st.current = Some(choice);
+    }
+
+    fn wait_for_turn(&self, mut st: StdMutexGuard<'_, CtlState>, tid: usize) {
+        loop {
+            if st.abort {
+                self.unwind_abort(st);
+            }
+            if st.current == Some(tid) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A scheduling point: hand the token to whichever thread the trail
+    /// (or a fresh DFS decision) says runs next, then wait for it back.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let mut st = self.locked();
+        if st.abort {
+            self.unwind_abort(st);
+        }
+        st.steps += 1;
+        if st.steps > st.cfg.max_steps {
+            let msg = format!(
+                "model step budget exceeded ({} yields) — livelock or missing bound",
+                st.cfg.max_steps
+            );
+            self.fail(st, msg);
+        }
+        self.schedule(&mut st);
+        self.cv.notify_all();
+        self.wait_for_turn(st, tid);
+    }
+
+    /// Block until this thread exclusively holds the model lock.
+    /// Callers hit a [`Controller::yield_point`] first, so the acquire
+    /// order itself is a scheduling decision.
+    pub(crate) fn acquire_write(&self, tid: usize, lock: u64) {
+        let mut st = self.locked();
+        loop {
+            if st.abort {
+                self.unwind_abort(st);
+            }
+            let ls = st.locks.entry(lock).or_default();
+            if ls.writer.is_none() && ls.readers.is_empty() {
+                ls.writer = Some(tid);
+                return;
+            }
+            st.statuses[tid] = Status::BlockedLock(lock);
+            self.schedule(&mut st);
+            self.cv.notify_all();
+            loop {
+                if st.abort {
+                    self.unwind_abort(st);
+                }
+                if st.current == Some(tid) {
+                    break;
+                }
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Block until this thread holds the model lock shared.
+    pub(crate) fn acquire_read(&self, tid: usize, lock: u64) {
+        let mut st = self.locked();
+        loop {
+            if st.abort {
+                self.unwind_abort(st);
+            }
+            let ls = st.locks.entry(lock).or_default();
+            if ls.writer.is_none() {
+                ls.readers.push(tid);
+                return;
+            }
+            st.statuses[tid] = Status::BlockedLock(lock);
+            self.schedule(&mut st);
+            self.cv.notify_all();
+            loop {
+                if st.abort {
+                    self.unwind_abort(st);
+                }
+                if st.current == Some(tid) {
+                    break;
+                }
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    pub(crate) fn try_acquire_write(&self, tid: usize, lock: u64) -> bool {
+        let mut st = self.locked();
+        if st.abort {
+            self.unwind_abort(st);
+        }
+        let ls = st.locks.entry(lock).or_default();
+        if ls.writer.is_none() && ls.readers.is_empty() {
+            ls.writer = Some(tid);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn try_acquire_read(&self, tid: usize, lock: u64) -> bool {
+        let mut st = self.locked();
+        if st.abort {
+            self.unwind_abort(st);
+        }
+        let ls = st.locks.entry(lock).or_default();
+        if ls.writer.is_none() {
+            ls.readers.push(tid);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release a model lock. Wakes lock waiters but is *not* a yield
+    /// point — release ordering is covered by the acquire decisions.
+    pub(crate) fn release(&self, tid: usize, lock: u64, write: bool) {
+        let mut st = self.locked();
+        let mut freed = false;
+        if let Some(ls) = st.locks.get_mut(&lock) {
+            if write {
+                if ls.writer == Some(tid) {
+                    ls.writer = None;
+                }
+            } else if let Some(p) = ls.readers.iter().position(|&t| t == tid) {
+                ls.readers.remove(p);
+            }
+            freed = ls.writer.is_none() && ls.readers.is_empty();
+        }
+        if freed {
+            for s in st.statuses.iter_mut() {
+                if *s == Status::BlockedLock(lock) {
+                    *s = Status::Runnable;
+                }
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Add a thread slot; the new thread must call
+    /// [`Controller::start_wait`] before touching anything shared.
+    pub(crate) fn register(&self) -> usize {
+        let mut st = self.locked();
+        st.statuses.push(Status::Runnable);
+        st.statuses.len() - 1
+    }
+
+    /// First wait of a freshly spawned model thread: parked until the
+    /// scheduler hands it the token.
+    pub(crate) fn start_wait(&self, tid: usize) {
+        let st = self.locked();
+        self.wait_for_turn(st, tid);
+    }
+
+    /// Block until `target` finishes.
+    pub(crate) fn join_wait(&self, tid: usize, target: usize) {
+        let mut st = self.locked();
+        loop {
+            if st.abort {
+                self.unwind_abort(st);
+            }
+            if st.statuses[target] == Status::Finished {
+                return;
+            }
+            st.statuses[tid] = Status::BlockedJoin(target);
+            self.schedule(&mut st);
+            self.cv.notify_all();
+            loop {
+                if st.abort {
+                    self.unwind_abort(st);
+                }
+                if st.current == Some(tid) {
+                    break;
+                }
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Final controller interaction of a model thread: record the
+    /// outcome, wake joiners, and pass the token on (or begin the
+    /// abort teardown if the thread panicked).
+    pub(crate) fn finish(&self, tid: usize, panicked: Option<Box<dyn Any + Send>>) {
+        let mut st = self.locked();
+        st.statuses[tid] = Status::Finished;
+        for s in st.statuses.iter_mut() {
+            if *s == Status::BlockedJoin(tid) {
+                *s = Status::Runnable;
+            }
+        }
+        match panicked {
+            Some(p) => {
+                st.abort = true;
+                if !p.is::<AbortToken>() && st.payload.is_none() {
+                    st.payload = Some(p);
+                }
+                st.current = None;
+            }
+            None => {
+                if st.current == Some(tid) {
+                    self.schedule(&mut st);
+                }
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    // ---- explorer-side API -------------------------------------------------
+
+    /// Clear per-run state, keeping the DFS trail.
+    pub(crate) fn reset_run(&self) {
+        let mut st = self.locked();
+        st.statuses.clear();
+        st.locks.clear();
+        st.depth = 0;
+        st.preemptions = 0;
+        st.steps = 0;
+        st.abort = false;
+        st.payload = None;
+        st.current = None;
+        st.last = None;
+    }
+
+    /// Hand the token to the root thread (tid 0) to start a run.
+    pub(crate) fn launch(&self) {
+        let mut st = self.locked();
+        st.current = Some(0);
+        st.last = Some(0);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Wait until every registered thread has finished (normally or via
+    /// abort teardown).
+    pub(crate) fn wait_run_end(&self) {
+        let mut st = self.locked();
+        while !st.statuses.iter().all(|s| *s == Status::Finished) {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    pub(crate) fn take_payload(&self) -> Option<Box<dyn Any + Send>> {
+        self.locked().payload.take()
+    }
+
+    /// Advance the DFS trail to the next unexplored schedule. Returns
+    /// `false` when the space is exhausted.
+    pub(crate) fn advance(&self) -> bool {
+        let mut st = self.locked();
+        while let Some(step) = st.trail.last_mut() {
+            if step.cursor + 1 < step.options.len() {
+                step.cursor += 1;
+                return true;
+            }
+            st.trail.pop();
+        }
+        false
+    }
+}

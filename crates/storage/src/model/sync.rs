@@ -1,0 +1,363 @@
+//! Instrumented drop-in replacements for the synchronization
+//! primitives the storage protocols run on.
+//!
+//! [`Mutex`]/[`RwLock`] mirror the `parking_lot` surface that
+//! [`crate::sync`] wraps, and the atomics mirror `std::sync::atomic`,
+//! so under `--cfg vdb_loom` the real pool and change-log code compiles
+//! against these types unchanged. Each blocking acquire and each
+//! non-`Relaxed` atomic operation is a scheduling point for the
+//! explorer; `Relaxed` operations deliberately are not, which keeps
+//! annotated stats counters out of the schedule space.
+//!
+//! Outside an [`super::explore`] run (no thread context) every type
+//! degrades to its plain `std` counterpart, so code paths shared with
+//! ordinary tests keep working.
+//!
+//! The checker explores *interleavings*, not weak-memory reorderings:
+//! all operations execute sequentially consistent under the hood, and
+//! orderings only decide whether an operation is a scheduling point.
+
+use super::sched::{current_ctx, Ctx};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+use std::sync::{
+    Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError, RwLock as StdRwLock,
+    RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard,
+};
+
+fn next_lock_id() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    // RELAXED-OK: process-global id allocator; uniqueness is all that
+    // matters, and instrumenting it would add a yield point per lock
+    // construction.
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Ticket tying a held model lock to the controller; dropping it
+/// releases the controller-side state *after* the inner std guard.
+struct Ticket {
+    ctx: Ctx,
+    id: u64,
+    write: bool,
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        self.ctx.ctl.release(self.ctx.tid, self.id, self.write);
+    }
+}
+
+/// Model mutex with the `parking_lot::Mutex` surface [`crate::sync`]
+/// relies on.
+pub struct Mutex<T> {
+    id: u64,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            id: next_lock_id(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let ticket = current_ctx().map(|ctx| {
+            ctx.ctl.yield_point(ctx.tid);
+            ctx.ctl.acquire_write(ctx.tid, self.id);
+            Ticket {
+                ctx,
+                id: self.id,
+                write: true,
+            }
+        });
+        MutexGuard {
+            // Uncontended by construction: the controller serializes
+            // admission, and unmanaged callers have no model peers.
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            _ticket: ticket,
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Guard for [`Mutex::lock`]. Field order matters: the std guard must
+/// drop (releasing the data) before the ticket tells the controller the
+/// lock is free.
+pub struct MutexGuard<'a, T> {
+    inner: StdMutexGuard<'a, T>,
+    _ticket: Option<Ticket>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Model rwlock with the `parking_lot::RwLock` surface [`crate::sync`]
+/// relies on.
+pub struct RwLock<T> {
+    id: u64,
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            id: next_lock_id(),
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let ticket = current_ctx().map(|ctx| {
+            ctx.ctl.yield_point(ctx.tid);
+            ctx.ctl.acquire_read(ctx.tid, self.id);
+            Ticket {
+                ctx,
+                id: self.id,
+                write: false,
+            }
+        });
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            _ticket: ticket,
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let ticket = current_ctx().map(|ctx| {
+            ctx.ctl.yield_point(ctx.tid);
+            ctx.ctl.acquire_write(ctx.tid, self.id);
+            Ticket {
+                ctx,
+                id: self.id,
+                write: true,
+            }
+        });
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            _ticket: ticket,
+        }
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match current_ctx() {
+            Some(ctx) => {
+                ctx.ctl.yield_point(ctx.tid);
+                if !ctx.ctl.try_acquire_read(ctx.tid, self.id) {
+                    return None;
+                }
+                Some(RwLockReadGuard {
+                    inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+                    _ticket: Some(Ticket {
+                        ctx,
+                        id: self.id,
+                        write: false,
+                    }),
+                })
+            }
+            None => match self.inner.try_read() {
+                Ok(inner) => Some(RwLockReadGuard {
+                    inner,
+                    _ticket: None,
+                }),
+                Err(_) => None,
+            },
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match current_ctx() {
+            Some(ctx) => {
+                ctx.ctl.yield_point(ctx.tid);
+                if !ctx.ctl.try_acquire_write(ctx.tid, self.id) {
+                    return None;
+                }
+                Some(RwLockWriteGuard {
+                    inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+                    _ticket: Some(Ticket {
+                        ctx,
+                        id: self.id,
+                        write: true,
+                    }),
+                })
+            }
+            None => match self.inner.try_write() {
+                Ok(inner) => Some(RwLockWriteGuard {
+                    inner,
+                    _ticket: None,
+                }),
+                Err(_) => None,
+            },
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Guard for [`RwLock::read`]; std guard drops before the ticket.
+pub struct RwLockReadGuard<'a, T> {
+    inner: StdRwLockReadGuard<'a, T>,
+    _ticket: Option<Ticket>,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Guard for [`RwLock::write`]; std guard drops before the ticket.
+pub struct RwLockWriteGuard<'a, T> {
+    inner: StdRwLockWriteGuard<'a, T>,
+    _ticket: Option<Ticket>,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+// RELAXED-OK: the comparison below *classifies* orderings — Relaxed
+// operations are intentionally not scheduling points, so annotated
+// stats counters stay out of the schedule space.
+fn maybe_yield(order: Ordering) {
+    if order != Ordering::Relaxed {
+        if let Some(ctx) = current_ctx() {
+            ctx.ctl.yield_point(ctx.tid);
+        }
+    }
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $std:ty, $val:ty) => {
+        /// Instrumented atomic: non-`Relaxed` operations are scheduling
+        /// points; all operations run sequentially consistent.
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            pub const fn new(v: $val) -> $name {
+                $name {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $val {
+                maybe_yield(order);
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            pub fn store(&self, v: $val, order: Ordering) {
+                maybe_yield(order);
+                self.inner.store(v, Ordering::SeqCst)
+            }
+
+            pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                maybe_yield(order);
+                self.inner.swap(v, Ordering::SeqCst)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                cur: $val,
+                new: $val,
+                success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$val, $val> {
+                maybe_yield(success);
+                self.inner
+                    .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                cur: $val,
+                new: $val,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$val, $val> {
+                self.compare_exchange(cur, new, success, failure)
+            }
+
+            pub fn fetch_update<F>(
+                &self,
+                set_order: Ordering,
+                _fetch_order: Ordering,
+                f: F,
+            ) -> Result<$val, $val>
+            where
+                F: FnMut($val) -> Option<$val>,
+            {
+                maybe_yield(set_order);
+                self.inner
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, f)
+            }
+
+            pub fn into_inner(self) -> $val {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_arith {
+    ($name:ident, $val:ty) => {
+        impl $name {
+            pub fn fetch_add(&self, v: $val, order: Ordering) -> $val {
+                maybe_yield(order);
+                self.inner.fetch_add(v, Ordering::SeqCst)
+            }
+
+            pub fn fetch_sub(&self, v: $val, order: Ordering) -> $val {
+                maybe_yield(order);
+                self.inner.fetch_sub(v, Ordering::SeqCst)
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+model_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+model_atomic_arith!(AtomicU32, u32);
+model_atomic_arith!(AtomicU64, u64);
+model_atomic_arith!(AtomicUsize, usize);

@@ -1,0 +1,71 @@
+//! Model threads: real OS threads serialized by the controller.
+//!
+//! [`spawn`] registers the child with the enclosing
+//! [`super::explore`] run; the child parks until the scheduler hands
+//! it the token, so spawn order contributes no hidden nondeterminism.
+//! [`JoinHandle::join`] is a scheduling point like any blocking
+//! operation, and a child panic tears the whole run down through the
+//! controller's abort protocol (the payload resurfaces on the
+//! exploring thread).
+
+use super::sched::{current_ctx, set_ctx};
+use std::panic::{self, AssertUnwindSafe};
+
+/// Handle to a model thread; [`JoinHandle::join`] returns the
+/// closure's value.
+pub struct JoinHandle<T> {
+    tid: usize,
+    inner: std::thread::JoinHandle<Option<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (as a scheduling point) for the thread to finish and return
+    /// its value. If the child panicked, the enclosing `explore` run
+    /// aborts and re-raises the child's payload instead of returning.
+    pub fn join(self) -> T {
+        let ctx = match current_ctx() {
+            Some(ctx) => ctx,
+            // PANIC-OK: join outside the owning `explore` run is a
+            // harness bug, not a runtime condition.
+            None => panic!("model::thread::JoinHandle::join outside an explore run"),
+        };
+        ctx.ctl.join_wait(ctx.tid, self.tid);
+        match self.inner.join() {
+            Ok(Some(v)) => v,
+            // PANIC-OK: unreachable — a panicked child aborts the run,
+            // and join_wait above unwinds before reaching here.
+            _ => panic!("model thread finished without a value"),
+        }
+    }
+}
+
+/// Spawn a model thread inside the enclosing [`super::explore`] run.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let ctx = match current_ctx() {
+        Some(ctx) => ctx,
+        // PANIC-OK: model threads only exist inside `explore`; this is
+        // a misuse of the model API, not a runtime condition.
+        None => panic!("model::thread::spawn outside an explore run"),
+    };
+    let tid = ctx.ctl.register();
+    let ctl = ctx.ctl.clone();
+    let inner = std::thread::spawn(move || {
+        set_ctx(ctl.clone(), tid);
+        ctl.start_wait(tid);
+        match panic::catch_unwind(AssertUnwindSafe(f)) {
+            Ok(v) => {
+                ctl.finish(tid, None);
+                Some(v)
+            }
+            Err(p) => {
+                ctl.finish(tid, Some(p));
+                None
+            }
+        }
+    });
+    JoinHandle { tid, inner }
+}

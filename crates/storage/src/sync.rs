@@ -18,11 +18,36 @@
 use crate::lockorder::{self, Held, LockClass};
 use std::ops::{Deref, DerefMut};
 
+// Under `--cfg vdb_loom` every sanctioned lock is transparently backed
+// by the model checker's instrumented primitives (`crate::model`), so
+// the interleaving explorer sees — and controls — each acquisition the
+// production code performs. Normal builds compile to bare parking_lot.
+#[cfg(vdb_loom)]
+use crate::model::plimp;
+#[cfg(not(vdb_loom))]
+use parking_lot as plimp;
+
+/// Atomics facade mirroring [`std::sync::atomic`].
+///
+/// Protocol code (`buffer`, the decoupled change log) imports atomics
+/// from here instead of `std` so that `--cfg vdb_loom` swaps in the
+/// model checker's instrumented types, which insert schedule points on
+/// every non-`Relaxed` operation. `Ordering` is always the `std` enum —
+/// the model types accept it and treat everything as `SeqCst`, which is
+/// the strongest (and therefore sound) interpretation.
+pub mod atomic {
+    #[cfg(vdb_loom)]
+    pub use crate::model::sync::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::Ordering;
+    #[cfg(not(vdb_loom))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+}
+
 /// A `parking_lot::Mutex` with a fixed position in the storage lock
 /// hierarchy.
 pub struct OrderedMutex<T> {
     class: LockClass,
-    inner: parking_lot::Mutex<T>,
+    inner: plimp::Mutex<T>,
 }
 
 impl<T> OrderedMutex<T> {
@@ -30,7 +55,7 @@ impl<T> OrderedMutex<T> {
     pub fn new(class: LockClass, value: T) -> OrderedMutex<T> {
         OrderedMutex {
             class,
-            inner: parking_lot::Mutex::new(value),
+            inner: plimp::Mutex::new(value),
         }
     }
 
@@ -66,7 +91,7 @@ impl<T> OrderedMutex<T> {
 /// Guard for [`OrderedMutex::lock`]; releases the lock, then its
 /// tracker entry, on drop.
 pub struct OrderedMutexGuard<'a, T> {
-    guard: parking_lot::MutexGuard<'a, T>,
+    guard: plimp::MutexGuard<'a, T>,
     _held: Held,
 }
 
@@ -87,7 +112,7 @@ impl<T> DerefMut for OrderedMutexGuard<'_, T> {
 /// hierarchy.
 pub struct OrderedRwLock<T> {
     class: LockClass,
-    inner: parking_lot::RwLock<T>,
+    inner: plimp::RwLock<T>,
 }
 
 impl<T> OrderedRwLock<T> {
@@ -95,7 +120,7 @@ impl<T> OrderedRwLock<T> {
     pub fn new(class: LockClass, value: T) -> OrderedRwLock<T> {
         OrderedRwLock {
             class,
-            inner: parking_lot::RwLock::new(value),
+            inner: plimp::RwLock::new(value),
         }
     }
 
@@ -159,7 +184,7 @@ impl<T> OrderedRwLock<T> {
 
 /// Guard for [`OrderedRwLock::read`].
 pub struct OrderedReadGuard<'a, T> {
-    guard: parking_lot::RwLockReadGuard<'a, T>,
+    guard: plimp::RwLockReadGuard<'a, T>,
     _held: Held,
 }
 
@@ -172,7 +197,7 @@ impl<T> Deref for OrderedReadGuard<'_, T> {
 
 /// Guard for [`OrderedRwLock::write`].
 pub struct OrderedWriteGuard<'a, T> {
-    guard: parking_lot::RwLockWriteGuard<'a, T>,
+    guard: plimp::RwLockWriteGuard<'a, T>,
     _held: Held,
 }
 

@@ -1,0 +1,75 @@
+//! Model-checked buffer-pool protocols (see `vdb_storage::model`).
+//!
+//! Positive scenarios drive the real `BufferManager` at model scale:
+//! under `--cfg vdb_loom` (the CI loom job) every preemption-bounded
+//! interleaving is explored; in ordinary builds the pool primitives are
+//! uninstrumented and the same scenarios run as cheap smoke tests over
+//! the spawn/join schedule space.
+//!
+//! The `mini_*` replicas are built directly on the model primitives,
+//! so the negative (seeded-bug) tests explore for real in *every*
+//! build — they prove the explorer catches the bug class each positive
+//! scenario guards against.
+//!
+//! Configs here are explicit rather than env-derived so an exported
+//! `LOOM_MAX_PREEMPTIONS` can't silently weaken the assertions.
+
+use vdb_storage::model::scenarios;
+use vdb_storage::model::Config;
+
+fn model_cfg() -> Config {
+    Config {
+        max_preemptions: Some(2),
+        ..Config::default()
+    }
+}
+
+#[test]
+fn pool_pin_evict_latch_holds_on_all_schedules() {
+    let schedules = scenarios::pool_pin_evict_latch(model_cfg());
+    assert!(schedules >= 1);
+    // With the pool instrumented, eviction pressure must produce a
+    // genuinely branching schedule space — a count of 1 would mean the
+    // cfg swap silently failed and nothing was actually explored.
+    #[cfg(vdb_loom)]
+    assert!(
+        schedules > 10,
+        "instrumented run explored only {schedules} schedules"
+    );
+}
+
+#[test]
+fn pool_dirty_writeback_survives_eviction_races() {
+    let schedules = scenarios::pool_dirty_writeback(model_cfg());
+    assert!(schedules >= 1);
+    #[cfg(vdb_loom)]
+    assert!(
+        schedules > 10,
+        "instrumented run explored only {schedules} schedules"
+    );
+}
+
+#[test]
+fn pool_stats_stay_independent_of_protocol() {
+    let schedules = scenarios::pool_stats_independent(model_cfg());
+    assert!(schedules >= 1);
+}
+
+#[test]
+fn mini_frame_revalidation_holds_on_all_schedules() {
+    // Always instrumented: the replica uses model primitives directly.
+    let schedules = scenarios::mini_pool_model(model_cfg(), true);
+    assert!(
+        schedules > 1,
+        "replica must explore a branching space, got {schedules}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "frame content belongs to another block")]
+fn mini_frame_without_revalidation_is_caught() {
+    // The seeded bug: a reader that skips tag revalidation after its
+    // latch wait serves a frame another thread has reloaded. The
+    // explorer must find the interleaving and fail the run.
+    scenarios::mini_pool_model(model_cfg(), false);
+}

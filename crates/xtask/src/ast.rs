@@ -1,0 +1,841 @@
+//! A dependency-free lexer + token-tree ("AST-lite") model of a Rust
+//! source file.
+//!
+//! This replaces the old per-line string scanner (`scan.rs`). It makes
+//! one pass over the source and produces two coordinated views:
+//!
+//! 1. **Line channels** — per-line *code* text (string/char contents
+//!    blanked, comments stripped) and *comment* text, exactly the shape
+//!    the original rules consumed, so `unsafe` inside a string literal
+//!    is never a finding and `// SAFETY:` annotations are recognized.
+//! 2. **A token tree** — identifiers, literals, punctuation, and
+//!    delimiter groups (`(…)`, `[…]`, `{…}`) with 1-based line numbers,
+//!    which is what the structural rules (`atomic-ordering`,
+//!    `guard-discipline`, `exhaustive-lockclass`) walk. `#[cfg(test)]`
+//!    regions are derived from the tree by parsing the cfg predicate
+//!    (including `any`/`all` nesting and `not(test)`), not by substring
+//!    matching, so `#[cfg( test )]`, `#[cfg(all(feature = "x", test))]`
+//!    and nested inner test modules are all handled.
+//!
+//! `syn` would do this better, but the tool is deliberately
+//! dependency-free so it builds in minimal/offline environments (see
+//! `crates/xtask/Cargo.toml`); the rules only need token shapes, not
+//! full syntax.
+
+/// One source line, split into its code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Line {
+    /// Source text with comments removed and string/char literal
+    /// *contents* replaced by spaces (delimiting quotes are kept, so
+    /// `.expect("` is still recognizable as a call with a literal).
+    pub(crate) code: String,
+    /// Concatenated comment text on this line (line and block comments,
+    /// including doc comments).
+    pub(crate) comment: String,
+    /// Whether the line is inside a `#[cfg(test)]`-gated item.
+    pub(crate) in_test: bool,
+}
+
+/// Lexical class of a leaf token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`, kept verbatim).
+    Ident,
+    /// String literal of any flavor (contents not retained).
+    Str,
+    /// Char or byte-char literal (contents not retained).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime or loop label (`'a`).
+    Lifetime,
+    /// Single punctuation character (`::` is two `:` tokens).
+    Punct,
+}
+
+/// A leaf token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub(crate) struct Tok {
+    pub(crate) kind: TokKind,
+    pub(crate) text: String,
+    pub(crate) line: usize,
+}
+
+/// A delimiter group: `delim` is the opening character.
+#[derive(Debug, Clone)]
+pub(crate) struct Group {
+    pub(crate) delim: char,
+    pub(crate) open_line: usize,
+    pub(crate) close_line: usize,
+    pub(crate) children: Vec<Node>,
+}
+
+/// One node of the token tree.
+#[derive(Debug, Clone)]
+pub(crate) enum Node {
+    Tok(Tok),
+    Group(Group),
+}
+
+impl Node {
+    /// The group, if this node is one.
+    pub(crate) fn group(&self) -> Option<&Group> {
+        match self {
+            Node::Tok(_) => None,
+            Node::Group(g) => Some(g),
+        }
+    }
+
+    /// The identifier text, if this node is an identifier token.
+    pub(crate) fn ident(&self) -> Option<&str> {
+        match self {
+            Node::Tok(t) if t.kind == TokKind::Ident => Some(&t.text),
+            _ => None,
+        }
+    }
+
+    /// Whether this node is the given identifier.
+    pub(crate) fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// Whether this node is the given punctuation character.
+    pub(crate) fn is_punct(&self, c: char) -> bool {
+        match self {
+            Node::Tok(t) => t.kind == TokKind::Punct && t.text.starts_with(c),
+            Node::Group(_) => false,
+        }
+    }
+
+    /// 1-based source line (a group's opening line).
+    pub(crate) fn line(&self) -> usize {
+        match self {
+            Node::Tok(t) => t.line,
+            Node::Group(g) => g.open_line,
+        }
+    }
+}
+
+/// Whether `nodes[i..]` starts with the path `a::b` (four tokens).
+pub(crate) fn path_at(nodes: &[Node], i: usize, a: &str, b: &str) -> bool {
+    nodes.get(i).is_some_and(|n| n.is_ident(a))
+        && nodes.get(i + 1).is_some_and(|n| n.is_punct(':'))
+        && nodes.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        && nodes.get(i + 3).is_some_and(|n| n.is_ident(b))
+}
+
+/// The group at `nodes[i]`, if it opens with `delim`.
+pub(crate) fn group_at(nodes: &[Node], i: usize, delim: char) -> Option<&Group> {
+    nodes
+        .get(i)
+        .and_then(Node::group)
+        .filter(|g| g.delim == delim)
+}
+
+/// The analyzed file: line channels plus the token tree.
+#[derive(Debug, Default)]
+pub(crate) struct Analysis {
+    /// 0-based vector of [`Line`]s (line `i` is source line `i + 1`).
+    pub(crate) lines: Vec<Line>,
+    /// Top-level token-tree nodes.
+    pub(crate) tree: Vec<Node>,
+}
+
+/// Lex and structure `content`.
+pub(crate) fn analyze(content: &str) -> Analysis {
+    let mut lx = Lexer::new(content);
+    lx.run();
+    let tree = build_tree(lx.toks);
+    let mut lines = lx.lines;
+    mark_test_regions(&tree, &mut lines);
+    Analysis { lines, tree }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+enum RawTok {
+    Tok(Tok),
+    Open(char, usize),
+    Close(char, usize),
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    /// 0-based current line index.
+    line: usize,
+    lines: Vec<Line>,
+    toks: Vec<RawTok>,
+}
+
+impl Lexer {
+    fn new(content: &str) -> Lexer {
+        let n_lines = content.split('\n').count();
+        Lexer {
+            chars: content.chars().collect(),
+            i: 0,
+            line: 0,
+            lines: vec![Line::default(); n_lines],
+            toks: Vec::new(),
+        }
+    }
+
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    /// Consume one char, tracking line numbers. Returns the char.
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.i];
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    /// Consume one char, echoing it into the code channel.
+    fn eat_code(&mut self) {
+        let c = self.chars[self.i];
+        if c != '\n' {
+            let l = self.line;
+            self.lines[l].code.push(c);
+        }
+        self.bump();
+    }
+
+    /// Consume one char, writing a space into the code channel
+    /// (string/char literal contents).
+    fn eat_blank(&mut self) {
+        let c = self.chars[self.i];
+        if c != '\n' {
+            let l = self.line;
+            self.lines[l].code.push(' ');
+        }
+        self.bump();
+    }
+
+    /// Consume one char, echoing it into the comment channel.
+    fn eat_comment(&mut self) {
+        let c = self.chars[self.i];
+        if c != '\n' {
+            let l = self.line;
+            self.lines[l].comment.push(c);
+        }
+        self.bump();
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let n1 = self.peek(1);
+            if c == '/' && n1 == Some('/') {
+                self.bump();
+                self.bump();
+                while self.peek(0).is_some_and(|c| c != '\n') {
+                    self.eat_comment();
+                }
+            } else if c == '/' && n1 == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                self.string_lit(None);
+            } else if c == '\'' {
+                self.char_or_lifetime();
+            } else if is_ident_start(c) {
+                if let Some(hashes) = self.raw_string_prefix() {
+                    // r"…", r#"…"#, b"…", br"…", c"…", cr"…": consume the
+                    // prefix silently, then the quoted body.
+                    while self.peek(0) != Some('"') {
+                        self.bump();
+                    }
+                    self.string_lit(Some(hashes));
+                } else if c == 'b' && n1 == Some('\'') {
+                    self.bump();
+                    self.char_lit();
+                } else if c == 'r' && n1 == Some('#') && self.peek(2).is_some_and(is_ident_start) {
+                    // Raw identifier: keep the `r#` so `r#match` never
+                    // compares equal to the `match` keyword.
+                    let line = self.line + 1;
+                    let mut text = String::from("r#");
+                    self.eat_code();
+                    self.eat_code();
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        text.push(self.peek(0).unwrap());
+                        self.eat_code();
+                    }
+                    self.push_tok(TokKind::Ident, text, line);
+                } else {
+                    let line = self.line + 1;
+                    let mut text = String::new();
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        text.push(self.peek(0).unwrap());
+                        self.eat_code();
+                    }
+                    self.push_tok(TokKind::Ident, text, line);
+                }
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else if c.is_whitespace() {
+                self.eat_code();
+            } else {
+                let line = self.line + 1;
+                match c {
+                    '(' | '[' | '{' => self.toks.push(RawTok::Open(c, line)),
+                    ')' | ']' | '}' => self.toks.push(RawTok::Close(c, line)),
+                    _ => self.push_tok(TokKind::Punct, c.to_string(), line),
+                }
+                self.eat_code();
+            }
+        }
+    }
+
+    fn push_tok(&mut self, kind: TokKind, text: String, line: usize) {
+        self.toks.push(RawTok::Tok(Tok { kind, text, line }));
+    }
+
+    /// If the chars at the cursor open a raw/byte/C string (`r"`,
+    /// `r#"`, `b"`, `br##"`, `c"`, …), the number of `#`s.
+    fn raw_string_prefix(&self) -> Option<u32> {
+        let mut j = self.i;
+        match self.chars.get(j).copied()? {
+            'b' | 'c' => {
+                j += 1;
+                if self.chars.get(j).copied() == Some('r') {
+                    j += 1;
+                }
+            }
+            'r' => j += 1,
+            _ => return None,
+        }
+        let mut hashes = 0u32;
+        while self.chars.get(j).copied() == Some('#') {
+            hashes += 1;
+            j += 1;
+        }
+        (self.chars.get(j).copied() == Some('"')).then_some(hashes)
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (None, _) => break,
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('\n'), _) => {
+                    self.bump();
+                }
+                _ => self.eat_comment(),
+            }
+        }
+    }
+
+    /// Consume a string literal; the cursor sits on the opening `"`.
+    /// `raw_hashes` is `Some(n)` for `r#*"` raw strings.
+    fn string_lit(&mut self, raw_hashes: Option<u32>) {
+        let line = self.line + 1;
+        self.eat_code(); // opening quote
+        match raw_hashes {
+            None => loop {
+                match self.peek(0) {
+                    None => break,
+                    Some('\\') => {
+                        self.eat_blank();
+                        if self.peek(0) == Some('\n') {
+                            self.bump(); // escaped line continuation
+                        } else if self.peek(0).is_some() {
+                            self.eat_blank();
+                        }
+                    }
+                    Some('"') => {
+                        self.eat_code();
+                        break;
+                    }
+                    Some('\n') => {
+                        self.bump();
+                    }
+                    _ => self.eat_blank(),
+                }
+            },
+            Some(h) => loop {
+                match self.peek(0) {
+                    None => break,
+                    Some('"') if self.closes_raw(h) => {
+                        self.eat_code();
+                        for _ in 0..h {
+                            self.bump();
+                        }
+                        break;
+                    }
+                    Some('\n') => {
+                        self.bump();
+                    }
+                    _ => self.eat_blank(),
+                }
+            },
+        }
+        self.push_tok(TokKind::Str, "\"\"".into(), line);
+    }
+
+    /// Does the `"` at the cursor close a raw string with `h` hashes?
+    fn closes_raw(&self, h: u32) -> bool {
+        (1..=h as usize).all(|k| self.peek(k) == Some('#'))
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let is_char = match self.peek(1) {
+            Some('\\') => true,
+            Some(c) if is_ident_continue(c) => {
+                // `'a'` is a char, `'a` / `'static` are lifetimes.
+                self.peek(2) == Some('\'')
+            }
+            Some('\'') => false, // `''` — malformed, treat as lifetime-ish
+            Some(_) => true,     // `'('`, `' '`, …
+            None => false,
+        };
+        if is_char {
+            self.char_lit();
+        } else {
+            let line = self.line + 1;
+            let mut text = String::from("'");
+            self.eat_code();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                text.push(self.peek(0).unwrap());
+                self.eat_code();
+            }
+            self.push_tok(TokKind::Lifetime, text, line);
+        }
+    }
+
+    /// Consume a char/byte-char literal; the cursor sits on the `'`.
+    fn char_lit(&mut self) {
+        let line = self.line + 1;
+        self.eat_code(); // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\\') => {
+                    self.eat_blank();
+                    if self.peek(0).is_some() {
+                        self.eat_blank();
+                    }
+                }
+                Some('\'') => {
+                    self.eat_code();
+                    break;
+                }
+                Some('\n') => {
+                    self.bump();
+                }
+                _ => self.eat_blank(),
+            }
+        }
+        self.push_tok(TokKind::Char, "''".into(), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line + 1;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.eat_code();
+            } else if c == '.'
+                && !text.contains('.')
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // `1.5` is one number; `1..5` and `x.0.sqrt()` are not.
+                text.push(c);
+                self.eat_code();
+            } else if (c == '+' || c == '-')
+                && !text.starts_with("0x")
+                && text.ends_with(['e', 'E'])
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // Float exponent sign: `1e-5`.
+                text.push(c);
+                self.eat_code();
+            } else {
+                break;
+            }
+        }
+        self.push_tok(TokKind::Num, text, line);
+    }
+}
+
+fn delims_match(open: char, close: char) -> bool {
+    matches!((open, close), ('(', ')') | ('[', ']') | ('{', '}'))
+}
+
+fn build_tree(toks: Vec<RawTok>) -> Vec<Node> {
+    let mut top: Vec<Node> = Vec::new();
+    // (open delim, open line, children)
+    let mut stack: Vec<(char, usize, Vec<Node>)> = Vec::new();
+    let mut last_line = 1usize;
+    for t in toks {
+        let dest =
+            |stack: &mut Vec<(char, usize, Vec<Node>)>, top: &mut Vec<Node>, n: Node| match stack
+                .last_mut()
+            {
+                Some((_, _, children)) => children.push(n),
+                None => top.push(n),
+            };
+        match t {
+            RawTok::Tok(tok) => {
+                last_line = tok.line;
+                dest(&mut stack, &mut top, Node::Tok(tok));
+            }
+            RawTok::Open(d, line) => {
+                last_line = line;
+                stack.push((d, line, Vec::new()));
+            }
+            RawTok::Close(d, line) => {
+                last_line = line;
+                match stack.last() {
+                    Some(&(open, _, _)) if delims_match(open, d) => {
+                        let (delim, open_line, children) = stack.pop().unwrap();
+                        let g = Node::Group(Group {
+                            delim,
+                            open_line,
+                            close_line: line,
+                            children,
+                        });
+                        dest(&mut stack, &mut top, g);
+                    }
+                    // Mismatched or stray close: keep it as punctuation
+                    // so a malformed file degrades instead of panicking.
+                    _ => dest(
+                        &mut stack,
+                        &mut top,
+                        Node::Tok(Tok {
+                            kind: TokKind::Punct,
+                            text: d.to_string(),
+                            line,
+                        }),
+                    ),
+                }
+            }
+        }
+    }
+    // Unclosed groups (truncated file): close them at the last line.
+    while let Some((delim, open_line, children)) = stack.pop() {
+        let g = Node::Group(Group {
+            delim,
+            open_line,
+            close_line: last_line,
+            children,
+        });
+        match stack.last_mut() {
+            Some((_, _, parent)) => parent.push(g),
+            None => top.push(g),
+        }
+    }
+    top
+}
+
+/// Mark lines inside `#[cfg(test)]`-gated items by walking the tree:
+/// an outer `#[cfg(…)]` attribute whose predicate can enable `test`
+/// gates the item that follows (up to its `{…}` body or terminating
+/// `;`); `#![cfg(test)]` gates the rest of the enclosing scope.
+fn mark_test_regions(nodes: &[Node], lines: &mut [Line]) {
+    let mut i = 0;
+    while i < nodes.len() {
+        if nodes[i].is_punct('#') {
+            let (inner, attr_idx) = if nodes.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                (true, i + 2)
+            } else {
+                (false, i + 1)
+            };
+            if let Some(attr) = group_at(nodes, attr_idx, '[') {
+                if attr_is_cfg_test(&attr.children) {
+                    let lo = nodes[i].line();
+                    let hi = if inner {
+                        lines.len() // `#![cfg(test)]`: rest of the scope
+                    } else {
+                        item_end_line(nodes, attr_idx + 1).unwrap_or(lines.len())
+                    };
+                    let hi = hi.min(lines.len());
+                    for line in lines.iter_mut().take(hi).skip(lo - 1) {
+                        line.in_test = true;
+                    }
+                }
+                i = attr_idx + 1;
+                continue;
+            }
+        }
+        if let Node::Group(g) = &nodes[i] {
+            mark_test_regions(&g.children, lines);
+        }
+        i += 1;
+    }
+}
+
+/// The line on which the item starting at `nodes[from]` ends: the close
+/// of its first `{…}` body, or its terminating `;`.
+fn item_end_line(nodes: &[Node], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i < nodes.len() {
+        match &nodes[i] {
+            Node::Group(g) if g.delim == '{' => return Some(g.close_line),
+            Node::Tok(t) if t.kind == TokKind::Punct && t.text == ";" => return Some(t.line),
+            _ => i += 1,
+        }
+    }
+    nodes.last().map(|n| n.line())
+}
+
+/// Whether an attribute body (the tokens inside `#[…]`) is a `cfg`
+/// whose predicate can enable `test`. Understands `any`/`all` nesting
+/// and skips `not(…)` subtrees, so `#[cfg(not(test))]` does not gate.
+fn attr_is_cfg_test(attr: &[Node]) -> bool {
+    if !attr.first().is_some_and(|n| n.is_ident("cfg")) {
+        return false;
+    }
+    match group_at(attr, 1, '(') {
+        Some(pred) => cfg_pred_mentions_test(&pred.children),
+        None => false,
+    }
+}
+
+fn cfg_pred_mentions_test(nodes: &[Node]) -> bool {
+    let mut i = 0;
+    while i < nodes.len() {
+        match &nodes[i] {
+            Node::Tok(t)
+                if t.kind == TokKind::Ident
+                    && t.text == "not"
+                    && group_at(nodes, i + 1, '(').is_some() =>
+            {
+                i += 2; // skip the negated subtree
+                continue;
+            }
+            Node::Tok(t) if t.kind == TokKind::Ident && t.text == "test" => return true,
+            Node::Group(g) if cfg_pred_mentions_test(&g.children) => return true,
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Whether `code` contains `word` as a standalone token (not as part of
+/// a longer identifier).
+pub(crate) fn has_token(code: &str, word: &str) -> bool {
+    let mut start = 0usize;
+    while let Some(pos) = code[start..].find(word) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + word.len();
+        let after_ok = after >= code.len()
+            || !code[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + word.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(nodes: &[Node]) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(nodes: &[Node], out: &mut Vec<String>) {
+            for n in nodes {
+                match n {
+                    Node::Tok(t) if t.kind == TokKind::Ident => out.push(t.text.clone()),
+                    Node::Group(g) => walk(&g.children, out),
+                    _ => {}
+                }
+            }
+        }
+        walk(nodes, &mut out);
+        out
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let a = analyze("let x = \"unsafe\"; // unsafe in comment\nunsafe {}\n");
+        assert!(!has_token(&a.lines[0].code, "unsafe"));
+        assert!(a.lines[0].comment.contains("unsafe in comment"));
+        assert!(has_token(&a.lines[1].code, "unsafe"));
+        // …and the token stream agrees: exactly one `unsafe` ident.
+        assert_eq!(idents(&a.tree).iter().filter(|i| *i == "unsafe").count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let a = analyze("let x = r#\"unsafe \" still\"#; let y = unsafe_marker;\n");
+        assert!(!has_token(&a.lines[0].code, "unsafe"));
+        assert!(a.lines[0].code.contains("unsafe_marker"));
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_blanked() {
+        let a = analyze("let x = b\"unsafe\"; let y = br##\"panic!(\"#\"##; f();\n");
+        assert!(!has_token(&a.lines[0].code, "unsafe"));
+        assert!(!a.lines[0].code.contains("panic"));
+        assert!(a.lines[0].code.contains("f()"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let a = analyze(
+            "fn f<'a>(x: &'a str) -> &'a str { x } // SAFETY: none\nlet c = 'x'; let d = '\\n'; unsafe {}\n",
+        );
+        assert!(a.lines[0].comment.contains("SAFETY"));
+        assert!(has_token(&a.lines[1].code, "unsafe"));
+        assert!(!a.lines[1].code.contains('x'));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let a = analyze("/* outer /* inner */ still comment */ code_here\n");
+        assert!(a.lines[0].code.contains("code_here"));
+        assert!(a.lines[0].comment.contains("outer"));
+        assert!(!a.lines[0].code.contains("inner"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_string() {
+        let a = analyze("let x = \"a\\\"unsafe\"; unsafe {}\n");
+        let code = &a.lines[0].code;
+        assert!(has_token(code, "unsafe"));
+        assert_eq!(code.matches("unsafe").count(), 1);
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        assert!(has_token("unsafe {", "unsafe"));
+        assert!(!has_token("unsafe_fn()", "unsafe"));
+        assert!(!has_token("my_unsafe", "unsafe"));
+        assert!(has_token("(unsafe)", "unsafe"));
+    }
+
+    #[test]
+    fn tree_structure_and_lines() {
+        let a = analyze("fn f(a: u8) {\n    g(a);\n}\n");
+        // Top level: `fn`, `f`, `(…)`, `{…}`.
+        assert!(a.tree[0].is_ident("fn"));
+        assert!(a.tree[1].is_ident("f"));
+        let args = a.tree[2].group().unwrap();
+        assert_eq!(args.delim, '(');
+        assert_eq!(args.open_line, 1);
+        let body = a.tree[3].group().unwrap();
+        assert_eq!(body.delim, '{');
+        assert_eq!((body.open_line, body.close_line), (1, 3));
+        assert!(body.children[0].is_ident("g"));
+        assert_eq!(body.children[0].line(), 2);
+    }
+
+    #[test]
+    fn path_tokens_split_into_colons() {
+        let a = analyze("use std::sync::atomic::Ordering;\nOrdering::Relaxed\n");
+        let flat: Vec<&Node> = a.tree.iter().collect();
+        let pos = flat.iter().position(|n| n.is_ident("Ordering")).unwrap();
+        // Find the *second* occurrence, which starts the Relaxed path.
+        let pos2 = pos
+            + 1
+            + flat[pos + 1..]
+                .iter()
+                .position(|n| n.is_ident("Ordering"))
+                .unwrap();
+        assert!(path_at(&a.tree, pos2, "Ordering", "Relaxed"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let a = analyze(src);
+        assert!(!a.lines[0].in_test);
+        assert!(a.lines[1].in_test);
+        assert!(a.lines[2].in_test);
+        assert!(a.lines[3].in_test);
+        assert!(a.lines[4].in_test);
+        assert!(!a.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_with_spacing_and_reordered_all_is_marked() {
+        let src = "#[cfg( test )]\nmod a { fn t() {} }\n#[cfg(all(feature = \"x\", test))]\nmod b { fn t() {} }\n";
+        let a = analyze(src);
+        assert!(a.lines[0].in_test && a.lines[1].in_test);
+        assert!(a.lines[2].in_test && a.lines[3].in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let src = "#[cfg(not(test))]\nfn live() {}\n#[cfg(any(not(test), unix))]\nfn live2() {}\n";
+        let a = analyze(src);
+        assert!(a.lines.iter().all(|l| !l.in_test));
+    }
+
+    #[test]
+    fn feature_named_test_is_not_marked() {
+        let a = analyze("#[cfg(feature = \"test\")]\nfn live() {}\n");
+        assert!(a.lines.iter().all(|l| !l.in_test));
+    }
+
+    #[test]
+    fn nested_inner_test_module_is_marked() {
+        let src = "mod outer {\n    fn live() {}\n    #[cfg(test)]\n    mod tests {\n        fn t() {}\n    }\n    fn live2() {}\n}\n";
+        let a = analyze(src);
+        assert!(!a.lines[1].in_test, "live fn marked");
+        assert!(a.lines[2].in_test && a.lines[3].in_test && a.lines[4].in_test);
+        assert!(!a.lines[6].in_test, "code after the inner mod marked");
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nmod tests;\nfn live() {}\n";
+        let a = analyze(src);
+        assert!(a.lines[0].in_test && a.lines[1].in_test);
+        assert!(!a.lines[2].in_test);
+    }
+
+    #[test]
+    fn inner_cfg_test_attribute_gates_rest_of_file() {
+        let src = "#![cfg(test)]\nfn anything() { x.unwrap(); }\n";
+        let a = analyze(src);
+        assert!(a.lines.iter().all(|l| l.in_test));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_its_keyword() {
+        let a = analyze("let r#match = 1;\n");
+        assert!(idents(&a.tree).contains(&"r#match".to_string()));
+        assert!(!idents(&a.tree).contains(&"match".to_string()));
+    }
+
+    #[test]
+    fn unbalanced_input_degrades_gracefully() {
+        let a = analyze("fn f() { let x = (1;\n} extra }\n");
+        assert!(!a.tree.is_empty());
+        let a2 = analyze("fn g(a: u8 {\n");
+        assert!(!a2.tree.is_empty());
+    }
+}

@@ -1,16 +1,17 @@
 //! `cargo xtask` — workspace automation. The only subcommand today is
-//! `lint`, the static-analysis pass described in DESIGN.md §11.
+//! `lint`, the static-analysis pass described in DESIGN.md §11/§14.
 //!
 //! ```text
 //! cargo xtask lint                 # run every rule over the workspace
 //! cargo xtask lint --rule no-panic # run a subset
 //! cargo xtask lint --list          # list rules
+//! cargo xtask lint --json          # machine-readable findings (CI annotations)
 //! ```
 //!
 //! Exits 0 on a clean tree, 1 on usage errors, 2 when findings exist.
 
+mod ast;
 mod rules;
-mod scan;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,6 +37,18 @@ const RULES: &[(&str, &str)] = &[
         "lock-hierarchy",
         "no storage-rank LockClass (PoolInner/Shard/Frame) outside crates/storage",
     ),
+    (
+        "atomic-ordering",
+        "Ordering::Relaxed needs `// RELAXED-OK:`; protocol atomics (pin/dirty/tag, head/applied) never Relaxed",
+    ),
+    (
+        "guard-discipline",
+        "no lock guard held across a buffer-pool entry point or change-log replay (or `// GUARD-OK:`)",
+    ),
+    (
+        "exhaustive-lockclass",
+        "every match over LockClass lists all variants; no catch-all arm",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -47,7 +60,7 @@ fn main() -> ExitCode {
             ExitCode::from(1)
         }
         None => {
-            eprintln!("usage: cargo xtask lint [--rule <name>]… [--list] [--root <dir>]");
+            eprintln!("usage: cargo xtask lint [--rule <name>]… [--list] [--json] [--root <dir>]");
             ExitCode::from(1)
         }
     }
@@ -56,6 +69,7 @@ fn main() -> ExitCode {
 fn lint(args: Vec<String>) -> ExitCode {
     let mut only: Vec<String> = Vec::new();
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -65,6 +79,7 @@ fn lint(args: Vec<String>) -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--json" => json = true,
             "--rule" => match it.next() {
                 Some(name) if RULES.iter().any(|(n, _)| *n == name) => only.push(name),
                 Some(name) => {
@@ -99,6 +114,16 @@ fn lint(args: Vec<String>) -> ExitCode {
         }
     };
     let violations = rules::run_selected(&files, &only);
+    if json {
+        // Machine-readable output only on stdout; CI pipes it through
+        // jq into GitHub `::error` annotations.
+        println!("{}", rules::to_json(&violations));
+        return if violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(2)
+        };
+    }
     for v in &violations {
         println!("{v}");
     }
@@ -168,6 +193,73 @@ mod repo_tests {
         assert!(
             violations.is_empty(),
             "xtask lint findings:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    /// The seeded violation corpus must stay *dirty*: every blind spot
+    /// the AST pass fixed is pinned by at least one fixture finding.
+    #[test]
+    fn corpus_findings_are_pinned() {
+        let corpus = match std::env::var("CARGO_MANIFEST_DIR") {
+            // Under cargo: relative to this crate; standalone: relative
+            // to the workspace root.
+            Ok(dir) => PathBuf::from(dir).join("tests/corpus"),
+            Err(_) => workspace_root().join("crates/xtask/tests/corpus"),
+        };
+        assert!(corpus.is_dir(), "corpus missing at {corpus:?}");
+        let files = rules::collect_workspace(&corpus).expect("corpus readable");
+        assert!(!files.is_empty(), "corpus collected no files");
+        let violations = rules::run_all(&files);
+        let got: Vec<(String, usize, &str)> = violations
+            .iter()
+            .map(|v| (v.path.display().to_string(), v.line, v.rule))
+            .collect();
+        let expect: &[(&str, usize, &str)] = &[
+            (
+                "crates/decoupled/src/guard_discipline.rs",
+                10,
+                "guard-discipline",
+            ),
+            (
+                "crates/decoupled/src/guard_discipline.rs",
+                19,
+                "guard-discipline",
+            ),
+            (
+                "crates/filter/src/scanner_blind_spots.rs",
+                15,
+                "unsafe-confinement",
+            ),
+            ("crates/filter/src/scanner_blind_spots.rs", 24, "no-panic"),
+            ("crates/sql/Cargo.toml", 6, "lock-discipline"),
+            ("crates/sql/src/cfg_test_inner.rs", 25, "no-panic"),
+            ("crates/storage/src/buffer.rs", 14, "atomic-ordering"),
+            ("crates/storage/src/buffer.rs", 23, "atomic-ordering"),
+            ("crates/storage/src/buffer.rs", 23, "atomic-ordering"),
+            (
+                "crates/storage/src/lockclass_match.rs",
+                21,
+                "exhaustive-lockclass",
+            ),
+            (
+                "crates/storage/src/lockclass_match.rs",
+                28,
+                "exhaustive-lockclass",
+            ),
+        ];
+        let expect: Vec<(String, usize, &str)> = expect
+            .iter()
+            .map(|&(p, l, r)| (p.to_string(), l, r))
+            .collect();
+        assert_eq!(
+            got,
+            expect,
+            "corpus drifted; findings:\n{}",
             violations
                 .iter()
                 .map(|v| v.to_string())

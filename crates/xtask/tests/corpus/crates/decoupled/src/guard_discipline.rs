@@ -1,0 +1,36 @@
+//! `guard-discipline`: no lock guard held across a buffer-pool entry
+//! point or change-log replay.
+
+pub struct Ix;
+
+impl Ix {
+    pub fn bad_with_page(&self, bm: &BufferManager) {
+        let mut inner = self.inner.write();
+        inner.touch();
+        bm.with_page(self.rel, 0, |p| p.len());
+    }
+
+    pub fn good_drop_then_bad_drain(&self, bm: &BufferManager) {
+        let g = self.state.lock();
+        g.touch();
+        drop(g);
+        bm.flush_all(); // fine: `g` was dropped above
+        let h = self.state.lock();
+        self.log.drain_with(|r| h.apply(r));
+    }
+
+    pub fn sanctioned(&self) {
+        let mut inner = self.inner.write();
+        // GUARD-OK: DecoupledIndex -> ChangeLog is the sanctioned drain
+        // descent; replay is heap-free so no pool entry happens.
+        self.log.drain_with(|rec| inner.apply(rec));
+    }
+
+    pub fn scoped_guard_is_fine(&self, bm: &BufferManager) {
+        {
+            let g = self.state.lock();
+            g.touch();
+        }
+        bm.with_page_mut(self.rel, 0, |p| p.len());
+    }
+}

@@ -1,0 +1,25 @@
+//! Raw strings (with embedded quotes and hashes) and nested block
+//! comments must not hide or fabricate findings; the real sites on
+//! lines 15 and 24 must still be caught.
+
+/* outer /* nested */ comment mentioning unsafe and .unwrap() */
+pub const RAW: &str = r#"unsafe { "quoted" } .unwrap()"#;
+pub const RAW2: &[u8] = br##"panic!("#embedded"#)"##;
+
+pub fn clean(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+pub fn dirty() {
+    // A real unsafe block outside the whitelist: a finding.
+    unsafe { std::hint::unreachable_unchecked() }
+}
+
+#[cfg( test )]
+mod tests {
+    pub fn in_tests(x: Option<u8>) { x.unwrap(); }
+}
+
+pub fn hot(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

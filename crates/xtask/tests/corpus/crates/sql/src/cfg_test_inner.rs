@@ -1,0 +1,25 @@
+//! `#[cfg(test)]` recognition: spaced predicates, reordered `all`
+//! operands, nested inner test modules — all exempt from `no-panic` —
+//! while `not(test)` code stays in scope (line 24 is a finding).
+
+pub mod outer {
+    #[cfg(all(feature = "slow", test))]
+    pub mod bench_helpers {
+        pub fn t(x: Option<u8>) { x.unwrap(); }
+    }
+
+    pub mod inner {
+        #[cfg( test )]
+        mod tests {
+            fn t(x: Option<u8>) { x.unwrap(); }
+        }
+    }
+}
+
+#[cfg(any(unix, test))]
+pub fn gated(x: Option<u8>) -> u8 {
+    x.unwrap_or(1)
+}
+
+#[cfg(not(test))]
+pub fn live(x: Option<u8>) -> u8 { x.unwrap() }

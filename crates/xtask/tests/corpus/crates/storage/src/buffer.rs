@@ -1,0 +1,25 @@
+//! `atomic-ordering`: protocol fields (`pin`/`dirty`/`tag` here) may
+//! never be `Relaxed`, even when annotated; other atomics just need a
+//! `// RELAXED-OK:` justification.
+
+pub struct FrameAtomics {
+    pin: AtomicU32,
+    usage: AtomicU32,
+}
+
+impl FrameAtomics {
+    pub fn annotated_protocol_field(&self) {
+        // RELAXED-OK: (an annotation cannot excuse a protocol field —
+        // the per-field check still fires on the next line)
+        self.dirty.store(false, Ordering::Relaxed);
+    }
+
+    pub fn stats_ok(&self) -> u32 {
+        // RELAXED-OK: usage is an eviction hint, not synchronization.
+        self.usage.load(Ordering::Relaxed)
+    }
+
+    pub fn unannotated(&self) {
+        self.pin.store(0, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,37 @@
+//! `exhaustive-lockclass`: a `match` over `LockClass` must list every
+//! variant — catch-all arms swallow newly added lock ranks.
+
+use crate::lockorder::LockClass;
+
+pub fn ok_rank(c: LockClass) -> u8 {
+    match c {
+        LockClass::PoolInner => 0,
+        LockClass::Shard => 0,
+        LockClass::Frame => 1,
+        LockClass::DecoupledIndex => 2,
+        LockClass::ChangeLog => 3,
+        LockClass::EngineShared => 4,
+    }
+}
+
+pub fn bad_rank(c: LockClass) -> u8 {
+    match c {
+        LockClass::PoolInner => 0,
+        LockClass::Shard => 0,
+        _ => 9,
+    }
+}
+
+pub fn bad_binding(c: LockClass) -> u8 {
+    match c {
+        LockClass::Frame => 1,
+        other if true => rank_of(other),
+    }
+}
+
+pub fn fine_over_u8(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => 0,
+    }
+}

@@ -1,0 +1,48 @@
+//! Always-on smoke gate over the concurrency models.
+//!
+//! The full exploration runs in the CI loom job (`RUSTFLAGS="--cfg
+//! vdb_loom"`); this gate runs in the ordinary test suite so a
+//! regression in a model, a scenario, or the explorer itself is caught
+//! on every PR, not only when the loom job runs. `LOOM_MAX_PREEMPTIONS`
+//! (default 2 here) bounds the schedule space — the replicas' retry
+//! loops make the unbounded space infinite, and 2 preemptions already
+//! reach every seeded bug.
+
+use vdb_core::decoupled::models;
+use vdb_core::storage::model::{scenarios, Config};
+
+fn cfg() -> Config {
+    Config::from_env_or(Some(2))
+}
+
+#[test]
+fn pool_scenarios_hold() {
+    assert!(scenarios::pool_pin_evict_latch(cfg()) >= 1);
+    assert!(scenarios::pool_dirty_writeback(cfg()) >= 1);
+    assert!(scenarios::pool_stats_independent(cfg()) >= 1);
+}
+
+#[test]
+fn changelog_scenarios_hold() {
+    assert!(models::changelog_exactly_once(cfg()) >= 1);
+    assert!(models::changelog_refresh_barrier(cfg()) >= 1);
+    assert!(models::changelog_bounded_staleness(cfg()) >= 1);
+}
+
+#[test]
+fn replicas_explore_and_catch_seeded_bugs() {
+    // The replicas use model primitives directly, so they explore a
+    // branching space in every build — and the seeded bugs must fail.
+    assert!(scenarios::mini_pool_model(cfg(), true) > 1);
+    assert!(models::mini_log_model(cfg(), true) > 1);
+
+    let stale_read = std::panic::catch_unwind(|| {
+        scenarios::mini_pool_model(cfg(), false);
+    });
+    assert!(stale_read.is_err(), "seeded revalidation bug not caught");
+
+    let double_apply = std::panic::catch_unwind(|| {
+        models::mini_log_model(cfg(), false);
+    });
+    assert!(double_apply.is_err(), "seeded cursor bug not caught");
+}
