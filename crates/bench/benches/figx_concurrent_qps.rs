@@ -90,10 +90,17 @@ fn main() {
         if pool_mode == BufferPoolMode::Sharded {
             shard_count = built.bm.shard_count();
         }
-        let search = |i: usize| {
+        // k comes from the per-client position (same 1/10/100 mix for
+        // every client); the vector comes from the global query index.
+        let search = |c: usize, i: usize| {
             built
                 .index
-                .search_with_nprobe(&built.bm, ds.queries.row(i % nq), mixed_k(i), nprobe)
+                .search_with_nprobe(
+                    &built.bm,
+                    ds.queries.row((c * per_client + i) % nq),
+                    mixed_k(i),
+                    nprobe,
+                )
                 .expect("PASE search");
         };
         match mode {
@@ -112,7 +119,7 @@ fn main() {
                 built.bm.reset_stats();
                 let prof = pool_profile(|| {
                     for i in 0..batch {
-                        search(i);
+                        search(i / per_client, i % per_client);
                     }
                 });
                 let stats = built.bm.stats();
@@ -143,9 +150,9 @@ fn main() {
     // Specialized (Faiss) baseline: no buffer pool, read-only shared
     // structure — the scaling ceiling.
     let (faiss_idx, _) = faiss_ivfflat(SpecializedOptions::default(), params, &ds);
-    let fsearch = |i: usize| {
+    let fsearch = |c: usize, i: usize| {
         std::hint::black_box(faiss_idx.search_with_nprobe(
-            ds.queries.row(i % nq),
+            ds.queries.row((c * per_client + i) % nq),
             mixed_k(i),
             nprobe,
         ));
@@ -165,7 +172,7 @@ fn main() {
             let batch = clients_list.last().unwrap() * per_client;
             let prof = pool_profile(|| {
                 for i in 0..batch {
-                    fsearch(i);
+                    fsearch(i / per_client, i % per_client);
                 }
             });
             for &t in clients_list {
@@ -199,9 +206,9 @@ fn main() {
             &ds.base,
         )
     };
-    let dsearch = |i: usize| {
+    let dsearch = |c: usize, i: usize| {
         std::hint::black_box(dec.search_with_knob(
-            ds.queries.row(i % nq),
+            ds.queries.row((c * per_client + i) % nq),
             mixed_k(i),
             Some(nprobe),
         ));
@@ -221,7 +228,7 @@ fn main() {
             let batch = clients_list.last().unwrap() * per_client;
             let prof = pool_profile(|| {
                 for i in 0..batch {
-                    dsearch(i);
+                    dsearch(i / per_client, i % per_client);
                 }
             });
             for &t in clients_list {
@@ -240,8 +247,8 @@ fn main() {
 
     for c in &cells {
         println!(
-            "{:<11} {:<11} {} clients: {:>10.1} qps  p50 {:.3} ms  p99 {:.3} ms",
-            c.engine, c.pool, c.run.clients, c.run.qps, c.run.p50_ms, c.run.p99_ms
+            "{:<11} {:<11} {} clients: {:>10.1} qps  p50 {:.3} ms  p99 {:.3} ms  p999 {:.3} ms",
+            c.engine, c.pool, c.run.clients, c.run.qps, c.run.p50_ms, c.run.p99_ms, c.run.p999_ms
         );
     }
 
@@ -325,6 +332,7 @@ fn modeled_run(t: usize, batch: usize, batch_ms: f64) -> ConcurrentRun {
         qps: batch as f64 * 1e3 / batch_ms.max(1e-12),
         p50_ms: latency,
         p99_ms: latency,
+        p999_ms: latency,
     }
 }
 
@@ -381,13 +389,14 @@ fn write_json(
     for (i, c) in cells.iter().enumerate() {
         body.push_str(&format!(
             "    {{\"engine\": \"{}\", \"pool\": \"{}\", \"clients\": {}, \
-             \"qps\": {:.3}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}{}\n",
+             \"qps\": {:.3}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"p999_ms\": {:.4}}}{}\n",
             c.engine,
             c.pool,
             c.run.clients,
             c.run.qps,
             c.run.p50_ms,
             c.run.p99_ms,
+            c.run.p999_ms,
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }

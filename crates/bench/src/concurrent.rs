@@ -28,6 +28,9 @@ pub struct ConcurrentRun {
     pub p50_ms: f64,
     /// 99th-percentile per-query latency, milliseconds.
     pub p99_ms: f64,
+    /// 99.9th-percentile per-query latency, milliseconds — the tail
+    /// open-loop serving SLOs are written against.
+    pub p999_ms: f64,
 }
 
 /// The mixed top-k schedule: interactive point lookups, the paper's
@@ -40,13 +43,20 @@ pub fn mixed_k(i: usize) -> usize {
 }
 
 /// Drive `clients` threads, each issuing `per_client` queries through
-/// `search` (called with a global query index; implementations pick
-/// query vector and k from it, e.g. via [`mixed_k`]). Returns wall-clock
-/// QPS over all completed queries plus latency percentiles.
+/// `search(client, position)`. Deriving `k` from the *per-client*
+/// stream position (`mixed_k(position)`) gives every client the same
+/// 1/10/100 mix regardless of stream length; a globally unique query
+/// index for vector selection is `client * per_client + position`.
+/// Returns wall-clock QPS over all completed queries plus latency
+/// percentiles.
 ///
 /// # Panics
 /// Panics if `clients` or `per_client` is zero.
-pub fn drive(clients: usize, per_client: usize, search: impl Fn(usize) + Sync) -> ConcurrentRun {
+pub fn drive(
+    clients: usize,
+    per_client: usize,
+    search: impl Fn(usize, usize) + Sync,
+) -> ConcurrentRun {
     assert!(clients > 0 && per_client > 0);
     let t0 = Instant::now();
     let mut latencies: Vec<f64> = std::thread::scope(|s| {
@@ -57,7 +67,7 @@ pub fn drive(clients: usize, per_client: usize, search: impl Fn(usize) + Sync) -
                     let mut lat = Vec::with_capacity(per_client);
                     for i in 0..per_client {
                         let q0 = Instant::now();
-                        search(c * per_client + i);
+                        search(c, i);
                         lat.push(q0.elapsed().as_secs_f64() * 1e3);
                     }
                     lat
@@ -76,6 +86,7 @@ pub fn drive(clients: usize, per_client: usize, search: impl Fn(usize) + Sync) -
         qps: latencies.len() as f64 / wall_s,
         p50_ms: percentile(&latencies, 0.50),
         p99_ms: percentile(&latencies, 0.99),
+        p999_ms: percentile(&latencies, 0.999),
     }
 }
 
@@ -159,13 +170,33 @@ mod tests {
     #[test]
     fn drive_counts_every_query() {
         let issued = AtomicUsize::new(0);
-        let run = drive(4, 25, |_| {
+        let run = drive(4, 25, |_, _| {
             issued.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(issued.into_inner(), 100);
         assert_eq!(run.clients, 4);
         assert!(run.qps > 0.0);
         assert!(run.p50_ms <= run.p99_ms);
+        assert!(run.p99_ms <= run.p999_ms);
+    }
+
+    /// Every client must see the same k mix: `drive` hands each thread
+    /// its per-client position, so `mixed_k(position)` is identical
+    /// across clients even when the stream length is not a multiple of
+    /// the mix period.
+    #[test]
+    fn per_client_position_gives_every_client_the_same_k_mix() {
+        use std::sync::Mutex;
+        let per_client = 7; // deliberately not a multiple of K_MIX.len()
+        let seen: Mutex<Vec<Vec<usize>>> = Mutex::new(vec![Vec::new(); 4]);
+        drive(4, per_client, |c, i| {
+            seen.lock().unwrap()[c].push(mixed_k(i));
+        });
+        let seen = seen.into_inner().unwrap();
+        let want: Vec<usize> = (0..per_client).map(mixed_k).collect();
+        for (c, ks) in seen.iter().enumerate() {
+            assert_eq!(ks, &want, "client {c} ran a skewed k mix");
+        }
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub use vdb_filter as filter;
 pub use vdb_gemm as gemm;
 pub use vdb_generalized as generalized;
 pub use vdb_profile as profile;
+pub use vdb_serve as serve;
 pub use vdb_specialized as specialized;
 pub use vdb_sql as sql;
 pub use vdb_storage as storage;

@@ -92,6 +92,29 @@ impl Native {
         }
     }
 
+    /// Batched search (`vdb-serve`): flat and IVF_FLAT route through
+    /// their query-batch × block SGEMM paths (bit-for-bit identical to
+    /// [`Native::search`] per query); kinds without a batched native
+    /// structure serve each query serially.
+    fn search_batch(
+        &self,
+        queries: &VectorSet,
+        ks: &[usize],
+        knob: Option<usize>,
+    ) -> Vec<Vec<Neighbor>> {
+        match self {
+            Native::Flat(ix) => ix.search_batch_gemm(queries, ks),
+            Native::IvfFlat(ix) => {
+                ix.search_batch_gemm(queries, ks, knob.unwrap_or(ix.default_nprobe()))
+            }
+            Native::IvfPq(_) | Native::Hnsw(_) => queries
+                .iter()
+                .zip(ks)
+                .map(|(q, &k)| self.search(q, k, knob))
+                .collect(),
+        }
+    }
+
     fn search_filtered(
         &self,
         query: &[f32],
@@ -288,7 +311,7 @@ impl DecoupledIndex {
         let _t = profile::scoped(Category::ChangeLogReplay);
         let mut inner = self.inner.write();
         // GUARD-OK: DecoupledIndex -> ChangeLog is the sanctioned drain
-        // descent (lockorder ranks 2 -> 3); replay applies in-memory
+        // descent (lockorder ranks 3 -> 4); replay applies in-memory
         // records only and never enters the buffer pool.
         self.log.drain_with(|rec| inner.apply(rec));
     }
@@ -329,6 +352,33 @@ impl DecoupledIndex {
         let want = k.saturating_add(inner.dead).min(inner.native.len());
         let found = inner.native.search(query, want, knob);
         translate(&inner, found, k)
+    }
+
+    /// Batched top-k under this index's consistency mode: one staleness
+    /// check and one snapshot read lock serve the whole admission batch,
+    /// and the native structure sees the batch at once (query-batch ×
+    /// block SGEMM for flat and IVF_FLAT kinds). Per-query results are
+    /// bit-for-bit identical to [`search_with_knob`](Self::search_with_knob).
+    pub fn search_batch_with_knob(
+        &self,
+        queries: &VectorSet,
+        ks: &[usize],
+        knob: Option<usize>,
+    ) -> Vec<Vec<Neighbor>> {
+        assert_eq!(queries.dim(), self.dim, "dimension mismatch");
+        assert_eq!(queries.len(), ks.len(), "queries/ks length mismatch");
+        self.refresh_if_stale();
+        let inner = self.inner.read();
+        let wants: Vec<usize> = ks
+            .iter()
+            .map(|&k| k.saturating_add(inner.dead).min(inner.native.len()))
+            .collect();
+        let found = inner.native.search_batch(queries, &wants, knob);
+        found
+            .into_iter()
+            .zip(ks)
+            .map(|(f, &k)| translate(&inner, f, k))
+            .collect()
     }
 
     /// Hybrid (filtered) top-k: only application ids set in `filter`
@@ -541,6 +591,61 @@ mod tests {
         let mut got: Vec<u64> = res.iter().map(|n| n.id).collect();
         got.sort_unstable();
         assert_eq!(got, vec![9001, 9002, 9003]);
+    }
+
+    /// Batched serving through the native structures equals serial
+    /// serving bit-for-bit for every batch size, for flat and IVF_FLAT
+    /// kinds, with per-query `k` mixed and tombstones in play (the
+    /// over-fetch compensation must match the serial path's).
+    #[test]
+    fn batched_search_matches_serial_bit_for_bit() {
+        let data = generate(8, 400, 8, 23);
+        let ids: Vec<u64> = (0..400u64).map(|i| i + 1000).collect();
+        let tids: Vec<Tid> = (0..400).map(tid_of).collect();
+        let kinds = [
+            NativeParams::Flat,
+            NativeParams::IvfFlat(vdb_vecmath::IvfParams {
+                clusters: 8,
+                sample_ratio: 1.0,
+                nprobe: 3,
+            }),
+        ];
+        for params in kinds {
+            let ix = DecoupledIndex::build(
+                SpecializedOptions::default(),
+                params,
+                Consistency::Sync,
+                &ids,
+                &tids,
+                &data,
+            );
+            // Tombstone a few rows so translation and over-fetch are live.
+            ix.delete(1005);
+            ix.delete(1123);
+            for knob in [None, Some(5)] {
+                for batch in 1..=8usize {
+                    let mut queries = VectorSet::empty(data.dim());
+                    let mut ks = Vec::new();
+                    for i in 0..batch {
+                        queries.push(data.row(17 * i + 2));
+                        ks.push([1usize, 10, 100][i % 3]);
+                    }
+                    let batched = ix.search_batch_with_knob(&queries, &ks, knob);
+                    for (qi, q) in queries.iter().enumerate() {
+                        let serial = ix.search_with_knob(q, ks[qi], knob);
+                        assert_eq!(serial.len(), batched[qi].len());
+                        for (s, b) in serial.iter().zip(&batched[qi]) {
+                            assert_eq!(s.id, b.id, "knob={knob:?} batch={batch} q={qi}");
+                            assert_eq!(
+                                s.distance.to_bits(),
+                                b.distance.to_bits(),
+                                "knob={knob:?} batch={batch} q={qi}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

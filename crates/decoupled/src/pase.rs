@@ -11,7 +11,7 @@ use crate::index::DecoupledIndex;
 use vdb_filter::{FilterStrategy, SelectionBitmap};
 use vdb_generalized::index_am::PaseIndex;
 use vdb_storage::{BufferManager, RelId, Result, Tid};
-use vdb_vecmath::Neighbor;
+use vdb_vecmath::{Neighbor, VectorSet};
 
 /// A [`DecoupledIndex`] behind the [`PaseIndex`] access-method trait.
 pub struct DecoupledPaseIndex {
@@ -63,6 +63,17 @@ impl PaseIndex for DecoupledPaseIndex {
     ) -> Result<Vec<Neighbor>> {
         let _ = bm;
         Ok(self.index.search_with_knob(query, k, knob))
+    }
+
+    fn scan_batch(
+        &self,
+        bm: &BufferManager,
+        queries: &VectorSet,
+        ks: &[usize],
+        knob: Option<usize>,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        let _ = bm;
+        Ok(self.index.search_batch_with_knob(queries, ks, knob))
     }
 
     fn insert(&mut self, _bm: &BufferManager, _id: u64, _vector: &[f32]) -> Result<()> {

@@ -1,18 +1,36 @@
-//! Cache-blocked, panel-packed kernel — the BLAS stand-in.
+//! Cache-blocked, panel-packed, register-tiled kernel — the BLAS
+//! stand-in.
 //!
 //! GotoBLAS-style structure: `B` is repacked into `[p][j]`-ordered
 //! panels so the innermost loop is a broadcast–multiply–accumulate over
-//! `NC` *contiguous* floats — the form compilers reliably turn into
-//! vector FMAs. `A` is streamed row by row against the L1-resident
-//! panel.
+//! *contiguous* floats — the form compilers reliably turn into vector
+//! FMAs. `A` is consumed [`MR`] rows at a time against an [`NR`]-column
+//! strip of the L1-resident panel, so the `MR×NR` accumulator tile
+//! lives entirely in vector registers across the whole shared-dimension
+//! loop: each panel load is reused `MR` times instead of once, which is
+//! what lifts the kernel from load-bound (one FMA per accumulator
+//! round-trip, no better than a dot-product stream) toward
+//! compute-bound.
+//!
+//! The panel buffer is sized to the actual problem, not the blocking
+//! caps — serving-path callers issue many small `Q×B` multiplies (one
+//! per probed IVF bucket), where a fixed `KC×NC` zero-fill would cost
+//! more than the arithmetic.
 //!
 //! This is not a hand-tuned AVX-512 BLAS, but it is an order of
 //! magnitude faster than [`crate::gemm_nt_naive`] on the matrix shapes
 //! the IVF adding phase produces (tall-skinny `A`, small `B`), which is
 //! what reproducing the *shape* of the paper's RC#1 results requires.
 
-const NC: usize = 64; // columns of C (rows of B) per packed panel
-const KC: usize = 512; // shared dimension per panel
+use crate::simd::{dot, tile16, MR, NR};
+
+pub(crate) const NC: usize = 64; // columns of C (rows of B) per packed panel
+pub(crate) const KC: usize = 512; // shared dimension per panel
+
+/// Below this row count the panel pack costs more than it saves and
+/// the kernel computes plain dispatched dot products instead — the
+/// shape the batched serving path produces for near-empty batches.
+const PACK_MIN_ROWS: usize = 4;
 
 /// `c[m×n] = a[m×k] · b[n×k]ᵀ` with cache blocking and panel packing.
 ///
@@ -20,49 +38,81 @@ const KC: usize = 512; // shared dimension per panel
 /// Panics if slice lengths do not match the given dimensions.
 pub fn gemm_nt_blocked(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     crate::check_dims(m, n, k, a, b, c);
-    c.fill(0.0);
     if m == 0 || n == 0 || k == 0 {
+        c.fill(0.0);
         return;
     }
 
-    // Packed panel: bp[p * nc + j] = B[j0 + j][p0 + p].
-    let mut bp = vec![0.0f32; KC * NC];
-    // Row accumulator for C[i][j0..j0+nc].
-    let mut acc = [0.0f32; NC];
+    if m < PACK_MIN_ROWS {
+        for (i, crow) in c.chunks_exact_mut(n).enumerate() {
+            let arow = &a[i * k..(i + 1) * k];
+            for (j, dst) in crow.iter_mut().enumerate() {
+                *dst = dot(arow, &b[j * k..(j + 1) * k]);
+            }
+        }
+        return;
+    }
+
+    c.fill(0.0);
+    // Packed panel: bp[p * ncp + j] = B[j0 + j][p0 + p], with columns
+    // padded up to a multiple of NR so the register tile never needs a
+    // ragged edge (pad lanes are zero; their products are discarded at
+    // write-back anyway, zeroing just keeps denormals out of the FMAs).
+    let ncp_max = NC.min(n.next_multiple_of(NR));
+    let mut bp = vec![0.0f32; KC.min(k) * ncp_max];
+    let mut out = [0.0f32; MR * NR];
 
     for p0 in (0..k).step_by(KC) {
         let kc = KC.min(k - p0);
         for j0 in (0..n).step_by(NC) {
             let nc = NC.min(n - j0);
-            pack_b_panel(b, k, j0, p0, nc, kc, &mut bp);
+            let ncp = nc.next_multiple_of(NR);
+            pack_b_panel(b, k, j0, p0, nc, ncp, kc, &mut bp);
 
-            for i in 0..m {
-                let arow = &a[i * k + p0..i * k + p0 + kc];
-                let accs = &mut acc[..nc];
-                accs.fill(0.0);
-                for (p, &av) in arow.iter().enumerate() {
-                    let brow = &bp[p * nc..p * nc + nc];
-                    // Broadcast–FMA over nc contiguous floats, through the
-                    // dispatched micro-kernel (explicit AVX2/NEON FMA when
-                    // the host has it).
-                    crate::simd::axpy(av, brow, accs);
+            let mut i0 = 0;
+            while i0 < m {
+                let r = MR.min(m - i0);
+                let mut jj = 0;
+                while jj < nc {
+                    tile16(r, kc, a, k, i0, p0, &bp, ncp, jj, &mut out);
+                    let lim = NR.min(nc - jj);
+                    for (row, orow) in out.chunks_exact(NR).enumerate().take(r) {
+                        let cbase = (i0 + row) * n + j0 + jj;
+                        for (dst, &v) in c[cbase..cbase + lim].iter_mut().zip(orow) {
+                            *dst += v;
+                        }
+                    }
+                    jj += NR;
                 }
-                let crow = &mut c[i * n + j0..i * n + j0 + nc];
-                for (dst, &v) in crow.iter_mut().zip(accs.iter()) {
-                    *dst += v;
-                }
+                i0 += r;
             }
         }
     }
 }
 
-/// Copy `B[j0..j0+nc][p0..p0+kc]` into `bp` in `[p][j]` order.
-fn pack_b_panel(b: &[f32], k: usize, j0: usize, p0: usize, nc: usize, kc: usize, bp: &mut [f32]) {
-    for j in 0..nc {
-        let src = &b[(j0 + j) * k + p0..(j0 + j) * k + p0 + kc];
-        for (p, &v) in src.iter().enumerate() {
-            bp[p * nc + j] = v;
+/// Copy `B[j0..j0+nc][p0..p0+kc]` into `bp` in `[p][j]` order with row
+/// stride `ncp`, zeroing the pad columns `nc..ncp`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_b_panel(
+    b: &[f32],
+    k: usize,
+    j0: usize,
+    p0: usize,
+    nc: usize,
+    ncp: usize,
+    kc: usize,
+    bp: &mut [f32],
+) {
+    // p-major: the writes to each panel row are contiguous (they
+    // vectorize); the strided reads cycle through nc cache-resident
+    // source rows. The transposed j-major order writes one scattered
+    // element per store and is ~2× slower on serving-sized panels.
+    for p in 0..kc {
+        let dst = &mut bp[p * ncp..p * ncp + nc];
+        for (j, v) in dst.iter_mut().enumerate() {
+            *v = b[(j0 + j) * k + p0 + p];
         }
+        bp[p * ncp + nc..p * ncp + ncp].fill(0.0);
     }
 }
 
@@ -147,7 +197,7 @@ mod tests {
         // 2 rows of B with k=3: B = [[1,2,3],[4,5,6]].
         let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
         let mut bp = vec![0.0; 6];
-        pack_b_panel(&b, 3, 0, 0, 2, 3, &mut bp);
+        pack_b_panel(&b, 3, 0, 0, 2, 2, 3, &mut bp);
         // [p][j] order: p0: (1,4), p1: (2,5), p2: (3,6).
         assert_eq!(bp, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
     }

@@ -8,11 +8,27 @@
 use crate::GemmKernel;
 
 /// Squared L2 norm of every row of a row-major `rows×d` matrix.
+///
+/// Accumulates in eight independent lanes so the compiler can keep the
+/// sum in one vector register — a strict left-to-right fold is a serial
+/// FP dependency chain the vectorizer must not reassociate. Norms feed
+/// *approximate* tables (assignment, prune margins), so the changed
+/// summation order is immaterial.
 pub fn row_norms_sq(data: &[f32], d: usize) -> Vec<f32> {
     assert!(d > 0, "dimension must be positive");
     assert_eq!(data.len() % d, 0, "data length must be a multiple of d");
     data.chunks_exact(d)
-        .map(|row| row.iter().map(|x| x * x).sum())
+        .map(|row| {
+            let mut acc = [0.0f32; 8];
+            let mut chunks = row.chunks_exact(8);
+            for chunk in chunks.by_ref() {
+                for (lane, &x) in acc.iter_mut().zip(chunk) {
+                    *lane += x * x;
+                }
+            }
+            let tail: f32 = chunks.remainder().iter().map(|x| x * x).sum();
+            acc.iter().sum::<f32>() + tail
+        })
         .collect()
 }
 

@@ -20,11 +20,13 @@
 mod blocked;
 mod distance;
 mod naive;
+mod packed;
 mod simd;
 
 pub use blocked::gemm_nt_blocked;
 pub use distance::{l2_distance_table, l2_distance_table_naive, row_norms_sq};
 pub use naive::gemm_nt_naive;
+pub use packed::{gemm_nt_packed, PackedMat};
 
 /// Which matrix-multiplication kernel to use.
 ///

@@ -1,0 +1,207 @@
+//! Pre-packed right-hand operands for repeated small GEMMs.
+//!
+//! The batched serving path multiplies many query batches against the
+//! *same* row blocks (IVF bucket vectors are immutable between index
+//! mutations). At serving shapes — a handful of queries against a few
+//! dozen rows — the panel pack inside [`crate::gemm_nt_blocked`] costs
+//! as much as the arithmetic it enables, and it is repaid only once per
+//! call. [`PackedMat`] hoists that pack out of the call: the block is
+//! repacked once into the kernel's `[p][j]` panel layout and every
+//! subsequent [`gemm_nt_packed`] goes straight to the register tile.
+//!
+//! The panel layout (including `NR`-padded columns and the
+//! `KC`/`NC` blocking walk) is produced by the same `pack_b_panel` the
+//! unpacked kernel uses, so the two paths compute identical panels —
+//! [`gemm_nt_packed`] is numerically identical to
+//! [`crate::gemm_nt_blocked`] on the same inputs, not merely close.
+
+use crate::blocked::{pack_b_panel, KC, NC};
+use crate::simd::{tile16, MR, NR};
+
+/// A row-major `n×k` matrix repacked into GEMM panel layout, ready to
+/// serve as the `Bᵀ` operand of any number of [`gemm_nt_packed`] calls.
+pub struct PackedMat {
+    n: usize,
+    k: usize,
+    panels: Vec<f32>,
+}
+
+impl PackedMat {
+    /// Pack `b` (`n×k` row-major, `n = b.len() / k`) into panel layout.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `b.len()` is not a multiple of `k`.
+    pub fn pack(b: &[f32], k: usize) -> PackedMat {
+        assert!(k > 0, "dimension must be positive");
+        assert_eq!(b.len() % k, 0, "matrix length must be a multiple of k");
+        let n = b.len() / k;
+        let mut panels = Vec::with_capacity(packed_len(n, k));
+        for p0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - p0);
+            for j0 in (0..n).step_by(NC) {
+                let nc = NC.min(n - j0);
+                let ncp = nc.next_multiple_of(NR);
+                let base = panels.len();
+                panels.resize(base + kc * ncp, 0.0);
+                pack_b_panel(b, k, j0, p0, nc, ncp, kc, &mut panels[base..]);
+            }
+        }
+        debug_assert_eq!(panels.len(), packed_len(n, k));
+        PackedMat { n, k, panels }
+    }
+
+    /// Number of rows of the original matrix.
+    pub fn rows(&self) -> usize {
+        self.n
+    }
+
+    /// Shared dimension (columns of the original matrix).
+    pub fn dim(&self) -> usize {
+        self.k
+    }
+
+    /// Bytes held by the packed panels.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of_val(self.panels.as_slice())
+    }
+}
+
+/// Total packed length: every `NC`-wide column slab padded to `NR`.
+fn packed_len(n: usize, k: usize) -> usize {
+    let mut len = 0;
+    for j0 in (0..n).step_by(NC) {
+        len += NC.min(n - j0).next_multiple_of(NR);
+    }
+    len * k
+}
+
+/// `c[m×n] = a[m×k] · Bᵀ` where `B` was packed with [`PackedMat::pack`].
+///
+/// Identical floating-point results to [`crate::gemm_nt_blocked`] on the
+/// unpacked matrix: both walk the same panels with the same register
+/// tile, this one just skips the per-call pack.
+///
+/// # Panics
+/// Panics if slice lengths do not match `m` and the packed dimensions.
+pub fn gemm_nt_packed(m: usize, a: &[f32], b: &PackedMat, c: &mut [f32]) {
+    let (n, k) = (b.n, b.k);
+    assert_eq!(a.len(), m * k, "A must be m*k = {}x{}", m, k);
+    assert_eq!(c.len(), m * n, "C must be m*n = {}x{}", m, n);
+    c.fill(0.0);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let mut out = [0.0f32; MR * NR];
+    let mut base = 0usize;
+    for p0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - p0);
+        for j0 in (0..n).step_by(NC) {
+            let nc = NC.min(n - j0);
+            let ncp = nc.next_multiple_of(NR);
+            let bp = &b.panels[base..base + kc * ncp];
+            base += kc * ncp;
+
+            let mut i0 = 0;
+            while i0 < m {
+                let r = MR.min(m - i0);
+                let mut jj = 0;
+                while jj < nc {
+                    tile16(r, kc, a, k, i0, p0, bp, ncp, jj, &mut out);
+                    let lim = NR.min(nc - jj);
+                    for (row, orow) in out.chunks_exact(NR).enumerate().take(r) {
+                        let cbase = (i0 + row) * n + j0 + jj;
+                        for (dst, &v) in c[cbase..cbase + lim].iter_mut().zip(orow) {
+                            *dst += v;
+                        }
+                    }
+                    jj += NR;
+                }
+                i0 += r;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm_nt_blocked;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    fn check_matches_blocked(m: usize, n: usize, k: usize) {
+        let a = pseudo_random(m * k, 11 + m as u64);
+        let b = pseudo_random(n * k, 7 + n as u64);
+        let packed = PackedMat::pack(&b, k);
+        assert_eq!(packed.rows(), n);
+        assert_eq!(packed.dim(), k);
+        let mut c_packed = vec![1.0; m * n];
+        let mut c_blocked = vec![2.0; m * n];
+        gemm_nt_packed(m, &a, &packed, &mut c_packed);
+        gemm_nt_blocked(m, n, k, &a, &b, &mut c_blocked);
+        // Same panels, same tile, same walk — exact equality, except
+        // tiny m where the unpacked kernel takes its dot fast path.
+        for (i, (x, y)) in c_packed.iter().zip(&c_blocked).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs())),
+                "mismatch at {i}: {x} vs {y} (m={m} n={n} k={k})"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_blocked_on_serving_shapes() {
+        // IVF bucket shape: every batch size against a 45×128 block.
+        for m in 1..=8 {
+            check_matches_blocked(m, 45, 128);
+        }
+    }
+
+    #[test]
+    fn matches_blocked_across_panel_boundaries() {
+        check_matches_blocked(5, 70, 600); // crosses both NC and KC
+        check_matches_blocked(7, 64, 512); // exact panel multiples
+        check_matches_blocked(3, 1, 1);
+    }
+
+    #[test]
+    fn exact_equality_above_dot_fast_path() {
+        // For m ≥ the unpacked kernel's pack threshold both paths run
+        // the identical tile over identical panels: bitwise equal.
+        let (m, n, k) = (6, 45, 128);
+        let a = pseudo_random(m * k, 1);
+        let b = pseudo_random(n * k, 2);
+        let packed = PackedMat::pack(&b, k);
+        let mut c_packed = vec![0.0; m * n];
+        let mut c_blocked = vec![0.0; m * n];
+        gemm_nt_packed(m, &a, &packed, &mut c_packed);
+        gemm_nt_blocked(m, n, k, &a, &b, &mut c_blocked);
+        assert_eq!(c_packed, c_blocked);
+    }
+
+    #[test]
+    fn zero_rows_zero_output() {
+        let packed = PackedMat::pack(&[], 4);
+        assert_eq!(packed.rows(), 0);
+        let mut c: Vec<f32> = Vec::new();
+        gemm_nt_packed(3, &[0.0; 12], &packed, &mut c);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn size_accounts_padding() {
+        let packed = PackedMat::pack(&pseudo_random(45 * 128, 3), 128);
+        // 45 columns pad to 48 lanes of NR=16.
+        assert_eq!(packed.size_bytes(), 48 * 128 * 4);
+    }
+}

@@ -7,7 +7,7 @@
 
 use vdb_filter::{FilterStrategy, SelectionBitmap};
 use vdb_storage::{BufferManager, Result, Tid};
-use vdb_vecmath::Neighbor;
+use vdb_vecmath::{Neighbor, VectorSet};
 
 /// What every generalized index exposes to the executor.
 pub trait PaseIndex: Send + Sync {
@@ -29,6 +29,27 @@ pub trait PaseIndex: Send + Sync {
     ) -> Result<Vec<Neighbor>> {
         let _ = knob;
         self.scan(bm, query, k)
+    }
+
+    /// Batched top-k scan: serve a whole admission batch (one query per
+    /// row of `queries`, with per-query `k` and a shared knob) in one
+    /// call. The default serves each query through
+    /// [`scan_with_knob`](Self::scan_with_knob); access methods with a
+    /// native batched path (IVF_FLAT's query-batch × block SGEMM)
+    /// override it. Implementations must return results bit-for-bit
+    /// identical to the per-query path.
+    fn scan_batch(
+        &self,
+        bm: &BufferManager,
+        queries: &VectorSet,
+        ks: &[usize],
+        knob: Option<usize>,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        queries
+            .iter()
+            .zip(ks)
+            .map(|(q, &k)| self.scan_with_knob(bm, q, k, knob))
+            .collect()
     }
 
     /// Insert one `(id, vector)` pair into the index.

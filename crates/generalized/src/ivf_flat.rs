@@ -18,8 +18,9 @@ use vdb_storage::heap::{as_bytes_f32, bytemuck_f32};
 use vdb_storage::sync::OrderedMutex;
 use vdb_storage::tuple::{decode_u32_at, decode_u64_at};
 use vdb_storage::{BufferManager, Page, RelId, Result, Tid};
+use vdb_serve::{scan_block, BatchScratch, QueryBlock};
 use vdb_vecmath::sampling::sample_indices;
-use vdb_vecmath::{BuildTiming, IvfParams, KHeap, Kmeans, KmeansParams, Neighbor, VectorSet};
+use vdb_vecmath::{BuildTiming, IvfParams, KHeap, Kmeans, KmeansParams, Metric, Neighbor, VectorSet};
 
 /// Sentinel "no next page" block number in the page chain.
 const NO_NEXT: u32 = u32::MAX;
@@ -416,6 +417,87 @@ impl PaseIvfFlatIndex {
         Ok(out)
     }
 
+    /// Batched serving (`vdb-serve`): serve a whole admission batch with
+    /// per-query `k` in one pass over the probed buckets. Per-query
+    /// probe lists are inverted into bucket → active-query lists so each
+    /// bucket's tuples are materialized once per *batch* (one `Q×B` GEMM
+    /// distance table per bucket, RC#1 applied to the read path) instead
+    /// of once per query. The GEMM table only prunes; survivors are
+    /// re-ranked with the engine's own scalar kernel, so results are
+    /// bit-for-bit identical to [`search_with_nprobe`](Self::search_with_nprobe).
+    /// Non-L2 metrics fall back to the serial path.
+    pub fn search_batch_gemm(
+        &self,
+        bm: &BufferManager,
+        queries: &VectorSet,
+        ks: &[usize],
+        nprobe: usize,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        if !matches!(self.opts.metric, Metric::L2) || queries.len() != ks.len() {
+            return queries
+                .iter()
+                .zip(ks)
+                .map(|(q, &k)| self.search_with_nprobe(bm, q, k, nprobe))
+                .collect();
+        }
+        let kernel = self
+            .opts
+            .assignment_gemm
+            .unwrap_or(vdb_gemm::GemmKernel::Blas);
+        let qb = QueryBlock::pack(queries);
+        let mut heaps: Vec<KHeap> = ks.iter().map(|&k| KHeap::new(k)).collect();
+        let mut active: Vec<Vec<usize>> = vec![Vec::new(); self.chains.len()];
+        for (qi, q) in queries.iter().enumerate() {
+            for b in self.select_probes(bm, q, nprobe)? {
+                active[b].push(qi);
+            }
+        }
+        let mut exact =
+            |q: &[f32], row: &[f32]| self.opts.metric.distance_with(self.opts.distance, q, row);
+        let mut scratch_ids: Vec<u64> = Vec::new();
+        let mut scratch_rows: Vec<f32> = Vec::new();
+        let mut scratch = BatchScratch::new();
+        for (b, active) in active.iter().enumerate() {
+            if active.is_empty() {
+                continue;
+            }
+            if let Some(cache) = &self.cache {
+                let bucket = &cache[b];
+                scan_block(
+                    kernel,
+                    &qb,
+                    active,
+                    bucket.vectors.as_flat(),
+                    &bucket.ids,
+                    &mut exact,
+                    &mut heaps,
+                    &mut scratch,
+                );
+            } else {
+                scratch_ids.clear();
+                scratch_rows.clear();
+                {
+                    let _t = profile::scoped(Category::TupleAccess);
+                    self.walk_bucket(bm, b, |id, v| {
+                        scratch_ids.push(id);
+                        scratch_rows.extend_from_slice(v);
+                    })?;
+                }
+                scan_block(
+                    kernel,
+                    &qb,
+                    active,
+                    &scratch_rows,
+                    &scratch_ids,
+                    &mut exact,
+                    &mut heaps,
+                    &mut scratch,
+                );
+            }
+        }
+        Ok(heaps.into_iter().map(KHeap::into_sorted).collect())
+    }
+
     /// Scan one bucket, feeding `(id, distance)` pairs to `push`.
     ///
     /// The paged path works page by page in three attributed phases,
@@ -663,6 +745,16 @@ impl PaseIndex for PaseIvfFlatIndex {
         self.search_with_nprobe(bm, query, k, knob.unwrap_or(self.params.nprobe))
     }
 
+    fn scan_batch(
+        &self,
+        bm: &BufferManager,
+        queries: &VectorSet,
+        ks: &[usize],
+        knob: Option<usize>,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        self.search_batch_gemm(bm, queries, ks, knob.unwrap_or(self.params.nprobe))
+    }
+
     fn insert(&mut self, bm: &BufferManager, id: u64, vector: &[f32]) -> Result<()> {
         assert_eq!(vector.len(), self.dim, "dimension mismatch");
         let (b, _) = self.quantizer.nearest(self.opts.distance, vector);
@@ -840,6 +932,65 @@ mod tests {
             let got_ids: Vec<u64> = got.iter().map(|n| n.id).collect();
             let want_ids: Vec<u64> = oracle.iter().take(10).map(|&(id, _)| id).collect();
             assert_eq!(got_ids, want_ids, "query {qi}");
+        }
+    }
+
+    /// Batched serving equals serial serving bit-for-bit for every
+    /// batch size in the default admission window, on both the paged
+    /// path (page-chain walks) and the memory-optimized cached path,
+    /// with per-query `k` mixed across the batch.
+    #[test]
+    fn batched_gemm_matches_serial_bit_for_bit() {
+        let (bm, data) = setup();
+        for memory_optimized in [false, true] {
+            let opts = GeneralizedOptions {
+                memory_optimized,
+                ..GeneralizedOptions::default()
+            };
+            let (idx, _) = PaseIvfFlatIndex::build(opts, small_params(), &bm, &data).unwrap();
+            for batch in 1..=8usize {
+                let mut queries = VectorSet::empty(data.dim());
+                let mut ks = Vec::new();
+                for i in 0..batch {
+                    queries.push(data.row(31 * i + 7));
+                    ks.push([1usize, 10, 100][i % 3]);
+                }
+                let batched = idx.search_batch_gemm(&bm, &queries, &ks, 4).unwrap();
+                for (qi, q) in queries.iter().enumerate() {
+                    let serial = idx.search_with_nprobe(&bm, q, ks[qi], 4).unwrap();
+                    assert_eq!(serial.len(), batched[qi].len());
+                    for (s, b) in serial.iter().zip(&batched[qi]) {
+                        assert_eq!(s.id, b.id, "cached={memory_optimized} batch={batch} q={qi}");
+                        assert_eq!(
+                            s.distance.to_bits(),
+                            b.distance.to_bits(),
+                            "cached={memory_optimized} batch={batch} q={qi}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `PaseIndex::scan_batch` entry point routes through the GEMM
+    /// path and honors the per-query knob default.
+    #[test]
+    fn scan_batch_trait_entry_matches_scan_with_knob() {
+        let (bm, data) = setup();
+        let (idx, _) =
+            PaseIvfFlatIndex::build(GeneralizedOptions::default(), small_params(), &bm, &data)
+                .unwrap();
+        let mut queries = VectorSet::empty(data.dim());
+        for i in 0..5 {
+            queries.push(data.row(100 * i));
+        }
+        let ks = [3usize, 7, 1, 20, 5];
+        for knob in [None, Some(8)] {
+            let batched = idx.scan_batch(&bm, &queries, &ks, knob).unwrap();
+            for (qi, q) in queries.iter().enumerate() {
+                let serial = idx.scan_with_knob(&bm, q, ks[qi], knob).unwrap();
+                assert_eq!(serial, batched[qi], "knob={knob:?} q={qi}");
+            }
         }
     }
 

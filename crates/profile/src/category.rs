@@ -64,13 +64,21 @@ pub enum Category {
     /// Decoupled engine: translating native slot ids back to heap TIDs /
     /// application row ids after an ANN search.
     TidLookup,
+    /// Batched serving: admission-window assembly — packing queued query
+    /// vectors into the row-major Q×d matrix and gathering bucket tuples
+    /// into contiguous blocks for the batch kernel.
+    BatchAssembly,
+    /// Batched serving: the query-batch × block distance table (one
+    /// Q×B SGEMM per block, RC#1 applied to the read path) plus the
+    /// threshold prune over it.
+    BatchGemm,
     /// Anything not covered above.
     Other,
 }
 
 impl Category {
     /// Number of categories; sizes the fixed accumulator arrays.
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 23;
 
     /// All categories in declaration order.
     pub const ALL: [Category; Category::COUNT] = [
@@ -94,6 +102,8 @@ impl Category {
         Category::ShardContention,
         Category::ChangeLogReplay,
         Category::TidLookup,
+        Category::BatchAssembly,
+        Category::BatchGemm,
         Category::Other,
     ];
 
@@ -126,6 +136,8 @@ impl Category {
             Category::ShardContention => "ShardContention",
             Category::ChangeLogReplay => "ChangeLogReplay",
             Category::TidLookup => "TidLookup",
+            Category::BatchAssembly => "BatchAssembly",
+            Category::BatchGemm => "BatchGemm",
             Category::Other => "Others",
         }
     }

@@ -1,0 +1,48 @@
+//! Batched query serving: RC#1 applied to the read path.
+//!
+//! The paper's deepest root cause is algorithmic reformulation via
+//! SGEMM — Faiss turns many one-vs-many distance loops into one matrix
+//! multiply at index-build time (§V-A). This crate carries the same
+//! reformulation to *query serving*: when several top-k queries are in
+//! flight at once, their query vectors are packed into one row-major
+//! `Q×d` matrix and every cluster/row block is evaluated against all of
+//! them with a single `Q×B` distance table ([`vdb_gemm::l2_distance_table`])
+//! instead of `Q` separate scans — one pass over the block's memory per
+//! *batch* rather than per *query*.
+//!
+//! Two pieces:
+//!
+//! * [`batch`] — the per-block evaluator: a conservative GEMM-table
+//!   prune followed by an exact re-rank with the engine's own distance
+//!   kernel, so batched results are **bit-for-bit identical** to the
+//!   serial path (see [`batch::scan_block`]).
+//! * [`scheduler`] — the admission scheduler: concurrent submitters
+//!   queue under a [`vdb_storage::lockorder::LockClass::ServeQueue`]
+//!   mutex; the first becomes leader, waits out a short batching window
+//!   (configurable max batch size and max wait), then drains and
+//!   executes the whole batch through an engine-supplied closure and
+//!   fans results back to the waiters.
+//!
+//! Engines opt in per scan; `vdb-sql` exposes the whole thing through
+//! `Database::query` behind [`ServeMode`].
+
+pub mod batch;
+pub mod scheduler;
+
+pub use batch::{
+    scan_block, scan_block_cached, BatchScratch, QueryBlock, RowBlock, MARGIN_ABS, MARGIN_SCALE,
+};
+pub use scheduler::{BatchConfig, BatchScheduler, SchedulerStats};
+
+/// How `Database::query` executes vector scans.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum ServeMode {
+    /// One query at a time, straight into the index — the PASE baseline
+    /// and the repo's behaviour before batched serving existed.
+    #[default]
+    Serial,
+    /// Route index scans through a per-index [`BatchScheduler`]:
+    /// concurrent queries arriving within the batching window share one
+    /// SGEMM-evaluated index pass.
+    Batched(BatchConfig),
+}

@@ -7,6 +7,7 @@ use crate::options::SpecializedOptions;
 use crate::VectorIndex;
 use vdb_filter::{FilterStrategy, SelectionBitmap};
 use vdb_profile::{self as profile, Category};
+use vdb_serve::{scan_block, BatchScratch, QueryBlock};
 use vdb_vecmath::{KHeap, Neighbor, VectorSet};
 
 /// Exhaustive-scan index.
@@ -29,6 +30,48 @@ impl FlatIndex {
     /// Append a vector; its id is its insertion order.
     pub fn add(&mut self, v: &[f32]) {
         self.data.push(v);
+    }
+
+    /// Batched serving (`vdb-serve`): evaluate a whole query batch with
+    /// per-query `k` against the full data in row blocks, one `Q×B`
+    /// GEMM distance table per block plus exact re-rank — bit-for-bit
+    /// identical to per-query [`VectorIndex::search`]. Non-L2 metrics
+    /// fall back to the serial path.
+    pub fn search_batch_gemm(&self, queries: &VectorSet, ks: &[usize]) -> Vec<Vec<Neighbor>> {
+        if !matches!(self.opts.metric, vdb_vecmath::Metric::L2) || queries.len() != ks.len() {
+            return queries
+                .iter()
+                .zip(ks)
+                .map(|(q, &k)| self.search(q, k))
+                .collect();
+        }
+        // Cap the distance-table working set: Q×BLOCK f32 stays cache
+        // resident, and full heaps start pruning after the first block.
+        const BLOCK_ROWS: usize = 1024;
+        let d = self.data.dim();
+        let qb = QueryBlock::pack(queries);
+        let active: Vec<usize> = (0..queries.len()).collect();
+        let mut heaps: Vec<KHeap> = ks.iter().map(|&k| KHeap::new(k)).collect();
+        let mut exact =
+            |q: &[f32], row: &[f32]| self.opts.metric.distance_with(self.opts.distance, q, row);
+        let mut scratch = BatchScratch::new();
+        let mut base = 0usize;
+        while base < self.data.len() {
+            let hi = (base + BLOCK_ROWS).min(self.data.len());
+            let ids: Vec<u64> = (base as u64..hi as u64).collect();
+            scan_block(
+                self.opts.gemm,
+                &qb,
+                &active,
+                &self.data.as_flat()[base * d..hi * d],
+                &ids,
+                &mut exact,
+                &mut heaps,
+                &mut scratch,
+            );
+            base = hi;
+        }
+        heaps.into_iter().map(KHeap::into_sorted).collect()
     }
 }
 

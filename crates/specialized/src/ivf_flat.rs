@@ -9,16 +9,23 @@
 use crate::options::{BuildTiming, IvfParams, SpecializedOptions};
 use crate::parallel::map_chunks;
 use crate::VectorIndex;
+use std::sync::OnceLock;
 use std::time::Instant;
 use vdb_filter::{FilterStrategy, SelectionBitmap};
 use vdb_profile::{self as profile, Category};
+use vdb_serve::{scan_block_cached, BatchScratch, QueryBlock, RowBlock};
 use vdb_vecmath::sampling::sample_indices;
-use vdb_vecmath::{simd, KHeap, Kmeans, KmeansParams, Neighbor, VectorSet};
+use vdb_vecmath::{simd, KHeap, Kmeans, KmeansParams, Metric, Neighbor, VectorSet};
 
-/// One inverted list: parallel arrays of ids and vectors.
+/// One inverted list: parallel arrays of ids and vectors, plus a lazy
+/// serving cache (packed GEMM panels + row norms) built on first
+/// batched access and invalidated whenever the list mutates. The cache
+/// never affects results — it holds a repack of the same vectors, and
+/// the batched scan re-ranks every survivor with the exact kernel.
 struct Bucket {
     ids: Vec<u64>,
     vectors: VectorSet,
+    serve_cache: OnceLock<RowBlock>,
 }
 
 /// The IVF_FLAT index.
@@ -83,6 +90,7 @@ impl IvfFlatIndex {
             .map(|_| Bucket {
                 ids: Vec::new(),
                 vectors: VectorSet::empty(d),
+                serve_cache: OnceLock::new(),
             })
             .collect();
         IvfFlatIndex {
@@ -116,6 +124,7 @@ impl IvfFlatIndex {
             let bucket = &mut self.buckets[a as usize];
             bucket.ids.push(self.len as u64 + i as u64);
             bucket.vectors.push(data.row(i));
+            bucket.serve_cache.take();
         }
         self.len += data.len();
     }
@@ -131,6 +140,8 @@ impl IvfFlatIndex {
         let bucket = &mut self.buckets[a];
         bucket.ids.push(id);
         bucket.vectors.push(v);
+        // The packed serving cache describes the pre-insert vectors.
+        bucket.serve_cache.take();
         self.len += 1;
         id
     }
@@ -139,6 +150,12 @@ impl IvfFlatIndex {
     /// the other engine).
     pub fn quantizer(&self) -> &Kmeans {
         &self.quantizer
+    }
+
+    /// The build-time `nprobe` that [`VectorIndex::search`] uses when no
+    /// per-query knob is supplied.
+    pub fn default_nprobe(&self) -> usize {
+        self.params.nprobe
     }
 
     /// Per-bucket occupancy (for inspecting clustering balance).
@@ -260,6 +277,90 @@ impl IvfFlatIndex {
             },
         );
         out
+    }
+
+    /// Batched serving (RC#1 on the read path, `vdb-serve`): evaluate a
+    /// whole query batch with per-query `k`, probing each query's
+    /// `nprobe` nearest buckets but scanning every bucket *once* for
+    /// all of its active queries via a `Q×B` GEMM distance table plus
+    /// exact re-rank. Each bucket's GEMM panels and row norms are
+    /// packed once on first batched access and cached until the bucket
+    /// mutates ([`vdb_serve::RowBlock`]).
+    ///
+    /// Bit-for-bit identical to calling
+    /// [`IvfFlatIndex::search_with_nprobe`] per query: probe selection
+    /// is the same quantizer call, the exact re-rank uses the same
+    /// per-pair kernel, and the GEMM table only excludes pairs that
+    /// cannot enter a heap (see `vdb_serve::batch`). Non-L2 metrics
+    /// fall back to the serial path — the distance table is squared L2.
+    pub fn search_batch_gemm(
+        &self,
+        queries: &VectorSet,
+        ks: &[usize],
+        nprobe: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        if !matches!(self.opts.metric, Metric::L2) || queries.len() != ks.len() {
+            return queries
+                .iter()
+                .zip(ks)
+                .map(|(q, &k)| self.search_with_nprobe(q, k, nprobe))
+                .collect();
+        }
+        let qb = QueryBlock::pack(queries);
+        let mut heaps: Vec<KHeap> = ks.iter().map(|&k| KHeap::new(k)).collect();
+        // Invert per-query probe lists into per-bucket active-query
+        // lists so each bucket's memory is walked once per batch.
+        // `min_rank[b]` remembers the best probe rank any query gave
+        // bucket `b`; visiting buckets in that order approximates every
+        // query's own closest-first order, so heaps fill with good
+        // candidates early and the table prune rejects most of the
+        // later buckets' rows. Visit order cannot change results — the
+        // prune only excludes rows that cannot enter a heap, and heap
+        // contents are insertion-order independent.
+        let mut active: Vec<Vec<usize>> = vec![Vec::new(); self.buckets.len()];
+        let mut min_rank: Vec<usize> = vec![usize::MAX; self.buckets.len()];
+        let mut order: Vec<usize> = Vec::new();
+        {
+            let _t = profile::scoped(Category::BatchAssembly);
+            for (qi, q) in queries.iter().enumerate() {
+                for (rank, (b, _)) in self
+                    .quantizer
+                    .nearest_n(self.opts.distance, q, nprobe)
+                    .into_iter()
+                    .enumerate()
+                {
+                    if active[b].is_empty() {
+                        order.push(b);
+                    }
+                    active[b].push(qi);
+                    min_rank[b] = min_rank[b].min(rank);
+                }
+            }
+            order.sort_unstable_by_key(|&b| min_rank[b]);
+        }
+        let mut exact =
+            |q: &[f32], row: &[f32]| self.opts.metric.distance_with(self.opts.distance, q, row);
+        let d = self.quantizer.dim();
+        let mut scratch = BatchScratch::new();
+        for &b in &order {
+            let bucket = &self.buckets[b];
+            // Packed panels + norms amortize across every batch that
+            // probes this bucket (rebuilt lazily after a mutation).
+            let block = bucket
+                .serve_cache
+                .get_or_init(|| RowBlock::build(bucket.vectors.as_flat(), d));
+            scan_block_cached(
+                &qb,
+                &active[b],
+                block,
+                bucket.vectors.as_flat(),
+                &bucket.ids,
+                &mut exact,
+                &mut heaps,
+                &mut scratch,
+            );
+        }
+        heaps.into_iter().map(KHeap::into_sorted).collect()
     }
 }
 

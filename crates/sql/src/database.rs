@@ -14,7 +14,9 @@ use vdb_generalized::{
     GeneralizedOptions, PaseHnswIndex, PaseIndex, PaseIvfFlatIndex, PaseIvfPqIndex,
 };
 use vdb_profile::{self as profile, Category};
+use vdb_serve::{BatchScheduler, ServeMode};
 use vdb_specialized::SpecializedOptions;
+use vdb_storage::sync::OrderedMutex;
 use vdb_storage::tuple::{decode_attr, decode_id, encode_tuple, vector_slice};
 use vdb_storage::{BufferManager, BufferPoolMode, DiskManager, HeapTable, PageSize, Tid};
 use vdb_vecmath::{HnswParams, IvfParams, Metric, PqParams, VectorSet};
@@ -107,6 +109,15 @@ pub struct Database {
     /// default is PASE-as-measured; flip root-cause switches to study
     /// ablations through SQL.
     pub options: GeneralizedOptions,
+    /// How concurrent top-k scans are served (serial per session, or
+    /// grouped into admission batches — see [`ServeMode`]).
+    serve_mode: ServeMode,
+    /// Per-index admission schedulers, created lazily on the first
+    /// batched scan of each index. Keyed by index name; dropped with the
+    /// index. The map lock is engine-rank and must be released before
+    /// submitting (the scheduler's queue lock is rank 0: acquired with
+    /// nothing held).
+    schedulers: OrderedMutex<HashMap<String, Arc<BatchScheduler>>>,
 }
 
 impl Database {
@@ -129,6 +140,8 @@ impl Database {
             tables: HashMap::new(),
             indexes: HashMap::new(),
             options: GeneralizedOptions::default(),
+            serve_mode: ServeMode::Serial,
+            schedulers: OrderedMutex::engine(HashMap::new()),
         }
     }
 
@@ -142,6 +155,58 @@ impl Database {
     /// buffer behaviour through SQL workloads).
     pub fn buffer_manager(&self) -> &BufferManager {
         &self.bm
+    }
+
+    /// How top-k index scans are served. [`ServeMode::Serial`] (the
+    /// default) runs each [`query`](Self::query) on its own;
+    /// [`ServeMode::Batched`] groups concurrent scans of the same index
+    /// into admission batches evaluated with one query-batch × block
+    /// SGEMM per bucket — same results, amortized per-query cost.
+    pub fn serve_mode(&self) -> ServeMode {
+        self.serve_mode
+    }
+
+    /// Switch the serving mode. Existing admission schedulers are
+    /// discarded so a new batching window takes effect immediately.
+    pub fn set_serve_mode(&mut self, mode: ServeMode) {
+        self.serve_mode = mode;
+        self.schedulers.lock().clear();
+    }
+
+    /// Serve one top-k scan of index `name` under the current
+    /// [`ServeMode`]. Serial mode calls the access method directly;
+    /// batched mode routes through the index's admission scheduler, so
+    /// concurrent callers arriving within the batching window share one
+    /// batched scan. Results are bit-for-bit identical either way.
+    pub(crate) fn serve_scan(
+        &self,
+        name: &str,
+        ix: &IndexState,
+        vector: &[f32],
+        k: usize,
+        knob: Option<usize>,
+    ) -> Result<Vec<vdb_vecmath::Neighbor>> {
+        let cfg = match self.serve_mode {
+            ServeMode::Serial => {
+                return Ok(ix.index.scan_with_knob(&self.bm, vector, k, knob)?);
+            }
+            ServeMode::Batched(cfg) => cfg,
+        };
+        let scheduler = {
+            // Engine-rank map guard: must not be held across submit(),
+            // whose queue lock is rank 0 (taken with nothing held).
+            let mut map = self.schedulers.lock();
+            Arc::clone(map.entry(name.to_string()).or_insert_with(|| {
+                Arc::new(BatchScheduler::new(cfg, ix.index.dim()))
+            }))
+        };
+        scheduler
+            .submit(vector.to_vec(), k, knob, |queries, ks, knob| {
+                ix.index
+                    .scan_batch(&self.bm, queries, ks, knob)
+                    .map_err(|e| e.to_string())
+            })
+            .map_err(|e| SqlError::Semantic(format!("batched scan of {name:?} failed: {e}")))
     }
 
     /// Parse and execute one SQL statement.
@@ -605,7 +670,10 @@ impl Database {
                 self.indexes.retain(|_, ix| ix.table != name);
                 existed
             }
-            "index" => self.indexes.remove(&name).is_some(),
+            "index" => {
+                self.schedulers.lock().remove(&name);
+                self.indexes.remove(&name).is_some()
+            }
             other => {
                 return Err(SqlError::Semantic(format!(
                     "DROP target must be table or index, not {other:?}"

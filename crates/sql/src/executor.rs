@@ -36,8 +36,7 @@ pub fn execute_select(
             // by the dead-set size so k live rows survive the filter.
             let deleted = &db.table(table)?.deleted;
             let mut found =
-                ix.index
-                    .scan_with_knob(db.bm(), &query.vector, k + deleted.len(), query.knob)?;
+                db.serve_scan(&index, ix, &query.vector, k + deleted.len(), query.knob)?;
             if !deleted.is_empty() {
                 found.retain(|n| !deleted.contains(&(n.id as i64)));
             }

@@ -31,6 +31,7 @@ pub mod planner;
 pub use ast::{IndexKind, Statement};
 pub use database::{Database, QueryResult, Value};
 pub use pase_literal::PaseLiteral;
+pub use vdb_serve::{BatchConfig, SchedulerStats, ServeMode};
 
 use std::fmt;
 

@@ -4,11 +4,12 @@
 //! The storage layer has a strict acquisition order:
 //!
 //! ```text
-//! PoolInner | Shard (buffer-pool mapping locks — peers, one at a time)
-//!   → Frame (per-frame page RwLock)
-//!       → DecoupledIndex (decoupled engine's native-index RwLock)
-//!           → ChangeLog (decoupled engine's change-log RwLock)
-//!               → EngineShared (engine-side collector/error mutexes)
+//! ServeQueue (batched-serving admission queue — above the whole stack)
+//!   → PoolInner | Shard (buffer-pool mapping locks — peers, one at a time)
+//!       → Frame (per-frame page RwLock)
+//!           → DecoupledIndex (decoupled engine's native-index RwLock)
+//!               → ChangeLog (decoupled engine's change-log RwLock)
+//!                   → EngineShared (engine-side collector/error mutexes)
 //! ```
 //!
 //! `pin()` takes a pool mapping lock and then latches a frame (miss
@@ -17,11 +18,16 @@
 //! mapping lock while a frame latch (or an engine lock) is held — two
 //! threads doing that against each other's frames deadlock, which is
 //! exactly the hazard the paper's globally-locked-heap discussion
-//! circles. [`LockClass::PoolInner`] and [`LockClass::Shard`] share
-//! rank 0 on purpose: the global pool holds one mapping mutex, the
+//! circles. [`LockClass::PoolInner`] and [`LockClass::Shard`] share a
+//! rank on purpose: the global pool holds one mapping mutex, the
 //! sharded pool holds one shard's mapping lock, and neither may ever
 //! nest inside the other (or inside a second shard) — equal rank makes
-//! the tracker reject any such nesting.
+//! the tracker reject any such nesting. [`LockClass::ServeQueue`]
+//! ranks below them both: the admission queue must be taken with
+//! nothing held, so engine code calling back into a scheduler (a
+//! re-entrant submission, the scheduler-side deadlock) trips the
+//! tracker; the scheduler additionally drops it before executing a
+//! batch so admission stays open while a batch runs.
 //!
 //! Under the `strict-invariants` feature every acquisition through
 //! [`crate::sync`] (and the `BufferManager` internals) is recorded in a
@@ -32,8 +38,17 @@
 /// The lock classes of the storage hierarchy, in acquisition order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LockClass {
+    /// The batched-serving admission queue (`vdb-serve`'s scheduler
+    /// mutex). Root of the whole order: admission happens before a
+    /// query touches any engine or storage lock, so nothing may be
+    /// held when acquiring it — a re-entrant submission from inside an
+    /// engine call panics instead of deadlocking. The scheduler also
+    /// drops it before executing a batch (a convention, not a tracked
+    /// invariant) so admission stays open during batch execution.
+    ServeQueue,
     /// The global buffer pool's metadata mutex (`PoolInner`). Root of
-    /// the order: nothing may be held when acquiring it.
+    /// the storage sub-order: only [`LockClass::ServeQueue`] may rank
+    /// above it, and the scheduler never actually nests the two.
     PoolInner,
     /// One shard's mapping lock in the sharded buffer pool
     /// (PostgreSQL's partitioned buffer-mapping lwlocks,
@@ -64,18 +79,20 @@ impl LockClass {
     /// Position in the acquisition order (lower acquires first).
     pub fn rank(self) -> u8 {
         match self {
-            LockClass::PoolInner => 0,
-            LockClass::Shard => 0,
-            LockClass::Frame => 1,
-            LockClass::DecoupledIndex => 2,
-            LockClass::ChangeLog => 3,
-            LockClass::EngineShared => 4,
+            LockClass::ServeQueue => 0,
+            LockClass::PoolInner => 1,
+            LockClass::Shard => 1,
+            LockClass::Frame => 2,
+            LockClass::DecoupledIndex => 3,
+            LockClass::ChangeLog => 4,
+            LockClass::EngineShared => 5,
         }
     }
 
     /// Human-readable name for traces.
     pub fn name(self) -> &'static str {
         match self {
+            LockClass::ServeQueue => "ServeQueue",
             LockClass::PoolInner => "PoolInner",
             LockClass::Shard => "Shard",
             LockClass::Frame => "Frame",
@@ -213,6 +230,32 @@ mod tests {
     fn same_rank_reentry_panics() {
         let _a = acquire(LockClass::EngineShared);
         let _b = acquire(LockClass::EngineShared);
+    }
+
+    #[test]
+    fn serve_queue_is_the_root_of_the_order() {
+        let _q = acquire(LockClass::ServeQueue);
+        let _p = acquire(LockClass::PoolInner);
+        let _f = acquire(LockClass::Frame);
+        assert_eq!(held_trace(), vec!["ServeQueue", "PoolInner", "Frame"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn serve_queue_under_any_storage_lock_panics() {
+        // The scheduler must never be re-entered from inside an engine
+        // call (a batch executor submitting back into a scheduler).
+        let _p = acquire(LockClass::PoolInner);
+        let _q = acquire(LockClass::ServeQueue);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn second_serve_queue_panics() {
+        // One admission queue at a time: scheduler-to-scheduler nesting
+        // (two indexes' queues) would deadlock two submitting threads.
+        let _a = acquire(LockClass::ServeQueue);
+        let _b = acquire(LockClass::ServeQueue);
     }
 
     #[test]

@@ -49,7 +49,7 @@ fn buffer_pool_nesting_is_order_clean() {
 
 #[test]
 fn engine_lock_inside_page_closure_is_legal() {
-    // Frame (rank 1) → EngineShared (rank 2) is the sanctioned order:
+    // Frame (rank 2) → EngineShared (rank 5) is the sanctioned order:
     // collectors may be locked while a page latch is held.
     let (bm, rel) = pool(2);
     bm.new_page(rel, 0, |p| {
@@ -66,7 +66,7 @@ fn engine_lock_inside_page_closure_is_legal() {
 
 #[test]
 fn sharded_pool_nesting_is_order_clean() {
-    // Shard (rank 0, peer of PoolInner) → Frame (rank 1) is the
+    // Shard (rank 1, peer of PoolInner) → Frame (rank 2) is the
     // sharded pool's only nesting; hits, misses, dirty write-backs
     // during the clock sweep, and flush must all stay inside it.
     let (bm, rel) = sharded_pool(4, 2);
@@ -119,7 +119,7 @@ fn sharded_pool_entry_under_engine_lock_panics() {
 #[test]
 #[should_panic(expected = "lock-order inversion")]
 fn buffer_pool_entry_under_engine_lock_panics() {
-    // EngineShared (rank 2) held across pin() (PoolInner, rank 0):
+    // EngineShared (rank 5) held across pin() (PoolInner, rank 1):
     // with two threads doing this against each other's frames the
     // unchecked build deadlocks; the tracker panics deterministically.
     let (bm, rel) = pool(2);

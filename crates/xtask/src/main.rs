@@ -238,6 +238,7 @@ mod repo_tests {
             ("crates/filter/src/scanner_blind_spots.rs", 24, "no-panic"),
             ("crates/sql/Cargo.toml", 6, "lock-discipline"),
             ("crates/sql/src/cfg_test_inner.rs", 25, "no-panic"),
+            ("crates/sql/src/serve_queue_rank.rs", 10, "lock-hierarchy"),
             ("crates/storage/src/buffer.rs", 14, "atomic-ordering"),
             ("crates/storage/src/buffer.rs", 23, "atomic-ordering"),
             ("crates/storage/src/buffer.rs", 23, "atomic-ordering"),

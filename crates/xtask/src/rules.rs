@@ -5,8 +5,8 @@
 //! | `unsafe-confinement` | every `.rs` file | `unsafe` only in the whitelisted kernel/codec files |
 //! | `safety-comment` | whitelisted files | every `unsafe` site carries a `// SAFETY:` comment |
 //! | `no-panic` | hot-path crate sources | no `unwrap`/`expect`/`panic!`-family outside tests, unless annotated `// PANIC-OK:` |
-//! | `lock-discipline` | `generalized`, `decoupled`, `sql` | no direct `parking_lot` use — shared state goes through `vdb_storage::sync` / the `BufferManager` API |
-//! | `lock-hierarchy` | everything outside `crates/storage` | no storage-rank `LockClass` (`PoolInner`/`Shard`/`Frame`) construction — engine locks use `OrderedMutex::engine()` / `OrderedRwLock::engine()`; the decoupled ranks (`DecoupledIndex`/`ChangeLog`) additionally stay inside `crates/decoupled` |
+//! | `lock-discipline` | `generalized`, `decoupled`, `serve`, `sql` | no direct `parking_lot` use — shared state goes through `vdb_storage::sync` / the `BufferManager` API |
+//! | `lock-hierarchy` | everything outside `crates/storage` | no storage-rank `LockClass` (`PoolInner`/`Shard`/`Frame`) construction — engine locks use `OrderedMutex::engine()` / `OrderedRwLock::engine()`; the decoupled ranks (`DecoupledIndex`/`ChangeLog`) additionally stay inside `crates/decoupled`, and the admission-queue rank (`ServeQueue`) inside `crates/serve` |
 //! | `atomic-ordering` | crate sources outside `crates/profile` | every `Ordering::Relaxed` carries `// RELAXED-OK: <why>`; the designated synchronization fields (`pin`/`dirty`/`tag` in `buffer.rs`, `head`/`applied` in `changelog.rs`) must never use `Relaxed` at all |
 //! | `guard-discipline` | `storage`, `generalized`, `decoupled`, `sql` sources | no lock guard held across a buffer-manager entry point or change-log replay (`with_page`, `with_page_mut`, `new_page`, `flush_all`, `drain_with`), unless annotated `// GUARD-OK:` |
 //! | `exhaustive-lockclass` | every `.rs` file | a `match` over `LockClass` lists every variant — no `_` or binding catch-all arm |
@@ -39,11 +39,12 @@ pub(crate) const NO_PANIC_CRATES: &[&str] = &[
     "specialized",
     "decoupled",
     "filter",
+    "serve",
     "sql",
 ];
 
 /// Crates forbidden from acquiring `parking_lot` locks directly.
-pub(crate) const LOCK_DISCIPLINE_CRATES: &[&str] = &["generalized", "decoupled", "sql"];
+pub(crate) const LOCK_DISCIPLINE_CRATES: &[&str] = &["generalized", "decoupled", "serve", "sql"];
 
 /// Lock classes reserved for the buffer pool's own hierarchy. Code
 /// outside `crates/storage` must not mint locks at these ranks: a
@@ -63,6 +64,14 @@ pub(crate) const STORAGE_LOCK_CLASSES: &[&str] = &[
 /// ranks) goes through the `DecoupledIndex` API instead.
 pub(crate) const DECOUPLED_LOCK_CLASSES: &[&str] =
     &["LockClass::DecoupledIndex", "LockClass::ChangeLog"];
+
+/// Lock class owned by the batched-serving admission queue. It ranks
+/// above the whole stack (leaders call into engines, hence the buffer
+/// pool, while holding it), so a `ServeQueue` lock minted outside
+/// `crates/serve` would let arbitrary code sit above the scheduler's
+/// queue in the hierarchy; everything else submits through the
+/// `BatchScheduler` API.
+pub(crate) const SERVE_LOCK_CLASSES: &[&str] = &["LockClass::ServeQueue"];
 
 /// Panicking constructs the `no-panic` rule rejects.
 const PANIC_PATTERNS: &[&str] = &[
@@ -384,21 +393,36 @@ fn lock_hierarchy(file: &SourceFile, analysis: &Analysis, out: &mut Vec<Violatio
                 });
             }
         }
-        if krate == Some("decoupled") {
-            continue;
+        if krate != Some("decoupled") {
+            for class in DECOUPLED_LOCK_CLASSES {
+                if line.code.contains(class) {
+                    out.push(Violation {
+                        path: PathBuf::from(&file.rel_path),
+                        line: idx + 1,
+                        rule: "lock-hierarchy",
+                        message: format!(
+                            "`{class}` outside `crates/decoupled`; the decoupled engine's \
+                             index/change-log ranks are private to it — go through the \
+                             `DecoupledIndex` API, or use an `engine()` lock"
+                        ),
+                    });
+                }
+            }
         }
-        for class in DECOUPLED_LOCK_CLASSES {
-            if line.code.contains(class) {
-                out.push(Violation {
-                    path: PathBuf::from(&file.rel_path),
-                    line: idx + 1,
-                    rule: "lock-hierarchy",
-                    message: format!(
-                        "`{class}` outside `crates/decoupled`; the decoupled engine's \
-                         index/change-log ranks are private to it — go through the \
-                         `DecoupledIndex` API, or use an `engine()` lock"
-                    ),
-                });
+        if krate != Some("serve") {
+            for class in SERVE_LOCK_CLASSES {
+                if line.code.contains(class) {
+                    out.push(Violation {
+                        path: PathBuf::from(&file.rel_path),
+                        line: idx + 1,
+                        rule: "lock-hierarchy",
+                        message: format!(
+                            "`{class}` outside `crates/serve`; the admission-queue rank \
+                             is private to the batch scheduler — submit through \
+                             `BatchScheduler`, or use an `engine()` lock"
+                        ),
+                    });
+                }
             }
         }
     }
@@ -1004,6 +1028,31 @@ mod tests {
         // storage crate defines them.
         assert!(run_all(&[file("crates/decoupled/src/changelog.rs", src)]).is_empty());
         assert!(run_all(&[file("crates/storage/src/lockorder.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn serve_rank_lock_class_banned_outside_serve() {
+        let src = "fn f() { let _l = OrderedMutex::new(LockClass::ServeQueue, ()); }\n";
+        let v = run_all(&[file("crates/sql/src/database.rs", src)]);
+        assert_eq!(rules_of(&v), vec!["lock-hierarchy"]);
+        let v = run_all(&[file(
+            "tests/serve_stress.rs",
+            "fn f() { acquire(LockClass::ServeQueue); }\n",
+        )]);
+        assert_eq!(rules_of(&v), vec!["lock-hierarchy"]);
+        // The serve crate mints its rank freely, and the storage crate
+        // defines it.
+        assert!(run_all(&[file("crates/serve/src/scheduler.rs", src)]).is_empty());
+        assert!(run_all(&[file("crates/storage/src/lockorder.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn serve_crate_is_panic_and_lock_disciplined() {
+        let v = run_all(&[file(
+            "crates/serve/src/scheduler.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }\nuse parking_lot::Mutex;\n",
+        )]);
+        assert_eq!(rules_of(&v), vec!["no-panic", "lock-discipline"]);
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! Corpus fixture: a `ServeQueue`-rank lock minted outside
+//! `crates/serve`. The admission-queue rank sits above the whole lock
+//! hierarchy and is private to the batch scheduler (`lock-hierarchy`).
+
+use vdb_storage::lockorder::LockClass;
+use vdb_storage::sync::OrderedMutex;
+
+/// A planner-side "fast path" trying to sit above the scheduler.
+pub fn mint_queue_lock() -> OrderedMutex<u8> {
+    OrderedMutex::new(LockClass::ServeQueue, 0)
+}
